@@ -1,0 +1,23 @@
+//! Ablation — visual vs. non-visual mode: visual re-derives non-leaf
+//! cells over the output cube, non-visual retains the input's.
+
+use bench::setup::{context, default_workforce, first_months, run};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn modes(c: &mut Criterion) {
+    let wf = default_workforce();
+    let ctx = context(&wf);
+    let months = first_months(4);
+    let mut group = c.benchmark_group("ablation_modes");
+    group.sample_size(10);
+    for mode in ["NONVISUAL", "VISUAL"] {
+        let q = wf.fig10a_query_sem(&months, &format!("DYNAMIC FORWARD {mode}"));
+        group.bench_with_input(BenchmarkId::new("mode", mode), &q, |b, q| {
+            b.iter(|| run(&ctx, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, modes);
+criterion_main!(benches);

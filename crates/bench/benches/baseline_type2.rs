@@ -1,0 +1,37 @@
+//! Baseline — what-if via Type-2 slowly-changing dimensions (paper
+//! Section 7): the Type-2 user must re-implement forward semantics
+//! client-side over an effective-date side table and re-scan the cube
+//! cell by cell; the native perspective engine works chunk-at-a-time with
+//! scoping, merge ordering, and pass decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap_workload::{simulate_forward, type2_of, Workforce, WorkforceConfig};
+use whatif_core::{apply_default, Mode, Scenario, Semantics};
+
+fn type2_baseline(c: &mut Criterion) {
+    let wf = Workforce::build(WorkforceConfig::default());
+    eprintln!("converting to Type-2 (one-time)…");
+    let t2 = type2_of(&wf.cube, wf.department);
+    let p = vec![0u32, 3, 6, 9];
+    // Slice: acc000 at (Current, Local, BU Version_1, HSP_InputValue).
+    // Dimension order: Period, Department, Account, Scenario, Currency,
+    // Version, HSP_Rates.
+    let slicer = vec![None, None, Some(0u32), Some(0), Some(0), Some(0), Some(0)];
+
+    let mut group = c.benchmark_group("baseline_type2");
+    group.sample_size(10);
+    group.bench_function("native_perspective", |b| {
+        b.iter(|| {
+            let scenario =
+                Scenario::negative(wf.department, p.clone(), Semantics::Forward, Mode::Visual);
+            apply_default(&wf.cube, &scenario).unwrap()
+        })
+    });
+    group.bench_function("type2_client_simulation", |b| {
+        b.iter(|| simulate_forward(&t2, &p, &slicer))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, type2_baseline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 11 — number of perspectives vs. query time.
+//!
+//! The paper sweeps 1–12 perspectives over "all employees who reported
+//! into more than one department" and compares three strategies: the
+//! direct multi-perspective STATIC query, DYNAMIC FORWARD, and the
+//! "Multiple MDX" simulation baseline (k single-perspective queries plus
+//! post-processing). All three scale linearly; direct beats simulation;
+//! static ≈ forward beyond ~6 perspectives.
+
+use bench::baselines::multiple_mdx;
+use bench::setup::{context, default_workforce, first_months, run};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    let wf = default_workforce();
+    let ctx = context(&wf);
+    let mut group = c.benchmark_group("fig11_perspectives");
+    group.sample_size(10);
+    for &k in &[1usize, 2, 4, 6, 8, 10, 12] {
+        let months = first_months(k);
+        let static_q = wf.fig10a_query(&months);
+        group.bench_with_input(BenchmarkId::new("static", k), &static_q, |b, q| {
+            b.iter(|| run(&ctx, q))
+        });
+        let fwd_q = wf.fig10a_query_sem(&months, "DYNAMIC FORWARD");
+        group.bench_with_input(BenchmarkId::new("dynamic_forward", k), &fwd_q, |b, q| {
+            b.iter(|| run(&ctx, q))
+        });
+        group.bench_with_input(BenchmarkId::new("multiple_mdx", k), &months, |b, m| {
+            b.iter(|| multiple_mdx(&ctx, &wf, m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

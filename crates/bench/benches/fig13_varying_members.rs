@@ -1,0 +1,27 @@
+//! Fig. 13 — number of varying member instances in scope vs. query time.
+//!
+//! The paper runs a static 4-perspective query over 50–250 employees
+//! with 4 reporting-structure changes each (step 50) and observes linear
+//! scaling. At our 1/10th scale the sweep is 5–25 employees (step 5),
+//! using the Fig. 10(c) query's `Head(…, n)`.
+
+use bench::setup::{context, fig13_workforce, quarterly, run};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig13(c: &mut Criterion) {
+    let wf = fig13_workforce(25);
+    let ctx = context(&wf);
+    let p = quarterly();
+    let mut group = c.benchmark_group("fig13_varying_members");
+    group.sample_size(10);
+    for &n in &[5u32, 10, 15, 20, 25] {
+        let q = wf.fig10c_query(&p, n);
+        group.bench_with_input(BenchmarkId::new("employees", n), &q, |b, q| {
+            b.iter(|| run(&ctx, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the core building blocks: Φ, relocate plans, the
+//! pebbling heuristic, the chunk codec, and selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_store::{codec, CellValue, Chunk};
+use olap_workload::{Workforce, WorkforceConfig};
+use whatif_core::{
+    merge::{heuristic_order, pebbles_for_order, MergeGraph},
+    phi, DestMap, Predicate, Semantics,
+};
+
+fn micro(c: &mut Criterion) {
+    let wf = Workforce::build(WorkforceConfig::default());
+    let varying = wf.schema.varying(wf.department).unwrap();
+
+    c.bench_function("phi_forward_2k_instances", |b| {
+        b.iter(|| phi(Semantics::Forward, varying.instances(), &[0, 3, 6, 9], 12))
+    });
+
+    let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 3, 6, 9], 12);
+    c.bench_function("destmap_build_2k_instances", |b| {
+        b.iter(|| DestMap::build(&wf.cube, wf.department, &vs_out).unwrap())
+    });
+
+    c.bench_function("select_changing_members", |b| {
+        b.iter(|| {
+            whatif_core::operators::select::matching_slots(
+                &wf.cube,
+                wf.department,
+                &Predicate::Changing,
+            )
+            .unwrap()
+        })
+    });
+
+    // Pebbling on pseudo-random graphs of growing size.
+    let mut group = c.benchmark_group("pebbling_heuristic");
+    for &n in &[16u32, 64, 256] {
+        let mut edges = Vec::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % (n as u64) < 3 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let labels: Vec<u32> = (0..n).collect();
+        let g = MergeGraph::from_edges(&labels, &edges);
+        group.bench_with_input(BenchmarkId::new("nodes", n), &g, |b, g| {
+            b.iter(|| {
+                let order = heuristic_order(g);
+                pebbles_for_order(g, &order)
+            })
+        });
+    }
+    group.finish();
+
+    // Codec roundtrip on a half-full chunk.
+    let mut chunk = Chunk::new_dense(vec![16, 16]);
+    for i in (0..256).step_by(2) {
+        chunk.set(i, CellValue::num(i as f64));
+    }
+    c.bench_function("codec_roundtrip_256cell_chunk", |b| {
+        b.iter(|| codec::decode(&codec::encode(&chunk)).unwrap())
+    });
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

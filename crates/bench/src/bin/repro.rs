@@ -1,0 +1,291 @@
+//! Reproduces every evaluation figure of the paper and prints the series
+//! its plots are drawn from, alongside the paper's expected shape.
+//!
+//! ```text
+//! repro [--fig 11|12|13] [--table S] [--ablations] [--all] [--csv DIR]
+//! ```
+//!
+//! With no arguments, `--all` is assumed. Timings are minima over a few
+//! runs; see EXPERIMENTS.md for recorded results and commentary.
+
+use bench::baselines::multiple_mdx;
+use bench::figures::{Figure, Series};
+use bench::setup::{
+    context, default_workforce, fig13_workforce, first_months, quarterly, run, Fig12Rig,
+};
+use bench::min_time;
+use olap_store::SeekModel;
+use olap_workload::{Workforce, WorkforceConfig};
+use whatif_core::{execute_chunked, merge, phi, DestMap, OrderPolicy, Semantics};
+
+const ITERS: u32 = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<&str> = Vec::new();
+    let mut table_s = false;
+    let mut ablations = false;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                figs.push(match args.get(i).map(String::as_str) {
+                    Some("11") => "11",
+                    Some("12") => "12",
+                    Some("13") => "13",
+                    other => {
+                        eprintln!("unknown figure {other:?} (expected 11, 12 or 13)");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            "--table" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("S") | Some("s") => table_s = true,
+                    other => {
+                        eprintln!("unknown table {other:?} (expected S)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--ablations" => ablations = true,
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--all" => {
+                figs = vec!["11", "12", "13"];
+                table_s = true;
+                ablations = true;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: repro [--fig N]… [--table S] [--ablations] [--all] [--csv DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if figs.is_empty() && !table_s && !ablations {
+        figs = vec!["11", "12", "13"];
+        table_s = true;
+        ablations = true;
+    }
+
+    let mut outputs: Vec<Figure> = Vec::new();
+    if table_s {
+        print_table_s();
+    }
+    for f in figs {
+        let fig = match f {
+            "11" => fig11(),
+            "12" => fig12(),
+            "13" => fig13(),
+            _ => unreachable!(),
+        };
+        println!("{fig}");
+        outputs.push(fig);
+    }
+    if ablations {
+        run_ablations();
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for fig in &outputs {
+            let name = fig.id.replace(". ", "_").replace([' ', '.'], "_").to_lowercase();
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, fig.to_csv()).expect("write csv");
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// "Table S": the dataset-summary statistics the paper's setup paragraph
+/// reports, paper value vs. this build.
+fn print_table_s() {
+    println!("=== Table S — dataset summary (paper vs. this build) ===");
+    let wf = default_workforce();
+    let varying = wf.schema.varying(wf.department).unwrap();
+    let rows: Vec<(&str, String, String)> = vec![
+        ("dimensions", "7".into(), wf.schema.dim_count().to_string()),
+        ("employees", "20,250".into(), wf.config.employees.to_string()),
+        ("departments", "51".into(), wf.config.departments.to_string()),
+        (
+            "changing employees",
+            "250 (1%)".into(),
+            format!("{} ({:.1}%)", wf.movers.len(), 100.0 * wf.movers.len() as f64 / wf.config.employees as f64),
+        ),
+        ("moves per changer", "1–11".into(), {
+            let min = wf.movers.iter().map(|&(_, c)| c).min().unwrap_or(0);
+            let max = wf.movers.iter().map(|&(_, c)| c).max().unwrap_or(0);
+            format!("{min}–{max}")
+        }),
+        ("months", "12".into(), wf.config.months.to_string()),
+        ("measures", "100".into(), wf.config.accounts.to_string()),
+        ("scenarios", "5".into(), wf.config.scenarios.to_string()),
+        (
+            "employee instances",
+            "—".into(),
+            varying.instance_count().to_string(),
+        ),
+        (
+            "input cells",
+            "121,000,000".into(),
+            wf.input_cells().to_string(),
+        ),
+        (
+            "materialized chunks",
+            "—".into(),
+            wf.cube.chunk_count().to_string(),
+        ),
+    ];
+    println!("{:<22} {:>14} {:>14}", "statistic", "paper", "this build");
+    for (k, p, o) in rows {
+        println!("{k:<22} {p:>14} {o:>14}");
+    }
+    println!("(scale: 1/10th linear — see DESIGN.md §2)\n");
+}
+
+fn fig11() -> Figure {
+    eprintln!("[fig11] building workload…");
+    let wf = default_workforce();
+    let ctx = context(&wf);
+    let ks = [1usize, 2, 3, 4, 6, 8, 10, 12];
+    let mut static_s = Vec::new();
+    let mut fwd_s = Vec::new();
+    let mut multi_s = Vec::new();
+    for &k in &ks {
+        let months = first_months(k);
+        let q = wf.fig10a_query(&months);
+        let t = min_time(ITERS, || run(&ctx, &q));
+        static_s.push((k as f64, t.as_secs_f64() * 1e3));
+        let q = wf.fig10a_query_sem(&months, "DYNAMIC FORWARD");
+        let t = min_time(ITERS, || run(&ctx, &q));
+        fwd_s.push((k as f64, t.as_secs_f64() * 1e3));
+        let t = min_time(ITERS, || multiple_mdx(&ctx, &wf, &months));
+        multi_s.push((k as f64, t.as_secs_f64() * 1e3));
+        eprintln!("[fig11] k={k} done");
+    }
+    Figure {
+        id: "Fig. 11".into(),
+        title: "number of perspectives vs. query time".into(),
+        x_label: "perspectives".into(),
+        y_label: "query time (ms, min of runs)".into(),
+        series: vec![
+            Series { name: "Multiple MDX".into(), points: multi_s },
+            Series { name: "Static".into(), points: static_s },
+            Series { name: "Dynamic Forward".into(), points: fwd_s },
+        ],
+        paper_expectation: "all linear in k; direct multi-perspective beats the Multiple-MDX \
+                            simulation; Static ≈ Forward beyond ~6 perspectives"
+            .into(),
+    }
+}
+
+fn fig12() -> Figure {
+    eprintln!("[fig12] building file-backed rig…");
+    let rig = Fig12Rig::build();
+    let base = (rig.other_chunks.len() / 6).max(10);
+    rig.set_separation(base, SeekModel::default_disk());
+    let base_bytes = rig.separation_bytes().max(1);
+    // Saturate between ×2 and ×3 of the base separation, like a disk
+    // arm's full stroke.
+    // Saturates at 2.5× the base separation — the "full stroke".
+    let seek = SeekModel {
+        ns_per_byte: 2_000_000.0 / (2.5 * base_bytes as f64),
+        max_ns: 2_000_000,
+    };
+    let mut pts = Vec::new();
+    for multiple in 1..=5usize {
+        rig.set_separation(base * multiple, seek);
+        let sep = rig.separation_bytes();
+        let t = min_time(ITERS, || rig.run_query());
+        pts.push((multiple as f64, t.as_secs_f64() * 1e6));
+        eprintln!(
+            "[fig12] ×{multiple}: separation {sep} bytes ({} chunks)",
+            base * multiple
+        );
+    }
+    Figure {
+        id: "Fig. 12".into(),
+        title: "related-chunk co-location vs. query time".into(),
+        x_label: "separation (multiples of base)".into(),
+        y_label: "query time (µs, min of runs; simulated seek)".into(),
+        series: vec![Series { name: "Dynamic Forward (1 employee)".into(), points: pts }],
+        paper_expectation: "rises with separation, then flattens once seek cost saturates"
+            .into(),
+    }
+}
+
+fn fig13() -> Figure {
+    eprintln!("[fig13] building 4-move workload…");
+    let wf = fig13_workforce(25);
+    let ctx = context(&wf);
+    let p = quarterly();
+    let mut pts = Vec::new();
+    for &n in &[5u32, 10, 15, 20, 25] {
+        let q = wf.fig10c_query(&p, n);
+        let t = min_time(ITERS, || run(&ctx, &q));
+        pts.push((n as f64, t.as_secs_f64() * 1e3));
+        eprintln!("[fig13] n={n} done");
+    }
+    Figure {
+        id: "Fig. 13".into(),
+        title: "varying member instances in scope vs. query time".into(),
+        x_label: "employees (paper scale ×10)".into(),
+        y_label: "query time (ms, min of runs)".into(),
+        series: vec![Series { name: "Static, 4 perspectives".into(), points: pts }],
+        paper_expectation: "linear in the number of varying member instances".into(),
+    }
+}
+
+fn run_ablations() {
+    println!("=== Ablations ===");
+    // Pebbling vs naive on the paper's Fig. 9 graph.
+    let g = merge::MergeGraph::fig9();
+    println!(
+        "fig9 pebbles: heuristic {}, naive order {}, optimal {}",
+        merge::pebbles_for_order(&g, &merge::heuristic_order(&g)),
+        merge::pebbles_for_order(&g, &merge::naive_order(&g)),
+        merge::optimal_pebbles(&g),
+    );
+    // Pebbling + Lemma 5.1 on a dense-move workload.
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 400,
+        departments: 12,
+        changing: 120,
+        employee_extent: 1,
+        accounts: 4,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    let varying = wf.schema.varying(wf.department).unwrap();
+    let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 6], 12);
+    let map = DestMap::build(&wf.cube, wf.department, &vs_out).unwrap();
+    for (name, policy) in [
+        ("pebbling        ", OrderPolicy::Pebbling),
+        ("naive           ", OrderPolicy::Naive),
+        ("param-dim first ", OrderPolicy::DimOrder(vec![0, 2, 3, 4, 5, 6, 1])),
+    ] {
+        let t = min_time(ITERS, || {
+            execute_chunked(&wf.cube, wf.department, &map, &policy).unwrap()
+        });
+        let (_, report) = execute_chunked(&wf.cube, wf.department, &map, &policy).unwrap();
+        println!(
+            "{name}: peak buffers {:>5}, predicted pebbles {:>4}, time {:>8.2} ms \
+             (graph {} nodes / {} edges)",
+            report.peak_out_buffers,
+            report.predicted_pebbles,
+            t.as_secs_f64() * 1e3,
+            report.graph_nodes,
+            report.graph_edges,
+        );
+    }
+    println!();
+}

@@ -1,0 +1,437 @@
+//! The `polap` shell: an interactive session over one of the bundled
+//! datasets, accepting extended MDX plus dot-commands. The session logic
+//! lives here (testable without a terminal); `main.rs` is a thin stdin
+//! loop.
+
+use olap_mdx::{parse, QueryContext};
+use olap_model::{DimensionId, MemberId};
+use olap_workload::{retail_example, running_example, Workforce, WorkforceConfig};
+use std::fmt::Write as _;
+
+/// Which bundled dataset a session runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// The paper's Fig. 1/2 running example.
+    Running,
+    /// The Fig. 7 retail catalog with margin rules.
+    Retail,
+    /// The Section 6 workforce-planning workload (1/10th scale).
+    Workforce,
+}
+
+impl Dataset {
+    /// Parses a dataset name.
+    pub fn parse(s: &str) -> Option<Dataset> {
+        match s.to_ascii_lowercase().as_str() {
+            "running" | "example" => Some(Dataset::Running),
+            "retail" => Some(Dataset::Retail),
+            "workforce" => Some(Dataset::Workforce),
+            _ => None,
+        }
+    }
+}
+
+enum Loaded {
+    Running(olap_workload::RunningExample),
+    Retail(olap_workload::Retail),
+    Workforce(Box<Workforce>),
+}
+
+impl Loaded {
+    fn cube(&self) -> &olap_cube::Cube {
+        match self {
+            Loaded::Running(e) => &e.cube,
+            Loaded::Retail(r) => &r.cube,
+            Loaded::Workforce(w) => &w.cube,
+        }
+    }
+
+    fn named_sets(&self) -> Vec<(String, DimensionId, Vec<MemberId>)> {
+        match self {
+            Loaded::Workforce(w) => w
+                .named_sets()
+                .into_iter()
+                .map(|(n, m)| (n, w.department, m))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One interactive session.
+pub struct Session {
+    data: Loaded,
+}
+
+/// What the caller should do after a line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Print this and continue.
+    Continue(String),
+    /// Print this and exit.
+    Quit(String),
+}
+
+impl Session {
+    /// Loads a dataset.
+    pub fn new(dataset: Dataset) -> Session {
+        let data = match dataset {
+            Dataset::Running => Loaded::Running(running_example()),
+            Dataset::Retail => Loaded::Retail(retail_example(42)),
+            Dataset::Workforce => {
+                Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
+            }
+        };
+        Session { data }
+    }
+
+    fn context(&self) -> QueryContext<'_> {
+        let mut ctx = QueryContext::new(self.data.cube());
+        for (name, dim, members) in self.data.named_sets() {
+            ctx.define_set(&name, dim, &members);
+        }
+        ctx
+    }
+
+    /// Handles one input line.
+    pub fn handle(&mut self, line: &str) -> Outcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return Outcome::Continue(String::new());
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.command(rest);
+        }
+        match olap_mdx::execute(&self.context(), line) {
+            Ok(grid) => Outcome::Continue(grid.to_string()),
+            Err(e) => Outcome::Continue(format!("error: {e}")),
+        }
+    }
+
+    fn command(&mut self, cmd: &str) -> Outcome {
+        let mut parts = cmd.splitn(2, ' ');
+        let head = parts.next().unwrap_or("").to_ascii_lowercase();
+        let arg = parts.next().unwrap_or("").trim();
+        match head.as_str() {
+            "help" | "h" => Outcome::Continue(HELP.to_string()),
+            "quit" | "q" | "exit" => Outcome::Quit("bye".to_string()),
+            "schema" => Outcome::Continue(self.schema_text()),
+            "sets" => {
+                let sets = self.data.named_sets();
+                if sets.is_empty() {
+                    return Outcome::Continue("(no named sets in this dataset)".to_string());
+                }
+                let schema = self.data.cube().schema();
+                let mut out = String::new();
+                for (name, dim, members) in sets {
+                    let names: Vec<&str> = members
+                        .iter()
+                        .take(8)
+                        .map(|&m| schema.dim(dim).member_name(m))
+                        .collect();
+                    let more = members.len().saturating_sub(8);
+                    let _ = writeln!(
+                        out,
+                        "[{name}] — {} members: {}{}",
+                        members.len(),
+                        names.join(", "),
+                        if more > 0 { format!(", … (+{more})") } else { String::new() }
+                    );
+                }
+                Outcome::Continue(out)
+            }
+            "instances" => {
+                if arg.is_empty() {
+                    return Outcome::Continue("usage: .instances <member name>".to_string());
+                }
+                Outcome::Continue(self.instances_text(arg))
+            }
+            "explain" => {
+                if arg.is_empty() {
+                    return Outcome::Continue("usage: .explain <extended MDX query>".to_string());
+                }
+                Outcome::Continue(self.explain(arg))
+            }
+            "csv" => {
+                if arg.is_empty() {
+                    return Outcome::Continue("usage: .csv <query>".to_string());
+                }
+                match olap_mdx::execute(&self.context(), arg) {
+                    Ok(grid) => Outcome::Continue(grid.to_csv()),
+                    Err(e) => Outcome::Continue(format!("error: {e}")),
+                }
+            }
+            other => Outcome::Continue(format!(
+                "unknown command .{other} — try .help"
+            )),
+        }
+    }
+
+    fn schema_text(&self) -> String {
+        let schema = self.data.cube().schema();
+        let mut out = String::new();
+        for d in schema.dim_ids() {
+            let dim = schema.dim(d);
+            let varying = schema
+                .varying(d)
+                .map(|v| {
+                    format!(
+                        " — varying over {} ({} instances, {} changing members)",
+                        schema.dim(v.parameter_dim()).name(),
+                        v.instance_count(),
+                        v.changing_members().len(),
+                    )
+                })
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6} leaves, depth {}{}{}",
+                dim.name(),
+                dim.leaf_count(),
+                dim.depth(),
+                if dim.is_ordered() { ", ordered" } else { "" },
+                varying,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cube: {} cells in {} chunks",
+            self.data.cube().present_cell_count().unwrap_or(0),
+            self.data.cube().chunk_count(),
+        );
+        out
+    }
+
+    fn instances_text(&self, member: &str) -> String {
+        let schema = self.data.cube().schema();
+        for d in schema.dim_ids() {
+            if let Some(v) = schema.varying(d) {
+                if let Some(m) = schema.dim(d).find(member) {
+                    let ids = v.instances_of(m);
+                    if ids.is_empty() {
+                        return format!("{member} has no instances (non-leaf?)");
+                    }
+                    let names = schema.dim(v.parameter_dim()).leaf_names();
+                    let mut out = String::new();
+                    for &i in ids {
+                        let inst = v.instance(i);
+                        let _ = writeln!(
+                            out,
+                            "{:<24} valid at {}",
+                            v.instance_name(schema.dim(d), i),
+                            inst.validity.display_with(&names),
+                        );
+                    }
+                    return out;
+                }
+            }
+        }
+        format!("no varying-dimension member named {member:?}")
+    }
+
+    fn explain(&self, query: &str) -> String {
+        let parsed = match parse(query) {
+            Ok(q) => q,
+            Err(e) => return format!("parse error: {e}"),
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "parsed: {parsed}");
+        match &parsed.with {
+            None => {
+                let _ = writeln!(out, "no WITH clause — plain OLAP query, no scenario");
+            }
+            Some(clause) => {
+                // Theorem 4.1 compilation + the Section 8 optimizer.
+                match olap_mdx::compile_with(&self.context(), clause) {
+                    Ok(scenario) => {
+                        let expr = whatif_core::compile(&scenario);
+                        let (optimized, report) = whatif_core::optimize(&expr);
+                        let _ = writeln!(out, "algebra:   {expr:?}");
+                        let _ = writeln!(out, "optimized: {optimized:?}");
+                        let _ = writeln!(
+                            out,
+                            "rewrites: {} fused, {} pushed, {} dropped",
+                            report.selections_fused,
+                            report.selections_pushed,
+                            report.identities_dropped,
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "scenario compilation error: {e}");
+                    }
+                }
+                // Run it and surface the executor's report.
+                match olap_mdx::execute_with_report(&self.context(), query) {
+                    Ok((grid, report)) => {
+                        let _ = writeln!(
+                            out,
+                            "result: {} × {} grid, {} non-⊥ cells",
+                            grid.height(),
+                            grid.width(),
+                            grid.present_count(),
+                        );
+                        if let Some(r) = report {
+                            let _ = writeln!(
+                                out,
+                                "executor: {} pass(es), {} chunk reads, merge graph                                  {}/{} (nodes/edges), predicted pebbles {}, peak                                  buffers {}, {} cells relocated, {} dropped",
+                                r.passes,
+                                r.chunks_read,
+                                r.graph_nodes,
+                                r.graph_edges,
+                                r.predicted_pebbles,
+                                r.peak_out_buffers,
+                                r.cells_relocated,
+                                r.cells_dropped,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "execution error: {e}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The `.help` text.
+pub const HELP: &str = "\
+Enter an (extended) MDX query, or a command:
+  .schema              dimensions, axis sizes, varying info
+  .instances <member>  a changing member's instances + validity sets
+  .sets                named sets registered for this dataset
+  .explain <query>     parse, compile, optimize and run a query, with reports
+  .csv <query>         run a query and print the grid as CSV
+  .help                this text
+  .quit                exit
+
+Example what-if (running example dataset):
+  WITH PERSPECTIVE {(Jan)} FOR Organization DYNAMIC FORWARD VISUAL
+  SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+         {Organization.[FTE], Organization.[Contractor]} ON ROWS
+  FROM [Warehouse] WHERE (Location.[NY], Measures.[Salary])";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_parsing() {
+        assert_eq!(Dataset::parse("running"), Some(Dataset::Running));
+        assert_eq!(Dataset::parse("RETAIL"), Some(Dataset::Retail));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn help_quit_and_unknown() {
+        let mut s = Session::new(Dataset::Running);
+        assert!(matches!(s.handle(".help"), Outcome::Continue(t) if t.contains(".schema")));
+        assert!(matches!(s.handle(".quit"), Outcome::Quit(_)));
+        assert!(matches!(s.handle(".bogus"), Outcome::Continue(t) if t.contains("unknown")));
+        assert!(matches!(s.handle("   "), Outcome::Continue(t) if t.is_empty()));
+    }
+
+    #[test]
+    fn schema_lists_varying_dimension() {
+        let mut s = Session::new(Dataset::Running);
+        match s.handle(".schema") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("Organization"));
+                assert!(t.contains("varying over Time"));
+                assert!(t.contains("ordered"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn instances_shows_joe() {
+        let mut s = Session::new(Dataset::Running);
+        match s.handle(".instances Joe") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("FTE/Joe"));
+                assert!(t.contains("Contractor/Joe"));
+                assert!(t.contains("{Jan"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queries_produce_grids() {
+        let mut s = Session::new(Dataset::Running);
+        let q = "SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[FTE]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        match s.handle(q) {
+            Outcome::Continue(t) => assert!(t.contains("FTE"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+        // What-if through the shell.
+        let q = "WITH PERSPECTIVE {(Jan)} FOR Organization DYNAMIC FORWARD VISUAL \
+                 SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[FTE]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        match s.handle(q) {
+            Outcome::Continue(t) => assert!(t.contains("60"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_messages_not_crashes() {
+        let mut s = Session::new(Dataset::Running);
+        match s.handle("SELECT FROM NOWHERE") {
+            Outcome::Continue(t) => assert!(t.starts_with("error:")),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(".explain SELECT nonsense") {
+            Outcome::Continue(t) => assert!(t.contains("error"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_command_renders_csv() {
+        let mut s = Session::new(Dataset::Running);
+        let q = ".csv SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[FTE]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        match s.handle(q) {
+            Outcome::Continue(t) => {
+                assert!(t.starts_with("row,Qtr1"), "{t}");
+                assert!(t.contains("FTE,"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_reports_executor_stats() {
+        let mut s = Session::new(Dataset::Running);
+        let q = ".explain WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD \
+                 SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[PTE]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        match s.handle(q) {
+            Outcome::Continue(t) => {
+                assert!(t.contains("algebra:"), "{t}");
+                assert!(t.contains("2 pass(es)"), "{t}");
+                assert!(t.contains("predicted pebbles"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_reports_grid_shape() {
+        let mut s = Session::new(Dataset::Running);
+        let q = ".explain WITH PERSPECTIVE {(Feb)} FOR Organization STATIC \
+                 SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[PTE]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        match s.handle(q) {
+            Outcome::Continue(t) => {
+                assert!(t.contains("parsed:"));
+                assert!(t.contains("1 × 1 grid"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `polap` — the perspective-olap shell.
+//!
+//! ```sh
+//! polap [running|retail|workforce]
+//! ```
+
+use polap_cli::{Dataset, Outcome, Session, HELP};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "running".to_string());
+    let Some(dataset) = Dataset::parse(&arg) else {
+        eprintln!("unknown dataset {arg:?}; expected running, retail or workforce");
+        std::process::exit(2);
+    };
+    eprintln!("loading {dataset:?} dataset…");
+    let mut session = Session::new(dataset);
+    println!("{HELP}\n");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("polap> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.handle(&line) {
+            Outcome::Continue(text) => {
+                if !text.is_empty() {
+                    println!("{text}");
+                }
+            }
+            Outcome::Quit(text) => {
+                println!("{text}");
+                break;
+            }
+        }
+    }
+}

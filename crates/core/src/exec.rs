@@ -1,0 +1,665 @@
+//! Chunked perspective-cube execution (Sections 5 and 6).
+//!
+//! The reference path ([`crate::operators::relocate()`]) is the semantic
+//! oracle; this module is the engine the paper actually proposes: stream
+//! chunks, *merge* the sub-cubes of a changing member's instances, and
+//! choose the read order so that as few chunks as possible are resident
+//! at once.
+//!
+//! Per Lemma 5.1, the varying dimension comes first in the read order
+//! (slice-by-slice processing); within a slice, affected chunks are read
+//! in an order chosen by pebbling the merge-dependency graph
+//! (Section 5.2). Per Section 6, a multi-perspective query runs as
+//! **passes** — one per perspective (static) or per range (dynamic) —
+//! sharing one output cube ([`execute_passes`]); queries can also be
+//! **scoped** to the varying-dimension slots they touch, Essbase-style
+//! ([`execute_chunked_scoped`]). [`ExecReport`] exposes predicted pebbles
+//! and observed peak buffer residency for the ablations.
+
+use crate::error::WhatIfError;
+use crate::merge::{heuristic_order, naive_order, pebbles_for_order, MergeGraph};
+use crate::operators::relocate::{CellFate, DestMap};
+use crate::Result;
+use olap_cube::Cube;
+use olap_model::DimensionId;
+use olap_store::{Chunk, ChunkId};
+use std::collections::HashMap;
+
+/// How to evaluate a what-if query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Cell-at-a-time reference implementation (the test oracle).
+    Reference,
+    /// Section 5/6 chunked execution with per-perspective passes.
+    Chunked(OrderPolicy),
+}
+
+/// Chunk read-order policy for the chunked executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Varying dimension first (Lemma 5.1); affected chunks within each
+    /// slice ordered by the paper's pebbling heuristic.
+    Pebbling,
+    /// Varying dimension first, affected chunks in physical layout order
+    /// (the paper's "order 1-10" baseline).
+    Naive,
+    /// An explicit global dimension order (`order[0]` varies fastest) —
+    /// used by the Lemma 5.1 ablation to show what happens when the
+    /// varying dimension is *not* first.
+    DimOrder(Vec<usize>),
+}
+
+/// Execution metrics (accumulated over passes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Merge-graph nodes of the *full* plan (affected varying-dimension
+    /// chunks per slice).
+    pub graph_nodes: usize,
+    /// Merge-graph edges of the full plan.
+    pub graph_edges: usize,
+    /// Peak pebbles the chosen within-slice order needs on the full slice
+    /// graph (0 for `DimOrder`, which doesn't pebble).
+    pub predicted_pebbles: usize,
+    /// Observed peak number of simultaneously live output buffers.
+    pub peak_out_buffers: u64,
+    /// Chunk reads against the input (pool hits included — the paper's
+    /// per-perspective re-merging repeats reads).
+    pub chunks_read: u64,
+    /// Cells that moved between instances.
+    pub cells_relocated: u64,
+    /// Cells dropped (their instance is inactive in the output).
+    pub cells_dropped: u64,
+    /// Slices processed (summed over passes).
+    pub slices: u64,
+    /// Number of passes run.
+    pub passes: u64,
+}
+
+/// Single-pass chunked execution over the whole cube.
+pub fn execute_chunked(
+    cube: &Cube,
+    dim: DimensionId,
+    dest: &DestMap,
+    policy: &OrderPolicy,
+) -> Result<(Cube, ExecReport)> {
+    execute_chunked_scoped(cube, dim, dest, policy, None)
+}
+
+/// Single-pass chunked execution, optionally restricted to the
+/// varying-dimension slots a query touches (Essbase-style scoped
+/// retrieval — the Fig. 12 access pattern). Only chunks containing a
+/// scoped slot, plus their merge partners, are read; the output cube is
+/// guaranteed correct on the scoped slots.
+pub fn execute_chunked_scoped(
+    cube: &Cube,
+    dim: DimensionId,
+    dest: &DestMap,
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+) -> Result<(Cube, ExecReport)> {
+    let env = Env::new(cube, dim, dest, policy, scope)?;
+    let out = cube.empty_like();
+    let mut report = env.base_report();
+    let copy_labels = env.copy_labels();
+    env.run_pass(&out, dest, &copy_labels, &mut report)?;
+    report.passes = 1;
+    out.flush()?;
+    Ok((out, report))
+}
+
+/// Multi-pass execution (Section 6): runs each pass of a decomposed plan
+/// over one shared output cube. `full` is the undecomposed plan (it
+/// defines the merge graph, the copy-through set, and the scope closure);
+/// `passes` come from [`crate::plan::decompose_passes`].
+pub fn execute_passes(
+    cube: &Cube,
+    dim: DimensionId,
+    full: &DestMap,
+    passes: &[DestMap],
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+) -> Result<(Cube, ExecReport)> {
+    let env = Env::new(cube, dim, full, policy, scope)?;
+    let out = cube.empty_like();
+    let mut report = env.base_report();
+    let copy_labels = env.copy_labels();
+    let no_copy = vec![false; copy_labels.len()];
+    for (i, pass) in passes.iter().enumerate() {
+        let labels = if i == 0 { &copy_labels } else { &no_copy };
+        env.run_pass(&out, pass, labels, &mut report)?;
+        report.passes += 1;
+    }
+    out.flush()?;
+    Ok((out, report))
+}
+
+/// Immutable execution environment shared by every pass.
+struct Env<'a> {
+    cube: &'a Cube,
+    dim: DimensionId,
+    policy: &'a OrderPolicy,
+    vd: usize,
+    pd: usize,
+    vd_extent: u32,
+    /// Labels this execution may touch at all.
+    kept: Vec<bool>,
+    /// The full plan's merge graph, induced on `kept`.
+    full_graph: MergeGraph,
+}
+
+impl<'a> Env<'a> {
+    fn new(
+        cube: &'a Cube,
+        dim: DimensionId,
+        full: &DestMap,
+        policy: &'a OrderPolicy,
+        scope: Option<&[u32]>,
+    ) -> Result<Self> {
+        let schema = cube.schema();
+        let varying = schema
+            .varying(dim)
+            .ok_or_else(|| WhatIfError::NotVarying(schema.dim(dim).name().to_string()))?;
+        let geom = cube.geometry();
+        let vd = dim.index();
+        let pd = varying.parameter_dim().index();
+        let vd_extent = geom.extents()[vd];
+        let whole_graph = MergeGraph::build(varying, full, vd_extent);
+        let n_labels = geom.grid()[vd] as usize;
+        let kept: Vec<bool> = match scope {
+            None => vec![true; n_labels],
+            Some(slots) => {
+                let mut kept = vec![false; n_labels];
+                for &s in slots {
+                    kept[(s / vd_extent) as usize] = true;
+                }
+                for node in 0..whole_graph.len() {
+                    if kept[whole_graph.label(node) as usize] {
+                        for nb in whole_graph.neighbors(node) {
+                            kept[whole_graph.label(nb) as usize] = true;
+                        }
+                    }
+                }
+                kept
+            }
+        };
+        let full_graph = whole_graph.induced(|l| kept[l as usize]);
+        Ok(Env {
+            cube,
+            dim,
+            policy,
+            vd,
+            pd,
+            vd_extent,
+            kept,
+            full_graph,
+        })
+    }
+
+    fn base_report(&self) -> ExecReport {
+        let mut r = ExecReport {
+            graph_nodes: self.full_graph.len(),
+            graph_edges: self.full_graph.edge_count(),
+            ..ExecReport::default()
+        };
+        if !self.full_graph.is_empty() && !matches!(self.policy, OrderPolicy::DimOrder(_)) {
+            let order = match self.policy {
+                OrderPolicy::Pebbling => heuristic_order(&self.full_graph),
+                _ => naive_order(&self.full_graph),
+            };
+            r.predicted_pebbles = pebbles_for_order(&self.full_graph, &order);
+        }
+        r
+    }
+
+    /// Kept labels with no merge/drop activity under the full plan —
+    /// streamed through verbatim by the first pass.
+    fn copy_labels(&self) -> Vec<bool> {
+        let mut copy = self.kept.clone();
+        for node in 0..self.full_graph.len() {
+            copy[self.full_graph.label(node) as usize] = false;
+        }
+        copy
+    }
+
+    /// Runs one pass of `dest` into `out`, copying `copy_labels` chunks
+    /// verbatim.
+    fn run_pass(
+        &self,
+        out: &Cube,
+        dest: &DestMap,
+        copy_labels: &[bool],
+        report: &mut ExecReport,
+    ) -> Result<()> {
+        let geom = self.cube.geometry();
+        let schema = self.cube.schema();
+        let varying = schema.varying(self.dim).expect("checked by Env::new");
+        // This pass's own merge graph (⊆ the full graph).
+        let graph = MergeGraph::build(varying, dest, self.vd_extent)
+            .induced(|l| self.kept[l as usize]);
+        let node_order: Vec<usize> = match self.policy {
+            OrderPolicy::Pebbling => heuristic_order(&graph),
+            OrderPolicy::Naive | OrderPolicy::DimOrder(_) => naive_order(&graph),
+        };
+        let n_labels = geom.grid()[self.vd] as usize;
+        let mut affected = vec![false; n_labels];
+        for &l in graph.labels() {
+            affected[l as usize] = true;
+        }
+        let node_of_label: HashMap<u32, usize> = graph
+            .labels()
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i))
+            .collect();
+
+        // Residue: chunks this pass owns cells in (non-Skip identity
+        // entries) that are neither merge-affected nor copy-through —
+        // e.g. an instance owned by pass 2 sharing a chunk with a pass-0
+        // mover. Streamed with per-cell fate filtering, no buffers.
+        let mut residue = vec![false; n_labels];
+        for (i, inst) in varying.instances().iter().enumerate() {
+            let l = (i / self.vd_extent as usize).min(n_labels.saturating_sub(1));
+            if !self.kept[l] || affected[l] || copy_labels[l] || residue[l] {
+                continue;
+            }
+            if inst
+                .validity
+                .iter()
+                .any(|t| dest.fate(i as u32, t) != CellFate::Skip)
+            {
+                residue[l] = true;
+            }
+        }
+
+        // This pass reads: copy-through + residue + affected labels.
+        let touch = |l: u32| -> bool {
+            copy_labels[l as usize] || residue[l as usize] || affected[l as usize]
+        };
+        let sequence: Vec<Vec<u32>> = match self.policy {
+            OrderPolicy::DimOrder(order) => geom
+                .chunks_in_order(order)
+                .filter(|c| touch(c[self.vd]))
+                .collect(),
+            OrderPolicy::Pebbling | OrderPolicy::Naive => {
+                // Varying dimension first (Lemma 5.1): slice by slice;
+                // within a slice, copy-through chunks stream first, then
+                // the graph nodes in the chosen order.
+                let mut seq = Vec::new();
+                let other: Vec<usize> = (0..geom.ndims()).filter(|&d| d != self.vd).collect();
+                let walk: Vec<usize> =
+                    std::iter::once(self.vd).chain(other.iter().copied()).collect();
+                for coord in geom.chunks_in_order(&walk) {
+                    if coord[self.vd] != 0 {
+                        continue; // one anchor per slice
+                    }
+                    let mut anchor = coord;
+                    for l in 0..geom.grid()[self.vd] {
+                        if (copy_labels[l as usize] || residue[l as usize])
+                            && !affected[l as usize]
+                        {
+                            anchor[self.vd] = l;
+                            seq.push(anchor.clone());
+                        }
+                    }
+                    for &n in &node_order {
+                        anchor[self.vd] = graph.label(n);
+                        seq.push(anchor.clone());
+                    }
+                }
+                seq
+            }
+        };
+
+        struct SliceState {
+            processed: Vec<bool>,
+            done: usize,
+        }
+        let mut slices: HashMap<Vec<u32>, SliceState> = HashMap::new();
+        let mut buffers: HashMap<ChunkId, Chunk> = HashMap::new();
+
+        for coord in sequence {
+            let label = coord[self.vd];
+            let id = geom.chunk_id(&coord);
+            let materialized = self.cube.chunk_exists(id);
+            if materialized {
+                report.chunks_read += 1;
+            }
+            if !affected[label as usize] {
+                if materialized {
+                    let chunk = self.cube.chunk(id)?;
+                    if copy_labels[label as usize] {
+                        // Copy-through (first pass only; untouched by any
+                        // pass of the plan).
+                        out.put_chunk(id, (*chunk).clone())?;
+                    } else {
+                        // Residue: keep exactly the cells this pass owns.
+                        let ccoord = geom.chunk_coord(id);
+                        let mut buf = Chunk::new_dense(geom.chunk_shape(&ccoord));
+                        for (off, v) in chunk.present_cells() {
+                            let cell = geom.cell_of_local(&ccoord, off);
+                            if let CellFate::To(d) =
+                                dest.fate(cell[self.vd], cell[self.pd])
+                            {
+                                debug_assert_eq!(
+                                    d, cell[self.vd],
+                                    "residue chunks only hold identity cells"
+                                );
+                                buf.set(off, olap_store::CellValue::num(v));
+                            }
+                        }
+                        self.flush_overlay(out, id, buf)?;
+                    }
+                }
+                continue;
+            }
+            let node = node_of_label[&label];
+            let slice_key: Vec<u32> = coord
+                .iter()
+                .enumerate()
+                .filter(|&(d, _)| d != self.vd)
+                .map(|(_, &c)| c)
+                .collect();
+            {
+                let state = slices.entry(slice_key.clone()).or_insert_with(|| {
+                    report.slices += 1;
+                    SliceState {
+                        processed: vec![false; graph.len()],
+                        done: 0,
+                    }
+                });
+                debug_assert!(!state.processed[node], "chunk visited twice in a pass");
+            }
+
+            // Scatter this chunk's cells into output buffers.
+            if materialized {
+                let chunk = self.cube.chunk(id)?;
+                for (off, v) in chunk.present_cells() {
+                    let cell = geom.cell_of_local(&coord, off);
+                    let src = cell[self.vd];
+                    let t = cell[self.pd];
+                    match dest.fate(src, t) {
+                        CellFate::Skip => {}
+                        CellFate::Drop => report.cells_dropped += 1,
+                        CellFate::To(dst) => {
+                            if !self.kept[(dst / self.vd_extent) as usize] {
+                                continue; // out-of-scope destination
+                            }
+                            if dst != src {
+                                report.cells_relocated += 1;
+                            }
+                            let mut target = cell.clone();
+                            target[self.vd] = dst;
+                            let (tid, toff) = geom.split_cell(&target);
+                            let buf = buffers.entry(tid).or_insert_with(|| {
+                                Chunk::new_dense(
+                                    geom.chunk_shape(&geom.chunk_coord(tid)),
+                                )
+                            });
+                            buf.set(toff, olap_store::CellValue::num(v));
+                        }
+                    }
+                }
+            }
+            // This node's buffer exists even when nothing lands in it —
+            // it is "pebbled" while its merges are pending.
+            buffers
+                .entry(id)
+                .or_insert_with(|| Chunk::new_dense(geom.chunk_shape(&geom.chunk_coord(id))));
+            report.peak_out_buffers = report.peak_out_buffers.max(buffers.len() as u64);
+
+            // Flush every node of this slice whose neighbors are done.
+            let state = slices.get_mut(&slice_key).expect("just inserted");
+            state.processed[node] = true;
+            state.done += 1;
+            let mut flush: Vec<usize> = Vec::new();
+            for y in 0..graph.len() {
+                if state.processed[y] && graph.neighbors(y).all(|w| state.processed[w]) {
+                    flush.push(y);
+                }
+            }
+            let slice_done = state.done == graph.len();
+            for y in flush {
+                let mut ycoord = coord.clone();
+                ycoord[self.vd] = graph.label(y);
+                let yid = geom.chunk_id(&ycoord);
+                if let Some(buf) = buffers.remove(&yid) {
+                    self.flush_overlay(out, yid, buf)?;
+                }
+            }
+            if slice_done {
+                slices.remove(&slice_key);
+            }
+        }
+        debug_assert!(buffers.is_empty(), "all buffers flushed at pass end");
+        Ok(())
+    }
+
+    /// Writes a buffer into the output cube, overlaying any cells an
+    /// earlier pass already produced for the same chunk.
+    fn flush_overlay(&self, out: &Cube, id: ChunkId, buf: Chunk) -> Result<()> {
+        if buf.present_count() == 0 {
+            return Ok(());
+        }
+        if out.chunk_exists(id) {
+            let mut existing = (*out.chunk(id)?).clone();
+            for (off, v) in buf.present_cells() {
+                existing.set(off, olap_store::CellValue::num(v));
+            }
+            out.put_chunk(id, existing)?;
+        } else {
+            out.put_chunk(id, buf)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::relocate::relocate;
+    use crate::perspective::Semantics;
+    use crate::phi::phi;
+    use crate::plan::decompose_passes;
+    use olap_model::{DimensionSpec, SchemaBuilder};
+    use std::sync::Arc;
+
+    /// A 3-dim cube: Product (varying, 8 members, 4 moving) × Time (6) ×
+    /// Location (4). Chunk extents 2.
+    pub(crate) fn fixture() -> (Cube, DimensionId) {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("Product").tree(&[
+                    ("G1", &["p0", "p1", "p2"][..]),
+                    ("G2", &["p3", "p4", "p5"]),
+                    ("G3", &["p6", "p7"]),
+                ]))
+                .dimension(
+                    DimensionSpec::new("Time")
+                        .ordered()
+                        .leaves(&["t0", "t1", "t2", "t3", "t4", "t5"]),
+                )
+                .dimension(DimensionSpec::new("Location").leaves(&["L0", "L1", "L2", "L3"]))
+                .varying("Product", "Time")
+                .reclassify("Product", "p0", "G2", "t2")
+                .reclassify("Product", "p3", "G3", "t1")
+                .reclassify("Product", "p3", "G1", "t4")
+                .reclassify("Product", "p7", "G1", "t3")
+                .build()
+                .unwrap(),
+        );
+        let prod = schema.resolve_dimension("Product").unwrap();
+        let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2, 2]).unwrap();
+        let varying = schema.varying(prod).unwrap();
+        for (i, inst) in varying.instances().iter().enumerate() {
+            for t in inst.validity.iter() {
+                for l in 0..4u32 {
+                    b.set_num(
+                        &[i as u32, t, l],
+                        (i as f64 + 1.0) * 1000.0 + t as f64 * 10.0 + l as f64,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        (b.finish().unwrap(), prod)
+    }
+
+    fn check_equivalence(sem: Semantics, p: &[u32]) {
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        let vs_out = phi(sem, varying.instances(), p, 6);
+        let oracle = relocate(&cube, prod, &vs_out).unwrap();
+        let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+        for policy in [
+            OrderPolicy::Pebbling,
+            OrderPolicy::Naive,
+            OrderPolicy::DimOrder(vec![1, 0, 2]),
+            OrderPolicy::DimOrder(vec![0, 1, 2]),
+        ] {
+            let (got, report) = execute_chunked(&cube, prod, &map, &policy).unwrap();
+            assert!(
+                got.same_cells(&oracle).unwrap(),
+                "{sem:?} P={p:?} {policy:?} diverged from the oracle \
+                 (report: {report:?})"
+            );
+            // And the multi-pass (Section 6) decomposition agrees too.
+            let passes = decompose_passes(&map, sem, p, varying);
+            let (got2, report2) =
+                execute_passes(&cube, prod, &map, &passes, &policy, None).unwrap();
+            assert!(
+                got2.same_cells(&oracle).unwrap(),
+                "{sem:?} P={p:?} {policy:?} multi-pass diverged (report: {report2:?})"
+            );
+            assert_eq!(report2.passes, p.len() as u64);
+        }
+    }
+
+    #[test]
+    fn chunked_matches_reference_forward() {
+        check_equivalence(Semantics::Forward, &[1, 3]);
+        check_equivalence(Semantics::Forward, &[0]);
+    }
+
+    #[test]
+    fn chunked_matches_reference_static() {
+        check_equivalence(Semantics::Static, &[2]);
+        check_equivalence(Semantics::Static, &[0, 2, 4]);
+    }
+
+    #[test]
+    fn chunked_matches_reference_extended_and_backward() {
+        check_equivalence(Semantics::ExtendedForward, &[3]);
+        check_equivalence(Semantics::Backward, &[4]);
+        check_equivalence(Semantics::ExtendedBackward, &[2]);
+    }
+
+    #[test]
+    fn report_counts_activity() {
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        let vs_out = phi(Semantics::Forward, varying.instances(), &[0], 6);
+        let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+        let (_, report) = execute_chunked(&cube, prod, &map, &OrderPolicy::Pebbling).unwrap();
+        assert!(report.graph_nodes > 0);
+        assert!(report.cells_relocated > 0);
+        assert!(report.chunks_read > 0);
+        assert_eq!(report.passes, 1);
+        assert!(report.peak_out_buffers >= report.predicted_pebbles as u64);
+    }
+
+    #[test]
+    fn more_passes_read_more_chunks() {
+        // The Fig. 11 mechanism: per-perspective passes repeat reads of
+        // the affected chunks.
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        let policy = OrderPolicy::Pebbling;
+        let mut prev = 0u64;
+        for p in [vec![0u32], vec![0, 2], vec![0, 2, 4]] {
+            let vs_out = phi(Semantics::Static, varying.instances(), &p, 6);
+            let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+            let passes = decompose_passes(&map, Semantics::Static, &p, varying);
+            let (_, report) =
+                execute_passes(&cube, prod, &map, &passes, &policy, None).unwrap();
+            assert!(
+                report.chunks_read >= prev,
+                "reads should not shrink with more perspectives"
+            );
+            prev = report.chunks_read;
+        }
+    }
+
+    #[test]
+    fn varying_dim_first_needs_less_memory() {
+        // Lemma 5.1.
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        let vs_out = phi(Semantics::Forward, varying.instances(), &[0], 6);
+        let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+        let (_, slice_first) =
+            execute_chunked(&cube, prod, &map, &OrderPolicy::Naive).unwrap();
+        let (_, param_first) =
+            execute_chunked(&cube, prod, &map, &OrderPolicy::DimOrder(vec![1, 2, 0])).unwrap();
+        assert!(
+            slice_first.peak_out_buffers < param_first.peak_out_buffers,
+            "vd-first {} vs param-first {}",
+            slice_first.peak_out_buffers,
+            param_first.peak_out_buffers
+        );
+    }
+
+    #[test]
+    fn scoped_execution_reads_fewer_chunks_and_agrees_on_scope() {
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        let vs_out = phi(Semantics::Forward, varying.instances(), &[1], 6);
+        let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+        let (full, full_report) =
+            execute_chunked(&cube, prod, &map, &OrderPolicy::Pebbling).unwrap();
+        let p3 = cube.schema().dim(prod).resolve("p3").unwrap();
+        let slots: Vec<u32> = cube
+            .schema()
+            .varying(prod)
+            .unwrap()
+            .instances_of(p3)
+            .iter()
+            .map(|i| i.0)
+            .collect();
+        assert!(slots.len() >= 2);
+        let (scoped, scoped_report) = execute_chunked_scoped(
+            &cube,
+            prod,
+            &map,
+            &OrderPolicy::Pebbling,
+            Some(&slots),
+        )
+        .unwrap();
+        assert!(
+            scoped_report.chunks_read < full_report.chunks_read,
+            "scoped {} vs full {}",
+            scoped_report.chunks_read,
+            full_report.chunks_read
+        );
+        let mut checked = 0;
+        full.for_each_present(|cell, v| {
+            if slots.contains(&cell[prod.index()]) {
+                let got = scoped.get(cell).unwrap();
+                assert_eq!(got, olap_store::CellValue::num(v), "at {cell:?}");
+                checked += 1;
+            }
+        })
+        .unwrap();
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn noop_scenario_copies_through() {
+        let (cube, prod) = fixture();
+        let n = cube.schema().axis_len(prod);
+        let map = DestMap::identity(n, 6);
+        let (got, report) = execute_chunked(&cube, prod, &map, &OrderPolicy::Pebbling).unwrap();
+        assert!(got.same_cells(&cube).unwrap());
+        assert_eq!(report.graph_nodes, 0);
+        assert_eq!(report.cells_relocated, 0);
+    }
+}

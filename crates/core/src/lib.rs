@@ -1,0 +1,58 @@
+//! # whatif-core
+//!
+//! The primary contribution of *"What-if OLAP Queries with Changing
+//! Dimensions"* (Lakshmanan, Russakovsky, Sashikanth; ICDE 2008):
+//! what-if (hypothetical) OLAP queries whose scenarios are **changes to
+//! dimension hierarchies**, not data edits.
+//!
+//! ## Concepts
+//!
+//! * **Perspectives** (Section 3): a set `P` of moments of the parameter
+//!   dimension. Applying perspectives to a cube *negates* structural
+//!   changes — "what if whatever structure existed in January continued
+//!   until April…". Semantics: [`Semantics::Static`],
+//!   [`Semantics::Forward`], [`Semantics::ExtendedForward`], and the
+//!   backward mirrors. Modes: [`Mode::Visual`] re-derives non-leaf cells
+//!   on the output; [`Mode::NonVisual`] retains the input's.
+//! * **Positive changes** (Section 3.4): a relation `R(m, o, n, t)` of
+//!   hypothetical reclassifications that never happened.
+//! * **The algebra** (Section 4): selection [`operators::select()`], the
+//!   validity-set transform [`phi()`], relocation [`operators::relocate()`],
+//!   split [`operators::split()`], and eval [`operators::EvalOp`]; plus the
+//!   Theorem 4.1 compiler in [`algebra`].
+//! * **The perspective cube** (Section 5): [`perspective_cube::apply`]
+//!   evaluates a what-if query either cell-at-a-time (the reference
+//!   oracle) or chunked — ordering chunk reads with the
+//!   **merge-dependency graph** and **pebbling heuristic** of Section 5.2
+//!   ([`merge`]) and measuring memory via the buffer pool.
+
+pub mod algebra;
+pub mod error;
+pub mod exec;
+pub mod merge;
+pub mod operators;
+pub mod optimize;
+pub mod perspective;
+pub mod perspective_cube;
+pub mod phi;
+pub mod plan;
+pub mod scenario;
+
+pub use algebra::{compile, run, AlgebraExpr, AlgebraOutput};
+pub use error::WhatIfError;
+pub use exec::{
+    execute_chunked, execute_chunked_scoped, execute_passes, ExecReport, OrderPolicy, Strategy,
+};
+pub use merge::MergeGraph;
+pub use operators::{
+    reallocate, relocate, select, split, CmpOp, DestMap, EvalOp, Predicate, Reallocation,
+};
+pub use optimize::{optimize, OptimizeReport};
+pub use perspective::{Mode, PerspectiveSpec, Semantics};
+pub use perspective_cube::{apply, apply_default, apply_scoped, WhatIfResult};
+pub use plan::decompose_passes;
+pub use phi::{phi, prune_vacancies, VsMap};
+pub use scenario::{Change, Scenario};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WhatIfError>;

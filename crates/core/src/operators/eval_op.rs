@@ -1,0 +1,97 @@
+//! E — the eval operator (Definition 4.6).
+//!
+//! `E(C¹, C²)` keeps `C²`'s leaf cells and evaluates each derived cell's
+//! defining function — taken from `C¹` — over the corresponding scope in
+//! `C²`. Because derived cells in this engine are computed lazily, `E` is
+//! a *view*: it pairs a rule source with a data source and answers cell
+//! queries, rather than materializing the (mostly derived) output.
+//!
+//! * `E(Cin, Cin)` — ordinary evaluation;
+//! * `E(Cin, ρ(Cin, Φf(VSin)))` — the paper's forward + **visual** mode;
+//! * non-visual mode keeps derived cells from `Cin`, which is `E(Cin, Cin)`
+//!   for derived cells and the output cube for base cells.
+
+use crate::Result;
+use olap_cube::{CellEvaluator, Cube, Sel};
+use olap_store::CellValue;
+
+/// The eval view `E(rules_from, data)`.
+pub struct EvalOp<'a> {
+    rules_from: &'a Cube,
+    data: &'a Cube,
+}
+
+impl<'a> EvalOp<'a> {
+    /// Pairs a rule source with a data source.
+    pub fn new(rules_from: &'a Cube, data: &'a Cube) -> Self {
+        EvalOp { rules_from, data }
+    }
+
+    /// The value of a cell: leaf cells from the data cube, derived cells
+    /// by evaluating `rules_from`'s rules over the data cube.
+    pub fn value(&self, sels: &[Sel]) -> Result<CellValue> {
+        let ev = CellEvaluator::with_rules(self.rules_from.rules(), self.data);
+        Ok(ev.value(sels)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_cube::rules::{Expr, FormulaRule, RuleSet};
+    use olap_model::{DimensionSpec, SchemaBuilder};
+    use std::sync::Arc;
+
+    #[test]
+    fn rules_come_from_first_cube_data_from_second() {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("X").leaves(&["x0", "x1"]))
+                .dimension(
+                    DimensionSpec::new("Measures")
+                        .measures()
+                        .leaves(&["Sales", "Double"]),
+                )
+                .build()
+                .unwrap(),
+        );
+        let mdim = schema.resolve_dimension("Measures").unwrap();
+        let sales = schema.dim(mdim).resolve("Sales").unwrap();
+        let double = schema.dim(mdim).resolve("Double").unwrap();
+        let mut rules = RuleSet::new();
+        rules.set_measure_dim(mdim);
+        rules.add_formula(FormulaRule {
+            target: double,
+            scope: vec![],
+            expr: Expr::measure(sales).mul(Expr::constant(2.0)),
+        });
+        let mut b1 = Cube::builder(Arc::clone(&schema), vec![2, 2])
+            .unwrap()
+            .rules(rules);
+        b1.set_num(&[0, 0], 5.0).unwrap();
+        let c1 = b1.finish().unwrap();
+        // c2 has different data and NO formula.
+        let mut b2 = Cube::builder(Arc::clone(&schema), vec![2, 2]).unwrap();
+        b2.set_num(&[0, 0], 7.0).unwrap();
+        let c2 = b2.finish().unwrap();
+
+        let e = EvalOp::new(&c1, &c2);
+        // Leaf: from c2.
+        assert_eq!(
+            e.value(&[Sel::Slot(0), Sel::Member(sales)]).unwrap(),
+            CellValue::Num(7.0)
+        );
+        // Derived: c1's rule over c2's data.
+        assert_eq!(
+            e.value(&[Sel::Slot(0), Sel::Member(double)]).unwrap(),
+            CellValue::Num(14.0)
+        );
+        // Sanity: c2 alone has no Double.
+        assert_eq!(
+            EvalOp::new(&c2, &c2)
+                .value(&[Sel::Slot(0), Sel::Member(double)])
+                .unwrap(),
+            CellValue::Null
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Data-driven hypothetical scenarios (paper Section 1 / Section 7).
+//!
+//! "Hypothetical scenarios can also be data-driven. E.g., assume that 10%
+//! of PTEs' salary during first quarter in NY was instead given to PTEs
+//! in MA — structure stays the same but data allocation changes — and
+//! then calculate impact on hours worked and salaries."
+//!
+//! The paper's own focus is structural; data-driven what-ifs are the
+//! territory of Balmin et al.'s Sesame system, which it cites as
+//! complementary. [`reallocate`] covers that complementary piece so the
+//! library handles both scenario families.
+
+use crate::error::WhatIfError;
+use crate::operators::stage::Stager;
+use crate::Result;
+use olap_cube::Cube;
+use olap_model::{DimensionId, MemberId};
+use std::collections::HashMap;
+
+/// One data reallocation: move `fraction` of the values in scope from one
+/// leaf member to another along `dim`, leaving every other coordinate
+/// unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reallocation {
+    /// The dimension along which value moves (Location in the paper's
+    /// example).
+    pub dim: DimensionId,
+    /// Source leaf member (`NY`).
+    pub from: MemberId,
+    /// Target leaf member (`MA`).
+    pub to: MemberId,
+    /// Fraction of each source cell moved, in `[0, 1]`.
+    pub fraction: f64,
+    /// Restrictions on other dimensions ("PTEs' salary during first
+    /// quarter"): the cell's coordinate must roll up into each listed
+    /// member.
+    pub scope: Vec<(DimensionId, MemberId)>,
+}
+
+/// Applies data reallocations, returning a new cube. Structure (schema,
+/// validity sets) is untouched; only cell values change, and every
+/// reallocation conserves the total.
+pub fn reallocate(cube: &Cube, moves: &[Reallocation]) -> Result<Cube> {
+    let schema = cube.schema();
+    // Validate and pre-resolve axis slots.
+    let mut resolved = Vec::with_capacity(moves.len());
+    for m in moves {
+        if !(0.0..=1.0).contains(&m.fraction) {
+            return Err(WhatIfError::BadChange(format!(
+                "fraction {} outside [0, 1]",
+                m.fraction
+            )));
+        }
+        let d = schema.try_dim(m.dim)?;
+        d.try_member(m.from)?;
+        d.try_member(m.to)?;
+        let from_slots = schema.slots_under(m.dim, m.from);
+        let to_slots = schema.slots_under(m.dim, m.to);
+        if from_slots.len() != 1 || to_slots.len() != 1 {
+            return Err(WhatIfError::BadChange(format!(
+                "reallocation endpoints must be single leaf slots; {} covers {} and {} covers {}",
+                d.member_name(m.from),
+                from_slots.len(),
+                d.member_name(m.to),
+                to_slots.len()
+            )));
+        }
+        // Scope slot sets per restricted dimension.
+        let mut scope_slots: HashMap<usize, Vec<bool>> = HashMap::new();
+        for &(sd, sm) in &m.scope {
+            schema.try_dim(sd)?.try_member(sm)?;
+            let mut keep = vec![false; schema.axis_len(sd) as usize];
+            for s in schema.slots_under(sd, sm) {
+                keep[s.index()] = true;
+            }
+            scope_slots.insert(sd.index(), keep);
+        }
+        resolved.push((m, from_slots[0], to_slots[0], scope_slots));
+    }
+
+    // Copy the cube, then apply moves cell by cell. Deltas accumulate in
+    // a staging map so several moves compose (in order).
+    let out = cube.empty_like();
+    let mut stager = Stager::new(cube.geometry());
+    let mut deltas: HashMap<Vec<u32>, f64> = HashMap::new();
+    cube.for_each_present(|cell, v| {
+        *deltas.entry(cell.to_vec()).or_insert(0.0) += v;
+    })?;
+    for (m, from_slot, to_slot, scope_slots) in &resolved {
+        let dimx = m.dim.index();
+        let moved: Vec<(Vec<u32>, f64)> = deltas
+            .iter()
+            .filter(|(cell, &v)| {
+                v != 0.0
+                    && cell[dimx] == from_slot.0
+                    && scope_slots
+                        .iter()
+                        .all(|(&d, keep)| keep[cell[d] as usize])
+            })
+            .map(|(cell, &v)| (cell.clone(), v * m.fraction))
+            .collect();
+        for (cell, amount) in moved {
+            *deltas.get_mut(&cell).expect("source exists") -= amount;
+            let mut target = cell;
+            target[dimx] = to_slot.0;
+            *deltas.entry(target).or_insert(0.0) += amount;
+        }
+    }
+    for (cell, v) in deltas {
+        if v != 0.0 {
+            stager.set(&cell, v);
+        }
+    }
+    stager.flush_into(&out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_cube::{CellEvaluator, Sel};
+    use olap_store::CellValue;
+
+    /// The running example carries exactly the intro's shape: PTE
+    /// salaries in NY over Qtr1.
+    fn fixture() -> olap_workload_free::Example {
+        olap_workload_free::build()
+    }
+
+    /// A minimal local copy of the running example (the workload crate
+    /// depends on whatif-core, so unit tests here build their own).
+    mod olap_workload_free {
+        use olap_cube::{Cube, RuleSet};
+        use olap_model::{DimensionId, DimensionSpec, Schema, SchemaBuilder};
+        use std::sync::Arc;
+
+        pub struct Example {
+            pub cube: Cube,
+            pub schema: Arc<Schema>,
+            pub org: DimensionId,
+            pub location: DimensionId,
+            pub time: DimensionId,
+            pub measures: DimensionId,
+        }
+
+        pub fn build() -> Example {
+            let schema = Arc::new(
+                SchemaBuilder::new()
+                    .dimension(DimensionSpec::new("Organization").tree(&[
+                        ("FTE", &["Lisa"][..]),
+                        ("PTE", &["Tom", "Dave"]),
+                    ]))
+                    .dimension(
+                        DimensionSpec::new("Location")
+                            .tree(&[("East", &["NY", "MA"][..])]),
+                    )
+                    .dimension(DimensionSpec::new("Time").ordered().tree(&[
+                        ("Qtr1", &["Jan", "Feb", "Mar"][..]),
+                        ("Qtr2", &["Apr", "May", "Jun"]),
+                    ]))
+                    .dimension(
+                        DimensionSpec::new("Measures")
+                            .measures()
+                            .leaves(&["Salary", "Hours"]),
+                    )
+                    .varying("Organization", "Time")
+                    .build()
+                    .unwrap(),
+            );
+            let org = schema.resolve_dimension("Organization").unwrap();
+            let location = schema.resolve_dimension("Location").unwrap();
+            let time = schema.resolve_dimension("Time").unwrap();
+            let measures = schema.resolve_dimension("Measures").unwrap();
+            let mut rules = RuleSet::new();
+            rules.set_measure_dim(measures);
+            let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2, 3, 2])
+                .unwrap()
+                .rules(rules);
+            // Everyone earns Salary 10 / Hours 100 per month in NY only.
+            for e in 0..schema.axis_len(org) {
+                for t in 0..6 {
+                    b.set_num(&[e, 0, t, 0], 10.0).unwrap();
+                    b.set_num(&[e, 0, t, 1], 100.0).unwrap();
+                }
+            }
+            Example {
+                cube: b.finish().unwrap(),
+                schema,
+                org,
+                location,
+                time,
+                measures,
+            }
+        }
+    }
+
+    fn value(ex: &olap_workload_free::Example, cube: &Cube, names: [&str; 4]) -> CellValue {
+        let ev = CellEvaluator::new(cube);
+        ev.value(&[
+            Sel::Member(ex.schema.dim(ex.org).resolve(names[0]).unwrap()),
+            Sel::Member(ex.schema.dim(ex.location).resolve(names[1]).unwrap()),
+            Sel::Member(ex.schema.dim(ex.time).resolve(names[2]).unwrap()),
+            Sel::Member(ex.schema.dim(ex.measures).resolve(names[3]).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn intro_example_ten_percent_ny_to_ma() {
+        let ex = fixture();
+        let ny = ex.schema.dim(ex.location).resolve("NY").unwrap();
+        let ma = ex.schema.dim(ex.location).resolve("MA").unwrap();
+        let pte = ex.schema.dim(ex.org).resolve("PTE").unwrap();
+        let qtr1 = ex.schema.dim(ex.time).resolve("Qtr1").unwrap();
+        let salary = ex.schema.dim(ex.measures).resolve("Salary").unwrap();
+        let out = reallocate(
+            &ex.cube,
+            &[Reallocation {
+                dim: ex.location,
+                from: ny,
+                to: ma,
+                fraction: 0.10,
+                scope: vec![(ex.org, pte), (ex.time, qtr1), (ex.measures, salary)],
+            }],
+        )
+        .unwrap();
+        // PTE Qtr1 NY salary: was 2 employees × 3 months × 10 = 60; now 54.
+        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]), CellValue::Num(54.0));
+        assert_eq!(value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]), CellValue::Num(6.0));
+        // East total unchanged — allocation moved, value conserved.
+        assert_eq!(
+            value(&ex, &out, ["PTE", "East", "Qtr1", "Salary"]),
+            CellValue::Num(60.0)
+        );
+        // Out-of-scope cells untouched: FTE, Qtr2, Hours.
+        assert_eq!(value(&ex, &out, ["FTE", "NY", "Qtr1", "Salary"]), CellValue::Num(30.0));
+        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr2", "Salary"]), CellValue::Num(60.0));
+        assert_eq!(
+            value(&ex, &out, ["PTE", "NY", "Qtr1", "Hours"]),
+            CellValue::Num(600.0)
+        );
+        // Grand total conserved.
+        assert_eq!(out.total_sum().unwrap(), ex.cube.total_sum().unwrap());
+    }
+
+    #[test]
+    fn fraction_edges() {
+        let ex = fixture();
+        let ny = ex.schema.dim(ex.location).resolve("NY").unwrap();
+        let ma = ex.schema.dim(ex.location).resolve("MA").unwrap();
+        // fraction 0 = identity.
+        let out = reallocate(
+            &ex.cube,
+            &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 0.0, scope: vec![] }],
+        )
+        .unwrap();
+        assert!(out.same_cells(&ex.cube).unwrap());
+        // fraction 1 moves everything.
+        let out = reallocate(
+            &ex.cube,
+            &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 1.0, scope: vec![] }],
+        )
+        .unwrap();
+        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]), CellValue::Null);
+        assert_eq!(value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]), CellValue::Num(60.0));
+    }
+
+    #[test]
+    fn moves_compose_in_order() {
+        let ex = fixture();
+        let ny = ex.schema.dim(ex.location).resolve("NY").unwrap();
+        let ma = ex.schema.dim(ex.location).resolve("MA").unwrap();
+        // Move half NY→MA, then half of MA (which now has value) back.
+        let out = reallocate(
+            &ex.cube,
+            &[
+                Reallocation { dim: ex.location, from: ny, to: ma, fraction: 0.5, scope: vec![] },
+                Reallocation { dim: ex.location, from: ma, to: ny, fraction: 0.5, scope: vec![] },
+            ],
+        )
+        .unwrap();
+        // NY cell: 10 → 5 → 7.5.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), CellValue::Num(7.5));
+        assert_eq!(out.get(&[0, 1, 0, 0]).unwrap(), CellValue::Num(2.5));
+        assert_eq!(out.total_sum().unwrap(), ex.cube.total_sum().unwrap());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ex = fixture();
+        let ny = ex.schema.dim(ex.location).resolve("NY").unwrap();
+        let east = ex.schema.dim(ex.location).resolve("East").unwrap();
+        let ma = ex.schema.dim(ex.location).resolve("MA").unwrap();
+        // Bad fraction.
+        assert!(matches!(
+            reallocate(
+                &ex.cube,
+                &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 1.5, scope: vec![] }],
+            ),
+            Err(WhatIfError::BadChange(_))
+        ));
+        // Non-leaf endpoint.
+        assert!(matches!(
+            reallocate(
+                &ex.cube,
+                &[Reallocation { dim: ex.location, from: east, to: ma, fraction: 0.5, scope: vec![] }],
+            ),
+            Err(WhatIfError::BadChange(_))
+        ));
+    }
+
+    #[test]
+    fn varying_dim_slots_allowed_as_context() {
+        // Scoping by a varying-dimension member works: move Tom's (every
+        // instance's) salary only.
+        let ex = fixture();
+        let ny = ex.schema.dim(ex.location).resolve("NY").unwrap();
+        let ma = ex.schema.dim(ex.location).resolve("MA").unwrap();
+        let tom = ex.schema.dim(ex.org).resolve("Tom").unwrap();
+        let out = reallocate(
+            &ex.cube,
+            &[Reallocation {
+                dim: ex.location,
+                from: ny,
+                to: ma,
+                fraction: 1.0,
+                scope: vec![(ex.org, tom)],
+            }],
+        )
+        .unwrap();
+        assert_eq!(value(&ex, &out, ["Tom", "MA", "Qtr1", "Salary"]), CellValue::Num(30.0));
+        assert_eq!(value(&ex, &out, ["Dave", "MA", "Qtr1", "Salary"]), CellValue::Null);
+    }
+}

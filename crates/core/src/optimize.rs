@@ -1,0 +1,346 @@
+//! Algebraic what-if query optimization — the paper's Section 8 future
+//! work: "Further optimization of what-if queries by manipulation of the
+//! proposed algebraic operators is an important direction."
+//!
+//! [`optimize`] rewrites an [`AlgebraExpr`] into an equivalent, cheaper
+//! one using rules justified by the operator semantics:
+//!
+//! 1. **Flatten** nested compositions (cosmetic, enables the others).
+//! 2. **Drop identities**: `σ_true`, and `Eval` markers that are
+//!    immediately overridden by a later `Eval`.
+//! 3. **Fuse selections** on the same dimension:
+//!    `σ_p ∘ σ_q = σ_{p ∧ q}` — one scan instead of two.
+//! 4. **Push structural selections below Φρ**: relocation moves data only
+//!    between instances of *one member*, so a selection whose predicate
+//!    depends only on the member (not the instance path, validity set, or
+//!    values) commutes with `PhiRelocate` — and running it first shrinks
+//!    the cube the relocation must process.
+//!
+//! Every rewrite preserves results cell-for-cell; the property test at
+//! the bottom (and `tests/` suites) checks random expressions against
+//! their optimized forms.
+
+use crate::algebra::AlgebraExpr;
+use crate::operators::select::Predicate;
+
+/// Statistics about what the optimizer did (for EXPLAIN-style output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Adjacent selections on one dimension fused.
+    pub selections_fused: u32,
+    /// Member-only selections pushed below a PhiRelocate.
+    pub selections_pushed: u32,
+    /// Identity steps removed.
+    pub identities_dropped: u32,
+}
+
+/// Optimizes an algebra expression. Returns the rewritten expression and
+/// a report of the rules that fired.
+pub fn optimize(expr: &AlgebraExpr) -> (AlgebraExpr, OptimizeReport) {
+    let mut report = OptimizeReport::default();
+    let mut steps = Vec::new();
+    flatten(expr, &mut steps);
+    let steps = drop_identities(steps, &mut report);
+    let steps = push_selections(steps, &mut report);
+    let steps = fuse_selections(steps, &mut report);
+    let out = match steps.len() {
+        1 => steps.into_iter().next().expect("len checked"),
+        _ => AlgebraExpr::Compose(steps),
+    };
+    (out, report)
+}
+
+/// Rule 1: flatten `Compose` nesting into a linear pipeline.
+fn flatten(expr: &AlgebraExpr, out: &mut Vec<AlgebraExpr>) {
+    match expr {
+        AlgebraExpr::Compose(steps) => {
+            for s in steps {
+                flatten(s, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rule 2: drop `σ_true` and all but the last consecutive `Eval` marker.
+fn drop_identities(steps: Vec<AlgebraExpr>, report: &mut OptimizeReport) -> Vec<AlgebraExpr> {
+    let mut out: Vec<AlgebraExpr> = Vec::with_capacity(steps.len());
+    for s in steps {
+        match s {
+            AlgebraExpr::Select { pred: Predicate::True, .. } => {
+                report.identities_dropped += 1;
+            }
+            AlgebraExpr::Eval { .. } => {
+                if matches!(out.last(), Some(AlgebraExpr::Eval { .. })) {
+                    out.pop();
+                    report.identities_dropped += 1;
+                }
+                out.push(s);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Is a predicate *member-structural* — decided by the slot's leaf member
+/// alone? Such predicates keep or drop *all* instances of a member
+/// together, so they commute with relocation (data only ever moves
+/// between instances of one member). `Under`, `VsIntersects`, and value
+/// predicates depend on the instance path / validity / data, which Φρ
+/// changes — they must stay put.
+fn member_structural(p: &Predicate) -> bool {
+    match p {
+        Predicate::True | Predicate::MemberIs(_) | Predicate::Changing => true,
+        Predicate::Under(_) | Predicate::VsIntersects(_) | Predicate::ValueCmp { .. } => false,
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            member_structural(a) && member_structural(b)
+        }
+        Predicate::Not(a) => member_structural(a),
+    }
+}
+
+/// Rule 4: move member-structural selections before an immediately
+/// preceding `PhiRelocate` on the same dimension. Repeats to a fixpoint
+/// so a selection can sink below several relocations.
+fn push_selections(mut steps: Vec<AlgebraExpr>, report: &mut OptimizeReport) -> Vec<AlgebraExpr> {
+    loop {
+        let mut changed = false;
+        let mut i = 1;
+        while i < steps.len() {
+            let can_swap = matches!(
+                (&steps[i - 1], &steps[i]),
+                (AlgebraExpr::PhiRelocate { spec }, AlgebraExpr::Select { dim, pred })
+                    if spec.dim == *dim && member_structural(pred)
+            );
+            if can_swap {
+                steps.swap(i - 1, i);
+                report.selections_pushed += 1;
+                changed = true;
+            }
+            i += 1;
+        }
+        if !changed {
+            return steps;
+        }
+    }
+}
+
+/// Rule 3: fuse adjacent selections on the same dimension.
+fn fuse_selections(steps: Vec<AlgebraExpr>, report: &mut OptimizeReport) -> Vec<AlgebraExpr> {
+    let mut out: Vec<AlgebraExpr> = Vec::with_capacity(steps.len());
+    for s in steps {
+        match (out.last_mut(), s) {
+            (
+                Some(AlgebraExpr::Select { dim: d1, pred: p1 }),
+                AlgebraExpr::Select { dim: d2, pred: p2 },
+            ) if *d1 == d2 => {
+                let fused = std::mem::replace(p1, Predicate::True).and(p2);
+                *p1 = fused;
+                report.selections_fused += 1;
+            }
+            (_, other) => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Strategy;
+    use crate::perspective::{Mode, PerspectiveSpec, Semantics};
+    use crate::scenario::Change;
+    use olap_cube::Cube;
+    use olap_model::{DimensionId, DimensionSpec, SchemaBuilder};
+    use std::sync::Arc;
+
+    fn fixture() -> (Cube, DimensionId) {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("Org").tree(&[
+                    ("A", &["m0", "m1", "m2"][..]),
+                    ("B", &["m3"]),
+                ]))
+                .dimension(
+                    DimensionSpec::new("Time")
+                        .ordered()
+                        .leaves(&["t0", "t1", "t2", "t3"]),
+                )
+                .varying("Org", "Time")
+                .reclassify("Org", "m0", "B", "t2")
+                .reclassify("Org", "m1", "B", "t1")
+                .build()
+                .unwrap(),
+        );
+        let org = schema.resolve_dimension("Org").unwrap();
+        let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2]).unwrap();
+        let v = schema.varying(org).unwrap();
+        for (i, inst) in v.instances().iter().enumerate() {
+            for t in inst.validity.iter() {
+                b.set_num(&[i as u32, t], (10 * (i + 1)) as f64 + t as f64)
+                    .unwrap();
+            }
+        }
+        (b.finish().unwrap(), org)
+    }
+
+    fn phirelocate(dim: DimensionId) -> AlgebraExpr {
+        AlgebraExpr::PhiRelocate {
+            spec: PerspectiveSpec::new(dim, [0], Semantics::Forward, Mode::Visual),
+        }
+    }
+
+    #[test]
+    fn flattens_nesting() {
+        let (_, org) = fixture();
+        let nested = AlgebraExpr::Compose(vec![
+            AlgebraExpr::Compose(vec![phirelocate(org)]),
+            AlgebraExpr::Compose(vec![AlgebraExpr::Compose(vec![AlgebraExpr::Eval {
+                visual: true,
+            }])]),
+        ]);
+        let (opt, _) = optimize(&nested);
+        match opt {
+            AlgebraExpr::Compose(steps) => {
+                assert_eq!(steps.len(), 2);
+                assert!(!steps.iter().any(|s| matches!(s, AlgebraExpr::Compose(_))));
+            }
+            other => panic!("expected flat compose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drops_true_selects_and_stale_evals() {
+        let (_, org) = fixture();
+        let expr = AlgebraExpr::Compose(vec![
+            AlgebraExpr::Select { dim: org, pred: Predicate::True },
+            AlgebraExpr::Eval { visual: false },
+            AlgebraExpr::Eval { visual: true },
+        ]);
+        let (opt, report) = optimize(&expr);
+        assert_eq!(opt, AlgebraExpr::Eval { visual: true });
+        assert_eq!(report.identities_dropped, 2);
+    }
+
+    #[test]
+    fn fuses_same_dim_selections() {
+        let (_, org) = fixture();
+        let expr = AlgebraExpr::Compose(vec![
+            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::VsIntersects(vec![0]),
+            },
+        ]);
+        let (opt, report) = optimize(&expr);
+        assert_eq!(report.selections_fused, 1);
+        match opt {
+            AlgebraExpr::Select { pred: Predicate::And(_, _), .. } => {}
+            other => panic!("expected fused select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushes_member_selection_below_relocation() {
+        let (_, org) = fixture();
+        let expr = AlgebraExpr::Compose(vec![
+            phirelocate(org),
+            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
+        ]);
+        let (opt, report) = optimize(&expr);
+        assert_eq!(report.selections_pushed, 1);
+        match &opt {
+            AlgebraExpr::Compose(steps) => {
+                assert!(matches!(steps[0], AlgebraExpr::Select { .. }));
+                assert!(matches!(steps[1], AlgebraExpr::PhiRelocate { .. }));
+            }
+            other => panic!("expected compose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_dependent_selections_stay_put() {
+        let (_, org) = fixture();
+        for pred in [
+            Predicate::VsIntersects(vec![1]),
+            Predicate::Under(olap_model::MemberId(1)),
+            Predicate::Changing.and(Predicate::VsIntersects(vec![0])),
+        ] {
+            let expr = AlgebraExpr::Compose(vec![
+                phirelocate(org),
+                AlgebraExpr::Select { dim: org, pred },
+            ]);
+            let (opt, report) = optimize(&expr);
+            assert_eq!(report.selections_pushed, 0);
+            match &opt {
+                AlgebraExpr::Compose(steps) => {
+                    assert!(matches!(steps[0], AlgebraExpr::PhiRelocate { .. }))
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    /// The semantic guarantee: optimized expressions produce identical
+    /// cubes, across a grid of generated pipelines.
+    #[test]
+    fn optimization_preserves_results() {
+        let (cube, org) = fixture();
+        let m0 = cube.schema().dim(org).resolve("m0").unwrap();
+        let b = cube.schema().dim(org).resolve("B").unwrap();
+        let candidates: Vec<AlgebraExpr> = vec![
+            phirelocate(org),
+            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
+            AlgebraExpr::Select { dim: org, pred: Predicate::MemberIs(m0) },
+            AlgebraExpr::Select { dim: org, pred: Predicate::True },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::VsIntersects(vec![0, 1]),
+            },
+            AlgebraExpr::Split {
+                dim: org,
+                changes: vec![Change {
+                    member: cube.schema().dim(org).resolve("m2").unwrap(),
+                    old_parent: None,
+                    new_parent: b,
+                    at: 1,
+                }],
+            },
+            AlgebraExpr::Eval { visual: true },
+        ];
+        // Every ordered pair and triple of steps.
+        let mut count = 0;
+        for i in 0..candidates.len() {
+            for j in 0..candidates.len() {
+                for ks in [None, Some(2usize)] {
+                    let mut steps = vec![candidates[i].clone(), candidates[j].clone()];
+                    if let Some(k) = ks {
+                        steps.push(candidates[k].clone());
+                    }
+                    // Split changes the schema; a second split of the same
+                    // member would be a (legal) different scenario — keep
+                    // pipelines with at most one split for simplicity.
+                    let splits = steps
+                        .iter()
+                        .filter(|s| matches!(s, AlgebraExpr::Split { .. }))
+                        .count();
+                    if splits > 1 {
+                        continue;
+                    }
+                    let expr = AlgebraExpr::Compose(steps);
+                    let (opt, _) = optimize(&expr);
+                    let a = crate::algebra::run(&cube, &expr, &Strategy::Reference).unwrap();
+                    let b2 = crate::algebra::run(&cube, &opt, &Strategy::Reference).unwrap();
+                    assert!(
+                        a.cube.same_cells(&b2.cube).unwrap(),
+                        "optimization changed results for {expr:?}"
+                    );
+                    assert_eq!(a.mode, b2.mode);
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 50);
+    }
+}

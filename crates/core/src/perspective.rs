@@ -1,0 +1,136 @@
+//! Perspective specifications: semantics and evaluation modes (Section 3).
+
+use olap_model::{DimensionId, Moment};
+use std::fmt;
+
+/// How perspectives transform validity sets (Definitions 3.3 / 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// Keep only the structures that existed at the perspective moments,
+    /// with their original validity sets and values.
+    Static,
+    /// Impose the structure at each perspective pᵢ onto `[pᵢ, pᵢ₊₁)`
+    /// ("dynamic forward").
+    Forward,
+    /// Forward, additionally imposing the structure at `Pmin` onto all
+    /// moments before it.
+    ExtendedForward,
+    /// The mirror of forward: impose the structure at pᵢ onto the *past*
+    /// interval reaching back to the previous perspective.
+    Backward,
+    /// Backward, additionally imposing the structure at `Pmax` onto all
+    /// moments after it.
+    ExtendedBackward,
+}
+
+impl Semantics {
+    /// Static semantics work on unordered parameter dimensions; the
+    /// dynamic ones need a total order on moments.
+    pub fn requires_order(self) -> bool {
+        !matches!(self, Semantics::Static)
+    }
+
+    /// The extended-MDX keyword form.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Semantics::Static => "STATIC",
+            Semantics::Forward => "DYNAMIC FORWARD",
+            Semantics::ExtendedForward => "DYNAMIC EXTENDED FORWARD",
+            Semantics::Backward => "DYNAMIC BACKWARD",
+            Semantics::ExtendedBackward => "DYNAMIC EXTENDED BACKWARD",
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// How derived (non-leaf / formula) cells are evaluated (Section 3.3,
+/// "Computing non-leaf cells").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Retain the input cube's derived-cell values.
+    #[default]
+    NonVisual,
+    /// Re-evaluate rules over the output cube.
+    Visual,
+}
+
+impl Mode {
+    /// The extended-MDX keyword form.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Mode::NonVisual => "NONVISUAL",
+            Mode::Visual => "VISUAL",
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A full perspective clause: `WITH PERSPECTIVE {p₁, …, pₖ} FOR D
+/// <semantics> <mode>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerspectiveSpec {
+    /// The varying dimension the perspectives act on.
+    pub dim: DimensionId,
+    /// Perspective moments (leaf ordinals of the parameter dimension);
+    /// stored sorted and deduplicated.
+    pub perspectives: Vec<Moment>,
+    /// Validity-set semantics.
+    pub semantics: Semantics,
+    /// Derived-cell evaluation mode.
+    pub mode: Mode,
+}
+
+impl PerspectiveSpec {
+    /// Builds a spec, sorting and deduplicating the perspective set.
+    pub fn new(dim: DimensionId, perspectives: impl IntoIterator<Item = Moment>, semantics: Semantics, mode: Mode) -> Self {
+        let mut p: Vec<Moment> = perspectives.into_iter().collect();
+        p.sort_unstable();
+        p.dedup();
+        PerspectiveSpec {
+            dim,
+            perspectives: p,
+            semantics,
+            mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_sorts_and_dedups() {
+        let s = PerspectiveSpec::new(
+            DimensionId(1),
+            [3, 0, 3, 9],
+            Semantics::Forward,
+            Mode::Visual,
+        );
+        assert_eq!(s.perspectives, vec![0, 3, 9]);
+    }
+
+    #[test]
+    fn order_requirements() {
+        assert!(!Semantics::Static.requires_order());
+        assert!(Semantics::Forward.requires_order());
+        assert!(Semantics::ExtendedBackward.requires_order());
+    }
+
+    #[test]
+    fn keywords_roundtrip_displays() {
+        assert_eq!(Semantics::Forward.to_string(), "DYNAMIC FORWARD");
+        assert_eq!(Mode::Visual.to_string(), "VISUAL");
+        assert_eq!(Mode::default(), Mode::NonVisual);
+    }
+}

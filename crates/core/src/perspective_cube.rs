@@ -1,0 +1,412 @@
+//! The perspective cube: the result of a what-if query (Section 5).
+//!
+//! "We call the result of any of the what-if queries we discussed in this
+//! paper a perspective cube." [`apply`] computes it for either scenario
+//! kind under either execution strategy; [`WhatIfResult`] answers cell
+//! queries respecting the query's **mode**: visual re-derives non-leaf
+//! cells on the output cube, non-visual retains the input's.
+
+use crate::error::WhatIfError;
+use crate::exec::{ExecReport, OrderPolicy, Strategy};
+use crate::operators::relocate::{relocate, DestMap};
+use crate::operators::split::split;
+use crate::perspective::Mode;
+use crate::phi::{phi, prune_vacancies, VsMap};
+use crate::scenario::Scenario;
+use crate::Result;
+use olap_cube::{CellEvaluator, Cube, Sel};
+use olap_model::{AxisSlot, Schema};
+use olap_store::CellValue;
+use std::sync::Arc;
+
+/// The materialized perspective cube plus everything needed to answer
+/// queries under the scenario's mode.
+pub struct WhatIfResult {
+    /// The output cube (leaf cells after the scenario).
+    pub cube: Cube,
+    /// The output schema — the input's for negative scenarios, an
+    /// extended clone for positive ones (split adds instances).
+    pub schema: Arc<Schema>,
+    /// The scenario it answers.
+    pub scenario: Scenario,
+    /// Output validity sets for negative scenarios (vacancy-pruned, as in
+    /// the paper's examples). `None` for positive scenarios, whose
+    /// validity sets live in the output schema itself.
+    pub vs_out: Option<VsMap>,
+    /// Executor metrics (defaults for the reference path).
+    pub report: ExecReport,
+}
+
+impl WhatIfResult {
+    /// The value of a cell under the query's mode.
+    ///
+    /// `input` must be the cube the scenario was applied to. Selectors
+    /// address the *output* schema. For positive scenarios queried
+    /// non-visually, slot selectors on the varying dimension are widened
+    /// to their member when falling back to the input cube (the input has
+    /// no such instance; the paper's non-visual split keeps input
+    /// *totals*).
+    pub fn value(&self, input: &Cube, sels: &[Sel]) -> Result<CellValue> {
+        match self.scenario.mode() {
+            Mode::Visual => Ok(CellEvaluator::new(&self.cube).value(sels)?),
+            Mode::NonVisual => {
+                let ev_out = CellEvaluator::new(&self.cube);
+                if self.is_base_cell(&ev_out, sels)? {
+                    return Ok(ev_out.value(sels)?);
+                }
+                // Derived cell: retain the input cube's value.
+                let sels_in = self.to_input_sels(sels);
+                Ok(CellEvaluator::new(input).value(&sels_in)?)
+            }
+        }
+    }
+
+    /// A cell is *base* when every selector pins a single slot and no
+    /// formula rule defines the selected measure ("all leaf level cells
+    /// are base and all non-leaf cells are derived").
+    fn is_base_cell(&self, ev: &CellEvaluator<'_>, sels: &[Sel]) -> Result<bool> {
+        for (i, &sel) in sels.iter().enumerate() {
+            if ev.slots_for(i, sel)?.len() != 1 {
+                return Ok(false);
+            }
+        }
+        if let Some(mdim) = self.cube.rules().measure_dim() {
+            let measure = match sels.get(mdim.index()) {
+                Some(Sel::Member(m)) => Some(*m),
+                Some(Sel::Slot(s)) => Some(self.schema.slot_member(mdim, AxisSlot(*s))),
+                None => None,
+            };
+            if let Some(m) = measure {
+                if self.cube.rules().has_formula(m) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Translates output-schema selectors for evaluation against the
+    /// input cube (needed only when the schemas differ, i.e. positive
+    /// scenarios).
+    fn to_input_sels(&self, sels: &[Sel]) -> Vec<Sel> {
+        match &self.scenario {
+            Scenario::Negative(_) => sels.to_vec(),
+            Scenario::Positive { dim, .. } => {
+                let mut out = sels.to_vec();
+                if let Some(Sel::Slot(s)) = sels.get(dim.index()) {
+                    let member = self.schema.slot_member(*dim, AxisSlot(*s));
+                    out[dim.index()] = Sel::Member(member);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Applies a what-if scenario to a cube (Theorem 4.1's right-hand side:
+/// the algebra applied to the core query's result).
+pub fn apply(cube: &Cube, scenario: &Scenario, strategy: &Strategy) -> Result<WhatIfResult> {
+    apply_scoped(cube, scenario, strategy, None)
+}
+
+/// Like [`apply`], optionally scoped to the varying-dimension slots the
+/// query touches (Essbase-style retrieval; negative scenarios only —
+/// positive scenarios rebuild the axis and ignore the scope).
+pub fn apply_scoped(
+    cube: &Cube,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    scope: Option<&[u32]>,
+) -> Result<WhatIfResult> {
+    match scenario {
+        Scenario::Negative(spec) => {
+            let schema = cube.schema();
+            let varying = schema
+                .varying(spec.dim)
+                .ok_or_else(|| WhatIfError::NotVarying(schema.dim(spec.dim).name().to_string()))?;
+            if spec.perspectives.is_empty() {
+                return Err(WhatIfError::NoPerspectives);
+            }
+            let moments = varying.moments();
+            for &p in &spec.perspectives {
+                if p >= moments {
+                    return Err(WhatIfError::BadPerspective { moment: p, moments });
+                }
+            }
+            let pdim = varying.parameter_dim();
+            if spec.semantics.requires_order() && !schema.dim(pdim).is_ordered() {
+                return Err(WhatIfError::UnorderedParameter {
+                    varying: schema.dim(spec.dim).name().to_string(),
+                    parameter: schema.dim(pdim).name().to_string(),
+                });
+            }
+            let vs_raw = phi(spec.semantics, varying.instances(), &spec.perspectives, moments);
+            let mut vs_pruned = vs_raw.clone();
+            prune_vacancies(&mut vs_pruned, varying.instances(), moments);
+            let (out, report) = match strategy {
+                Strategy::Reference => (relocate(cube, spec.dim, &vs_raw)?, ExecReport::default()),
+                Strategy::Chunked(policy) => {
+                    // Section 6: one pass per perspective (static) or per
+                    // range (dynamic), sharing the output cube.
+                    let map = DestMap::build(cube, spec.dim, &vs_raw)?;
+                    let passes = crate::plan::decompose_passes(
+                        &map,
+                        spec.semantics,
+                        &spec.perspectives,
+                        varying,
+                    );
+                    crate::exec::execute_passes(cube, spec.dim, &map, &passes, policy, scope)?
+                }
+            };
+            Ok(WhatIfResult {
+                cube: out,
+                schema: Arc::clone(schema),
+                scenario: scenario.clone(),
+                vs_out: Some(vs_pruned),
+                report,
+            })
+        }
+        Scenario::Positive { dim, changes, .. } => {
+            let (schema2, out) = split(cube, *dim, changes)?;
+            Ok(WhatIfResult {
+                cube: out,
+                schema: schema2,
+                scenario: scenario.clone(),
+                vs_out: None,
+                report: ExecReport::default(),
+            })
+        }
+    }
+}
+
+/// Convenience: apply with the default strategy (chunked + pebbling).
+pub fn apply_default(cube: &Cube, scenario: &Scenario) -> Result<WhatIfResult> {
+    apply(cube, scenario, &Strategy::Chunked(OrderPolicy::Pebbling))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perspective::Semantics;
+    use crate::scenario::Change;
+    use olap_model::{DimensionSpec, MemberId, SchemaBuilder};
+
+    /// Running example with a measures axis: Org (varying) × Time ×
+    /// Measures {Salary}. Salary 10/month per valid instance.
+    fn fixture() -> Cube {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("Organization").tree(&[
+                    ("FTE", &["Joe", "Lisa"][..]),
+                    ("PTE", &["Tom"]),
+                    ("Contractor", &["Jane"]),
+                ]))
+                .dimension(
+                    DimensionSpec::new("Time")
+                        .ordered()
+                        .tree(&[("Qtr1", &["Jan", "Feb", "Mar"][..]), ("Qtr2", &["Apr", "May", "Jun"])]),
+                )
+                .dimension(DimensionSpec::new("Measures").measures().leaves(&["Salary"]))
+                .varying("Organization", "Time")
+                .reclassify("Organization", "Joe", "PTE", "Feb")
+                .reclassify("Organization", "Joe", "Contractor", "Mar")
+                .clear_at("Organization", "Joe", &["May"])
+                .build()
+                .unwrap(),
+        );
+        let org = schema.resolve_dimension("Organization").unwrap();
+        let mut rules = olap_cube::RuleSet::new();
+        rules.set_measure_dim(schema.resolve_dimension("Measures").unwrap());
+        let mut b = Cube::builder(Arc::clone(&schema), vec![2, 3, 1])
+            .unwrap()
+            .rules(rules);
+        let varying = schema.varying(org).unwrap();
+        for (i, inst) in varying.instances().iter().enumerate() {
+            for t in inst.validity.iter() {
+                b.set_num(&[i as u32, t, 0], 10.0).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    fn org_sel(cube: &Cube, name: &str) -> Sel {
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        Sel::Member(cube.schema().dim(org).resolve(name).unwrap())
+    }
+
+    fn time_sel(cube: &Cube, name: &str) -> Sel {
+        let t = cube.schema().resolve_dimension("Time").unwrap();
+        Sel::Member(cube.schema().dim(t).resolve(name).unwrap())
+    }
+
+    #[test]
+    fn forward_visual_rolls_up_on_output() {
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        // P = {Feb, Apr}, forward, visual.
+        let scenario =
+            Scenario::negative(org, [1, 3], Semantics::Forward, Mode::Visual);
+        let r = apply_default(&cube, &scenario).unwrap();
+        // PTE total over Qtr1 in the output: Tom (Jan+Feb+Mar) + PTE/Joe
+        // (Feb + Mar inherited) = 30 + 20 = 50.
+        let v = r
+            .value(
+                &cube,
+                &[org_sel(&cube, "PTE"), time_sel(&cube, "Qtr1"), Sel::Slot(0)],
+            )
+            .unwrap();
+        assert_eq!(v, CellValue::Num(50.0));
+        // FTE Qtr1: only Lisa (Joe's FTE instance is inactive): 30.
+        let v = r
+            .value(
+                &cube,
+                &[org_sel(&cube, "FTE"), time_sel(&cube, "Qtr1"), Sel::Slot(0)],
+            )
+            .unwrap();
+        assert_eq!(v, CellValue::Num(30.0));
+    }
+
+    #[test]
+    fn forward_nonvisual_keeps_input_totals() {
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        let scenario =
+            Scenario::negative(org, [1, 3], Semantics::Forward, Mode::NonVisual);
+        let r = apply_default(&cube, &scenario).unwrap();
+        // Non-visual: the PTE Qtr1 total is the input's (Tom 30 + PTE/Joe
+        // Feb 10 = 40), even though leaf cells moved.
+        let v = r
+            .value(
+                &cube,
+                &[org_sel(&cube, "PTE"), time_sel(&cube, "Qtr1"), Sel::Slot(0)],
+            )
+            .unwrap();
+        assert_eq!(v, CellValue::Num(40.0));
+        // Leaf cells still reflect the scenario (PTE/Joe Mar inherited).
+        assert_eq!(r.cube.get(&[1, 2, 0]).unwrap(), CellValue::Num(10.0));
+    }
+
+    #[test]
+    fn static_multiple_perspectives() {
+        // S3-style: structure at Jan and at Apr.
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        let scenario = Scenario::negative(org, [0, 3], Semantics::Static, Mode::Visual);
+        let r = apply_default(&cube, &scenario).unwrap();
+        // FTE/Joe (valid at Jan) and Contractor/Joe (valid at Apr) stay
+        // with original values; PTE/Joe drops.
+        let vs = r.vs_out.as_ref().unwrap();
+        assert_eq!(vs[0].iter().collect::<Vec<_>>(), vec![0]);
+        assert!(vs[1].is_empty());
+        assert_eq!(vs[2].iter().collect::<Vec<_>>(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn positive_scenario_splits_and_answers() {
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        let d = cube.schema().dim(org);
+        let lisa = d.resolve("Lisa").unwrap();
+        let fte = d.resolve("FTE").unwrap();
+        let pte = d.resolve("PTE").unwrap();
+        let scenario = Scenario::positive(
+            org,
+            vec![Change {
+                member: lisa,
+                old_parent: Some(fte),
+                new_parent: pte,
+                at: 3,
+            }],
+            Mode::Visual,
+        );
+        let r = apply_default(&cube, &scenario).unwrap();
+        assert!(!Arc::ptr_eq(&r.schema, cube.schema()));
+        // Visual: PTE Qtr2 total = Tom 30 + PTE/Lisa (Apr, May, Jun) 30.
+        let pte_sel = Sel::Member(pte);
+        let qtr2 = {
+            let t = r.schema.resolve_dimension("Time").unwrap();
+            Sel::Member(r.schema.dim(t).resolve("Qtr2").unwrap())
+        };
+        let v = r.value(&cube, &[pte_sel, qtr2, Sel::Slot(0)]).unwrap();
+        assert_eq!(v, CellValue::Num(60.0));
+    }
+
+    #[test]
+    fn positive_nonvisual_retains_input_totals() {
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        let d = cube.schema().dim(org);
+        let lisa = d.resolve("Lisa").unwrap();
+        let pte = d.resolve("PTE").unwrap();
+        let scenario = Scenario::positive(
+            org,
+            vec![Change {
+                member: lisa,
+                old_parent: None,
+                new_parent: pte,
+                at: 3,
+            }],
+            Mode::NonVisual,
+        );
+        let r = apply_default(&cube, &scenario).unwrap();
+        // Non-visual PTE Qtr2: input total (Tom only) = 30.
+        let qtr2 = {
+            let t = r.schema.resolve_dimension("Time").unwrap();
+            Sel::Member(r.schema.dim(t).resolve("Qtr2").unwrap())
+        };
+        let v = r
+            .value(&cube, &[Sel::Member(pte), qtr2, Sel::Slot(0)])
+            .unwrap();
+        assert_eq!(v, CellValue::Num(30.0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let cube = fixture();
+        let org = cube.schema().resolve_dimension("Organization").unwrap();
+        let time = cube.schema().resolve_dimension("Time").unwrap();
+        // Empty perspectives.
+        let s = Scenario::negative(org, [], Semantics::Static, Mode::Visual);
+        assert!(matches!(
+            apply_default(&cube, &s),
+            Err(WhatIfError::NoPerspectives)
+        ));
+        // Out-of-range moment.
+        let s = Scenario::negative(org, [17], Semantics::Static, Mode::Visual);
+        assert!(matches!(
+            apply_default(&cube, &s),
+            Err(WhatIfError::BadPerspective { .. })
+        ));
+        // Non-varying dimension.
+        let s = Scenario::negative(time, [0], Semantics::Static, Mode::Visual);
+        assert!(matches!(
+            apply_default(&cube, &s),
+            Err(WhatIfError::NotVarying(_))
+        ));
+    }
+
+    #[test]
+    fn unordered_parameter_rejected_for_dynamic() {
+        // Location-style unordered parameter: static OK, forward not.
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("Org").tree(&[("A", &["x"][..]), ("B", &["y"])]))
+                .dimension(DimensionSpec::new("Location").leaves(&["NY", "MA", "CA"]))
+                .varying("Org", "Location")
+                .build()
+                .unwrap(),
+        );
+        let org = schema.resolve_dimension("Org").unwrap();
+        let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2]).unwrap();
+        b.set_num(&[0, 0], 1.0).unwrap();
+        let cube = b.finish().unwrap();
+        let s = Scenario::negative(org, [0], Semantics::Forward, Mode::Visual);
+        assert!(matches!(
+            apply_default(&cube, &s),
+            Err(WhatIfError::UnorderedParameter { .. })
+        ));
+        let s = Scenario::negative(org, [0], Semantics::Static, Mode::Visual);
+        assert!(apply_default(&cube, &s).is_ok());
+        let _ = MemberId::ROOT;
+    }
+}

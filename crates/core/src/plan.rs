@@ -1,0 +1,249 @@
+//! Pass decomposition — the Section 6 implementation strategy.
+//!
+//! The paper's Essbase implementation does not materialize a perspective
+//! cube in one sweep; it processes perspectives one at a time:
+//!
+//! * *static*: "for every perspective in the query, each employee's
+//!   structure be reported as it existed for that perspective. As the
+//!   number of perspectives increases so does the overhead in merging
+//!   varying member instances from each perspective" — one pass per
+//!   perspective, covering the instances valid at it;
+//! * *forward*: "implemented directly by organizing perspectives into
+//!   ranges and imposing the structure that existed at the start of every
+//!   range through all members in the range" — one pass per range
+//!   `[pᵢ, pᵢ₊₁)`, with "retrievals along cube slices indexed by members
+//!   of the parameter dimension that occur in each perspective range".
+//!
+//! [`decompose_passes`] splits a full [`DestMap`] into those passes: each
+//! pass keeps its own cells and marks the rest `Skip`. Running the passes
+//! in sequence over a shared output cube reproduces the full plan —
+//! including the paper's linear-in-k cost (Fig. 11), which a single-pass
+//! execution would hide.
+
+use crate::operators::relocate::DestMap;
+use crate::perspective::Semantics;
+use olap_model::{InstanceId, Moment, VaryingDimension};
+
+/// Splits a plan into the Section 6 passes. `perspectives` must be
+/// sorted and non-empty; the union of all passes' non-`Skip` entries is
+/// exactly the full map's.
+pub fn decompose_passes(
+    full: &DestMap,
+    semantics: Semantics,
+    perspectives: &[Moment],
+    varying: &VaryingDimension,
+) -> Vec<DestMap> {
+    debug_assert!(!perspectives.is_empty());
+    let moments = varying.moments();
+    match semantics {
+        Semantics::Static => {
+            // Pass i: the instances whose structure existed at pᵢ (their
+            // whole validity set). Instances valid at several perspectives
+            // are re-merged each time — the paper's per-perspective
+            // overhead. Drops (instances valid at no perspective) are
+            // assigned to pass 0 so exactly one pass owns them.
+            perspectives
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    full.restrict(|src, t| {
+                        let inst = varying.instance(InstanceId(src));
+                        if inst.validity.is_valid_at(p) {
+                            return true;
+                        }
+                        if i == 0 {
+                            // Pass 0 owns every cell of never-valid
+                            // instances (all drops).
+                            return !perspectives
+                                .iter()
+                                .any(|&q| inst.validity.is_valid_at(q))
+                                && inst.validity.is_valid_at(t);
+                        }
+                        false
+                    })
+                })
+                .collect()
+        }
+        Semantics::Forward | Semantics::ExtendedForward => {
+            // Pass i owns [pᵢ, pᵢ₊₁); pass 0 additionally owns everything
+            // before Pmin (retained pre-history / extended backfill).
+            let owner = owner_by_most_recent(perspectives, moments);
+            perspectives
+                .iter()
+                .enumerate()
+                .map(|(i, _)| full.restrict(|_, t| owner[t as usize] == i))
+                .collect()
+        }
+        Semantics::Backward | Semantics::ExtendedBackward => {
+            // Mirror: pass i owns (pᵢ₋₁, pᵢ]; the last pass owns the
+            // post-Pmax tail.
+            let owner = owner_by_next(perspectives, moments);
+            perspectives
+                .iter()
+                .enumerate()
+                .map(|(i, _)| full.restrict(|_, t| owner[t as usize] == i))
+                .collect()
+        }
+    }
+}
+
+/// For each moment, the index of `max{p ∈ P | p ≤ t}` (pre-Pmin → 0).
+fn owner_by_most_recent(perspectives: &[Moment], moments: u32) -> Vec<usize> {
+    let mut owner = vec![0usize; moments as usize];
+    let mut pi = 0usize;
+    for t in 0..moments {
+        while pi + 1 < perspectives.len() && perspectives[pi + 1] <= t {
+            pi += 1;
+        }
+        owner[t as usize] = if t < perspectives[0] { 0 } else { pi };
+    }
+    owner
+}
+
+/// For each moment, the index of `min{p ∈ P | p ≥ t}` (post-Pmax → last).
+fn owner_by_next(perspectives: &[Moment], moments: u32) -> Vec<usize> {
+    let last = perspectives.len() - 1;
+    let mut owner = vec![last; moments as usize];
+    let mut pi = 0usize;
+    for t in 0..moments {
+        while pi < last && perspectives[pi] < t {
+            pi += 1;
+        }
+        owner[t as usize] = if t > perspectives[last] { last } else { pi };
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::relocate::CellFate;
+    use crate::phi::phi;
+    use olap_model::Dimension;
+
+    fn setup() -> (Dimension, VaryingDimension) {
+        let mut d = Dimension::new("Org");
+        let a = d.add_child_of_root("A").unwrap();
+        let b = d.add_child_of_root("B").unwrap();
+        let m = d.add_member("m", a).unwrap();
+        d.add_member("n", a).unwrap();
+        d.add_member("o", b).unwrap();
+        d.seal();
+        let mut v = VaryingDimension::new(
+            olap_model::DimensionId(0),
+            olap_model::DimensionId(1),
+            12,
+        );
+        v.reclassify(&d, m, b, 4).unwrap();
+        v.rebuild(&d);
+        (d, v)
+    }
+
+    fn full_map(v: &VaryingDimension, sem: Semantics, p: &[u32]) -> DestMap {
+        let vs = phi(sem, v.instances(), p, 12);
+        let moments = 12;
+        let n = v.instance_count();
+        let mut flat = vec![u32::MAX; (n * moments) as usize];
+        for (i, vsi) in vs.iter().enumerate() {
+            let member = v.instance(InstanceId(i as u32)).member;
+            for t in vsi.iter() {
+                if let Some(src) = v.instance_at(member, t) {
+                    flat[(src.0 * moments + t) as usize] = i as u32;
+                }
+            }
+        }
+        DestMap::from_raw(flat, moments)
+    }
+
+    /// Every non-Skip entry of the union of passes equals the full map,
+    /// and each (src, t) is owned by exactly the expected passes.
+    fn check_union(sem: Semantics, p: &[u32]) {
+        let (_, v) = setup();
+        let full = full_map(&v, sem, p);
+        let passes = decompose_passes(&full, sem, p, &v);
+        assert_eq!(passes.len(), p.len());
+        for src in 0..v.instance_count() {
+            for t in 0..12 {
+                let owners: Vec<CellFate> = passes
+                    .iter()
+                    .map(|m| m.fate(src, t))
+                    .filter(|f| *f != CellFate::Skip)
+                    .collect();
+                match full.fate(src, t) {
+                    CellFate::To(d) => {
+                        assert!(
+                            owners.iter().all(|f| *f == CellFate::To(d)),
+                            "{sem:?} ({src},{t}): owners {owners:?} ≠ To({d})"
+                        );
+                        assert!(
+                            !owners.is_empty(),
+                            "{sem:?} ({src},{t}): no pass owns a live cell"
+                        );
+                    }
+                    CellFate::Drop => {
+                        assert!(
+                            owners.iter().all(|f| *f == CellFate::Drop),
+                            "{sem:?} ({src},{t}): drop leaked {owners:?}"
+                        );
+                    }
+                    CellFate::Skip => unreachable!("full maps never skip"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_passes_cover_full_map() {
+        check_union(Semantics::Static, &[2, 7]);
+        check_union(Semantics::Static, &[0]);
+        check_union(Semantics::Static, &[1, 5, 9]);
+    }
+
+    #[test]
+    fn forward_passes_partition_moments() {
+        check_union(Semantics::Forward, &[2, 7]);
+        check_union(Semantics::ExtendedForward, &[4]);
+        let (_, v) = setup();
+        let p = [2u32, 7];
+        let full = full_map(&v, Semantics::Forward, &p);
+        let passes = decompose_passes(&full, Semantics::Forward, &p, &v);
+        // Moment 9 belongs to the second range only.
+        for src in 0..v.instance_count() {
+            assert_eq!(passes[0].fate(src, 9), CellFate::Skip);
+        }
+    }
+
+    #[test]
+    fn backward_passes_partition_moments() {
+        check_union(Semantics::Backward, &[3, 8]);
+        check_union(Semantics::ExtendedBackward, &[5]);
+    }
+
+    #[test]
+    fn static_remerges_multi_perspective_instances() {
+        // An instance valid at both perspectives is processed twice — the
+        // paper's per-perspective merge overhead.
+        let (_, v) = setup();
+        let p = [0u32, 1];
+        let full = full_map(&v, Semantics::Static, &p);
+        let passes = decompose_passes(&full, Semantics::Static, &p, &v);
+        // Instance 2 ("n", never reclassified) is valid at both.
+        let n_owners = passes
+            .iter()
+            .filter(|m| m.fate(2, 0) != CellFate::Skip)
+            .count();
+        assert_eq!(n_owners, 2);
+    }
+
+    #[test]
+    fn owner_maps() {
+        assert_eq!(
+            owner_by_most_recent(&[2, 7], 12),
+            vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+        );
+        assert_eq!(
+            owner_by_next(&[3, 8], 12),
+            vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1]
+        );
+    }
+}

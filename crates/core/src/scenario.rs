@@ -1,0 +1,98 @@
+//! Scenarios: the hypothetical assumption a what-if query runs under
+//! (Definition 3.2).
+
+use crate::perspective::{Mode, PerspectiveSpec, Semantics};
+use olap_model::{DimensionId, MemberId, Moment};
+
+/// One tuple of the positive-change relation `R(m, o, n, t)`: "o is the
+/// current parent of m at point t, and it should be hypothetically changed
+/// to n from t onward" (Section 3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change {
+    /// The member being reclassified.
+    pub member: MemberId,
+    /// The claimed current parent `o`. Checked against the cube when
+    /// `Some`; pass `None` to skip the check (e.g. for MDX member-set
+    /// forms like `[FTE].children` where o is implied).
+    pub old_parent: Option<MemberId>,
+    /// The hypothetical new parent `n` (must be non-leaf).
+    pub new_parent: MemberId,
+    /// The moment the change takes effect.
+    pub at: Moment,
+}
+
+/// A what-if scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scenario {
+    /// A *negative* scenario: perspectives that hypothetically undo
+    /// changes present in the cube.
+    Negative(PerspectiveSpec),
+    /// A *positive* scenario: hypothetical changes absent from the cube
+    /// (`WITH CHANGES R`). The semantics parameter is fixed (the changes
+    /// say exactly what happens); only the mode varies.
+    Positive {
+        /// The varying dimension the changes apply to.
+        dim: DimensionId,
+        /// The change relation `R`.
+        changes: Vec<Change>,
+        /// Derived-cell evaluation mode.
+        mode: Mode,
+    },
+}
+
+impl Scenario {
+    /// Convenience: a negative scenario.
+    pub fn negative(
+        dim: DimensionId,
+        perspectives: impl IntoIterator<Item = Moment>,
+        semantics: Semantics,
+        mode: Mode,
+    ) -> Self {
+        Scenario::Negative(PerspectiveSpec::new(dim, perspectives, semantics, mode))
+    }
+
+    /// Convenience: a positive scenario.
+    pub fn positive(dim: DimensionId, changes: Vec<Change>, mode: Mode) -> Self {
+        Scenario::Positive { dim, changes, mode }
+    }
+
+    /// The varying dimension the scenario acts on.
+    pub fn dim(&self) -> DimensionId {
+        match self {
+            Scenario::Negative(spec) => spec.dim,
+            Scenario::Positive { dim, .. } => *dim,
+        }
+    }
+
+    /// The derived-cell evaluation mode.
+    pub fn mode(&self) -> Mode {
+        match self {
+            Scenario::Negative(spec) => spec.mode,
+            Scenario::Positive { mode, .. } => *mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let neg = Scenario::negative(DimensionId(2), [1, 5], Semantics::Static, Mode::Visual);
+        assert_eq!(neg.dim(), DimensionId(2));
+        assert_eq!(neg.mode(), Mode::Visual);
+        let pos = Scenario::positive(
+            DimensionId(1),
+            vec![Change {
+                member: MemberId(4),
+                old_parent: None,
+                new_parent: MemberId(2),
+                at: 3,
+            }],
+            Mode::NonVisual,
+        );
+        assert_eq!(pos.dim(), DimensionId(1));
+        assert_eq!(pos.mode(), Mode::NonVisual);
+    }
+}

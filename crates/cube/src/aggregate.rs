@@ -1,0 +1,618 @@
+//! Simultaneous chunked aggregation (Zhao et al., SIGMOD'97).
+//!
+//! One pass over the base chunks — in a chosen dimension order — computes
+//! every requested group-by at once. Group-bys cascade through the
+//! [`Mmst`]: each node aggregates from its tree parent's *completed*
+//! chunks, holding partial chunk buffers exactly as long as Zhao's memory
+//! rule predicts. The aggregator reports the observed peak buffer
+//! occupancy so tests (and the dimension-order ablation) can check the
+//! prediction.
+//!
+//! Accumulators carry (sum, count, min, max) end-to-end, so the algebraic
+//! AVG stays correct through arbitrary cascade depth.
+
+use crate::cube::Cube;
+use crate::lattice::{GroupByMask, Lattice, Mmst};
+use crate::rules::{Acc, AggFn};
+use crate::Result;
+use olap_store::{CellValue, ChunkGeometry};
+use std::collections::HashMap;
+
+/// One completed group-by: a dense array of accumulators over the
+/// retained dimensions' full axes.
+#[derive(Debug, Clone)]
+pub struct GroupByResult {
+    mask: GroupByMask,
+    dims: Vec<usize>,
+    shape: Vec<u32>,
+    accs: Vec<Acc>,
+}
+
+impl GroupByResult {
+    fn new(mask: GroupByMask, dims: Vec<usize>, shape: Vec<u32>) -> Self {
+        let n: usize = shape.iter().map(|&s| s as usize).product::<usize>().max(1);
+        GroupByResult {
+            mask,
+            dims,
+            shape,
+            accs: vec![Acc::new(); n],
+        }
+    }
+
+    /// The mask this result answers.
+    pub fn mask(&self) -> GroupByMask {
+        self.mask
+    }
+
+    /// Retained dimensions, ascending.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Axis lengths of the retained dimensions.
+    pub fn shape(&self) -> &[u32] {
+        &self.shape
+    }
+
+    #[inline]
+    fn index(&self, coords: &[u32]) -> usize {
+        debug_assert_eq!(coords.len(), self.shape.len());
+        let mut idx = 0usize;
+        for (i, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.shape[i]);
+            idx = idx * self.shape[i] as usize + c as usize;
+        }
+        idx
+    }
+
+    /// The raw accumulator at retained-dimension coordinates.
+    pub fn acc(&self, coords: &[u32]) -> &Acc {
+        &self.accs[self.index(coords)]
+    }
+
+    /// The finalized value at retained-dimension coordinates.
+    pub fn value(&self, coords: &[u32], agg: AggFn) -> CellValue {
+        self.acc(coords).finalize(agg)
+    }
+
+    /// Sum over every cell of the group-by (grand-total sanity check —
+    /// equal for every mask when the default aggregate is SUM).
+    pub fn grand_total(&self) -> f64 {
+        self.accs.iter().map(|a| a.sum).sum()
+    }
+}
+
+/// Observed execution metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationReport {
+    /// Peak simultaneously-live buffer cells across all group-bys.
+    pub peak_buffer_cells: u64,
+    /// Peak simultaneously-live chunk buffers across all group-bys.
+    pub peak_buffer_chunks: u64,
+    /// Base chunks scanned (materialized or implicit ⊥; summed over
+    /// passes for the multi-pass fallback).
+    pub base_chunks_scanned: u64,
+    /// Number of passes over the input (1 unless a memory budget forced
+    /// Zhao's multi-pass fallback).
+    pub passes: u64,
+}
+
+/// In-flight chunk buffer of one group-by node.
+struct Buffer {
+    accs: Vec<Acc>,
+    shape: Vec<u32>,
+    seen: u32,
+}
+
+/// One group-by node of the cascade.
+struct Node {
+    mask: GroupByMask,
+    /// Retained dims, ascending.
+    dims: Vec<usize>,
+    /// Indices of tree children participating in this computation.
+    children: Vec<usize>,
+    /// Parent chunks contributing to each of this node's chunks.
+    expected: u32,
+    /// Live partial chunks, keyed by this node's chunk-grid coordinate.
+    buffers: HashMap<Vec<u32>, Buffer>,
+    /// Completed output (only for requested masks).
+    result: Option<GroupByResult>,
+}
+
+/// A completed chunk travelling down the cascade.
+struct Block {
+    /// Dimensions the coordinates below range over (the emitting node's).
+    dims: Vec<usize>,
+    /// Chunk-grid coordinate over `dims`.
+    chunk_coord: Vec<u32>,
+    /// Non-⊥ cells: global coordinates over `dims`, with accumulators.
+    cells: Vec<(Vec<u32>, Acc)>,
+}
+
+/// Computes group-bys of a cube's leaf cells in one chunked pass.
+pub struct CubeAggregator<'a> {
+    cube: &'a Cube,
+    order: Vec<usize>,
+}
+
+impl<'a> CubeAggregator<'a> {
+    /// Aggregator with the minimum-memory (ascending-cardinality) order.
+    pub fn new(cube: &'a Cube) -> Self {
+        let order = crate::lattice::min_memory_order(cube.geometry());
+        CubeAggregator { cube, order }
+    }
+
+    /// Aggregator with an explicit read order (`order[0]` fastest).
+    pub fn with_order(cube: &'a Cube, order: Vec<usize>) -> Self {
+        assert_eq!(order.len(), cube.geometry().ndims());
+        CubeAggregator { cube, order }
+    }
+
+    /// The read order in use.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Zhao et al.'s multi-pass fallback: "If the available memory falls
+    /// short of the requirement determined from the MMST, then instead of
+    /// one pass, we must make multiple passes over the input cube."
+    /// Splits the requested masks into budget-respecting passes (see
+    /// [`Mmst::plan_passes`]) and runs each as its own scan.
+    pub fn compute_with_budget(
+        &self,
+        masks: &[GroupByMask],
+        budget_cells: u64,
+    ) -> Result<(HashMap<GroupByMask, GroupByResult>, AggregationReport)> {
+        let geom = self.cube.geometry();
+        let mmst = Mmst::build(geom, &self.order);
+        let passes = mmst.plan_passes(masks, budget_cells)?;
+        let mut out = HashMap::new();
+        let mut report = AggregationReport::default();
+        for pass in &passes {
+            let (results, r) = self.compute(pass)?;
+            out.extend(results);
+            report.peak_buffer_cells = report.peak_buffer_cells.max(r.peak_buffer_cells);
+            report.peak_buffer_chunks = report.peak_buffer_chunks.max(r.peak_buffer_chunks);
+            report.base_chunks_scanned += r.base_chunks_scanned;
+        }
+        report.passes = passes.len() as u64;
+        Ok((out, report))
+    }
+
+    /// Computes the requested group-bys (cascading through any MMST
+    /// ancestors needed), returning results for exactly the requested
+    /// masks plus execution metrics.
+    pub fn compute(
+        &self,
+        masks: &[GroupByMask],
+    ) -> Result<(HashMap<GroupByMask, GroupByResult>, AggregationReport)> {
+        let geom = self.cube.geometry();
+        let lattice = Lattice::new(geom.ndims());
+        let full = lattice.full();
+        let mmst = Mmst::build(geom, &self.order);
+
+        // Closure of requested masks under MMST parents, root first.
+        let mut needed: Vec<GroupByMask> = vec![full];
+        let mut mark = vec![false; 1usize << lattice.ndims()];
+        mark[full as usize] = true;
+        for &m in masks {
+            let mut chain = Vec::new();
+            let mut cur = m;
+            while !mark[cur as usize] {
+                mark[cur as usize] = true;
+                chain.push(cur);
+                match mmst.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            needed.extend(chain.into_iter().rev());
+        }
+        needed.sort_unstable_by_key(|m| std::cmp::Reverse(m.count_ones()));
+
+        let mut index_of: HashMap<GroupByMask, usize> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::with_capacity(needed.len());
+        for &m in &needed {
+            index_of.insert(m, nodes.len());
+            let dims = lattice.dims_of(m);
+            let shape: Vec<u32> = dims.iter().map(|&d| geom.lens()[d]).collect();
+            let requested = masks.contains(&m) && m != full;
+            nodes.push(Node {
+                mask: m,
+                dims: dims.clone(),
+                children: Vec::new(),
+                expected: 0,
+                buffers: HashMap::new(),
+                result: requested.then(|| GroupByResult::new(m, dims, shape)),
+            });
+        }
+        for i in 1..nodes.len() {
+            let m = nodes[i].mask;
+            let p = mmst.parent(m).expect("non-root has a parent");
+            let pi = index_of[&p];
+            nodes[pi].children.push(i);
+            let diff = p & !m;
+            nodes[i].expected = lattice
+                .dims_of(diff)
+                .into_iter()
+                .map(|d| geom.grid()[d])
+                .product::<u32>()
+                .max(1);
+        }
+
+        let mut exec = Exec {
+            geom,
+            live_cells: 0,
+            live_chunks: 0,
+            report: AggregationReport::default(),
+        };
+
+        // Stream base chunks in the chosen order. Implicit (all-⊥) chunks
+        // are announced too: children count completions per parent chunk.
+        let root_children = nodes[0].children.clone();
+        let all_dims: Vec<usize> = (0..geom.ndims()).collect();
+        for coord in geom.chunks_in_order(&self.order) {
+            exec.report.base_chunks_scanned += 1;
+            let id = geom.chunk_id(&coord);
+            let mut cells = Vec::new();
+            if self.cube.chunk_exists(id) {
+                let chunk = self.cube.chunk(id)?;
+                cells.reserve(chunk.present_count() as usize);
+                for (off, v) in chunk.present_cells() {
+                    let cell = geom.cell_of_local(&coord, off);
+                    let mut acc = Acc::new();
+                    acc.add(v);
+                    cells.push((cell, acc));
+                }
+            }
+            let block = Block {
+                dims: all_dims.clone(),
+                chunk_coord: coord,
+                cells,
+            };
+            for &c in &root_children {
+                exec.deliver(&mut nodes, c, &block);
+            }
+        }
+
+        for node in &nodes[1..] {
+            debug_assert!(
+                node.buffers.is_empty(),
+                "group-by {:b} left {} incomplete buffers",
+                node.mask,
+                node.buffers.len()
+            );
+        }
+
+        let mut out = HashMap::new();
+        for node in nodes.iter_mut() {
+            if let Some(r) = node.result.take() {
+                out.insert(node.mask, r);
+            }
+        }
+        exec.report.passes = 1;
+        // The full mask, if requested, is the base cube itself.
+        if masks.contains(&full) {
+            let dims: Vec<usize> = (0..geom.ndims()).collect();
+            let mut r = GroupByResult::new(full, dims, geom.lens().to_vec());
+            self.cube.for_each_present(|cell, v| {
+                let idx = r.index(cell);
+                r.accs[idx].add(v);
+            })?;
+            out.insert(full, r);
+        }
+        Ok((out, exec.report))
+    }
+}
+
+/// Mutable execution state threaded through the cascade.
+struct Exec<'g> {
+    geom: &'g ChunkGeometry,
+    live_cells: u64,
+    live_chunks: u64,
+    report: AggregationReport,
+}
+
+impl Exec<'_> {
+    /// Delivers a completed parent block to node `ni`; recursively emits
+    /// any of `ni`'s chunks the delivery completes.
+    fn deliver(&mut self, nodes: &mut [Node], ni: usize, block: &Block) {
+        let node_dims = nodes[ni].dims.clone();
+        let expected = nodes[ni].expected;
+        // Positions of this node's dims inside the block's dims.
+        let pos: Vec<usize> = node_dims
+            .iter()
+            .map(|d| {
+                block
+                    .dims
+                    .iter()
+                    .position(|bd| bd == d)
+                    .expect("child dims ⊆ parent dims")
+            })
+            .collect();
+        let child_coord: Vec<u32> = pos.iter().map(|&p| block.chunk_coord[p]).collect();
+
+        // Buffer shape: per-dim chunk extents, clipped at the axis end.
+        let shape: Vec<u32> = node_dims
+            .iter()
+            .zip(&child_coord)
+            .map(|(&d, &cc)| {
+                let ext = self.geom.extents()[d];
+                ext.min(self.geom.lens()[d].saturating_sub(cc * ext))
+            })
+            .collect();
+        let buf_len: usize = shape.iter().map(|&s| s as usize).product::<usize>().max(1);
+
+        let node = &mut nodes[ni];
+        let buffer = node.buffers.entry(child_coord.clone()).or_insert_with(|| {
+            self.live_chunks += 1;
+            self.live_cells += buf_len as u64;
+            self.report.peak_buffer_chunks = self.report.peak_buffer_chunks.max(self.live_chunks);
+            self.report.peak_buffer_cells = self.report.peak_buffer_cells.max(self.live_cells);
+            Buffer {
+                accs: vec![Acc::new(); buf_len],
+                shape,
+                seen: 0,
+            }
+        });
+
+        // Fold the block's cells in.
+        for (cell, acc) in &block.cells {
+            let mut off = 0usize;
+            for (i, (&p, &d)) in pos.iter().zip(&node_dims).enumerate() {
+                let ext = self.geom.extents()[d];
+                let local = cell[p] - child_coord[i] * ext;
+                off = off * buffer.shape[i] as usize + local as usize;
+            }
+            buffer.accs[off].merge(acc);
+        }
+        buffer.seen += 1;
+
+        if buffer.seen < expected {
+            return;
+        }
+        // Chunk complete: detach, record, cascade.
+        let buffer = node.buffers.remove(&child_coord).expect("just inserted");
+        self.live_chunks -= 1;
+        self.live_cells -= buf_len as u64;
+
+        let mut cells: Vec<(Vec<u32>, Acc)> = Vec::new();
+        for (off, acc) in buffer.accs.iter().enumerate() {
+            if acc.is_empty() {
+                continue;
+            }
+            // Decode the local offset into global coords over node dims.
+            let mut rest = off;
+            let mut local = vec![0u32; buffer.shape.len()];
+            for i in (0..buffer.shape.len()).rev() {
+                local[i] = (rest % buffer.shape[i] as usize) as u32;
+                rest /= buffer.shape[i] as usize;
+            }
+            let global: Vec<u32> = node_dims
+                .iter()
+                .zip(&child_coord)
+                .zip(&local)
+                .map(|((&d, &cc), &l)| cc * self.geom.extents()[d] + l)
+                .collect();
+            cells.push((global, *acc));
+        }
+        if let Some(result) = &mut nodes[ni].result {
+            for (coords, acc) in &cells {
+                let idx = result.index(coords);
+                result.accs[idx].merge(acc);
+            }
+        }
+        let children = nodes[ni].children.clone();
+        if children.is_empty() {
+            return;
+        }
+        let block = Block {
+            dims: node_dims,
+            chunk_coord: child_coord,
+            cells,
+        };
+        for c in children {
+            self.deliver(nodes, c, &block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_model::{DimensionSpec, SchemaBuilder};
+    use std::sync::Arc;
+
+    /// A 3D cube (4×6×3 cells, extent 2) with values = 100a + 10b + c.
+    fn cube3d() -> Cube {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("A").leaves(&["a0", "a1", "a2", "a3"]))
+                .dimension(DimensionSpec::new("B").leaves(&["b0", "b1", "b2", "b3", "b4", "b5"]))
+                .dimension(DimensionSpec::new("C").leaves(&["c0", "c1", "c2"]))
+                .build()
+                .unwrap(),
+        );
+        let mut b = Cube::builder(schema, vec![2, 2, 2]).unwrap();
+        for a in 0..4u32 {
+            for bb in 0..6u32 {
+                for c in 0..3u32 {
+                    b.set_num(&[a, bb, c], (100 * a + 10 * bb + c) as f64).unwrap();
+                }
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    /// Brute-force group-by for comparison.
+    fn naive(cube: &Cube, mask: GroupByMask) -> HashMap<Vec<u32>, f64> {
+        let lattice = Lattice::new(cube.geometry().ndims());
+        let dims = lattice.dims_of(mask);
+        let mut out: HashMap<Vec<u32>, f64> = HashMap::new();
+        cube.for_each_present(|cell, v| {
+            let key: Vec<u32> = dims.iter().map(|&d| cell[d]).collect();
+            *out.entry(key).or_insert(0.0) += v;
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn all_group_bys_match_naive() {
+        let cube = cube3d();
+        let lattice = Lattice::new(3);
+        let masks = lattice.proper_masks();
+        let agg = CubeAggregator::with_order(&cube, vec![0, 1, 2]);
+        let (results, report) = agg.compute(&masks).unwrap();
+        assert_eq!(results.len(), masks.len());
+        assert_eq!(report.base_chunks_scanned, 2 * 3 * 2);
+        for &m in &masks {
+            let r = &results[&m];
+            let expect = naive(&cube, m);
+            for (key, &total) in &expect {
+                assert_eq!(
+                    r.value(key, AggFn::Sum),
+                    CellValue::Num(total),
+                    "mask {m:b} at {key:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grand_totals_agree_across_masks() {
+        let cube = cube3d();
+        let total = cube.total_sum().unwrap();
+        let lattice = Lattice::new(3);
+        let agg = CubeAggregator::new(&cube);
+        let (results, _) = agg.compute(&lattice.proper_masks()).unwrap();
+        for (_, r) in results {
+            assert!((r.grand_total() - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn avg_survives_cascade() {
+        let cube = cube3d();
+        let agg = CubeAggregator::new(&cube);
+        // ∅ cascades through intermediate group-bys; AVG must still be the
+        // true mean of all 72 leaf values.
+        let (results, _) = agg.compute(&[0]).unwrap();
+        let scalar = &results[&0];
+        let mean = cube.total_sum().unwrap() / 72.0;
+        let got = scalar.value(&[], AggFn::Avg).as_f64().unwrap();
+        assert!((got - mean).abs() < 1e-9);
+        assert_eq!(scalar.value(&[], AggFn::Count), CellValue::Num(72.0));
+    }
+
+    #[test]
+    fn min_max_through_cascade() {
+        let cube = cube3d();
+        let agg = CubeAggregator::new(&cube);
+        let (results, _) = agg.compute(&[0]).unwrap();
+        let scalar = &results[&0];
+        assert_eq!(scalar.value(&[], AggFn::Min), CellValue::Num(0.0));
+        assert_eq!(scalar.value(&[], AggFn::Max), CellValue::Num(352.0));
+    }
+
+    #[test]
+    fn sparse_cells_and_implicit_chunks() {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("X").leaves(&["x0", "x1", "x2", "x3"]))
+                .dimension(DimensionSpec::new("Y").leaves(&["y0", "y1", "y2", "y3"]))
+                .build()
+                .unwrap(),
+        );
+        let mut b = Cube::builder(schema, vec![2, 2]).unwrap();
+        b.set_num(&[0, 0], 5.0).unwrap();
+        b.set_num(&[3, 3], 7.0).unwrap();
+        let cube = b.finish().unwrap();
+        let agg = CubeAggregator::new(&cube);
+        let (results, _) = agg.compute(&[0b01, 0b10, 0]).unwrap();
+        let x = &results[&0b01];
+        assert_eq!(x.value(&[0], AggFn::Sum), CellValue::Num(5.0));
+        assert_eq!(x.value(&[1], AggFn::Sum), CellValue::Null);
+        assert_eq!(x.value(&[3], AggFn::Sum), CellValue::Num(7.0));
+        let scalar = &results[&0];
+        assert_eq!(scalar.value(&[], AggFn::Sum), CellValue::Num(12.0));
+    }
+
+    #[test]
+    fn buffer_memory_tracks_zhao_rule() {
+        // 16×16×16 cube, extent 4 — Fig. 6. Under order ABC, group-by AB
+        // alone needs 16 chunk buffers at peak.
+        let mut names: Vec<String> = Vec::new();
+        for i in 0..16 {
+            names.push(format!("m{i}"));
+        }
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("A").leaves(&name_refs))
+                .dimension(DimensionSpec::new("B").leaves(&name_refs))
+                .dimension(DimensionSpec::new("C").leaves(&name_refs))
+                .build()
+                .unwrap(),
+        );
+        let mut b = Cube::builder(schema, vec![4, 4, 4]).unwrap();
+        // A light sprinkle of data so chunks materialize.
+        for i in 0..16u32 {
+            b.set_num(&[i, (i * 3) % 16, (i * 5) % 16], 1.0).unwrap();
+        }
+        let cube = b.finish().unwrap();
+        let ab = 0b011;
+        let agg = CubeAggregator::with_order(&cube, vec![0, 1, 2]);
+        let (_, report) = agg.compute(&[ab]).unwrap();
+        // AB buffers: all 16 AB-chunks live until the C dimension finishes.
+        assert_eq!(report.peak_buffer_chunks, 16);
+        // Under order CBA, AB completes immediately: 1 buffer at a time.
+        let agg2 = CubeAggregator::with_order(&cube, vec![2, 1, 0]);
+        let (_, report2) = agg2.compute(&[ab]).unwrap();
+        assert_eq!(report2.peak_buffer_chunks, 1);
+    }
+
+    #[test]
+    fn budgeted_multipass_matches_single_pass() {
+        let cube = cube3d();
+        let lattice = Lattice::new(3);
+        let masks = lattice.proper_masks();
+        let agg = CubeAggregator::with_order(&cube, vec![0, 1, 2]);
+        let (single, single_report) = agg.compute(&masks).unwrap();
+        assert_eq!(single_report.passes, 1);
+        // A budget just above the biggest single node forces several
+        // passes but identical results.
+        let mmst = Mmst::build(cube.geometry(), &[0, 1, 2]);
+        let biggest = masks.iter().map(|&m| mmst.memory_cells(m)).max().unwrap();
+        let (multi, multi_report) = agg.compute_with_budget(&masks, biggest + 4).unwrap();
+        assert!(multi_report.passes > 1, "expected multiple passes");
+        assert!(
+            multi_report.base_chunks_scanned > single_report.base_chunks_scanned,
+            "multi-pass re-scans the base"
+        );
+        assert_eq!(single.len(), multi.len());
+        for (&m, r) in &single {
+            let r2 = &multi[&m];
+            for (i, acc) in r.accs.iter().enumerate() {
+                assert_eq!(acc, &r2.accs[i], "mask {m:b} cell {i}");
+            }
+        }
+        // An impossible budget errors.
+        assert!(agg.compute_with_budget(&masks, biggest - 1).is_err());
+        // A lavish budget runs in one pass.
+        let (_, r) = agg
+            .compute_with_budget(&masks, mmst.total_memory_cells())
+            .unwrap();
+        assert_eq!(r.passes, 1);
+    }
+
+    #[test]
+    fn full_mask_returns_base() {
+        let cube = cube3d();
+        let agg = CubeAggregator::new(&cube);
+        let full = Lattice::new(3).full();
+        let (results, _) = agg.compute(&[full]).unwrap();
+        let r = &results[&full];
+        assert_eq!(r.value(&[1, 2, 1], AggFn::Sum), CellValue::Num(121.0));
+    }
+}

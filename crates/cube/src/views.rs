@@ -1,0 +1,362 @@
+//! Workload-aware view selection — the paper's Section 8 future work,
+//! "workload aware view selection (à la \[7\])", where \[7\] is Harinarayan,
+//! Rajaraman, Ullman, *Implementing Data Cubes Efficiently* (SIGMOD'96).
+//!
+//! The classic HRU greedy algorithm over the group-by lattice: starting
+//! from only the base cube materialized, repeatedly materialize the view
+//! with the largest *benefit* — the total query-cost reduction over all
+//! lattice nodes, under the linear cost model (answering a group-by costs
+//! the size of the smallest materialized ancestor). Workload weights bias
+//! the benefit toward frequently-queried group-bys; HRU's guarantee (the
+//! greedy solution is within 63% of optimal) carries over.
+//!
+//! [`ViewSelection::answer_plan`] then routes each query group-by to its cheapest
+//! materialized ancestor, and [`materialize`] computes the chosen views
+//! with the Zhao-style [`crate::CubeAggregator`].
+
+use crate::aggregate::{CubeAggregator, GroupByResult};
+use crate::cube::Cube;
+use crate::lattice::{GroupByMask, Lattice};
+use crate::Result;
+use std::collections::HashMap;
+
+/// The outcome of greedy view selection.
+#[derive(Debug, Clone)]
+pub struct ViewSelection {
+    /// Views chosen, in pick order (the base cube is implicit and always
+    /// available).
+    pub chosen: Vec<GroupByMask>,
+    /// The benefit each pick contributed under the cost model.
+    pub benefits: Vec<f64>,
+    /// Estimated row count per lattice node used by the model.
+    pub sizes: HashMap<GroupByMask, u64>,
+}
+
+impl ViewSelection {
+    /// Total estimated cost of answering one query per lattice node after
+    /// materializing the chosen views.
+    pub fn total_cost(&self, lattice: Lattice, weights: Option<&HashMap<GroupByMask, f64>>) -> f64 {
+        lattice
+            .proper_masks()
+            .into_iter()
+            .map(|q| {
+                let w = weights.and_then(|w| w.get(&q)).copied().unwrap_or(1.0);
+                w * self.answering_view_size(lattice, q) as f64
+            })
+            .sum()
+    }
+
+    fn answering_view_size(&self, lattice: Lattice, q: GroupByMask) -> u64 {
+        let full = lattice.full();
+        let mut best = self.sizes[&full];
+        for &v in &self.chosen {
+            if v & q == q && self.sizes[&v] < best {
+                best = self.sizes[&v];
+            }
+        }
+        best
+    }
+
+    /// The cheapest materialized ancestor that can answer `q` (the base
+    /// cube when nothing better was chosen).
+    pub fn answer_plan(&self, lattice: Lattice, q: GroupByMask) -> GroupByMask {
+        let full = lattice.full();
+        let mut best = full;
+        let mut best_size = self.sizes[&full];
+        for &v in &self.chosen {
+            if v & q == q && self.sizes[&v] < best_size {
+                best = v;
+                best_size = self.sizes[&v];
+            }
+        }
+        best
+    }
+}
+
+/// Estimated row count of a group-by: the product of its retained axis
+/// lengths, capped by the base cube's non-⊥ cell count when known (no
+/// group-by has more rows than the base has cells).
+pub fn estimate_sizes(
+    lattice: Lattice,
+    axis_lens: &[u32],
+    base_cells: Option<u64>,
+) -> HashMap<GroupByMask, u64> {
+    let mut sizes = HashMap::new();
+    for m in lattice.all_masks() {
+        let mut size: u64 = lattice
+            .dims_of(m)
+            .into_iter()
+            .map(|d| axis_lens[d] as u64)
+            .product::<u64>()
+            .max(1);
+        if let Some(cap) = base_cells {
+            size = size.min(cap.max(1));
+        }
+        sizes.insert(m, size);
+    }
+    sizes
+}
+
+/// HRU greedy selection of `k` views beyond the base cube.
+///
+/// `weights` gives per-group-by query frequencies (default 1.0 each) —
+/// the "workload aware" part.
+pub fn greedy_select_views(
+    lattice: Lattice,
+    sizes: &HashMap<GroupByMask, u64>,
+    k: usize,
+    weights: Option<&HashMap<GroupByMask, f64>>,
+) -> ViewSelection {
+    let full = lattice.full();
+    // cost[q] = size of the smallest materialized ancestor of q.
+    let mut cost: HashMap<GroupByMask, u64> =
+        lattice.all_masks().into_iter().map(|q| (q, sizes[&full])).collect();
+    let weight =
+        |q: GroupByMask| -> f64 { weights.and_then(|w| w.get(&q)).copied().unwrap_or(1.0) };
+    let mut chosen = Vec::with_capacity(k);
+    let mut benefits = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(GroupByMask, f64)> = None;
+        for v in lattice.proper_masks() {
+            if chosen.contains(&v) {
+                continue;
+            }
+            let sv = sizes[&v];
+            let mut benefit = 0.0;
+            for q in lattice.all_masks() {
+                if v & q == q && sv < cost[&q] {
+                    benefit += weight(q) * (cost[&q] - sv) as f64;
+                }
+            }
+            let better = match best {
+                None => true,
+                // Deterministic tie-break: larger benefit, then smaller
+                // view, then smaller mask.
+                Some((bv, bb)) => {
+                    benefit > bb
+                        || (benefit == bb && (sizes[&v], v) < (sizes[&bv], bv))
+                }
+            };
+            if better {
+                best = Some((v, benefit));
+            }
+        }
+        let Some((v, benefit)) = best else { break };
+        if benefit <= 0.0 {
+            break; // nothing left improves anything
+        }
+        for q in lattice.all_masks() {
+            if v & q == q && sizes[&v] < cost[&q] {
+                *cost.get_mut(&q).expect("all masks present") = sizes[&v];
+            }
+        }
+        chosen.push(v);
+        benefits.push(benefit);
+    }
+    ViewSelection {
+        chosen,
+        benefits,
+        sizes: sizes.clone(),
+    }
+}
+
+/// Materializes the selected views with one simultaneous chunked pass.
+pub fn materialize(
+    cube: &Cube,
+    selection: &ViewSelection,
+) -> Result<HashMap<GroupByMask, GroupByResult>> {
+    if selection.chosen.is_empty() {
+        return Ok(HashMap::new());
+    }
+    let agg = CubeAggregator::new(cube);
+    let (results, _) = agg.compute(&selection.chosen)?;
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::AggFn;
+    use olap_model::{DimensionSpec, SchemaBuilder};
+    use std::sync::Arc;
+
+    fn lattice3() -> (Lattice, HashMap<GroupByMask, u64>) {
+        // Axis lens: A=100, B=10, C=2 — classic HRU-style asymmetry.
+        let lattice = Lattice::new(3);
+        let sizes = estimate_sizes(lattice, &[100, 10, 2], None);
+        (lattice, sizes)
+    }
+
+    #[test]
+    fn size_estimates_product_and_cap() {
+        let (lattice, sizes) = lattice3();
+        assert_eq!(sizes[&0b111], 2000);
+        assert_eq!(sizes[&0b011], 1000); // A×B
+        assert_eq!(sizes[&0b001], 100);
+        assert_eq!(sizes[&0b000], 1);
+        let capped = estimate_sizes(lattice, &[100, 10, 2], Some(500));
+        assert_eq!(capped[&0b111], 500);
+        assert_eq!(capped[&0b011], 500);
+        assert_eq!(capped[&0b001], 100);
+    }
+
+    #[test]
+    fn greedy_picks_high_benefit_views_first() {
+        let (lattice, sizes) = lattice3();
+        let sel = greedy_select_views(lattice, &sizes, 2, None);
+        assert_eq!(sel.chosen.len(), 2);
+        // BC (20 rows) improves its 4 subsets from 2000 to 20:
+        // benefit 4 × 1980 = 7920 — the largest first pick. Then AC
+        // (200 rows) improves AC and A: 2 × 1800 = 3600.
+        assert_eq!(sel.chosen[0], 0b110);
+        assert_eq!(sel.chosen[1], 0b101);
+        assert!(sel.benefits[0] >= sel.benefits[1]);
+    }
+
+    #[test]
+    fn costs_only_improve_with_more_views() {
+        let (lattice, sizes) = lattice3();
+        let mut prev = f64::INFINITY;
+        for k in 0..6 {
+            let sel = greedy_select_views(lattice, &sizes, k, None);
+            let cost = sel.total_cost(lattice, None);
+            assert!(cost <= prev, "k={k}: {cost} > {prev}");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn workload_weights_redirect_choices() {
+        let (lattice, sizes) = lattice3();
+        // A workload hammering the C group-by should pull BC or AC (or C)
+        // ahead of the default AB pick.
+        let mut weights = HashMap::new();
+        weights.insert(0b100u32, 10_000.0); // C only
+        let sel = greedy_select_views(lattice, &sizes, 1, Some(&weights));
+        let v = sel.chosen[0];
+        assert!(v & 0b100 == 0b100, "chosen view {v:b} must answer C");
+        assert!(sizes[&v] < sizes[&lattice.full()]);
+    }
+
+    #[test]
+    fn answer_plan_routes_to_cheapest_ancestor() {
+        let (lattice, sizes) = lattice3();
+        let sel = greedy_select_views(lattice, &sizes, 2, None);
+        for q in lattice.proper_masks() {
+            let v = sel.answer_plan(lattice, q);
+            assert_eq!(v & q, q, "plan must be an ancestor");
+            // No chosen view that answers q is smaller.
+            for &c in &sel.chosen {
+                if c & q == q {
+                    assert!(sizes[&v] <= sizes[&c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_benefit_stops_early() {
+        let lattice = Lattice::new(2);
+        // Degenerate: every group-by as big as the base — nothing helps.
+        let mut sizes = HashMap::new();
+        for m in lattice.all_masks() {
+            sizes.insert(m, 100u64);
+        }
+        let sel = greedy_select_views(lattice, &sizes, 3, None);
+        assert!(sel.chosen.is_empty());
+    }
+
+    #[test]
+    fn materialized_views_answer_queries_exactly() {
+        let schema = Arc::new(
+            SchemaBuilder::new()
+                .dimension(DimensionSpec::new("A").leaves(&["a0", "a1", "a2", "a3"]))
+                .dimension(DimensionSpec::new("B").leaves(&["b0", "b1"]))
+                .dimension(DimensionSpec::new("C").leaves(&["c0", "c1", "c2"]))
+                .build()
+                .unwrap(),
+        );
+        let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2, 2]).unwrap();
+        for a in 0..4u32 {
+            for bb in 0..2u32 {
+                for c in 0..3u32 {
+                    b.set_num(&[a, bb, c], (a * 100 + bb * 10 + c) as f64).unwrap();
+                }
+            }
+        }
+        let cube = b.finish().unwrap();
+        let lattice = Lattice::new(3);
+        let sizes = estimate_sizes(lattice, &[4, 2, 3], None);
+        let sel = greedy_select_views(lattice, &sizes, 2, None);
+        let views = materialize(&cube, &sel).unwrap();
+        assert_eq!(views.len(), sel.chosen.len());
+        // A query answered from a view equals the direct aggregation.
+        let agg = CubeAggregator::new(&cube);
+        for q in lattice.proper_masks() {
+            let plan = sel.answer_plan(lattice, q);
+            if plan == lattice.full() || !views.contains_key(&plan) {
+                continue;
+            }
+            let view = &views[&plan];
+            // Re-aggregate the view down to q and compare to direct.
+            let (direct, _) = agg.compute(&[q]).unwrap();
+            let direct = &direct[&q];
+            let q_dims = lattice.dims_of(q);
+            // Walk every coordinate of q's result space.
+            let shape: Vec<u32> = q_dims.iter().map(|&d| [4u32, 2, 3][d]).collect();
+            let mut idx = vec![0u32; shape.len()];
+            loop {
+                // Sum the view rows projecting onto idx.
+                let mut total = crate::rules::Acc::new();
+                let vshape: Vec<u32> =
+                    view.dims().iter().map(|&d| [4u32, 2, 3][d]).collect();
+                let mut vidx = vec![0u32; vshape.len()];
+                'view: loop {
+                    let matches = q_dims.iter().enumerate().all(|(qi, qd)| {
+                        let pos = view.dims().iter().position(|vd| vd == qd).unwrap();
+                        vidx[pos] == idx[qi]
+                    });
+                    if matches {
+                        total.merge(view.acc(&vidx));
+                    }
+                    let mut d = vshape.len();
+                    while d > 0 {
+                        d -= 1;
+                        vidx[d] += 1;
+                        if vidx[d] < vshape[d] {
+                            break;
+                        }
+                        vidx[d] = 0;
+                        if d == 0 {
+                            break 'view;
+                        }
+                    }
+                    if vshape.is_empty() {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    total.finalize(AggFn::Sum),
+                    direct.value(&idx, AggFn::Sum),
+                    "mask {q:b} via view {plan:b} at {idx:?}"
+                );
+                let mut d = shape.len();
+                let mut done = shape.is_empty();
+                while d > 0 {
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < shape[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                    if d == 0 {
+                        done = true;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Abstract syntax for the MDX subset, with a pretty-printer whose output
+//! re-parses to the same tree (property-tested).
+
+use std::fmt;
+
+/// A full query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The paper's extension clause, if any.
+    pub with: Option<WithClause>,
+    /// Axis specifications in declaration order.
+    pub axes: Vec<AxisSpec>,
+    /// `FROM [App].[Db]` (kept verbatim; a context supplies the cube).
+    pub from: Option<Vec<String>>,
+    /// `WHERE (…)` slicer tuple.
+    pub slicer: Option<Vec<MemberExpr>>,
+}
+
+/// The paper's extended `WITH` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WithClause {
+    /// `WITH PERSPECTIVE {(Jan), (Apr)} FOR Department <semantics> <mode>`.
+    Perspective {
+        /// Perspective moments as member expressions.
+        moments: Vec<MemberExpr>,
+        /// The varying dimension's name.
+        dim: String,
+        /// Validity-set semantics.
+        semantics: whatif_core::Semantics,
+        /// Derived-cell mode (`None` ⇒ the paper's default, non-visual).
+        mode: Option<whatif_core::Mode>,
+    },
+    /// `WITH CHANGES {(m, o, n, t), …} <mode>`.
+    Changes {
+        /// (member, old parent, new parent, moment) tuples. The member
+        /// expression may be `.Children` etc. — anything resolving to a
+        /// member set.
+        tuples: Vec<ChangeTuple>,
+        /// Derived-cell mode.
+        mode: Option<whatif_core::Mode>,
+    },
+}
+
+/// One tuple of the positive-change relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeTuple {
+    /// `m` — the member(s) being reclassified.
+    pub member: MemberExpr,
+    /// `o` — the claimed current parent.
+    pub old_parent: MemberExpr,
+    /// `n` — the hypothetical new parent.
+    pub new_parent: MemberExpr,
+    /// `t` — the moment.
+    pub at: MemberExpr,
+}
+
+/// Which presentation axis a set lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `ON COLUMNS`
+    Columns,
+    /// `ON ROWS`
+    Rows,
+    /// `ON PAGES`
+    Pages,
+}
+
+impl Axis {
+    /// MDX keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Axis::Columns => "COLUMNS",
+            Axis::Rows => "ROWS",
+            Axis::Pages => "PAGES",
+        }
+    }
+}
+
+/// One axis clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSpec {
+    /// The set expression.
+    pub set: SetExpr,
+    /// `DIMENSION PROPERTIES [D]` names to report per row.
+    pub properties: Vec<String>,
+    /// The target axis.
+    pub axis: Axis,
+}
+
+/// Descendants flags (Essbase subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescFlag {
+    /// Exactly the requested relative depth.
+    SelfOnly,
+    /// The requested depth and everything below (`SELF_AND_AFTER`).
+    SelfAndAfter,
+}
+
+/// Set-valued expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// `{e₁, e₂, …}` — concatenation of element sets.
+    Braces(Vec<SetExpr>),
+    /// `(m₁, m₂, …)` — a tuple combining members of different dimensions.
+    Tuple(Vec<MemberExpr>),
+    /// `CrossJoin(a, b)`.
+    CrossJoin(Box<SetExpr>, Box<SetExpr>),
+    /// `Union(a, b)` (duplicates removed, first occurrence kept).
+    Union(Box<SetExpr>, Box<SetExpr>),
+    /// `Head(a, n)`.
+    Head(Box<SetExpr>, u64),
+    /// `Tail(a, n)`.
+    Tail(Box<SetExpr>, u64),
+    /// `Filter(a, <member> <op> <number>)` — keeps the tuples whose cell
+    /// (tuple context + the condition's member coordinates, everything
+    /// else rolled up) satisfies the comparison; ⊥ never satisfies
+    /// (Section 4.1's value predicates, e.g. "sales over $1000 in Jan").
+    Filter(Box<SetExpr>, FilterCond),
+    /// A single member expression used as a set.
+    Ref(MemberExpr),
+}
+
+/// The condition of a `Filter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterCond {
+    /// Coordinates pinned for the measurement (often just a measure).
+    pub members: Vec<MemberExpr>,
+    /// `>`, `>=`, `<`, `<=`, `=`, `<>`.
+    pub op: String,
+    /// The threshold.
+    pub value: f64,
+}
+
+/// Member-valued (or member-set-valued) expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberExpr {
+    /// A dotted path of (possibly bracketed) names:
+    /// `Organization.[FTE].[Joe]`.
+    Path(Vec<String>),
+    /// `<m>.Children` — children of a member, or the contents of a named
+    /// set (the Essbase idiom the Fig. 10 queries use).
+    Children(Box<MemberExpr>),
+    /// `<path>.MEMBERS` — all members at the level the path names
+    /// (`Location.Region.State.MEMBERS` ⇒ level-2 members of Location).
+    Members(Box<MemberExpr>),
+    /// `<m>.Levels(n).Members` — members at level `n`, counting 0 = leaf
+    /// (the Essbase convention Fig. 10 relies on).
+    LevelsMembers(Box<MemberExpr>, u32),
+    /// `Descendants(m, depth, flag)`.
+    Descendants(Box<MemberExpr>, u32, DescFlag),
+}
+
+impl MemberExpr {
+    /// Convenience: a single-segment path.
+    pub fn name(s: &str) -> MemberExpr {
+        MemberExpr::Path(vec![s.to_string()])
+    }
+}
+
+fn fmt_name(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    // Bracket anything that isn't a plain identifier.
+    let plain = !s.is_empty()
+        && s.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && !is_keyword(s);
+    if plain {
+        f.write_str(s)
+    } else {
+        write!(f, "[{s}]")
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_uppercase().as_str(),
+        "SELECT" | "FROM" | "WHERE" | "ON" | "WITH" | "PERSPECTIVE" | "CHANGES" | "FOR"
+            | "STATIC" | "DYNAMIC" | "FORWARD" | "BACKWARD" | "EXTENDED" | "VISUAL"
+            | "NONVISUAL" | "COLUMNS" | "ROWS" | "PAGES" | "DIMENSION" | "PROPERTIES"
+            | "CROSSJOIN" | "UNION" | "HEAD" | "TAIL" | "FILTER" | "CHILDREN" | "MEMBERS" | "LEVELS"
+            | "DESCENDANTS" | "SELF_AND_AFTER" | "SELF"
+    )
+}
+
+impl fmt::Display for MemberExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberExpr::Path(segs) => {
+                for (i, s) in segs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    fmt_name(f, s)?;
+                }
+                Ok(())
+            }
+            MemberExpr::Children(m) => write!(f, "{m}.Children"),
+            MemberExpr::Members(m) => write!(f, "{m}.MEMBERS"),
+            MemberExpr::LevelsMembers(m, n) => write!(f, "{m}.Levels({n}).Members"),
+            MemberExpr::Descendants(m, n, flag) => match flag {
+                DescFlag::SelfOnly => write!(f, "Descendants({m}, {n})"),
+                DescFlag::SelfAndAfter => {
+                    write!(f, "Descendants({m}, {n}, SELF_AND_AFTER)")
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Braces(items) => {
+                f.write_str("{")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+            SetExpr::Tuple(ms) => {
+                f.write_str("(")?;
+                for (i, m) in ms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                f.write_str(")")
+            }
+            SetExpr::CrossJoin(a, b) => write!(f, "CrossJoin({a}, {b})"),
+            SetExpr::Union(a, b) => write!(f, "Union({a}, {b})"),
+            SetExpr::Head(a, n) => write!(f, "Head({a}, {n})"),
+            SetExpr::Tail(a, n) => write!(f, "Tail({a}, {n})"),
+            SetExpr::Filter(a, cond) => {
+                write!(f, "Filter({a}, ")?;
+                if cond.members.len() == 1 {
+                    write!(f, "{}", cond.members[0])?;
+                } else {
+                    f.write_str("(")?;
+                    for (i, m) in cond.members.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{m}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                write!(f, " {} {})", cond.op, cond.value)
+            }
+            SetExpr::Ref(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(w) = &self.with {
+            match w {
+                WithClause::Perspective { moments, dim, semantics, mode } => {
+                    f.write_str("WITH PERSPECTIVE {")?;
+                    for (i, m) in moments.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "({m})")?;
+                    }
+                    f.write_str("} FOR ")?;
+                    fmt_name(f, dim)?;
+                    write!(f, " {semantics}")?;
+                    if let Some(m) = mode {
+                        write!(f, " {m}")?;
+                    }
+                    f.write_str("\n")?;
+                }
+                WithClause::Changes { tuples, mode } => {
+                    f.write_str("WITH CHANGES {")?;
+                    for (i, t) in tuples.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "({}, {}, {}, {})", t.member, t.old_parent, t.new_parent, t.at)?;
+                    }
+                    f.write_str("}")?;
+                    if let Some(m) = mode {
+                        write!(f, " {m}")?;
+                    }
+                    f.write_str("\n")?;
+                }
+            }
+        }
+        f.write_str("SELECT ")?;
+        for (i, a) in self.axes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", a.set)?;
+            if !a.properties.is_empty() {
+                f.write_str(" DIMENSION PROPERTIES ")?;
+                for (j, p) in a.properties.iter().enumerate() {
+                    if j > 0 {
+                        f.write_str(", ")?;
+                    }
+                    fmt_name(f, p)?;
+                }
+            }
+            write!(f, " ON {}", a.axis.keyword())?;
+        }
+        if let Some(from) = &self.from {
+            f.write_str(" FROM ")?;
+            for (i, s) in from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(".")?;
+                }
+                write!(f, "[{s}]")?;
+            }
+        }
+        if let Some(slicer) = &self.slicer {
+            f.write_str(" WHERE (")?;
+            for (i, m) in slicer.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{m}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_member_paths() {
+        let m = MemberExpr::Path(vec!["Organization".into(), "FTE".into(), "Joe".into()]);
+        assert_eq!(m.to_string(), "Organization.FTE.Joe");
+        let m = MemberExpr::Path(vec!["BU Version_1".into()]);
+        assert_eq!(m.to_string(), "[BU Version_1]");
+        // Keyword-looking names get bracketed.
+        let m = MemberExpr::Path(vec!["Union".into()]);
+        assert_eq!(m.to_string(), "[Union]");
+    }
+
+    #[test]
+    fn display_functions() {
+        let m = MemberExpr::Descendants(
+            Box::new(MemberExpr::name("Period")),
+            1,
+            DescFlag::SelfAndAfter,
+        );
+        assert_eq!(m.to_string(), "Descendants(Period, 1, SELF_AND_AFTER)");
+        let s = SetExpr::Head(
+            Box::new(SetExpr::Ref(MemberExpr::Children(Box::new(MemberExpr::name(
+                "Set1",
+            ))))),
+            50,
+        );
+        assert_eq!(s.to_string(), "Head(Set1.Children, 50)");
+    }
+}

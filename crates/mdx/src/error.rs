@@ -1,0 +1,77 @@
+//! MDX errors with source positions.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, resolution, or evaluation.
+#[derive(Debug)]
+pub enum MdxError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the query text.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Byte offset of the offending token.
+        at: usize,
+        /// What was expected / found.
+        msg: String,
+    },
+    /// A name (member, dimension, set) did not resolve.
+    Unresolved(String),
+    /// Structural problem (wrong axis count, missing clause, …).
+    Semantic(String),
+    /// Underlying what-if error.
+    WhatIf(whatif_core::WhatIfError),
+    /// Underlying cube error.
+    Cube(olap_cube::CubeError),
+}
+
+impl fmt::Display for MdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdxError::Lex { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            MdxError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            MdxError::Unresolved(n) => write!(f, "cannot resolve {n:?}"),
+            MdxError::Semantic(m) => write!(f, "semantic error: {m}"),
+            MdxError::WhatIf(e) => write!(f, "what-if error: {e}"),
+            MdxError::Cube(e) => write!(f, "cube error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdxError::WhatIf(e) => Some(e),
+            MdxError::Cube(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<whatif_core::WhatIfError> for MdxError {
+    fn from(e: whatif_core::WhatIfError) -> Self {
+        MdxError::WhatIf(e)
+    }
+}
+
+impl From<olap_cube::CubeError> for MdxError {
+    fn from(e: olap_cube::CubeError) -> Self {
+        MdxError::Cube(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_positions() {
+        let e = MdxError::Parse { at: 42, msg: "expected SELECT".into() };
+        assert!(e.to_string().contains("42"));
+        assert!(MdxError::Unresolved("[Xyz]".into()).to_string().contains("Xyz"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Query results: a two-axis grid, the way MDX renders cubes
+//! ("similar to the way a spreadsheet displays data").
+
+use olap_store::CellValue;
+use std::fmt;
+
+/// A rendered result grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Column headers (one per column tuple).
+    pub columns: Vec<String>,
+    /// Row headers (one per row tuple).
+    pub rows: Vec<String>,
+    /// `cells[r][c]`.
+    pub cells: Vec<Vec<CellValue>>,
+    /// Per-row `DIMENSION PROPERTIES` values (empty when none requested).
+    pub row_properties: Vec<Vec<String>>,
+    /// Names of the requested properties.
+    pub property_names: Vec<String>,
+}
+
+impl Grid {
+    /// Number of data columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of data rows.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Looks a cell up by header labels.
+    pub fn cell(&self, row: &str, col: &str) -> Option<CellValue> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.columns.iter().position(|x| x == col)?;
+        Some(self.cells[r][c])
+    }
+
+    /// Sum of all numeric cells (⊥ skipped).
+    pub fn total(&self) -> f64 {
+        self.cells
+            .iter()
+            .flatten()
+            .filter_map(|v| v.as_f64())
+            .sum()
+    }
+
+    /// Count of non-⊥ cells.
+    pub fn present_count(&self) -> usize {
+        self.cells.iter().flatten().filter(|v| !v.is_null()).count()
+    }
+
+    /// CSV rendering: header row of column labels, then one row per row
+    /// label; ⊥ cells are empty fields; property columns trail.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str("row");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&esc(c));
+        }
+        for p in &self.property_names {
+            out.push(',');
+            out.push_str(&esc(p));
+        }
+        out.push('\n');
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(&esc(row));
+            for v in &self.cells[r] {
+                out.push(',');
+                if let Some(x) = v.as_f64() {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            if let Some(props) = self.row_properties.get(r) {
+                for p in props {
+                    out.push(',');
+                    out.push_str(&esc(p));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rowhdr_w = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(0))
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let col_ws: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.cells
+                    .iter()
+                    .map(|row| format!("{}", row[c]).len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        write!(f, "{:rowhdr_w$}", "")?;
+        for (c, h) in self.columns.iter().enumerate() {
+            write!(f, "  {:>w$}", h, w = col_ws[c])?;
+        }
+        for p in &self.property_names {
+            write!(f, "  {p}")?;
+        }
+        writeln!(f)?;
+        for (r, rh) in self.rows.iter().enumerate() {
+            write!(f, "{:rowhdr_w$}", rh)?;
+            for (c, _) in self.columns.iter().enumerate() {
+                write!(f, "  {:>w$}", format!("{}", self.cells[r][c]), w = col_ws[c])?;
+            }
+            if let Some(props) = self.row_properties.get(r) {
+                for p in props {
+                    write!(f, "  {p}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid {
+            columns: vec!["Q1".into(), "Q2".into()],
+            rows: vec!["NY".into(), "MA".into()],
+            cells: vec![
+                vec![CellValue::Num(60.0), CellValue::Num(30.0)],
+                vec![CellValue::Num(80.0), CellValue::Null],
+            ],
+            row_properties: vec![vec![], vec![]],
+            property_names: vec![],
+        }
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let g = grid();
+        assert_eq!(g.cell("NY", "Q1"), Some(CellValue::Num(60.0)));
+        assert_eq!(g.cell("MA", "Q2"), Some(CellValue::Null));
+        assert_eq!(g.cell("TX", "Q1"), None);
+        assert_eq!(g.total(), 170.0);
+        assert_eq!(g.present_count(), 3);
+        assert_eq!(g.width(), 2);
+        assert_eq!(g.height(), 2);
+    }
+
+    #[test]
+    fn csv_renders_bottom_as_empty_and_escapes() {
+        let mut g = grid();
+        g.rows[0] = "NY, up\"town".into();
+        let csv = g.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "row,Q1,Q2");
+        assert!(lines[1].starts_with("\"NY, up\"\"town\",60,30"));
+        assert_eq!(lines[2], "MA,80,");
+    }
+
+    #[test]
+    fn display_renders_headers_and_bottom() {
+        let s = grid().to_string();
+        assert!(s.contains("Q1"));
+        assert!(s.contains("NY"));
+        assert!(s.contains('⊥'));
+    }
+}

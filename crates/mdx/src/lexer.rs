@@ -1,0 +1,241 @@
+//! Tokenizer for the MDX subset.
+//!
+//! Keywords are case-insensitive; `[bracketed names]` may contain any
+//! character except `]` (Essbase names like
+//! `EmployeesWithAtleastOneMove-Set1` need this).
+
+use crate::error::MdxError;
+use crate::Result;
+
+/// One token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub at: usize,
+    /// The token kind/payload.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare identifier (`Jan`, `CrossJoin`, `SELF_AND_AFTER`).
+    Ident(String),
+    /// `[bracketed name]` (brackets stripped).
+    Bracketed(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// Decimal literal (`0.93`).
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// A comparison operator: `>`, `>=`, `<`, `<=`, `=`, `<>`.
+    Cmp(String),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// The identifier text, uppercased, if this is a bare identifier.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Tok::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes a query.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    // Work over char boundaries so multi-byte input can't cause
+    // mid-character slicing (found by the fuzz property test).
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let byte_at = |k: usize| -> usize {
+        chars.get(k).map(|&(b, _)| b).unwrap_or(src.len())
+    };
+    let mut out = Vec::new();
+    let mut i = 0usize; // index into `chars`
+    while i < chars.len() {
+        let (at, c) = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                out.push(Token { at, kind: Tok::LBrace });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { at, kind: Tok::RBrace });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { at, kind: Tok::LParen });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { at, kind: Tok::RParen });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { at, kind: Tok::Comma });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { at, kind: Tok::Dot });
+                i += 1;
+            }
+            '>' | '<' | '=' => {
+                let mut op = String::new();
+                op.push(c);
+                i += 1;
+                if let Some(&(_, next)) = chars.get(i) {
+                    if (c == '>' && next == '=') || (c == '<' && (next == '=' || next == '>')) {
+                        op.push(next);
+                        i += 1;
+                    }
+                }
+                out.push(Token { at, kind: Tok::Cmp(op) });
+            }
+            '[' => {
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].1 != ']' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(MdxError::Lex {
+                        at,
+                        msg: "unterminated '['".into(),
+                    });
+                }
+                out.push(Token {
+                    at,
+                    kind: Tok::Bracketed(src[byte_at(i + 1)..byte_at(j)].to_string()),
+                });
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < chars.len() && chars[j].1.is_ascii_digit() {
+                    j += 1;
+                }
+                // A dot followed by a digit makes it a decimal literal;
+                // otherwise the dot is a path separator.
+                if j + 1 < chars.len()
+                    && chars[j].1 == '.'
+                    && chars[j + 1].1.is_ascii_digit()
+                {
+                    j += 1;
+                    while j < chars.len() && chars[j].1.is_ascii_digit() {
+                        j += 1;
+                    }
+                    let text = &src[at..byte_at(j)];
+                    let v: f64 = text.parse().map_err(|_| MdxError::Lex {
+                        at,
+                        msg: "bad decimal literal".into(),
+                    })?;
+                    out.push(Token { at, kind: Tok::Float(v) });
+                } else {
+                    let text = &src[at..byte_at(j)];
+                    let n: u64 = text.parse().map_err(|_| MdxError::Lex {
+                        at,
+                        msg: "number too large".into(),
+                    })?;
+                    out.push(Token { at, kind: Tok::Number(n) });
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() {
+                    let cc = chars[j].1;
+                    if cc.is_alphanumeric() || cc == '_' || cc == '-' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    at,
+                    kind: Tok::Ident(src[at..byte_at(j)].to_string()),
+                });
+                i = j;
+            }
+            other => {
+                return Err(MdxError::Lex {
+                    at,
+                    msg: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Token { at: src.len(), kind: Tok::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_fig10_fragment() {
+        let toks = lex("WITH perspective {(Jan), (Jul)} for Department STATIC").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "WITH"));
+        assert!(matches!(kinds[2], Tok::LBrace));
+        assert!(matches!(kinds[3], Tok::LParen));
+        assert!(matches!(kinds[4], Tok::Ident(s) if s == "Jan"));
+        assert_eq!(*kinds.last().unwrap(), &Tok::Eof);
+    }
+
+    #[test]
+    fn bracketed_names_keep_dashes_and_spaces() {
+        let toks = lex("[EmployeesWithAtleastOneMove-Set1].[BU Version_1]").unwrap();
+        assert!(matches!(&toks[0].kind, Tok::Bracketed(s) if s == "EmployeesWithAtleastOneMove-Set1"));
+        assert!(matches!(&toks[1].kind, Tok::Dot));
+        assert!(matches!(&toks[2].kind, Tok::Bracketed(s) if s == "BU Version_1"));
+    }
+
+    #[test]
+    fn numbers_and_parens() {
+        let toks = lex("Levels(0).Members").unwrap();
+        assert!(matches!(&toks[0].kind, Tok::Ident(s) if s == "Levels"));
+        assert!(matches!(&toks[1].kind, Tok::LParen));
+        assert!(matches!(&toks[2].kind, Tok::Number(0)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("abc [def").unwrap_err();
+        assert!(matches!(err, MdxError::Lex { at: 4, .. }));
+        let err = lex("a % b").unwrap_err();
+        assert!(matches!(err, MdxError::Lex { at: 2, .. }));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a > 1 b >= 2 c <> 3 d <= 4 e = 5").unwrap();
+        let ops: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Cmp(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec![">", ">=", "<>", "<=", "="]);
+    }
+
+    #[test]
+    fn identifiers_allow_dashes_inside() {
+        let toks = lex("Set-1").unwrap();
+        assert!(matches!(&toks[0].kind, Tok::Ident(s) if s == "Set-1"));
+    }
+}

@@ -1,0 +1,604 @@
+//! Recursive-descent parser for the MDX subset.
+
+use crate::ast::*;
+use crate::error::MdxError;
+use crate::lexer::{lex, Tok, Token};
+use crate::Result;
+use whatif_core::{Mode, Semantics};
+
+/// Parses a query.
+pub fn parse(src: &str) -> Result<Query> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].at
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(MdxError::Parse {
+            at: self.at(),
+            msg: msg.into(),
+        })
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().keyword().as_deref() == Some(kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Tok, what: &str) -> Result<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    /// A name: identifier or bracketed.
+    fn name(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Tok::Bracketed(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected a name, found {other:?}")),
+        }
+    }
+
+    fn number_f64(&mut self) -> Result<f64> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(n as f64)
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => self.err(format!("expected a number, found {other:?}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => self.err(format!("expected a number, found {other:?}")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let with = if self.peek_kw("WITH") {
+            self.bump();
+            Some(self.with_clause()?)
+        } else {
+            None
+        };
+        self.expect_kw("SELECT")?;
+        let mut axes = vec![self.axis_spec()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            axes.push(self.axis_spec()?);
+        }
+        let from = if self.eat_kw("FROM") {
+            let mut segs = vec![self.name()?];
+            while *self.peek() == Tok::Dot {
+                self.bump();
+                segs.push(self.name()?);
+            }
+            Some(segs)
+        } else {
+            None
+        };
+        let slicer = if self.eat_kw("WHERE") {
+            self.expect_tok(Tok::LParen, "'('")?;
+            let mut ms = vec![self.member_expr()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                ms.push(self.member_expr()?);
+            }
+            self.expect_tok(Tok::RParen, "')'")?;
+            Some(ms)
+        } else {
+            None
+        };
+        Ok(Query { with, axes, from, slicer })
+    }
+
+    fn with_clause(&mut self) -> Result<WithClause> {
+        if self.eat_kw("PERSPECTIVE") {
+            self.expect_tok(Tok::LBrace, "'{'")?;
+            let mut moments = Vec::new();
+            if *self.peek() != Tok::RBrace {
+                loop {
+                    // Moments may be parenthesized ("(Jan)") or bare.
+                    if *self.peek() == Tok::LParen {
+                        self.bump();
+                        moments.push(self.member_expr()?);
+                        self.expect_tok(Tok::RParen, "')'")?;
+                    } else {
+                        moments.push(self.member_expr()?);
+                    }
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect_tok(Tok::RBrace, "'}'")?;
+            self.expect_kw("FOR")?;
+            let dim = self.name()?;
+            let semantics = self.semantics()?;
+            let mode = self.opt_mode();
+            Ok(WithClause::Perspective { moments, dim, semantics, mode })
+        } else if self.eat_kw("CHANGES") {
+            self.expect_tok(Tok::LBrace, "'{'")?;
+            let mut tuples = Vec::new();
+            loop {
+                self.expect_tok(Tok::LParen, "'('")?;
+                let member = self.member_expr()?;
+                self.expect_tok(Tok::Comma, "','")?;
+                let old_parent = self.member_expr()?;
+                self.expect_tok(Tok::Comma, "','")?;
+                let new_parent = self.member_expr()?;
+                self.expect_tok(Tok::Comma, "','")?;
+                let at = self.member_expr()?;
+                self.expect_tok(Tok::RParen, "')'")?;
+                tuples.push(ChangeTuple { member, old_parent, new_parent, at });
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_tok(Tok::RBrace, "'}'")?;
+            let mode = self.opt_mode();
+            Ok(WithClause::Changes { tuples, mode })
+        } else {
+            self.err("expected PERSPECTIVE or CHANGES after WITH")
+        }
+    }
+
+    fn semantics(&mut self) -> Result<Semantics> {
+        if self.eat_kw("STATIC") {
+            return Ok(Semantics::Static);
+        }
+        // DYNAMIC is optional noise before FORWARD/BACKWARD/EXTENDED.
+        let _ = self.eat_kw("DYNAMIC");
+        let extended = self.eat_kw("EXTENDED");
+        if self.eat_kw("FORWARD") {
+            Ok(if extended {
+                Semantics::ExtendedForward
+            } else {
+                Semantics::Forward
+            })
+        } else if self.eat_kw("BACKWARD") {
+            Ok(if extended {
+                Semantics::ExtendedBackward
+            } else {
+                Semantics::Backward
+            })
+        } else {
+            self.err("expected STATIC, FORWARD, BACKWARD or EXTENDED …")
+        }
+    }
+
+    fn opt_mode(&mut self) -> Option<Mode> {
+        if self.eat_kw("VISUAL") {
+            Some(Mode::Visual)
+        } else if self.eat_kw("NONVISUAL") || self.eat_kw("NON_VISUAL") {
+            Some(Mode::NonVisual)
+        } else {
+            None
+        }
+    }
+
+    fn axis_spec(&mut self) -> Result<AxisSpec> {
+        let set = self.set_expr()?;
+        let mut properties = Vec::new();
+        if self.eat_kw("DIMENSION") {
+            self.expect_kw("PROPERTIES")?;
+            properties.push(self.name()?);
+            while *self.peek() == Tok::Comma {
+                // Only consume the comma if a property follows (commas also
+                // separate axes) — look ahead for a name then ON later.
+                let save = self.pos;
+                self.bump();
+                match self.name() {
+                    Ok(n) if !self.peek_kw("ON") || properties.is_empty() => {
+                        // Heuristic: property lists are rare; treat a name
+                        // directly followed by ON as the next axis only
+                        // when it can't be a property. Keep it simple:
+                        // accept as property.
+                        properties.push(n);
+                    }
+                    _ => {
+                        self.pos = save;
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect_kw("ON")?;
+        let axis = if self.eat_kw("COLUMNS") {
+            Axis::Columns
+        } else if self.eat_kw("ROWS") {
+            Axis::Rows
+        } else if self.eat_kw("PAGES") {
+            Axis::Pages
+        } else {
+            return self.err("expected COLUMNS, ROWS or PAGES");
+        };
+        Ok(AxisSpec { set, properties, axis })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        match self.peek().clone() {
+            Tok::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    items.push(self.set_expr()?);
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        items.push(self.set_expr()?);
+                    }
+                }
+                self.expect_tok(Tok::RBrace, "'}'")?;
+                Ok(SetExpr::Braces(items))
+            }
+            Tok::LParen => {
+                self.bump();
+                let mut ms = vec![self.member_expr()?];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    ms.push(self.member_expr()?);
+                }
+                self.expect_tok(Tok::RParen, "')'")?;
+                Ok(SetExpr::Tuple(ms))
+            }
+            Tok::Ident(s) => {
+                let kw = s.to_ascii_uppercase();
+                match kw.as_str() {
+                    "CROSSJOIN" | "UNION" => {
+                        self.bump();
+                        self.expect_tok(Tok::LParen, "'('")?;
+                        let a = self.set_expr()?;
+                        self.expect_tok(Tok::Comma, "','")?;
+                        let b = self.set_expr()?;
+                        self.expect_tok(Tok::RParen, "')'")?;
+                        Ok(if kw == "CROSSJOIN" {
+                            SetExpr::CrossJoin(Box::new(a), Box::new(b))
+                        } else {
+                            SetExpr::Union(Box::new(a), Box::new(b))
+                        })
+                    }
+                    "HEAD" | "TAIL" => {
+                        self.bump();
+                        self.expect_tok(Tok::LParen, "'('")?;
+                        let a = self.set_expr()?;
+                        self.expect_tok(Tok::Comma, "','")?;
+                        let n = self.number()?;
+                        self.expect_tok(Tok::RParen, "')'")?;
+                        Ok(if kw == "HEAD" {
+                            SetExpr::Head(Box::new(a), n)
+                        } else {
+                            SetExpr::Tail(Box::new(a), n)
+                        })
+                    }
+                    "FILTER" => {
+                        self.bump();
+                        self.expect_tok(Tok::LParen, "'('")?;
+                        let a = self.set_expr()?;
+                        self.expect_tok(Tok::Comma, "','")?;
+                        // Condition: member(s) <op> number.
+                        let members = if *self.peek() == Tok::LParen {
+                            self.bump();
+                            let mut ms = vec![self.member_expr()?];
+                            while *self.peek() == Tok::Comma {
+                                self.bump();
+                                ms.push(self.member_expr()?);
+                            }
+                            self.expect_tok(Tok::RParen, "')'")?;
+                            ms
+                        } else {
+                            vec![self.member_expr()?]
+                        };
+                        let op = match self.peek().clone() {
+                            Tok::Cmp(op) => {
+                                self.bump();
+                                op
+                            }
+                            other => {
+                                return self.err(format!(
+                                    "expected a comparison operator, found {other:?}"
+                                ))
+                            }
+                        };
+                        let value = self.number_f64()?;
+                        self.expect_tok(Tok::RParen, "')'")?;
+                        Ok(SetExpr::Filter(
+                            Box::new(a),
+                            FilterCond { members, op, value },
+                        ))
+                    }
+                    _ => Ok(SetExpr::Ref(self.member_expr()?)),
+                }
+            }
+            Tok::Bracketed(_) => Ok(SetExpr::Ref(self.member_expr()?)),
+            other => self.err(format!("expected a set expression, found {other:?}")),
+        }
+    }
+
+    fn member_expr(&mut self) -> Result<MemberExpr> {
+        // Primary: Descendants(…) or a path head.
+        let mut expr = if self.peek_kw("DESCENDANTS") {
+            self.bump();
+            self.expect_tok(Tok::LParen, "'('")?;
+            let m = self.member_expr()?;
+            self.expect_tok(Tok::Comma, "','")?;
+            let n = self.number()? as u32;
+            let flag = if *self.peek() == Tok::Comma {
+                self.bump();
+                let f = self.name()?;
+                match f.to_ascii_uppercase().as_str() {
+                    "SELF_AND_AFTER" => DescFlag::SelfAndAfter,
+                    "SELF" => DescFlag::SelfOnly,
+                    other => return self.err(format!("unknown Descendants flag {other:?}")),
+                }
+            } else {
+                DescFlag::SelfOnly
+            };
+            self.expect_tok(Tok::RParen, "')'")?;
+            MemberExpr::Descendants(Box::new(m), n, flag)
+        } else {
+            MemberExpr::Path(vec![self.name()?])
+        };
+        // Suffixes.
+        while *self.peek() == Tok::Dot {
+            self.bump();
+            // Suffix keyword or a further path segment.
+            let seg = self.name()?;
+            match seg.to_ascii_uppercase().as_str() {
+                "CHILDREN" => expr = MemberExpr::Children(Box::new(expr)),
+                "MEMBERS" => expr = MemberExpr::Members(Box::new(expr)),
+                "LEVELS" => {
+                    self.expect_tok(Tok::LParen, "'('")?;
+                    let n = self.number()? as u32;
+                    self.expect_tok(Tok::RParen, "')'")?;
+                    self.expect_tok(Tok::Dot, "'.'")?;
+                    let m = self.name()?;
+                    if !m.eq_ignore_ascii_case("MEMBERS") {
+                        return self.err("expected Members after Levels(n)");
+                    }
+                    expr = MemberExpr::LevelsMembers(Box::new(expr), n);
+                }
+                _ => match &mut expr {
+                    MemberExpr::Path(segs) => segs.push(seg),
+                    _ => {
+                        return self.err(format!(
+                            "cannot extend {expr} with path segment {seg:?}"
+                        ))
+                    }
+                },
+            }
+        }
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig10a() {
+        // Fig. 10(a), verbatim modulo whitespace.
+        let q = parse(
+            "WITH perspective {(Jan), (Jul)} for Department STATIC \
+             select {CrossJoin({[Account].Levels(0).Members}, \
+             {([Current], [Local], [BU Version_1], [HSP_InputValue])})} on columns, \
+             {CrossJoin({Union({Union({[EmployeesWithAtleastOneMove-Set1].Children}, \
+             {[EmployeesWithAtleastOneMove-Set2].Children})}, \
+             {[EmployeesWithAtleastOneMove-Set3].Children})}, \
+             {Descendants([Period],1,self_and_after)})} \
+             DIMENSION PROPERTIES [Department] on rows \
+             from [App].[Db]",
+        )
+        .unwrap();
+        match q.with.as_ref().unwrap() {
+            WithClause::Perspective { moments, dim, semantics, mode } => {
+                assert_eq!(moments.len(), 2);
+                assert_eq!(dim, "Department");
+                assert_eq!(*semantics, Semantics::Static);
+                assert_eq!(*mode, None); // defaults to non-visual
+            }
+            _ => panic!("wrong clause"),
+        }
+        assert_eq!(q.axes.len(), 2);
+        assert_eq!(q.axes[0].axis, Axis::Columns);
+        assert_eq!(q.axes[1].axis, Axis::Rows);
+        assert_eq!(q.axes[1].properties, vec!["Department".to_string()]);
+        assert_eq!(q.from, Some(vec!["App".to_string(), "Db".to_string()]));
+    }
+
+    #[test]
+    fn parses_fig10b_dynamic_forward() {
+        let q = parse(
+            "WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD \
+             select {EmployeeS3} on columns, {Descendants([Period],1,self_and_after)} on rows \
+             from [App].[Db]",
+        )
+        .unwrap();
+        match q.with.as_ref().unwrap() {
+            WithClause::Perspective { moments, semantics, .. } => {
+                assert_eq!(moments.len(), 4);
+                assert_eq!(*semantics, Semantics::Forward);
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn parses_fig10c_head() {
+        let q = parse(
+            "WITH perspective {(Jan)} for Department DYNAMIC FORWARD \
+             select {Head({[Set1].Children}, 50)} on rows from [App].[Db]",
+        )
+        .unwrap();
+        match &q.axes[0].set {
+            SetExpr::Braces(items) => match &items[0] {
+                SetExpr::Head(_, n) => assert_eq!(*n, 50),
+                other => panic!("expected Head, got {other:?}"),
+            },
+            other => panic!("expected braces, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_changes_clause() {
+        let q = parse(
+            "WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], Apr)} VISUAL \
+             select {Jan} on columns from [W]",
+        )
+        .unwrap();
+        match q.with.as_ref().unwrap() {
+            WithClause::Changes { tuples, mode } => {
+                assert_eq!(tuples.len(), 1);
+                assert_eq!(*mode, Some(Mode::Visual));
+                assert_eq!(
+                    tuples[0].member,
+                    MemberExpr::Path(vec!["FTE".into(), "Lisa".into()])
+                );
+            }
+            _ => panic!("wrong clause"),
+        }
+    }
+
+    #[test]
+    fn parses_where_slicer() {
+        let q = parse(
+            "SELECT {Time.[Q1], Time.[Q2]} ON COLUMNS, \
+             Location.Region.State.MEMBERS ON ROWS \
+             FROM Warehouse \
+             WHERE (Organization.[FTE].[Joe], Measures.[Compensation].[Salary])",
+        )
+        .unwrap();
+        let slicer = q.slicer.unwrap();
+        assert_eq!(slicer.len(), 2);
+        assert_eq!(
+            slicer[0],
+            MemberExpr::Path(vec!["Organization".into(), "FTE".into(), "Joe".into()])
+        );
+        match &q.axes[1].set {
+            SetExpr::Ref(MemberExpr::Members(inner)) => {
+                assert_eq!(
+                    **inner,
+                    MemberExpr::Path(vec!["Location".into(), "Region".into(), "State".into()])
+                );
+            }
+            other => panic!("expected MEMBERS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extended_semantics_variants() {
+        for (txt, sem) in [
+            ("STATIC", Semantics::Static),
+            ("FORWARD", Semantics::Forward),
+            ("DYNAMIC FORWARD", Semantics::Forward),
+            ("DYNAMIC BACKWARD", Semantics::Backward),
+            ("EXTENDED FORWARD", Semantics::ExtendedForward),
+            ("DYNAMIC EXTENDED BACKWARD", Semantics::ExtendedBackward),
+        ] {
+            let q = parse(&format!(
+                "WITH PERSPECTIVE {{(Jan)}} FOR D {txt} SELECT {{X}} ON COLUMNS FROM [W]"
+            ))
+            .unwrap();
+            match q.with.unwrap() {
+                WithClause::Perspective { semantics, .. } => assert_eq!(semantics, sem, "{txt}"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("SELECT ON COLUMNS").unwrap_err();
+        assert!(matches!(err, MdxError::Parse { .. }));
+        let err = parse("WITH FOO").unwrap_err();
+        assert!(err.to_string().contains("PERSPECTIVE"));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let srcs = [
+            "WITH PERSPECTIVE {(Jan), (Apr)} FOR Department DYNAMIC FORWARD VISUAL \
+             SELECT {CrossJoin({A.Levels(0).Members}, {(B, C)})} ON COLUMNS, \
+             {Head({S.Children}, 5)} ON ROWS FROM [App].[Db] WHERE (M.X)",
+            "SELECT {Union({A}, {B.MEMBERS})} ON COLUMNS, \
+             {Descendants(P, 1, SELF_AND_AFTER)} ON ROWS FROM [W]",
+        ];
+        for src in srcs {
+            let q1 = parse(src).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+            assert_eq!(q1, q2, "roundtrip failed for {printed}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Ergonomic schema construction.
+//!
+//! [`SchemaBuilder`] lets examples and workloads declare hierarchies as
+//! nested specs instead of imperative `add_member` calls:
+//!
+//! ```
+//! use olap_model::{SchemaBuilder, DimensionSpec};
+//!
+//! let schema = SchemaBuilder::new()
+//!     .dimension(
+//!         DimensionSpec::new("Time")
+//!             .ordered()
+//!             .tree(&[("Qtr1", &["Jan", "Feb", "Mar"][..]), ("Qtr2", &["Apr", "May", "Jun"])]),
+//!     )
+//!     .dimension(
+//!         DimensionSpec::new("Organization")
+//!             .tree(&[("FTE", &["Joe", "Lisa"][..]), ("PTE", &["Tom"]), ("Contractor", &["Jane"])]),
+//!     )
+//!     .varying("Organization", "Time")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(schema.axis_len(schema.find_dimension("Time").unwrap()), 6);
+//! ```
+
+use crate::dimension::Dimension;
+use crate::ids::MemberId;
+use crate::schema::Schema;
+use crate::Result;
+
+/// Declarative spec for one dimension.
+#[derive(Debug, Clone)]
+pub struct DimensionSpec {
+    name: String,
+    ordered: bool,
+    measure: bool,
+    /// (parent path, member name) pairs applied in order; empty parent path
+    /// means child-of-root.
+    adds: Vec<(Vec<String>, String)>,
+}
+
+impl DimensionSpec {
+    /// A new, empty dimension spec.
+    pub fn new(name: &str) -> Self {
+        DimensionSpec {
+            name: name.to_string(),
+            ordered: false,
+            measure: false,
+            adds: Vec::new(),
+        }
+    }
+
+    /// Marks leaves as totally ordered (Time-like parameter dimensions).
+    pub fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// Marks this as the measures dimension.
+    pub fn measures(mut self) -> Self {
+        self.measure = true;
+        self
+    }
+
+    /// Adds flat leaf members under the root.
+    pub fn leaves(mut self, names: &[&str]) -> Self {
+        for n in names {
+            self.adds.push((Vec::new(), n.to_string()));
+        }
+        self
+    }
+
+    /// Adds a two-level tree: `(group, leaves)` pairs.
+    pub fn tree(mut self, groups: &[(&str, &[&str])]) -> Self {
+        for (g, leaves) in groups {
+            self.adds.push((Vec::new(), g.to_string()));
+            for l in *leaves {
+                self.adds.push((vec![g.to_string()], l.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Adds a single member under a `/`-separated parent path (empty string
+    /// for the root).
+    pub fn member(mut self, parent_path: &str, name: &str) -> Self {
+        let path: Vec<String> = parent_path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        self.adds.push((path, name.to_string()));
+        self
+    }
+
+    fn build(&self) -> Result<Dimension> {
+        let mut d = Dimension::new(&self.name);
+        d.set_ordered(self.ordered);
+        d.set_measure(self.measure);
+        for (path, name) in &self.adds {
+            let mut parent = MemberId::ROOT;
+            for seg in path {
+                parent = d
+                    .find_under(parent, seg)
+                    .ok_or_else(|| crate::ModelError::UnknownMemberName {
+                        dim: self.name.clone(),
+                        member: seg.clone(),
+                    })?;
+            }
+            d.add_member(name, parent)?;
+        }
+        d.seal();
+        Ok(d)
+    }
+}
+
+/// Builds a [`Schema`] from dimension specs plus varying declarations and
+/// structural changes.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    dims: Vec<DimensionSpec>,
+    varying: Vec<(String, String)>,
+    /// (dim, member, new parent, moment name)
+    changes: Vec<(String, String, String, String)>,
+    /// (dim, member, moment names) vacations
+    clears: Vec<(String, String, Vec<String>)>,
+}
+
+impl SchemaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a dimension.
+    pub fn dimension(mut self, spec: DimensionSpec) -> Self {
+        self.dims.push(spec);
+        self
+    }
+
+    /// Declares `varying` to change as a function of `parameter`.
+    pub fn varying(mut self, varying: &str, parameter: &str) -> Self {
+        self.varying.push((varying.to_string(), parameter.to_string()));
+        self
+    }
+
+    /// Schedules a reclassification: from moment `at` (a parameter-leaf
+    /// name) onward, `member` reports to `new_parent` (names within `dim`).
+    pub fn reclassify(mut self, dim: &str, member: &str, new_parent: &str, at: &str) -> Self {
+        self.changes.push((
+            dim.to_string(),
+            member.to_string(),
+            new_parent.to_string(),
+            at.to_string(),
+        ));
+        self
+    }
+
+    /// Schedules vacations: `member` is meaningless at the named moments.
+    pub fn clear_at(mut self, dim: &str, member: &str, at: &[&str]) -> Self {
+        self.clears.push((
+            dim.to_string(),
+            member.to_string(),
+            at.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Builds and seals the schema.
+    pub fn build(self) -> Result<Schema> {
+        let mut schema = Schema::new();
+        for spec in &self.dims {
+            let id = schema.add_dimension(&spec.name);
+            *schema.dim_mut(id) = spec.build()?;
+        }
+        for (v, p) in &self.varying {
+            let vd = schema.resolve_dimension(v)?;
+            let pd = schema.resolve_dimension(p)?;
+            schema.make_varying(vd, pd)?;
+        }
+        for (dim, member, parent, at) in &self.changes {
+            let d = schema.resolve_dimension(dim)?;
+            let param = schema.try_varying(d)?.parameter_dim();
+            let m = schema.dim(d).resolve(member)?;
+            let f = schema.dim(d).resolve(parent)?;
+            let leaf = schema.dim(param).resolve(at)?;
+            let t = schema
+                .moment_of(param, leaf)
+                .ok_or_else(|| crate::ModelError::NotALeaf {
+                    dim: schema.dim(param).name().to_string(),
+                    member: at.clone(),
+                })?;
+            schema.reclassify(d, m, f, t)?;
+        }
+        for (dim, member, ats) in &self.clears {
+            let d = schema.resolve_dimension(dim)?;
+            let param = schema.try_varying(d)?.parameter_dim();
+            let m = schema.dim(d).resolve(member)?;
+            let mut moments = Vec::with_capacity(ats.len());
+            for at in ats {
+                let leaf = schema.dim(param).resolve(at)?;
+                moments.push(schema.moment_of(param, leaf).ok_or_else(|| {
+                    crate::ModelError::NotALeaf {
+                        dim: schema.dim(param).name().to_string(),
+                        member: at.clone(),
+                    }
+                })?);
+            }
+            schema.clear_at(d, m, moments)?;
+        }
+        schema.seal();
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_running_example_shape() {
+        let schema = SchemaBuilder::new()
+            .dimension(DimensionSpec::new("Time").ordered().tree(&[
+                ("Qtr1", &["Jan", "Feb", "Mar"][..]),
+                ("Qtr2", &["Apr", "May", "Jun"]),
+            ]))
+            .dimension(DimensionSpec::new("Organization").tree(&[
+                ("FTE", &["Joe", "Lisa"][..]),
+                ("PTE", &["Tom"]),
+                ("Contractor", &["Jane"]),
+            ]))
+            .varying("Organization", "Time")
+            .reclassify("Organization", "Joe", "PTE", "Feb")
+            .reclassify("Organization", "Joe", "Contractor", "Mar")
+            .clear_at("Organization", "Joe", &["May"])
+            .build()
+            .unwrap();
+        let org = schema.resolve_dimension("Organization").unwrap();
+        let joe = schema.dim(org).resolve("Joe").unwrap();
+        let v = schema.varying(org).unwrap();
+        assert_eq!(v.instances_of(joe).len(), 3);
+        assert_eq!(schema.axis_len(org), 6); // 3 Joe + Lisa + Tom + Jane
+    }
+
+    #[test]
+    fn nested_member_paths() {
+        let schema = SchemaBuilder::new()
+            .dimension(
+                DimensionSpec::new("Location")
+                    .member("", "East")
+                    .member("East", "NY")
+                    .member("East/NY", "NYC"),
+            )
+            .build()
+            .unwrap();
+        let loc = schema.resolve_dimension("Location").unwrap();
+        assert!(schema.dim(loc).resolve_path("East/NY/NYC").is_ok());
+        assert_eq!(schema.axis_len(loc), 1);
+    }
+
+    #[test]
+    fn unknown_parent_path_errors() {
+        let err = SchemaBuilder::new()
+            .dimension(DimensionSpec::new("X").member("Nope", "Kid"))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reclassify_by_names_checks_moment() {
+        let err = SchemaBuilder::new()
+            .dimension(DimensionSpec::new("Time").ordered().leaves(&["Jan"]))
+            .dimension(DimensionSpec::new("Org").tree(&[("A", &["x"][..]), ("B", &[])]))
+            .varying("Org", "Time")
+            .reclassify("Org", "x", "B", "Zebruary")
+            .build();
+        assert!(err.is_err());
+    }
+}

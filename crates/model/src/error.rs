@@ -1,0 +1,110 @@
+//! Error type for model construction and mutation.
+
+use crate::ids::{DimensionId, MemberId, Moment};
+use std::fmt;
+
+/// Errors produced while building or mutating the multidimensional model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A dimension id did not resolve within the schema.
+    UnknownDimension(DimensionId),
+    /// A dimension name did not resolve within the schema.
+    UnknownDimensionName(String),
+    /// A member id did not resolve within its dimension.
+    UnknownMember { dim: String, member: MemberId },
+    /// A member name did not resolve within its dimension.
+    UnknownMemberName { dim: String, member: String },
+    /// A member with this name already exists under the same parent.
+    DuplicateMember { dim: String, member: String },
+    /// A dimension with this name already exists in the schema.
+    DuplicateDimension(String),
+    /// The target of a reclassification must be a non-leaf member
+    /// (Definition 3.1 requires the new parent `f` to be non-leaf).
+    ParentMustBeNonLeaf { dim: String, member: String },
+    /// Attempted to attach a member to itself or one of its descendants.
+    CyclicHierarchy { dim: String, member: String },
+    /// The dimension is not registered as varying.
+    NotVarying(String),
+    /// The dimension is already registered as varying.
+    AlreadyVarying(String),
+    /// A moment is out of range for the parameter dimension.
+    MomentOutOfRange { moment: Moment, len: u32 },
+    /// A varying-dimension operation referenced a member that is not a leaf.
+    NotALeaf { dim: String, member: String },
+    /// Validity sets of two instances of the same member overlap — this
+    /// violates the core invariant of Definition 3.1.
+    OverlappingValidity { dim: String, member: String },
+    /// The parameter dimension must be declared before its leaves are used
+    /// as moments (we need a stable leaf count to size validity sets).
+    EmptyParameterDimension(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownDimension(d) => write!(f, "unknown dimension {d:?}"),
+            ModelError::UnknownDimensionName(n) => write!(f, "unknown dimension {n:?}"),
+            ModelError::UnknownMember { dim, member } => {
+                write!(f, "unknown member {member:?} in dimension {dim:?}")
+            }
+            ModelError::UnknownMemberName { dim, member } => {
+                write!(f, "unknown member {member:?} in dimension {dim:?}")
+            }
+            ModelError::DuplicateMember { dim, member } => {
+                write!(f, "member {member:?} already exists in dimension {dim:?}")
+            }
+            ModelError::DuplicateDimension(n) => {
+                write!(f, "dimension {n:?} already exists")
+            }
+            ModelError::ParentMustBeNonLeaf { dim, member } => write!(
+                f,
+                "reclassification target {member:?} in {dim:?} must be a non-leaf member"
+            ),
+            ModelError::CyclicHierarchy { dim, member } => write!(
+                f,
+                "attaching {member:?} in {dim:?} would create a hierarchy cycle"
+            ),
+            ModelError::NotVarying(n) => write!(f, "dimension {n:?} is not varying"),
+            ModelError::AlreadyVarying(n) => write!(f, "dimension {n:?} is already varying"),
+            ModelError::MomentOutOfRange { moment, len } => write!(
+                f,
+                "moment {moment} out of range for parameter dimension with {len} leaves"
+            ),
+            ModelError::NotALeaf { dim, member } => {
+                write!(f, "member {member:?} in {dim:?} is not a leaf")
+            }
+            ModelError::OverlappingValidity { dim, member } => write!(
+                f,
+                "instances of member {member:?} in {dim:?} have overlapping validity sets"
+            ),
+            ModelError::EmptyParameterDimension(n) => write!(
+                f,
+                "parameter dimension {n:?} has no leaf members; add moments before making \
+                 another dimension vary over it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = ModelError::UnknownMemberName {
+            dim: "Org".into(),
+            member: "Joe".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Joe") && s.contains("Org"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(ModelError::NotVarying("Time".into()));
+    }
+}

@@ -1,0 +1,72 @@
+//! # olap-model
+//!
+//! The multidimensional data model underlying *"What-if OLAP Queries with
+//! Changing Dimensions"* (Lakshmanan, Russakovsky, Sashikanth; ICDE 2008).
+//!
+//! The classic OLAP model — dimensions organizing members into hierarchies,
+//! cubes mapping member combinations to values — is extended here with the
+//! paper's Section 2/3 notions:
+//!
+//! * **Varying dimensions** (Definition 2.1): dimensions whose hierarchical
+//!   structure changes as a function of another dimension.
+//! * **Parameter dimensions**: the dimensions (ordered, like `Time`, or
+//!   unordered, like `Location`) that drive those changes.
+//! * **Member instances**: when a member is reclassified under a different
+//!   parent, each distinct root-to-leaf path becomes an *instance* of the
+//!   member (e.g. `FTE/Joe`, `PTE/Joe`, `Contractor/Joe`).
+//! * **Validity sets** (`VS(dᵢ)`): the set of leaf-level parameter members
+//!   (*moments*) over which an instance is valid. Validity sets of distinct
+//!   instances of one member are always pairwise disjoint.
+//!
+//! A dimension's *axis* is the sequence of cell slots it contributes to a
+//! cube: leaf members for ordinary dimensions, leaf member instances for
+//! varying dimensions (mirroring how the paper's Fig. 2 shows one row per
+//! instance).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use olap_model::{Schema, ValiditySet};
+//!
+//! let mut schema = Schema::new();
+//! let time = schema.add_dimension("Time");
+//! let jan = schema.dim_mut(time).add_child_of_root("Jan").unwrap();
+//! let feb = schema.dim_mut(time).add_child_of_root("Feb").unwrap();
+//! schema.dim_mut(time).set_ordered(true);
+//!
+//! let org = schema.add_dimension("Organization");
+//! let fte = schema.dim_mut(org).add_child_of_root("FTE").unwrap();
+//! let pte = schema.dim_mut(org).add_child_of_root("PTE").unwrap();
+//! let joe = schema.dim_mut(org).add_member("Joe", fte).unwrap();
+//! let tom = schema.dim_mut(org).add_member("Tom", pte).unwrap();
+//!
+//! // Organization varies with Time: Joe moves from FTE to PTE in Feb.
+//! schema.make_varying(org, time).unwrap();
+//! schema.reclassify(org, joe, pte, 1).unwrap();
+//! schema.seal();
+//! let v = schema.varying(org).unwrap();
+//! assert_eq!(v.instances_of(joe).len(), 2);
+//! ```
+
+pub mod bitset;
+pub mod builder;
+pub mod dimension;
+pub mod error;
+pub mod ids;
+pub mod member;
+pub mod schema;
+pub mod validity;
+pub mod varying;
+
+pub use bitset::BitSet;
+pub use builder::{DimensionSpec, SchemaBuilder};
+pub use dimension::Dimension;
+pub use error::ModelError;
+pub use ids::{AxisSlot, DimensionId, InstanceId, MemberId, Moment};
+pub use member::MemberNode;
+pub use schema::Schema;
+pub use validity::ValiditySet;
+pub use varying::{InstanceNode, VaryingDimension};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

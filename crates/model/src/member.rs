@@ -1,0 +1,48 @@
+//! Member arena nodes.
+
+use crate::ids::MemberId;
+
+/// One member of a dimension hierarchy.
+///
+/// Members live in their dimension's arena (`Vec<MemberNode>`); tree links
+/// are arena indices. The static hierarchy recorded here is the member's
+/// *original* classification; reclassifications of varying dimensions are
+/// layered on top by [`crate::VaryingDimension`] without mutating these
+/// nodes, so the un-changed structure is always recoverable (needed by
+/// negative scenarios, which hypothetically undo changes).
+#[derive(Debug, Clone)]
+pub struct MemberNode {
+    /// Display name, unique among siblings.
+    pub name: String,
+    /// Parent in the static hierarchy; `None` only for the root.
+    pub parent: Option<MemberId>,
+    /// Children in insertion order.
+    pub children: Vec<MemberId>,
+    /// Depth from the root (root = 0).
+    pub level: u32,
+}
+
+impl MemberNode {
+    pub(crate) fn root(name: &str) -> Self {
+        MemberNode {
+            name: name.to_string(),
+            parent: None,
+            children: Vec::new(),
+            level: 0,
+        }
+    }
+
+    pub(crate) fn child(name: &str, parent: MemberId, level: u32) -> Self {
+        MemberNode {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            level,
+        }
+    }
+
+    /// A member with no children is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}

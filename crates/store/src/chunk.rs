@@ -1,0 +1,335 @@
+//! Chunks: the unit of storage, I/O, and Section 5's merge analysis.
+
+use crate::error::StoreError;
+use crate::value::CellValue;
+use crate::Result;
+use olap_model::BitSet;
+
+/// How a chunk's cells are physically laid out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkData {
+    /// One value per cell plus a presence bitmap (absent ⇒ ⊥).
+    Dense {
+        /// Row-major values; entries whose presence bit is clear are
+        /// unspecified (kept at 0.0).
+        values: Vec<f64>,
+        /// Presence bitmap over local offsets.
+        present: BitSet,
+    },
+    /// Sorted (local offset, value) pairs; everything else is ⊥.
+    Sparse {
+        /// Sorted by offset, offsets unique.
+        entries: Vec<(u32, f64)>,
+    },
+}
+
+/// One chunk of the cube: a small n-dimensional sub-array.
+///
+/// Offsets are row-major within the chunk's own (possibly clipped) shape,
+/// matching [`crate::ChunkGeometry::split_cell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    shape: Vec<u32>,
+    data: ChunkData,
+}
+
+impl Chunk {
+    /// A new all-⊥ dense chunk.
+    pub fn new_dense(shape: Vec<u32>) -> Self {
+        let n = shape.iter().product::<u32>() as usize;
+        Chunk {
+            shape,
+            data: ChunkData::Dense {
+                values: vec![0.0; n],
+                present: BitSet::new(n as u32),
+            },
+        }
+    }
+
+    /// A new all-⊥ sparse chunk.
+    pub fn new_sparse(shape: Vec<u32>) -> Self {
+        Chunk {
+            shape,
+            data: ChunkData::Sparse { entries: Vec::new() },
+        }
+    }
+
+    /// Rebuilds a chunk from raw parts (used by the codec).
+    pub(crate) fn from_parts(shape: Vec<u32>, data: ChunkData) -> Result<Self> {
+        let n = shape.iter().product::<u32>();
+        match &data {
+            ChunkData::Dense { values, present } => {
+                if values.len() != n as usize || present.capacity() != n {
+                    return Err(StoreError::Corrupt(format!(
+                        "dense chunk size mismatch: shape wants {n}, got {} values",
+                        values.len()
+                    )));
+                }
+            }
+            ChunkData::Sparse { entries } => {
+                let mut prev: Option<u32> = None;
+                for &(off, v) in entries {
+                    if off >= n {
+                        return Err(StoreError::Corrupt(format!(
+                            "sparse offset {off} out of chunk ({n} cells)"
+                        )));
+                    }
+                    if v.is_nan() {
+                        return Err(StoreError::NanValue);
+                    }
+                    if let Some(p) = prev {
+                        if off <= p {
+                            return Err(StoreError::Corrupt(
+                                "sparse offsets not strictly increasing".into(),
+                            ));
+                        }
+                    }
+                    prev = Some(off);
+                }
+            }
+        }
+        Ok(Chunk { shape, data })
+    }
+
+    /// The chunk's shape.
+    pub fn shape(&self) -> &[u32] {
+        &self.shape
+    }
+
+    /// Total cells (present or ⊥).
+    pub fn len(&self) -> u32 {
+        self.shape.iter().product()
+    }
+
+    /// `true` if the chunk has no cells at all (degenerate shape).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying layout.
+    pub fn data(&self) -> &ChunkData {
+        &self.data
+    }
+
+    /// Number of non-⊥ cells.
+    pub fn present_count(&self) -> u32 {
+        match &self.data {
+            ChunkData::Dense { present, .. } => present.count(),
+            ChunkData::Sparse { entries } => entries.len() as u32,
+        }
+    }
+
+    /// Fraction of cells that are non-⊥.
+    pub fn density(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.present_count() as f64 / n as f64
+        }
+    }
+
+    /// Reads the cell at a local offset.
+    pub fn get(&self, offset: u32) -> CellValue {
+        debug_assert!(offset < self.len(), "offset out of chunk");
+        match &self.data {
+            ChunkData::Dense { values, present } => {
+                if present.contains(offset) {
+                    CellValue::Num(values[offset as usize])
+                } else {
+                    CellValue::Null
+                }
+            }
+            ChunkData::Sparse { entries } => {
+                match entries.binary_search_by_key(&offset, |&(o, _)| o) {
+                    Ok(i) => CellValue::Num(entries[i].1),
+                    Err(_) => CellValue::Null,
+                }
+            }
+        }
+    }
+
+    /// Writes the cell at a local offset.
+    pub fn set(&mut self, offset: u32, v: CellValue) {
+        debug_assert!(offset < self.len(), "offset out of chunk");
+        match &mut self.data {
+            ChunkData::Dense { values, present } => match v {
+                CellValue::Num(x) => {
+                    assert!(!x.is_nan(), "NaN cell value");
+                    values[offset as usize] = x;
+                    present.insert(offset);
+                }
+                CellValue::Null => {
+                    values[offset as usize] = 0.0;
+                    present.remove(offset);
+                }
+            },
+            ChunkData::Sparse { entries } => {
+                let pos = entries.binary_search_by_key(&offset, |&(o, _)| o);
+                match (pos, v) {
+                    (Ok(i), CellValue::Num(x)) => {
+                        assert!(!x.is_nan(), "NaN cell value");
+                        entries[i].1 = x;
+                    }
+                    (Ok(i), CellValue::Null) => {
+                        entries.remove(i);
+                    }
+                    (Err(i), CellValue::Num(x)) => {
+                        assert!(!x.is_nan(), "NaN cell value");
+                        entries.insert(i, (offset, x));
+                    }
+                    (Err(_), CellValue::Null) => {}
+                }
+            }
+        }
+    }
+
+    /// Iterates the non-⊥ cells as (offset, value), ascending by offset.
+    pub fn present_cells(&self) -> Box<dyn Iterator<Item = (u32, f64)> + '_> {
+        match &self.data {
+            ChunkData::Dense { values, present } => {
+                Box::new(present.iter().map(move |o| (o, values[o as usize])))
+            }
+            ChunkData::Sparse { entries } => Box::new(entries.iter().copied()),
+        }
+    }
+
+    /// Converts to the more compact representation given a density
+    /// threshold (sparse below, dense at-or-above). Returns `self` for
+    /// chaining.
+    pub fn compact(&mut self, dense_threshold: f64) -> &mut Self {
+        let want_dense = self.density() >= dense_threshold;
+        match (&self.data, want_dense) {
+            (ChunkData::Dense { .. }, false) => {
+                let entries: Vec<(u32, f64)> = self.present_cells().collect();
+                self.data = ChunkData::Sparse { entries };
+            }
+            (ChunkData::Sparse { entries }, true) => {
+                let n = self.len();
+                let mut values = vec![0.0; n as usize];
+                let mut present = BitSet::new(n);
+                for &(o, v) in entries {
+                    values[o as usize] = v;
+                    present.insert(o);
+                }
+                self.data = ChunkData::Dense { values, present };
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Approximate heap footprint in bytes (used by pool accounting and
+    /// the Fig. 12 separation math).
+    pub fn byte_size(&self) -> usize {
+        match &self.data {
+            ChunkData::Dense { values, .. } => values.len() * 8 + (self.len() as usize).div_ceil(8),
+            ChunkData::Sparse { entries } => entries.len() * 12,
+        }
+    }
+
+    /// Semantic equality: same shape and same cell values regardless of
+    /// dense/sparse layout.
+    pub fn same_cells(&self, other: &Chunk) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        let mut a: Vec<(u32, f64)> = self.present_cells().collect();
+        let mut b: Vec<(u32, f64)> = other.present_cells().collect();
+        a.sort_by_key(|&(o, _)| o);
+        b.sort_by_key(|&(o, _)| o);
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_get_set() {
+        let mut c = Chunk::new_dense(vec![2, 3]);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.get(0), CellValue::Null);
+        c.set(4, CellValue::num(7.5));
+        assert_eq!(c.get(4), CellValue::Num(7.5));
+        c.set(4, CellValue::Null);
+        assert_eq!(c.get(4), CellValue::Null);
+        assert_eq!(c.present_count(), 0);
+    }
+
+    #[test]
+    fn sparse_get_set_keeps_sorted() {
+        let mut c = Chunk::new_sparse(vec![4]);
+        c.set(3, CellValue::num(3.0));
+        c.set(1, CellValue::num(1.0));
+        c.set(2, CellValue::num(2.0));
+        let cells: Vec<_> = c.present_cells().collect();
+        assert_eq!(cells, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
+        c.set(2, CellValue::Null);
+        assert_eq!(c.present_count(), 2);
+        c.set(1, CellValue::num(9.0));
+        assert_eq!(c.get(1), CellValue::Num(9.0));
+    }
+
+    #[test]
+    fn density_and_compaction() {
+        let mut c = Chunk::new_dense(vec![10]);
+        c.set(0, CellValue::num(1.0));
+        assert!((c.density() - 0.1).abs() < 1e-12);
+        c.compact(0.5);
+        assert!(matches!(c.data(), ChunkData::Sparse { .. }));
+        assert_eq!(c.get(0), CellValue::Num(1.0));
+        for i in 0..9 {
+            c.set(i, CellValue::num(i as f64));
+        }
+        c.compact(0.5);
+        assert!(matches!(c.data(), ChunkData::Dense { .. }));
+        assert_eq!(c.get(8), CellValue::Num(8.0));
+    }
+
+    #[test]
+    fn same_cells_across_layouts() {
+        let mut a = Chunk::new_dense(vec![5]);
+        let mut b = Chunk::new_sparse(vec![5]);
+        for (o, v) in [(1u32, 2.0f64), (4, 8.0)] {
+            a.set(o, CellValue::num(v));
+            b.set(o, CellValue::num(v));
+        }
+        assert!(a.same_cells(&b));
+        b.set(0, CellValue::num(1.0));
+        assert!(!a.same_cells(&b));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Chunk::from_parts(
+            vec![2],
+            ChunkData::Sparse { entries: vec![(5, 1.0)] }
+        )
+        .is_err());
+        assert!(Chunk::from_parts(
+            vec![4],
+            ChunkData::Sparse { entries: vec![(2, 1.0), (1, 2.0)] }
+        )
+        .is_err());
+        assert!(Chunk::from_parts(
+            vec![4],
+            ChunkData::Sparse { entries: vec![(1, f64::NAN)] }
+        )
+        .is_err());
+        assert!(Chunk::from_parts(
+            vec![4],
+            ChunkData::Dense { values: vec![0.0; 3], present: BitSet::new(4) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn byte_size_tracks_layout() {
+        let mut c = Chunk::new_dense(vec![8]);
+        let dense = c.byte_size();
+        c.compact(2.0); // force sparse (density < 2.0 always)
+        assert!(c.byte_size() < dense);
+    }
+}

@@ -1,0 +1,145 @@
+//! Binary chunk codec used by the file-backed store.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   u32  = 0x4F4C4331 ("OLC1")
+//! layout  u8   = 0 dense / 1 sparse   (preferred in-memory layout)
+//! rank    u8
+//! shape   u32 × rank
+//! count   u32                          (number of present cells)
+//! entries (u32 offset, f64 value) × count, ascending offsets
+//! ```
+//!
+//! Only present (non-⊥) cells are serialized regardless of layout; the
+//! layout byte just restores the in-memory representation choice, so
+//! `decode(encode(c))` is `PartialEq`-identical, not merely cell-identical.
+
+use crate::chunk::{Chunk, ChunkData};
+use crate::error::StoreError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use olap_model::BitSet;
+
+const MAGIC: u32 = 0x4F4C_4331;
+
+/// Serializes a chunk.
+pub fn encode(chunk: &Chunk) -> Bytes {
+    let present: Vec<(u32, f64)> = chunk.present_cells().collect();
+    let mut buf = BytesMut::with_capacity(4 + 2 + chunk.shape().len() * 4 + 4 + present.len() * 12);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(match chunk.data() {
+        ChunkData::Dense { .. } => 0,
+        ChunkData::Sparse { .. } => 1,
+    });
+    buf.put_u8(chunk.shape().len() as u8);
+    for &s in chunk.shape() {
+        buf.put_u32_le(s);
+    }
+    buf.put_u32_le(present.len() as u32);
+    for (off, v) in present {
+        buf.put_u32_le(off);
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a chunk.
+pub fn decode(mut buf: &[u8]) -> Result<Chunk> {
+    if buf.remaining() < 6 {
+        return Err(StoreError::Corrupt("record too short".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt(format!("bad magic 0x{magic:08X}")));
+    }
+    let layout = buf.get_u8();
+    let rank = buf.get_u8() as usize;
+    if buf.remaining() < rank * 4 + 4 {
+        return Err(StoreError::Corrupt("truncated shape".into()));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(buf.get_u32_le());
+    }
+    let count = buf.get_u32_le() as usize;
+    if buf.remaining() < count * 12 {
+        return Err(StoreError::Corrupt("truncated entries".into()));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let off = buf.get_u32_le();
+        let v = buf.get_f64_le();
+        entries.push((off, v));
+    }
+    let n: u32 = shape.iter().product();
+    let data = match layout {
+        0 => {
+            let mut values = vec![0.0; n as usize];
+            let mut present = BitSet::new(n);
+            for &(o, v) in &entries {
+                if o >= n {
+                    return Err(StoreError::Corrupt(format!("offset {o} out of {n}")));
+                }
+                values[o as usize] = v;
+                present.insert(o);
+            }
+            ChunkData::Dense { values, present }
+        }
+        1 => ChunkData::Sparse { entries },
+        x => return Err(StoreError::Corrupt(format!("unknown layout {x}"))),
+    };
+    Chunk::from_parts(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::CellValue;
+
+    #[test]
+    fn dense_roundtrip_identical() {
+        let mut c = Chunk::new_dense(vec![3, 4]);
+        c.set(0, CellValue::num(1.5));
+        c.set(11, CellValue::num(-2.0));
+        let d = decode(&encode(&c)).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn sparse_roundtrip_identical() {
+        let mut c = Chunk::new_sparse(vec![100]);
+        for i in (0..100).step_by(7) {
+            c.set(i, CellValue::num(i as f64 / 3.0));
+        }
+        let d = decode(&encode(&c)).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrip() {
+        let c = Chunk::new_sparse(vec![4, 4]);
+        let d = decode(&encode(&c)).unwrap();
+        assert_eq!(c, d);
+        assert_eq!(d.present_count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&Chunk::new_dense(vec![2])).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&{
+            let mut c = Chunk::new_dense(vec![4]);
+            c.set(1, CellValue::num(1.0));
+            c
+        });
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+}

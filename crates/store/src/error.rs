@@ -1,0 +1,63 @@
+//! Storage-layer errors.
+
+use crate::geometry::ChunkId;
+use std::fmt;
+
+/// Errors surfaced by chunk stores and the buffer pool.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The requested chunk does not exist in the store.
+    MissingChunk(ChunkId),
+    /// An I/O error from the file-backed store.
+    Io(std::io::Error),
+    /// A chunk record failed to decode (corruption or version skew).
+    Corrupt(String),
+    /// A coordinate was outside the cube/chunk geometry.
+    OutOfBounds { what: &'static str, got: u64, bound: u64 },
+    /// NaN cannot be stored — ⊥ is represented by [`crate::CellValue::Null`].
+    NanValue,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::MissingChunk(id) => write!(f, "chunk {id:?} not found"),
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt chunk record: {m}"),
+            StoreError::OutOfBounds { what, got, bound } => {
+                write!(f, "{what} {got} out of bounds (max {bound})")
+            }
+            StoreError::NanValue => {
+                write!(f, "NaN cannot be stored; use CellValue::Null for ⊥")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::MissingChunk(ChunkId(7)).to_string().contains('7'));
+        assert!(StoreError::NanValue.to_string().contains("Null"));
+        let e = StoreError::OutOfBounds { what: "cell", got: 9, bound: 4 };
+        assert!(e.to_string().contains("cell"));
+    }
+}

@@ -1,0 +1,335 @@
+//! A fixed-capacity buffer pool over a chunk store.
+//!
+//! The pool is the measuring instrument for Section 5 of the paper: the
+//! perspective-cube executor *pins* every chunk that still awaits a merge,
+//! and [`PoolStats::peak_pinned`] then equals the number of pebbles the
+//! chosen read order required. Unpinned chunks are cached LRU up to
+//! `capacity`; pinned chunks are never evicted (the pool grows past
+//! capacity if it must, counting [`PoolStats::overflows`]).
+
+use crate::chunk::Chunk;
+use crate::geometry::ChunkId;
+use crate::store::ChunkStore;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests satisfied from the pool.
+    pub hits: u64,
+    /// Requests that had to read from the store.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Maximum simultaneously resident frames.
+    pub peak_resident: u64,
+    /// Maximum simultaneously pinned frames — the "pebble count" of
+    /// Section 5.2.
+    pub peak_pinned: u64,
+    /// Times a frame had to be admitted with every other frame pinned
+    /// (capacity exceeded).
+    pub overflows: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    chunk: Arc<Chunk>,
+    pins: u32,
+    last_use: u64,
+    dirty: bool,
+}
+
+/// LRU buffer pool with pinning.
+pub struct BufferPool {
+    store: Box<dyn ChunkStore>,
+    capacity: usize,
+    frames: HashMap<ChunkId, Frame>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Wraps `store` with a pool of at most `capacity` resident chunks
+    /// (minimum 1).
+    pub fn new(store: Box<dyn ChunkStore>, capacity: usize) -> Self {
+        BufferPool {
+            store,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    fn touch(&mut self, id: ChunkId) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(f) = self.frames.get_mut(&id) {
+            f.last_use = tick;
+        }
+    }
+
+    fn admit(&mut self, id: ChunkId, chunk: Arc<Chunk>, dirty: bool) -> Result<()> {
+        // Make room first: evict the least-recently-used unpinned frame.
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(_, f)| f.pins == 0)
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(&id, _)| id);
+            match victim {
+                Some(v) => {
+                    self.flush_frame(v)?;
+                    self.frames.remove(&v);
+                    self.stats.evictions += 1;
+                }
+                None => {
+                    // Everything is pinned: exceed capacity rather than fail —
+                    // Section 5's point is to *measure* this, not crash.
+                    self.stats.overflows += 1;
+                    break;
+                }
+            }
+        }
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                chunk,
+                pins: 0,
+                last_use: self.tick,
+                dirty,
+            },
+        );
+        self.stats.peak_resident = self.stats.peak_resident.max(self.frames.len() as u64);
+        Ok(())
+    }
+
+    fn flush_frame(&mut self, id: ChunkId) -> Result<()> {
+        if let Some(f) = self.frames.get(&id) {
+            if f.dirty {
+                let chunk = Arc::clone(&f.chunk);
+                self.store.write(id, &chunk)?;
+                if let Some(f) = self.frames.get_mut(&id) {
+                    f.dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches a chunk (cached or from the store), unpinned.
+    pub fn get(&mut self, id: ChunkId) -> Result<Arc<Chunk>> {
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+            self.touch(id);
+            return Ok(Arc::clone(&self.frames[&id].chunk));
+        }
+        self.stats.misses += 1;
+        let chunk = Arc::new(self.store.read(id)?);
+        self.admit(id, Arc::clone(&chunk), false)?;
+        Ok(chunk)
+    }
+
+    /// Fetches and pins a chunk; it stays resident until unpinned.
+    pub fn pin(&mut self, id: ChunkId) -> Result<Arc<Chunk>> {
+        let chunk = self.get(id)?;
+        let f = self.frames.get_mut(&id).expect("frame admitted by get");
+        f.pins += 1;
+        let pinned = self.pinned_count() as u64;
+        self.stats.peak_pinned = self.stats.peak_pinned.max(pinned);
+        Ok(chunk)
+    }
+
+    /// Releases one pin. Panics if the chunk is not pinned (a pin/unpin
+    /// imbalance is always an executor bug worth failing loudly on).
+    pub fn unpin(&mut self, id: ChunkId) {
+        let f = self
+            .frames
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unpin of non-resident chunk {id:?}"));
+        assert!(f.pins > 0, "unpin of unpinned chunk {id:?}");
+        f.pins -= 1;
+    }
+
+    /// Replaces a chunk's contents (write-through is deferred until
+    /// eviction or [`BufferPool::flush_all`]).
+    pub fn put(&mut self, id: ChunkId, chunk: Chunk) -> Result<()> {
+        let arc = Arc::new(chunk);
+        if let Some(f) = self.frames.get_mut(&id) {
+            f.chunk = arc;
+            f.dirty = true;
+            self.touch(id);
+            return Ok(());
+        }
+        self.admit(id, arc, true)
+    }
+
+    /// Writes every dirty frame back to the store.
+    pub fn flush_all(&mut self) -> Result<()> {
+        let ids: Vec<ChunkId> = self.frames.keys().copied().collect();
+        for id in ids {
+            self.flush_frame(id)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the chunk exists (resident or in the backing store).
+    pub fn contains(&self, id: ChunkId) -> bool {
+        self.frames.contains_key(&id) || self.store.contains(id)
+    }
+
+    /// Currently resident frames.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Currently pinned frames.
+    pub fn pinned_count(&self) -> usize {
+        self.frames.values().filter(|f| f.pins > 0).count()
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (keeps resident frames).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Immutable access to the backing store.
+    pub fn store(&self) -> &dyn ChunkStore {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the backing store (reorganization, seek models).
+    pub fn store_mut(&mut self) -> &mut dyn ChunkStore {
+        self.store.as_mut()
+    }
+
+    /// Flushes and drops every frame, forcing subsequent reads back to
+    /// the store. Panics if any frame is pinned.
+    pub fn clear(&mut self) -> Result<()> {
+        assert_eq!(self.pinned_count(), 0, "clear() with pinned frames");
+        self.flush_all()?;
+        self.frames.clear();
+        Ok(())
+    }
+
+    /// Flushes and returns the backing store.
+    pub fn into_store(mut self) -> Result<Box<dyn ChunkStore>> {
+        self.flush_all()?;
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use crate::value::CellValue;
+
+    fn store_with(n: u64) -> Box<dyn ChunkStore> {
+        let mut s = MemStore::new();
+        for i in 0..n {
+            let mut c = Chunk::new_dense(vec![2]);
+            c.set(0, CellValue::num(i as f64));
+            s.write(ChunkId(i), &c).unwrap();
+        }
+        Box::new(s)
+    }
+
+    #[test]
+    fn hits_and_misses() {
+        let mut p = BufferPool::new(store_with(4), 2);
+        p.get(ChunkId(0)).unwrap();
+        p.get(ChunkId(0)).unwrap();
+        let s = p.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut p = BufferPool::new(store_with(4), 2);
+        p.get(ChunkId(0)).unwrap();
+        p.get(ChunkId(1)).unwrap();
+        p.get(ChunkId(0)).unwrap(); // 1 is now LRU
+        p.get(ChunkId(2)).unwrap(); // evicts 1
+        assert_eq!(p.stats().evictions, 1);
+        p.get(ChunkId(0)).unwrap(); // still resident
+        assert_eq!(p.stats().hits, 2);
+        p.get(ChunkId(1)).unwrap(); // must re-read
+        assert_eq!(p.stats().misses, 4);
+    }
+
+    #[test]
+    fn pinned_chunks_survive_pressure() {
+        let mut p = BufferPool::new(store_with(5), 2);
+        p.pin(ChunkId(0)).unwrap();
+        p.pin(ChunkId(1)).unwrap();
+        // Pool full of pins; next get overflows rather than evicting.
+        p.get(ChunkId(2)).unwrap();
+        assert!(p.stats().overflows >= 1);
+        assert!(p.resident() >= 3);
+        p.unpin(ChunkId(0));
+        p.unpin(ChunkId(1));
+    }
+
+    #[test]
+    fn peak_pinned_tracks_pebbles() {
+        let mut p = BufferPool::new(store_with(5), 10);
+        p.pin(ChunkId(0)).unwrap();
+        p.pin(ChunkId(1)).unwrap();
+        p.pin(ChunkId(2)).unwrap();
+        p.unpin(ChunkId(1));
+        p.pin(ChunkId(3)).unwrap();
+        assert_eq!(p.stats().peak_pinned, 3);
+        assert_eq!(p.pinned_count(), 3);
+    }
+
+    #[test]
+    fn put_writes_back_on_flush() {
+        let mut p = BufferPool::new(store_with(2), 2);
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(1, CellValue::num(42.0));
+        p.put(ChunkId(0), c.clone()).unwrap();
+        p.flush_all().unwrap();
+        let store = p.into_store().unwrap();
+        assert_eq!(store.read(ChunkId(0)).unwrap().get(1), CellValue::Num(42.0));
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_frames() {
+        let mut p = BufferPool::new(store_with(3), 1);
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(0, CellValue::num(7.0));
+        p.put(ChunkId(0), c).unwrap();
+        p.get(ChunkId(1)).unwrap(); // evicts dirty 0
+        let store = p.into_store().unwrap();
+        assert_eq!(store.read(ChunkId(0)).unwrap().get(0), CellValue::Num(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin")]
+    fn unbalanced_unpin_panics() {
+        let mut p = BufferPool::new(store_with(1), 2);
+        p.get(ChunkId(0)).unwrap();
+        p.unpin(ChunkId(0));
+    }
+}

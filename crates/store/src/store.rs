@@ -1,0 +1,148 @@
+//! The chunk-store abstraction and its I/O statistics.
+
+use crate::chunk::Chunk;
+use crate::geometry::ChunkId;
+use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative I/O counters, kept with interior mutability so reads can
+/// stay `&self`.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    /// Sum of absolute file-offset distances between consecutive reads —
+    /// the quantity the paper's Fig. 12 varies via chunk co-location.
+    seek_distance: AtomicU64,
+}
+
+impl IoStats {
+    /// Records a chunk read of `bytes` at seek distance `dist`.
+    pub fn record_read(&self, bytes: u64, dist: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.seek_distance.fetch_add(dist, Ordering::Relaxed);
+    }
+
+    /// Records a chunk write of `bytes`.
+    pub fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of chunk reads.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of chunk writes.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total seek distance across reads.
+    pub fn seek_distance(&self) -> u64 {
+        self.seek_distance.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.seek_distance.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+            bytes_read: self.bytes_read(),
+            bytes_written: self.bytes_written(),
+            seek_distance: self.seek_distance(),
+        }
+    }
+}
+
+/// A plain-value copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Number of chunk reads.
+    pub reads: u64,
+    /// Number of chunk writes.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total seek distance across reads.
+    pub seek_distance: u64,
+}
+
+/// A keyed store of chunks.
+///
+/// Chunks are read by value: the perspective-cube executor mutates private
+/// copies while merging, and the buffer pool handles sharing.
+pub trait ChunkStore: Send {
+    /// Reads a chunk, erroring if absent.
+    fn read(&self, id: ChunkId) -> Result<Chunk>;
+
+    /// Writes (or replaces) a chunk.
+    fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()>;
+
+    /// Whether the chunk exists. Absent chunks are implicitly all-⊥.
+    fn contains(&self, id: ChunkId) -> bool;
+
+    /// Ids of all stored chunks, ascending.
+    fn ids(&self) -> Vec<ChunkId>;
+
+    /// Cumulative I/O counters.
+    fn stats(&self) -> &IoStats;
+
+    /// Number of stored chunks.
+    fn chunk_count(&self) -> usize {
+        self.ids().len()
+    }
+
+    /// Downcast support (e.g. to reach [`crate::FileStore::reorganize`]
+    /// through a `Box<dyn ChunkStore>`).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let s = IoStats::default();
+        s.record_read(100, 10);
+        s.record_read(50, 0);
+        s.record_write(30);
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.seek_distance(), 10);
+        assert_eq!(s.writes(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_written, 30);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

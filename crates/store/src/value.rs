@@ -1,0 +1,131 @@
+//! Cell values, including the paper's ⊥ (meaningless) null.
+
+use std::fmt;
+
+/// The value of one cube cell.
+///
+/// `Null` is the paper's ⊥: the combination of members is *meaningless*
+/// (e.g. `(FTE/Joe, Feb)` when Joe was not an FTE in February). Aggregation
+/// rules skip ⊥ cells; a non-leaf cell whose entire scope is ⊥ is itself ⊥.
+///
+/// NaN is deliberately unrepresentable: constructors reject it so that ⊥
+/// has exactly one encoding and chunk equality stays bitwise.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub enum CellValue {
+    /// ⊥ — the member combination is meaningless / has no data.
+    #[default]
+    Null,
+    /// A numeric measure value.
+    Num(f64),
+}
+
+impl CellValue {
+    /// Wraps a number, panicking on NaN (use [`CellValue::try_num`] to
+    /// handle untrusted input).
+    #[inline]
+    pub fn num(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN cannot be a cell value; use CellValue::Null");
+        CellValue::Num(v)
+    }
+
+    /// Wraps a number, rejecting NaN.
+    #[inline]
+    pub fn try_num(v: f64) -> crate::Result<Self> {
+        if v.is_nan() {
+            Err(crate::StoreError::NanValue)
+        } else {
+            Ok(CellValue::Num(v))
+        }
+    }
+
+    /// `true` for ⊥.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, CellValue::Null)
+    }
+
+    /// The numeric value, if present.
+    #[inline]
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            CellValue::Null => None,
+            CellValue::Num(v) => Some(v),
+        }
+    }
+
+    /// The numeric value, defaulting ⊥ to 0.0 (for presentation only —
+    /// aggregation must *skip* ⊥, not zero it, to keep AVG/MIN/MAX right).
+    #[inline]
+    pub fn or_zero(self) -> f64 {
+        self.as_f64().unwrap_or(0.0)
+    }
+}
+
+impl From<Option<f64>> for CellValue {
+    fn from(v: Option<f64>) -> Self {
+        match v {
+            Some(x) => CellValue::num(x),
+            None => CellValue::Null,
+        }
+    }
+}
+
+impl From<CellValue> for Option<f64> {
+    fn from(v: CellValue) -> Self {
+        v.as_f64()
+    }
+}
+
+impl fmt::Debug for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Null => write!(f, "⊥"),
+            CellValue::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Null => write!(f, "⊥"),
+            CellValue::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrips_through_option() {
+        assert_eq!(CellValue::from(None), CellValue::Null);
+        assert_eq!(Option::<f64>::from(CellValue::Null), None);
+        assert_eq!(CellValue::from(Some(2.5)), CellValue::Num(2.5));
+    }
+
+    #[test]
+    fn or_zero_only_defaults_null() {
+        assert_eq!(CellValue::Null.or_zero(), 0.0);
+        assert_eq!(CellValue::num(3.0).or_zero(), 3.0);
+    }
+
+    #[test]
+    fn try_num_rejects_nan() {
+        assert!(CellValue::try_num(f64::NAN).is_err());
+        assert!(CellValue::try_num(1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn num_panics_on_nan() {
+        let _ = CellValue::num(f64::NAN);
+    }
+
+    #[test]
+    fn display_uses_bottom() {
+        assert_eq!(CellValue::Null.to_string(), "⊥");
+        assert_eq!(CellValue::num(10.0).to_string(), "10");
+    }
+}

@@ -1,0 +1,175 @@
+//! A retail dataset built around the paper's Fig. 7 product catalog.
+//!
+//! Products 1001, 1002, 2001, 3001 roll up into families 100, 200, 300;
+//! product 1001 is reclassified during the year (the "varying Product
+//! members" of Fig. 7/8). Markets NY/MA/CA carry Sales and COGS, with the
+//! Section 2 rules: `Margin = Sales − COGS`, `For Market = East, Margin =
+//! 0.93 × Sales − COGS`, and `Margin% = Margin / COGS × 100`.
+
+use olap_cube::rules::{Expr, FormulaRule};
+use olap_cube::{Cube, RuleSet};
+use olap_model::{DimensionId, DimensionSpec, Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// The built retail warehouse.
+pub struct Retail {
+    /// The cube (Product × Market × Time × Measures).
+    pub cube: Cube,
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// Product (varying over Time).
+    pub product: DimensionId,
+    /// Market.
+    pub market: DimensionId,
+    /// Time.
+    pub time: DimensionId,
+    /// Measures (Sales, COGS, Margin, MarginPct).
+    pub measures: DimensionId,
+}
+
+/// Builds the retail example (12 months, seeded data).
+pub fn retail_example(seed: u64) -> Retail {
+    let schema = Arc::new(
+        SchemaBuilder::new()
+            .dimension(DimensionSpec::new("Product").tree(&[
+                ("100", &["1001", "1002"][..]),
+                ("200", &["2001"]),
+                ("300", &["3001"]),
+            ]))
+            .dimension(DimensionSpec::new("Market").tree(&[
+                ("East", &["NY", "MA"][..]),
+                ("West", &["CA"]),
+            ]))
+            .dimension(DimensionSpec::new("Time").ordered().leaves(&[
+                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+                "Dec",
+            ]))
+            .dimension(
+                DimensionSpec::new("Measures")
+                    .measures()
+                    .leaves(&["Sales", "COGS", "Margin", "MarginPct"]),
+            )
+            .varying("Product", "Time")
+            // Fig. 7: product 1001 changes families during the year.
+            .reclassify("Product", "1001", "200", "Apr")
+            .reclassify("Product", "1001", "300", "Sep")
+            .build()
+            .expect("static schema"),
+    );
+    let product = schema.resolve_dimension("Product").expect("product");
+    let market = schema.resolve_dimension("Market").expect("market");
+    let time = schema.resolve_dimension("Time").expect("time");
+    let measures = schema.resolve_dimension("Measures").expect("measures");
+    let md = schema.dim(measures);
+    let sales = md.resolve("Sales").expect("sales");
+    let cogs = md.resolve("COGS").expect("cogs");
+    let margin = md.resolve("Margin").expect("margin");
+    let pct = md.resolve("MarginPct").expect("pct");
+    let east = schema.dim(market).resolve("East").expect("east");
+
+    let mut rules = RuleSet::new();
+    rules.set_measure_dim(measures);
+    rules.add_formula(FormulaRule {
+        target: margin,
+        scope: vec![],
+        expr: Expr::measure(sales).sub(Expr::measure(cogs)),
+    });
+    rules.add_formula(FormulaRule {
+        target: margin,
+        scope: vec![(market, east)],
+        expr: Expr::constant(0.93)
+            .mul(Expr::measure(sales))
+            .sub(Expr::measure(cogs)),
+    });
+    rules.add_formula(FormulaRule {
+        target: pct,
+        scope: vec![],
+        expr: Expr::measure(margin)
+            .div(Expr::measure(cogs))
+            .mul(Expr::constant(100.0)),
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Cube::builder(Arc::clone(&schema), vec![2, 2, 3, 2])
+        .expect("geometry")
+        .rules(rules);
+    let sales_ord = md.leaf_ordinal(sales).expect("leaf");
+    let cogs_ord = md.leaf_ordinal(cogs).expect("leaf");
+    let varying = schema.varying(product).expect("varying");
+    let n_markets = schema.axis_len(market);
+    for (i, inst) in varying.instances().iter().enumerate() {
+        for t in inst.validity.iter() {
+            for mk in 0..n_markets {
+                let s = rng.random_range(500.0..1500.0_f64).round();
+                let c = (s * rng.random_range(0.4..0.8)).round();
+                b.set_num(&[i as u32, mk, t, sales_ord], s).expect("in range");
+                b.set_num(&[i as u32, mk, t, cogs_ord], c).expect("in range");
+            }
+        }
+    }
+    Retail {
+        cube: b.finish().expect("build"),
+        schema,
+        product,
+        market,
+        time,
+        measures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_cube::{CellEvaluator, Sel};
+
+    #[test]
+    fn product_1001_has_three_instances() {
+        let r = retail_example(1);
+        let v = r.schema.varying(r.product).unwrap();
+        let p = r.schema.dim(r.product).resolve("1001").unwrap();
+        let names: Vec<String> = v
+            .instances_of(p)
+            .iter()
+            .map(|&i| v.instance_name(r.schema.dim(r.product), i))
+            .collect();
+        assert_eq!(names, vec!["100/1001", "200/1001", "300/1001"]);
+    }
+
+    #[test]
+    fn margin_rules_fire() {
+        let r = retail_example(2);
+        let ev = CellEvaluator::new(&r.cube);
+        let md = r.schema.dim(r.measures);
+        let sel = |mname: &str, market: &str| {
+            vec![
+                Sel::Member(olap_model::MemberId::ROOT),
+                Sel::Member(r.schema.dim(r.market).resolve(market).unwrap()),
+                Sel::Member(r.schema.dim(r.time).resolve("Jan").unwrap()),
+                Sel::Member(md.resolve(mname).unwrap()),
+            ]
+        };
+        let s = ev.value(&sel("Sales", "CA")).unwrap().as_f64().unwrap();
+        let c = ev.value(&sel("COGS", "CA")).unwrap().as_f64().unwrap();
+        let m = ev.value(&sel("Margin", "CA")).unwrap().as_f64().unwrap();
+        assert!((m - (s - c)).abs() < 1e-9);
+        // East uses the scoped 0.93 rule.
+        let s = ev.value(&sel("Sales", "East")).unwrap().as_f64().unwrap();
+        let c = ev.value(&sel("COGS", "East")).unwrap().as_f64().unwrap();
+        let m = ev.value(&sel("Margin", "East")).unwrap().as_f64().unwrap();
+        assert!((m - (0.93 * s - c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sales_positive_everywhere_valid() {
+        let r = retail_example(3);
+        let total = r.cube.total_sum().unwrap();
+        assert!(total > 0.0);
+        // 5 instances (1001×3 + 1002 + 2001 + 3001 = 6) — validity
+        // partitions 12 months; every (instance-month, market) has 2 cells.
+        let v = r.schema.varying(r.product).unwrap();
+        let months: u32 = v.instances().iter().map(|i| i.validity.len()).sum();
+        assert_eq!(r.cube.present_cell_count().unwrap(), months as u64 * 3 * 2);
+    }
+}

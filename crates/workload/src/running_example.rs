@@ -1,0 +1,219 @@
+//! The paper's running example (Fig. 1 / Fig. 2).
+//!
+//! Dimensions: Organization (FTE / PTE / Contractor with employees),
+//! Location (East / West / South with states), Time (two quarters of
+//! three months), Measures (Compensation: Salary, Benefits;
+//! Productivity: Products, Services).
+//!
+//! Organization varies over Time: Joe is FTE in Jan, PTE in Feb,
+//! Contractor from Mar onward except May (vacation ⇒ every cell ⊥). The
+//! supplied paper text garbles the numeric tables, so values follow the
+//! prose (see DESIGN.md §8): every *active* employee instance earns
+//! Salary 10 and Benefits 2 per month in NY, and produces Products 5 /
+//! Services 3. Sue, Dave and the other listed-but-inactive members carry
+//! no data ("a cube never stores data corresponding to non-active
+//! members").
+
+use olap_cube::{AggFn, Cube, RuleSet};
+use olap_model::{DimensionId, DimensionSpec, Schema, SchemaBuilder};
+use std::sync::Arc;
+
+/// The built warehouse plus the ids examples and tests need.
+pub struct RunningExample {
+    /// The cube (Organization × Location × Time × Measures).
+    pub cube: Cube,
+    /// The schema (shared with the cube).
+    pub schema: Arc<Schema>,
+    /// Organization (the varying dimension).
+    pub org: DimensionId,
+    /// Location.
+    pub location: DimensionId,
+    /// Time (the parameter dimension).
+    pub time: DimensionId,
+    /// Measures.
+    pub measures: DimensionId,
+}
+
+/// Builds the running example.
+pub fn running_example() -> RunningExample {
+    let schema = Arc::new(
+        SchemaBuilder::new()
+            .dimension(DimensionSpec::new("Organization").tree(&[
+                ("FTE", &["Joe", "Lisa", "Sue"][..]),
+                ("PTE", &["Tom", "Dave"]),
+                ("Contractor", &["Jane"]),
+            ]))
+            .dimension(DimensionSpec::new("Location").tree(&[
+                ("East", &["NY", "MA", "NH"][..]),
+                ("West", &["CA", "OR", "WA"]),
+                ("South", &["TX", "FL"]),
+            ]))
+            .dimension(DimensionSpec::new("Time").ordered().tree(&[
+                ("Qtr1", &["Jan", "Feb", "Mar"][..]),
+                ("Qtr2", &["Apr", "May", "Jun"]),
+            ]))
+            .dimension(DimensionSpec::new("Measures").measures().tree(&[
+                ("Compensation", &["Salary", "Benefits"][..]),
+                ("Productivity", &["Products", "Services"]),
+            ]))
+            .varying("Organization", "Time")
+            .reclassify("Organization", "Joe", "PTE", "Feb")
+            .reclassify("Organization", "Joe", "Contractor", "Mar")
+            .clear_at("Organization", "Joe", &["May"])
+            .build()
+            .expect("running example schema is static"),
+    );
+    let org = schema.resolve_dimension("Organization").expect("org");
+    let location = schema.resolve_dimension("Location").expect("location");
+    let time = schema.resolve_dimension("Time").expect("time");
+    let measures = schema.resolve_dimension("Measures").expect("measures");
+
+    let mut rules = RuleSet::new();
+    rules.set_measure_dim(measures);
+    rules.set_default_agg(AggFn::Sum);
+
+    let mut b = Cube::builder(Arc::clone(&schema), vec![2, 3, 3, 2])
+        .expect("geometry")
+        .rules(rules);
+
+    let ny = schema.dim(location).resolve("NY").expect("NY");
+    let ny_slot = schema.dim(location).leaf_ordinal(ny).expect("leaf");
+    let m = |name: &str| {
+        let id = schema.dim(measures).resolve(name).expect("measure");
+        schema.dim(measures).leaf_ordinal(id).expect("leaf")
+    };
+    let (salary, benefits, products, services) =
+        (m("Salary"), m("Benefits"), m("Products"), m("Services"));
+
+    // Active employees: every instance of Joe, Lisa, Tom, Jane.
+    let active = ["Joe", "Lisa", "Tom", "Jane"];
+    let varying = schema.varying(org).expect("varying");
+    for (i, inst) in varying.instances().iter().enumerate() {
+        let name = schema.dim(org).member_name(inst.member);
+        if !active.contains(&name) {
+            continue;
+        }
+        for t in inst.validity.iter() {
+            for (measure, value) in [
+                (salary, 10.0),
+                (benefits, 2.0),
+                (products, 5.0),
+                (services, 3.0),
+            ] {
+                b.set_num(&[i as u32, ny_slot, t, measure], value)
+                    .expect("in range");
+            }
+        }
+    }
+    let cube = b.finish().expect("build");
+    RunningExample {
+        cube,
+        schema,
+        org,
+        location,
+        time,
+        measures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_cube::{CellEvaluator, Sel};
+    use olap_store::CellValue;
+
+    #[test]
+    fn shape_matches_fig1() {
+        let ex = running_example();
+        // Organization axis: Joe×3 + Lisa + Sue + Tom + Dave + Jane = 8.
+        assert_eq!(ex.schema.axis_len(ex.org), 8);
+        assert_eq!(ex.schema.axis_len(ex.time), 6);
+        assert_eq!(ex.schema.axis_len(ex.location), 8);
+        assert_eq!(ex.schema.axis_len(ex.measures), 4);
+    }
+
+    #[test]
+    fn joe_instances_match_fig2() {
+        let ex = running_example();
+        let joe = ex.schema.dim(ex.org).resolve("Joe").unwrap();
+        let v = ex.schema.varying(ex.org).unwrap();
+        let names: Vec<String> = v
+            .instances_of(joe)
+            .iter()
+            .map(|&i| v.instance_name(ex.schema.dim(ex.org), i))
+            .collect();
+        assert_eq!(names, vec!["FTE/Joe", "PTE/Joe", "Contractor/Joe"]);
+    }
+
+    #[test]
+    fn meaningless_cells_are_bottom() {
+        // (FTE/Joe, Feb) is meaningless.
+        let ex = running_example();
+        let v = ex.schema.varying(ex.org).unwrap();
+        let joe = ex.schema.dim(ex.org).resolve("Joe").unwrap();
+        let fte_joe = v.instances_of(joe)[0];
+        assert_eq!(
+            ex.cube.get(&[fte_joe.0, 0, 1, 0]).unwrap(),
+            CellValue::Null
+        );
+        assert_eq!(
+            ex.cube.get(&[fte_joe.0, 0, 0, 0]).unwrap(),
+            CellValue::Num(10.0)
+        );
+    }
+
+    #[test]
+    fn quarter_rollups() {
+        let ex = running_example();
+        let ev = CellEvaluator::new(&ex.cube);
+        let d = |dim: DimensionId, name: &str| {
+            Sel::Member(ex.schema.dim(dim).resolve(name).unwrap())
+        };
+        // Joe's Salary over Qtr1 in NY across all instances: 30.
+        let v = ev
+            .value(&[
+                d(ex.org, "Joe"),
+                d(ex.location, "NY"),
+                d(ex.time, "Qtr1"),
+                d(ex.measures, "Salary"),
+            ])
+            .unwrap();
+        assert_eq!(v, CellValue::Num(30.0));
+        // Qtr2: May vacation ⇒ 20.
+        let v = ev
+            .value(&[
+                d(ex.org, "Joe"),
+                d(ex.location, "NY"),
+                d(ex.time, "Qtr2"),
+                d(ex.measures, "Salary"),
+            ])
+            .unwrap();
+        assert_eq!(v, CellValue::Num(20.0));
+        // Compensation (Salary + Benefits) for everyone in Jan: 4 × 12.
+        let v = ev
+            .value(&[
+                Sel::Member(olap_model::MemberId::ROOT),
+                d(ex.location, "East"),
+                d(ex.time, "Jan"),
+                d(ex.measures, "Compensation"),
+            ])
+            .unwrap();
+        assert_eq!(v, CellValue::Num(48.0));
+    }
+
+    #[test]
+    fn inactive_members_have_no_data() {
+        let ex = running_example();
+        let ev = CellEvaluator::new(&ex.cube);
+        let sue = ex.schema.dim(ex.org).resolve("Sue").unwrap();
+        let v = ev
+            .value(&[
+                Sel::Member(sue),
+                Sel::Member(olap_model::MemberId::ROOT),
+                Sel::Member(olap_model::MemberId::ROOT),
+                Sel::Member(olap_model::MemberId::ROOT),
+            ])
+            .unwrap();
+        assert_eq!(v, CellValue::Null);
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: build a small warehouse with a changing dimension, run a
+//! classic query, then ask a what-if question about the change.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use olap_cube::{CellEvaluator, Cube, RuleSet, Sel};
+use olap_mdx::{execute, QueryContext};
+use olap_model::{DimensionSpec, SchemaBuilder};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A schema: Organization varies over Time — Joe moves from FTE to
+    //    Contractor in March.
+    let schema = Arc::new(
+        SchemaBuilder::new()
+            .dimension(DimensionSpec::new("Organization").tree(&[
+                ("FTE", &["Joe", "Lisa"][..]),
+                ("Contractor", &["Jane"]),
+            ]))
+            .dimension(DimensionSpec::new("Time").ordered().tree(&[
+                ("Q1", &["Jan", "Feb", "Mar"][..]),
+                ("Q2", &["Apr", "May", "Jun"]),
+            ]))
+            .dimension(DimensionSpec::new("Measures").measures().leaves(&["Salary"]))
+            .varying("Organization", "Time")
+            .reclassify("Organization", "Joe", "Contractor", "Mar")
+            .build()
+            .expect("schema"),
+    );
+    let org = schema.resolve_dimension("Organization").unwrap();
+    let time = schema.resolve_dimension("Time").unwrap();
+
+    // 2. Load a cube: every valid employee instance earns 10 per month.
+    let mut rules = RuleSet::new();
+    rules.set_measure_dim(schema.resolve_dimension("Measures").unwrap());
+    let mut builder = Cube::builder(Arc::clone(&schema), vec![2, 3, 1])
+        .expect("geometry")
+        .rules(rules);
+    let varying = schema.varying(org).unwrap();
+    for (i, inst) in varying.instances().iter().enumerate() {
+        for t in inst.validity.iter() {
+            builder.set_num(&[i as u32, t, 0], 10.0).unwrap();
+        }
+    }
+    let cube = builder.finish().expect("cube");
+
+    // 3. Member instances got created automatically.
+    let joe = schema.dim(org).resolve("Joe").unwrap();
+    let month_names = schema.dim(time).leaf_names();
+    println!("Joe's instances:");
+    for &inst in varying.instances_of(joe) {
+        let node = varying.instance(inst);
+        println!(
+            "  {:<16} valid at {}",
+            varying.instance_name(schema.dim(org), inst),
+            node.validity.display_with(&month_names),
+        );
+    }
+
+    // 4. A classic rollup: FTE salaries per quarter.
+    let ev = CellEvaluator::new(&cube);
+    let fte = schema.dim(org).resolve("FTE").unwrap();
+    for q in ["Q1", "Q2"] {
+        let v = ev
+            .value(&[
+                Sel::Member(fte),
+                Sel::Member(schema.dim(time).resolve(q).unwrap()),
+                Sel::Slot(0),
+            ])
+            .unwrap();
+        println!("FTE salary in {q}: {v}");
+    }
+
+    // 5. The what-if: what if the January structure (Joe still FTE) had
+    //    continued all year? Extended MDX does it in one clause.
+    let ctx = QueryContext::new(&cube);
+    let grid = execute(
+        &ctx,
+        "WITH PERSPECTIVE {(Jan)} FOR Organization DYNAMIC FORWARD VISUAL \
+         SELECT {Time.[Q1], Time.[Q2]} ON COLUMNS, \
+         {Organization.[FTE], Organization.[Contractor]} ON ROWS \
+         FROM [Warehouse] WHERE (Measures.[Salary])",
+    )
+    .expect("what-if query");
+    println!("\nWhat if Joe had stayed FTE all year?\n{grid}");
+}

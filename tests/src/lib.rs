@@ -1,0 +1,104 @@
+//! Shared helpers for the integration tests: deterministic random
+//! schemas, scenarios, and cubes used by the property-based suites.
+
+use olap_cube::Cube;
+use olap_model::{DimensionId, Schema};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// A randomly generated varying-dimension warehouse.
+pub struct RandomWarehouse {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// The loaded cube.
+    pub cube: Cube,
+    /// The varying dimension.
+    pub dim: DimensionId,
+    /// Moments of the parameter dimension.
+    pub moments: u32,
+}
+
+/// Builds a small random warehouse: a varying dimension with `groups`
+/// non-leaf parents and `members` leaves, a parameter dimension with
+/// `moments` leaves, an extra context dimension, random reclassifications
+/// and vacations, and dense-ish random data. Fully determined by `seed`.
+pub fn random_warehouse(
+    seed: u64,
+    groups: u32,
+    members: u32,
+    moments: u32,
+    changers: u32,
+) -> RandomWarehouse {
+    assert!(groups >= 2 && members >= 1 && moments >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schema = Schema::new();
+
+    let time = schema.add_dimension("T");
+    for t in 0..moments {
+        schema.dim_mut(time).add_child_of_root(&format!("t{t}")).unwrap();
+    }
+    schema.dim_mut(time).set_ordered(true);
+
+    let d = schema.add_dimension("D");
+    let mut group_ids = Vec::new();
+    for g in 0..groups {
+        group_ids.push(schema.dim_mut(d).add_child_of_root(&format!("g{g}")).unwrap());
+    }
+    let mut leaf_ids = Vec::new();
+    for m in 0..members {
+        let g = group_ids[(m % groups) as usize];
+        leaf_ids.push(schema.dim_mut(d).add_member(&format!("m{m}"), g).unwrap());
+    }
+
+    let ctx = schema.add_dimension("X");
+    for x in 0..3 {
+        schema.dim_mut(ctx).add_child_of_root(&format!("x{x}")).unwrap();
+    }
+
+    schema.make_varying(d, time).unwrap();
+    for c in 0..changers.min(members) {
+        let leaf = leaf_ids[c as usize];
+        let n_moves = rng.random_range(1..=3u32).min(moments - 1);
+        for _ in 0..n_moves {
+            let at = rng.random_range(1..moments);
+            let to = group_ids[rng.random_range(0..groups) as usize];
+            schema.reclassify(d, leaf, to, at).unwrap();
+        }
+        if rng.random_range(0..4u32) == 0 {
+            // An occasional vacation.
+            let at = rng.random_range(0..moments);
+            schema.clear_at(d, leaf, [at]).unwrap();
+        }
+    }
+    schema.seal();
+    schema.validate().unwrap();
+    let schema = Arc::new(schema);
+
+    let extent = rng.random_range(1..=3u32);
+    let mut b = Cube::builder(Arc::clone(&schema), vec![extent, 2, 2]).unwrap();
+    let varying = schema.varying(d).unwrap();
+    for (i, inst) in varying.instances().iter().enumerate() {
+        for t in inst.validity.iter() {
+            for x in 0..3u32 {
+                if rng.random_range(0..5u32) > 0 {
+                    // 80% dense over valid cells.
+                    let v = rng.random_range(1.0..100.0_f64).round();
+                    b.set_num(&[t, i as u32, x], v).unwrap();
+                }
+            }
+        }
+    }
+    RandomWarehouse {
+        cube: b.finish().unwrap(),
+        schema,
+        dim: d,
+        moments,
+    }
+}
+
+/// All five semantics, for exhaustive sweeps.
+pub fn all_semantics() -> [whatif_core::Semantics; 5] {
+    use whatif_core::Semantics::*;
+    [Static, Forward, ExtendedForward, Backward, ExtendedBackward]
+}

@@ -1,0 +1,198 @@
+//! Property-based MDX roundtrip: generated ASTs pretty-print to text that
+//! re-parses to the identical tree; plus paper-verbatim query checks.
+
+use olap_mdx::ast::FilterCond;
+use olap_mdx::{parse, Axis, AxisSpec, DescFlag, MemberExpr, Query, SetExpr};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}",
+        // Bracket-requiring names (spaces, dashes, leading digits).
+        "[a-zA-Z][a-zA-Z0-9 _-]{0,10}[a-zA-Z0-9]",
+        Just("BU Version_1".to_string()),
+        Just("EmployeesWithAtleastOneMove-Set1".to_string()),
+    ]
+}
+
+fn arb_member() -> impl Strategy<Value = MemberExpr> {
+    let leaf = prop_oneof![
+        proptest::collection::vec(arb_name(), 1..4).prop_map(MemberExpr::Path),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|m| MemberExpr::Children(Box::new(m))),
+            proptest::collection::vec(arb_name(), 1..4)
+                .prop_map(|p| MemberExpr::Members(Box::new(MemberExpr::Path(p)))),
+            (arb_name(), 0u32..4).prop_map(|(n, l)| {
+                MemberExpr::LevelsMembers(Box::new(MemberExpr::name(&n)), l)
+            }),
+            (inner, 0u32..4, prop_oneof![
+                Just(DescFlag::SelfOnly),
+                Just(DescFlag::SelfAndAfter)
+            ])
+                .prop_map(|(m, d, f)| MemberExpr::Descendants(Box::new(m), d, f)),
+        ]
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = SetExpr> {
+    let leaf = prop_oneof![
+        arb_member().prop_map(SetExpr::Ref),
+        proptest::collection::vec(arb_member(), 1..4).prop_map(SetExpr::Tuple),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(SetExpr::Braces),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SetExpr::CrossJoin(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SetExpr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u64..100).prop_map(|(s, n)| SetExpr::Head(Box::new(s), n)),
+            (inner.clone(), 0u64..100).prop_map(|(s, n)| SetExpr::Tail(Box::new(s), n)),
+            (
+                inner,
+                proptest::collection::vec(arb_member(), 1..3),
+                prop_oneof![
+                    Just(">"), Just(">="), Just("<"), Just("<="), Just("="), Just("<>")
+                ],
+                prop_oneof![
+                    (0u32..100_000).prop_map(|n| n as f64),
+                    (0u32..10_000).prop_map(|n| n as f64 + 0.25),
+                ],
+            )
+                .prop_map(|(s, members, op, value)| {
+                    SetExpr::Filter(
+                        Box::new(s),
+                        FilterCond { members, op: op.to_string(), value },
+                    )
+                }),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_set(),
+        proptest::option::of(arb_set()),
+        proptest::option::of(proptest::collection::vec(arb_name(), 1..3)),
+        proptest::option::of(proptest::collection::vec(arb_member(), 1..3)),
+    )
+        .prop_map(|(cols, rows, from, slicer)| {
+            let mut axes = vec![AxisSpec {
+                set: cols,
+                properties: vec![],
+                axis: Axis::Columns,
+            }];
+            if let Some(r) = rows {
+                axes.push(AxisSpec {
+                    set: r,
+                    properties: vec![],
+                    axis: Axis::Rows,
+                });
+            }
+            Query {
+                with: None,
+                axes,
+                from,
+                slicer,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_then_parse_is_identity(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(q, reparsed, "text was: {}", printed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics, whatever bytes arrive (it may of course
+    /// return an error).
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,120}") {
+        let _ = parse(&s);
+    }
+
+    /// Nor on token soup built from MDX's own vocabulary (more likely to
+    /// get deep into the grammar than arbitrary bytes).
+    #[test]
+    fn parser_never_panics_on_mdx_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("WITH"),
+                Just("PERSPECTIVE"), Just("CHANGES"), Just("FOR"), Just("ON"),
+                Just("COLUMNS"), Just("ROWS"), Just("{"), Just("}"), Just("("),
+                Just(")"), Just(","), Just("."), Just("CrossJoin"), Just("Union"),
+                Just("Head"), Just("Tail"), Just("Filter"), Just("Descendants"),
+                Just("[A]"), Just("B"), Just("1"), Just("0.5"), Just(">"),
+                Just("<="), Just("STATIC"), Just("FORWARD"), Just("VISUAL"),
+            ],
+            0..40,
+        )
+    ) {
+        let q = words.join(" ");
+        let _ = parse(&q);
+    }
+}
+
+#[test]
+fn paper_queries_parse_verbatim() {
+    // Fig. 10(a)–(c), whitespace-normalized from the paper.
+    let fig10a = "WITH perspective {(Jan), (Jul)} for Department STATIC \
+        select {CrossJoin( {[Account].Levels(0).Members}, {([Current], [Local], \
+        [BU Version_1], [HSP_InputValue])} )} on columns, {CrossJoin( { Union( \
+        {Union( {[EmployeesWithAtleastOneMove-Set1].Children}, \
+        {[EmployeesWithAtleastOneMove-Set2].Children} )}, \
+        {[EmployeesWithAtleastOneMove-Set3].Children})}, \
+        {Descendants([Period],1,self_and_after)} )} \
+        DIMENSION PROPERTIES [Department] on rows from [App].[Db]";
+    let fig10b = "WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department \
+        DYNAMIC FORWARD select {CrossJoin( {[Account].Levels(0).Members}, \
+        {([Current], [Local], [BU Version_1], [HSP_InputValue])} )} on columns, \
+        {CrossJoin( {EmployeeS3}, {Descendants([Period],1,self_and_after)} )} \
+        DIMENSION PROPERTIES [Department] on rows from [App].[Db]";
+    let fig10c = "WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department \
+        DYNAMIC FORWARD select {CrossJoin( {[Account].Levels(0).Members}, \
+        {([Current], [Local], [BU Version_1], [HSP_InputValue])} )} on columns, \
+        {CrossJoin( {Head({[EmployeesWithAtleastOneMove-Set1].Children}, 50)}, \
+        {Descendants([Period],1,self_and_after)} )} \
+        DIMENSION PROPERTIES [Department] on rows from [App].[Db]";
+    for (name, q) in [("10a", fig10a), ("10b", fig10b), ("10c", fig10c)] {
+        parse(q).unwrap_or_else(|e| panic!("Fig. {name} failed to parse: {e}"));
+    }
+    // The Section 3.2 example query.
+    let sec32 = "SELECT {Time.[Q1], Time.[Q2]} ON COLUMNS, \
+        Location.Region.State.MEMBERS ON ROWS FROM Warehouse \
+        WHERE (Organization.[FTE].[Joe], Measures.[Compensation].[Salary])";
+    parse(sec32).unwrap();
+    // The Section 3.4 positive-change clause.
+    let changes = "WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], Apr)} VISUAL \
+        SELECT {Jan} ON COLUMNS FROM [W]";
+    parse(changes).unwrap();
+    // Section 4.1's value predicate, as a Filter.
+    let filter = "SELECT {Filter({Product.[100].Children}, \
+        (Time.[Jan], Measures.[Sales]) > 1000)} ON COLUMNS FROM [W]";
+    parse(filter).unwrap();
+}
+
+#[test]
+fn parse_errors_are_informative() {
+    for (q, needle) in [
+        ("SELECT", "set expression"),
+        ("SELECT {A} ON SIDEWAYS FROM [W]", "COLUMNS"),
+        ("WITH PERSPECTIVE {(Jan)} Department STATIC SELECT {A} ON COLUMNS", "FOR"),
+        ("SELECT {A} ON COLUMNS FROM", "name"),
+    ] {
+        let err = parse(q).unwrap_err().to_string();
+        assert!(err.contains(needle), "error {err:?} should mention {needle:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! File-backed persistence: cubes survive reopen, reorganization
+//! preserves contents, and what-if queries give identical answers on
+//! memory- and file-backed stores.
+
+use olap_cube::{Cube, StoreBackend};
+use olap_store::{ChunkStore, FileStore, SeekModel};
+use olap_workload::{Workforce, WorkforceConfig};
+use whatif_core::{apply_default, Mode, Scenario, Semantics};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "perspective-olap-it-{}-{}.cube",
+        std::process::id(),
+        name
+    ))
+}
+
+fn file_workforce(path: &std::path::Path) -> Workforce {
+    Workforce::build(WorkforceConfig {
+        backend: StoreBackend::File(path.to_path_buf()),
+        ..WorkforceConfig::tiny()
+    })
+}
+
+#[test]
+fn file_and_memory_backends_agree() {
+    let path = tmp("agree");
+    let mem = Workforce::build(WorkforceConfig::tiny());
+    let file = file_workforce(&path);
+    assert!(mem.cube.same_cells(&file.cube).unwrap());
+    // And a what-if gives the same output cube.
+    let scenario = Scenario::negative(
+        mem.department,
+        [0, 6],
+        Semantics::Forward,
+        Mode::Visual,
+    );
+    let a = apply_default(&mem.cube, &scenario).unwrap();
+    let b = apply_default(&file.cube, &scenario).unwrap();
+    assert!(a.cube.same_cells(&b.cube).unwrap());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reopened_store_serves_the_same_cube() {
+    let path = tmp("reopen");
+    let wf = file_workforce(&path);
+    let expected_total = wf.cube.total_sum().unwrap();
+    let expected_cells = wf.cube.present_cell_count().unwrap();
+    let schema = std::sync::Arc::clone(wf.cube.schema());
+    let geometry = wf.cube.geometry().clone();
+    wf.cube.flush().unwrap();
+    drop(wf);
+
+    // Reopen the raw store and verify chunk-level integrity.
+    let store = FileStore::open(&path).unwrap();
+    assert!(store.chunk_count() > 0);
+    let mut total = 0.0;
+    let mut cells = 0u64;
+    for id in store.ids() {
+        let chunk = store.read(id).unwrap();
+        for (_, v) in chunk.present_cells() {
+            total += v;
+            cells += 1;
+        }
+    }
+    assert!((total - expected_total).abs() < 1e-6);
+    assert_eq!(cells, expected_cells);
+    let _ = (schema, geometry);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reorganize_preserves_query_results() {
+    let path = tmp("reorg");
+    let wf = file_workforce(&path);
+    let before = wf.cube.total_sum().unwrap();
+    let scenario = Scenario::negative(wf.department, [3], Semantics::Static, Mode::Visual);
+    let r_before = apply_default(&wf.cube, &scenario).unwrap();
+    let total_before = r_before.cube.total_sum().unwrap();
+
+    // Reverse the physical chunk order, then re-ask.
+    wf.cube.with_pool(|pool| {
+        pool.clear().unwrap();
+        let ids: Vec<_> = pool.store().ids().into_iter().rev().collect();
+        let store = pool
+            .store_mut()
+            .as_any_mut()
+            .downcast_mut::<FileStore>()
+            .unwrap();
+        store.reorganize(&ids).unwrap();
+        store.set_seek_model(Some(SeekModel::default_disk()));
+    });
+    assert_eq!(wf.cube.total_sum().unwrap(), before);
+    let r_after = apply_default(&wf.cube, &scenario).unwrap();
+    assert!((r_after.cube.total_sum().unwrap() - total_before).abs() < 1e-9);
+    assert!(r_after.cube.same_cells(&r_before.cube).unwrap());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compressed_store_roundtrips_and_shrinks() {
+    // Rewrite a workforce store with OLC2 compression on; contents are
+    // identical and the file is smaller (workload values repeat a lot).
+    let path = tmp("compress");
+    let wf = file_workforce(&path);
+    wf.cube.flush().unwrap();
+    let (plain_size, total) = wf.cube.with_pool(|pool| {
+        let store = pool
+            .store()
+            .as_any()
+            .downcast_ref::<FileStore>()
+            .unwrap();
+        (store.file_size(), 0.0)
+    });
+    let _ = total;
+    let expected = wf.cube.total_sum().unwrap();
+    wf.cube.with_pool(|pool| {
+        pool.clear().unwrap();
+        let ids = pool.store().ids();
+        let store = pool
+            .store_mut()
+            .as_any_mut()
+            .downcast_mut::<FileStore>()
+            .unwrap();
+        store.set_compression(true);
+        // Rewrite every chunk compressed, then defragment.
+        for id in &ids {
+            let c = store.read(*id).unwrap();
+            store.write(*id, &c).unwrap();
+        }
+        store.reorganize(&ids).unwrap();
+        assert!(
+            store.file_size() < plain_size,
+            "compressed {} !< plain {}",
+            store.file_size(),
+            plain_size
+        );
+    });
+    assert!((wf.cube.total_sum().unwrap() - expected).abs() < 1e-9);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dirty_cube_flushes_through_pool_pressure() {
+    // Writes through a tiny pool must survive eviction churn.
+    let path = tmp("pressure");
+    let schema = std::sync::Arc::new({
+        let mut s = olap_model::Schema::new();
+        let d = s.add_dimension("D");
+        for i in 0..64 {
+            s.dim_mut(d).add_child_of_root(&format!("m{i}")).unwrap();
+        }
+        s.seal();
+        s
+    });
+    let cube = Cube::builder(std::sync::Arc::clone(&schema), vec![4])
+        .unwrap()
+        .backend(StoreBackend::File(path.clone()))
+        .pool_capacity(2)
+        .finish()
+        .unwrap();
+    for i in 0..64u32 {
+        cube.set(&[i], olap_store::CellValue::num(i as f64)).unwrap();
+    }
+    cube.flush().unwrap();
+    for i in 0..64u32 {
+        assert_eq!(
+            cube.get(&[i]).unwrap(),
+            olap_store::CellValue::Num(i as f64)
+        );
+    }
+    assert!(cube.pool_stats().evictions > 0, "pool pressure happened");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,255 @@
+//! Property-based invariants (DESIGN.md §7), driven by randomly generated
+//! warehouses. The load-bearing one is the last: the chunked Section 5/6
+//! executor must agree cell-for-cell with the reference relocate on
+//! arbitrary schemas, scenarios, and chunkings.
+
+use olap_model::{InstanceId, ValiditySet};
+use proptest::prelude::*;
+use whatif_integration_tests::{all_semantics, random_warehouse};
+use whatif_core::{
+    decompose_passes, execute_chunked, execute_passes, phi, relocate, DestMap, OrderPolicy,
+    Semantics,
+};
+
+fn arb_perspectives(moments: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0..moments, 1..=4)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: validity sets of distinct instances of one member are
+    /// disjoint, for any change history the generator can produce.
+    #[test]
+    fn instance_validity_disjoint(seed in 0u64..500) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        v.validate(w.schema.dim(w.dim)).unwrap();
+    }
+
+    /// Invariant 2: Φs is the identity on surviving instances' validity
+    /// sets (and empties the rest).
+    #[test]
+    fn phi_static_is_identity_on_survivors(seed in 0u64..200, p_seed in 0u64..50) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        let p = vec![(p_seed % w.moments as u64) as u32];
+        let out = phi(Semantics::Static, v.instances(), &p, w.moments);
+        for (i, inst) in v.instances().iter().enumerate() {
+            if inst.validity.is_valid_at(p[0]) {
+                prop_assert_eq!(&out[i], &inst.validity);
+            } else {
+                prop_assert!(out[i].is_empty());
+            }
+        }
+    }
+
+    /// Invariant 3: under every semantics, output validity sets of one
+    /// member stay pairwise disjoint, and for dynamic semantics the
+    /// moments ≥ Pmin where *some* instance existed are fully covered.
+    #[test]
+    fn phi_outputs_disjoint_and_forward_covers(
+        seed in 0u64..200,
+        p in arb_perspectives(8),
+    ) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        for sem in all_semantics() {
+            let out = phi(sem, v.instances(), &p, w.moments);
+            // Disjointness per member.
+            let mut by_member: std::collections::HashMap<_, Vec<usize>> = Default::default();
+            for (i, inst) in v.instances().iter().enumerate() {
+                by_member.entry(inst.member).or_default().push(i);
+            }
+            for ids in by_member.values() {
+                for (ai, &a) in ids.iter().enumerate() {
+                    for &b in &ids[ai + 1..] {
+                        prop_assert!(
+                            !out[a].intersects(&out[b]),
+                            "{sem:?}: instances {a}/{b} overlap"
+                        );
+                    }
+                }
+            }
+            // Forward coverage: for t ≥ Pmin, if the member had an
+            // instance valid at max(P_t), exactly one output VS owns t.
+            if sem == Semantics::Forward {
+                for (member, ids) in &by_member {
+                    for t in p[0]..w.moments {
+                        let pt = *p.iter().filter(|&&q| q <= t).max().unwrap();
+                        let had = v.instance_at(*member, pt).is_some();
+                        let owners = ids.iter().filter(|&&i| out[i].is_valid_at(t)).count();
+                        prop_assert_eq!(
+                            owners, usize::from(had),
+                            "t={} member {:?}", t, member
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant 4: ρ never invents values — every non-⊥ output leaf
+    /// equals some input leaf at the same (t, ē).
+    #[test]
+    fn relocate_never_invents_values(seed in 0u64..120, p in arb_perspectives(8)) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        let vs = phi(Semantics::Forward, v.instances(), &p, w.moments);
+        let out = relocate(&w.cube, w.dim, &vs).unwrap();
+        let vd = w.dim.index();
+        out.for_each_present(|cell, value| {
+            // Some instance of the same member must supply this value at
+            // the same other-coordinates.
+            let member = v.instance(InstanceId(cell[vd])).member;
+            let found = v.instances_of(member).iter().any(|&src| {
+                let mut c = cell.to_vec();
+                c[vd] = src.0;
+                w.cube.get(&c).unwrap() == olap_store::CellValue::num(value)
+            });
+            assert!(found, "output cell {cell:?}={value} has no input source");
+        }).unwrap();
+    }
+
+    /// Invariant 5: forward relocation with Pmin = 0 preserves the total
+    /// (every moment has a most-recent perspective, and instances valid at
+    /// it receive every cell whose member existed then).
+    #[test]
+    fn forward_from_zero_preserves_member_months(seed in 0u64..120) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        let vs = phi(Semantics::Forward, v.instances(), &[0], w.moments);
+        let out = relocate(&w.cube, w.dim, &vs).unwrap();
+        // Data moves only between instances of one member at the same t:
+        // compare per-(member, t) totals. A (member, t) keeps its total
+        // iff the member had an instance valid at the owning perspective
+        // (t=0 here) — otherwise it is dropped entirely.
+        let vd = w.dim.index();
+        let pd = 0usize; // T is dimension 0 in random_warehouse
+        let mut in_totals: std::collections::HashMap<(u32, u32), f64> = Default::default();
+        w.cube.for_each_present(|cell, value| {
+            let m = v.instance(InstanceId(cell[vd])).member;
+            *in_totals.entry((m.0, cell[pd])).or_default() += value;
+        }).unwrap();
+        let mut out_totals: std::collections::HashMap<(u32, u32), f64> = Default::default();
+        out.for_each_present(|cell, value| {
+            let m = v.instance(InstanceId(cell[vd])).member;
+            *out_totals.entry((m.0, cell[pd])).or_default() += value;
+        }).unwrap();
+        for (&(m, t), &total) in &in_totals {
+            let survives = v.instance_at(olap_model::MemberId(m), 0).is_some();
+            let got = out_totals.get(&(m, t)).copied().unwrap_or(0.0);
+            if survives {
+                prop_assert!((got - total).abs() < 1e-9, "member {m} t {t}");
+            } else {
+                prop_assert_eq!(got, 0.0);
+            }
+        }
+    }
+
+    /// Invariant 12 (the load-bearing one): chunked execution — single
+    /// pass, multi-pass, and scoped-to-everything — agrees with the
+    /// reference relocate for every semantics, perspective set, and
+    /// random chunking.
+    #[test]
+    fn chunked_equals_reference(seed in 0u64..60, p in arb_perspectives(8)) {
+        let w = random_warehouse(seed, 3, 8, 8, 4);
+        let v = w.schema.varying(w.dim).unwrap();
+        for sem in all_semantics() {
+            let vs = phi(sem, v.instances(), &p, w.moments);
+            let oracle = relocate(&w.cube, w.dim, &vs).unwrap();
+            let map = DestMap::build(&w.cube, w.dim, &vs).unwrap();
+            for policy in [OrderPolicy::Pebbling, OrderPolicy::Naive] {
+                let (got, _) = execute_chunked(&w.cube, w.dim, &map, &policy).unwrap();
+                prop_assert!(
+                    got.same_cells(&oracle).unwrap(),
+                    "{sem:?} P={p:?} {policy:?} single-pass diverged"
+                );
+                let passes = decompose_passes(&map, sem, &p, v);
+                let (got2, rep) =
+                    execute_passes(&w.cube, w.dim, &map, &passes, &policy, None).unwrap();
+                prop_assert!(
+                    got2.same_cells(&oracle).unwrap(),
+                    "{sem:?} P={p:?} {policy:?} multi-pass diverged ({rep:?})"
+                );
+            }
+        }
+    }
+
+    /// Chunk codec roundtrip on random chunks.
+    #[test]
+    fn codec_roundtrip(
+        shape in proptest::collection::vec(1u32..5, 1..4),
+        cells in proptest::collection::vec((0u32..64, -1e6f64..1e6), 0..32),
+        sparse in any::<bool>(),
+    ) {
+        let mut chunk = if sparse {
+            olap_store::Chunk::new_sparse(shape.clone())
+        } else {
+            olap_store::Chunk::new_dense(shape.clone())
+        };
+        let n = chunk.len();
+        if n > 0 {
+            for (off, v) in cells {
+                chunk.set(off % n, olap_store::CellValue::num(v));
+            }
+        }
+        let decoded = olap_store::codec::decode(&olap_store::codec::encode(&chunk)).unwrap();
+        prop_assert_eq!(chunk, decoded);
+    }
+
+    /// Compressed codec roundtrip, and OLC2 never loses to OLC1 by more
+    /// than the small fixed header.
+    #[test]
+    fn compressed_codec_roundtrip(
+        shape in proptest::collection::vec(1u32..6, 1..4),
+        cells in proptest::collection::vec((0u32..128, -1e6f64..1e6), 0..48),
+        constant in any::<bool>(),
+        sparse in any::<bool>(),
+    ) {
+        let mut chunk = if sparse {
+            olap_store::Chunk::new_sparse(shape.clone())
+        } else {
+            olap_store::Chunk::new_dense(shape.clone())
+        };
+        let n = chunk.len();
+        if n > 0 {
+            for (off, v) in cells {
+                let v = if constant { 42.0 } else { v };
+                chunk.set(off % n, olap_store::CellValue::num(v));
+            }
+        }
+        let bytes = olap_store::encode_compressed(&chunk);
+        let decoded = olap_store::decode_any(&bytes).unwrap();
+        prop_assert_eq!(&chunk, &decoded);
+        // Compressed is never much larger than OLC1.
+        let v1 = olap_store::codec::encode(&chunk).len();
+        prop_assert!(bytes.len() <= v1 + 2);
+    }
+
+    /// Validity-set algebra matches a BTreeSet model.
+    #[test]
+    fn validity_set_model(
+        a in proptest::collection::btree_set(0u32..64, 0..20),
+        b in proptest::collection::btree_set(0u32..64, 0..20),
+    ) {
+        let va = ValiditySet::of(64, a.iter().copied());
+        let vb = ValiditySet::of(64, b.iter().copied());
+        let mut u = va.clone();
+        u.union_with(&vb);
+        let model_u: Vec<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), model_u);
+        let mut i = va.clone();
+        i.intersect_with(&vb);
+        let model_i: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(), model_i.clone());
+        let mut d = va.clone();
+        d.difference_with(&vb);
+        let model_d: Vec<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d.iter().collect::<Vec<_>>(), model_d);
+        prop_assert_eq!(va.intersects(&vb), !model_i.is_empty());
+        prop_assert_eq!(va.first(), a.first().copied());
+        prop_assert_eq!(va.last(), a.last().copied());
+    }
+}

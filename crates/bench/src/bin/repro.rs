@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--all] [--csv DIR]
+//!       [--threads N]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -16,7 +17,7 @@ use bench::setup::{
 use bench::min_time;
 use olap_store::SeekModel;
 use olap_workload::{Workforce, WorkforceConfig};
-use whatif_core::{execute_chunked, merge, phi, DestMap, OrderPolicy, Semantics};
+use whatif_core::{execute_chunked_threaded, merge, phi, DestMap, OrderPolicy, Semantics};
 
 const ITERS: u32 = 3;
 
@@ -26,9 +27,21 @@ fn main() {
     let mut table_s = false;
     let mut ablations = false;
     let mut csv_dir: Option<String> = None;
+    let mut threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--fig" => {
                 i += 1;
                 figs.push(match args.get(i).map(String::as_str) {
@@ -66,7 +79,10 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: repro [--fig N]… [--table S] [--ablations] [--all] [--csv DIR]");
+                eprintln!(
+                    "usage: repro [--fig N]… [--table S] [--ablations] [--all] [--csv DIR] \
+                     [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -82,18 +98,21 @@ fn main() {
     if table_s {
         print_table_s();
     }
+    if threads > 1 {
+        println!("(executor parallelism: {threads} threads)\n");
+    }
     for f in figs {
         let fig = match f {
-            "11" => fig11(),
+            "11" => fig11(threads),
             "12" => fig12(),
-            "13" => fig13(),
+            "13" => fig13(threads),
             _ => unreachable!(),
         };
         println!("{fig}");
         outputs.push(fig);
     }
     if ablations {
-        run_ablations();
+        run_ablations(threads);
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -152,10 +171,11 @@ fn print_table_s() {
     println!("(scale: 1/10th linear — see DESIGN.md §2)\n");
 }
 
-fn fig11() -> Figure {
+fn fig11(threads: usize) -> Figure {
     eprintln!("[fig11] building workload…");
     let wf = default_workforce();
-    let ctx = context(&wf);
+    let mut ctx = context(&wf);
+    ctx.threads = threads;
     let ks = [1usize, 2, 3, 4, 6, 8, 10, 12];
     let mut static_s = Vec::new();
     let mut fwd_s = Vec::new();
@@ -223,10 +243,11 @@ fn fig12() -> Figure {
     }
 }
 
-fn fig13() -> Figure {
+fn fig13(threads: usize) -> Figure {
     eprintln!("[fig13] building 4-move workload…");
     let wf = fig13_workforce(25);
-    let ctx = context(&wf);
+    let mut ctx = context(&wf);
+    ctx.threads = threads;
     let p = quarterly();
     let mut pts = Vec::new();
     for &n in &[5u32, 10, 15, 20, 25] {
@@ -245,7 +266,7 @@ fn fig13() -> Figure {
     }
 }
 
-fn run_ablations() {
+fn run_ablations(threads: usize) {
     println!("=== Ablations ===");
     // Pebbling vs naive on the paper's Fig. 9 graph.
     let g = merge::MergeGraph::fig9();
@@ -274,9 +295,10 @@ fn run_ablations() {
         ("param-dim first ", OrderPolicy::DimOrder(vec![0, 2, 3, 4, 5, 6, 1])),
     ] {
         let t = min_time(ITERS, || {
-            execute_chunked(&wf.cube, wf.department, &map, &policy).unwrap()
+            execute_chunked_threaded(&wf.cube, wf.department, &map, &policy, threads).unwrap()
         });
-        let (_, report) = execute_chunked(&wf.cube, wf.department, &map, &policy).unwrap();
+        let (_, report) =
+            execute_chunked_threaded(&wf.cube, wf.department, &map, &policy, threads).unwrap();
         println!(
             "{name}: peak buffers {:>5}, predicted pebbles {:>4}, time {:>8.2} ms \
              (graph {} nodes / {} edges)",

@@ -126,8 +126,8 @@ impl Fig12Rig {
         });
         // Reach through the pool to the FileStore.
         self.wf.cube.with_pool(|pool| {
-            let store = pool
-                .store_mut()
+            let mut guard = pool.store_mut();
+            let store = guard
                 .as_any_mut()
                 .downcast_mut::<olap_store::FileStore>()
                 .expect("fig12 rig uses a FileStore");
@@ -139,8 +139,8 @@ impl Fig12Rig {
     /// Byte separation between the two instances' first chunks.
     pub fn separation_bytes(&self) -> u64 {
         self.wf.cube.with_pool(|pool| {
-            let store = pool
-                .store()
+            let guard = pool.store();
+            let store = guard
                 .as_any()
                 .downcast_ref::<olap_store::FileStore>()
                 .expect("fig12 rig uses a FileStore");

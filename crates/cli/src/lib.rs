@@ -61,6 +61,7 @@ impl Loaded {
 /// One interactive session.
 pub struct Session {
     data: Loaded,
+    threads: usize,
 }
 
 /// What the caller should do after a line.
@@ -82,11 +83,18 @@ impl Session {
                 Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
             }
         };
-        Session { data }
+        Session { data, threads: 1 }
+    }
+
+    /// Sets the executor parallelism degree (`--threads N`); 1 = serial.
+    pub fn with_threads(mut self, threads: usize) -> Session {
+        self.threads = threads.max(1);
+        self
     }
 
     fn context(&self) -> QueryContext<'_> {
         let mut ctx = QueryContext::new(self.data.cube());
+        ctx.threads = self.threads;
         for (name, dim, members) in self.data.named_sets() {
             ctx.define_set(&name, dim, &members);
         }
@@ -375,6 +383,17 @@ mod tests {
             Outcome::Continue(t) => assert!(t.contains("60"), "{t}"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn threaded_session_matches_serial() {
+        let q = "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL \
+                 SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, \
+                 {Organization.[FTE], Organization.[PTE], Organization.[Contractor]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        let mut serial = Session::new(Dataset::Running);
+        let mut parallel = Session::new(Dataset::Running).with_threads(4);
+        assert_eq!(serial.handle(q), parallel.handle(q));
     }
 
     #[test]

@@ -1,20 +1,46 @@
 //! `polap` — the perspective-olap shell.
 //!
 //! ```sh
-//! polap [running|retail|workforce]
+//! polap [running|retail|workforce] [--threads N]
 //! ```
 
 use polap_cli::{Dataset, Outcome, Session, HELP};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "running".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset_arg: Option<String> = None;
+    let mut threads = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other if dataset_arg.is_none() => dataset_arg = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                eprintln!("usage: polap [running|retail|workforce] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let arg = dataset_arg.unwrap_or_else(|| "running".to_string());
     let Some(dataset) = Dataset::parse(&arg) else {
         eprintln!("unknown dataset {arg:?}; expected running, retail or workforce");
         std::process::exit(2);
     };
     eprintln!("loading {dataset:?} dataset…");
-    let mut session = Session::new(dataset);
+    let mut session = Session::new(dataset).with_threads(threads);
     println!("{HELP}\n");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

@@ -82,7 +82,24 @@ pub fn execute_chunked(
     dest: &DestMap,
     policy: &OrderPolicy,
 ) -> Result<(Cube, ExecReport)> {
-    execute_chunked_scoped(cube, dim, dest, policy, None)
+    execute_chunked_scoped_threaded(cube, dim, dest, policy, None, 1)
+}
+
+/// Like [`execute_chunked`] with an explicit parallelism degree: slices
+/// (fixed non-varying chunk coordinates) are independent under Lemma 5.1
+/// — relocation only moves cells along the varying dimension — so
+/// `Pebbling`/`Naive` passes partition slices across up to `threads`
+/// scoped worker threads, each with private slice/buffer maps.
+/// `DimOrder` stays serial: its cross-slice interleaving is the very
+/// effect the Lemma 5.1 ablation measures.
+pub fn execute_chunked_threaded(
+    cube: &Cube,
+    dim: DimensionId,
+    dest: &DestMap,
+    policy: &OrderPolicy,
+    threads: usize,
+) -> Result<(Cube, ExecReport)> {
+    execute_chunked_scoped_threaded(cube, dim, dest, policy, None, threads)
 }
 
 /// Single-pass chunked execution, optionally restricted to the
@@ -97,11 +114,24 @@ pub fn execute_chunked_scoped(
     policy: &OrderPolicy,
     scope: Option<&[u32]>,
 ) -> Result<(Cube, ExecReport)> {
+    execute_chunked_scoped_threaded(cube, dim, dest, policy, scope, 1)
+}
+
+/// [`execute_chunked_scoped`] with an explicit parallelism degree (see
+/// [`execute_chunked_threaded`]).
+pub fn execute_chunked_scoped_threaded(
+    cube: &Cube,
+    dim: DimensionId,
+    dest: &DestMap,
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+    threads: usize,
+) -> Result<(Cube, ExecReport)> {
     let env = Env::new(cube, dim, dest, policy, scope)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
     let copy_labels = env.copy_labels();
-    env.run_pass(&out, dest, &copy_labels, &mut report)?;
+    env.run_pass(&out, dest, &copy_labels, &mut report, threads)?;
     report.passes = 1;
     out.flush()?;
     Ok((out, report))
@@ -119,6 +149,21 @@ pub fn execute_passes(
     policy: &OrderPolicy,
     scope: Option<&[u32]>,
 ) -> Result<(Cube, ExecReport)> {
+    execute_passes_threaded(cube, dim, full, passes, policy, scope, 1)
+}
+
+/// [`execute_passes`] with an explicit parallelism degree (see
+/// [`execute_chunked_threaded`]); passes still run in order — only the
+/// slices within each pass fan out.
+pub fn execute_passes_threaded(
+    cube: &Cube,
+    dim: DimensionId,
+    full: &DestMap,
+    passes: &[DestMap],
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+    threads: usize,
+) -> Result<(Cube, ExecReport)> {
     let env = Env::new(cube, dim, full, policy, scope)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
@@ -126,7 +171,7 @@ pub fn execute_passes(
     let no_copy = vec![false; copy_labels.len()];
     for (i, pass) in passes.iter().enumerate() {
         let labels = if i == 0 { &copy_labels } else { &no_copy };
-        env.run_pass(&out, pass, labels, &mut report)?;
+        env.run_pass(&out, pass, labels, &mut report, threads)?;
         report.passes += 1;
     }
     out.flush()?;
@@ -222,13 +267,17 @@ impl<'a> Env<'a> {
     }
 
     /// Runs one pass of `dest` into `out`, copying `copy_labels` chunks
-    /// verbatim.
+    /// verbatim. With `threads ≥ 2` under `Pebbling`/`Naive`, slices fan
+    /// out over scoped workers (they are independent: cells only move
+    /// along the varying dimension, so no two slices touch the same
+    /// output chunk); `DimOrder` always runs serially.
     fn run_pass(
         &self,
         out: &Cube,
         dest: &DestMap,
         copy_labels: &[bool],
         report: &mut ExecReport,
+        threads: usize,
     ) -> Result<()> {
         let geom = self.cube.geometry();
         let schema = self.cube.schema();
@@ -272,19 +321,22 @@ impl<'a> Env<'a> {
         }
 
         // This pass reads: copy-through + residue + affected labels.
+        // Each group is a unit of serial work: one slice's chunks in
+        // processing order for Pebbling/Naive, or the whole (interleaved)
+        // walk for DimOrder.
         let touch = |l: u32| -> bool {
             copy_labels[l as usize] || residue[l as usize] || affected[l as usize]
         };
-        let sequence: Vec<Vec<u32>> = match self.policy {
-            OrderPolicy::DimOrder(order) => geom
+        let groups: Vec<Vec<Vec<u32>>> = match self.policy {
+            OrderPolicy::DimOrder(order) => vec![geom
                 .chunks_in_order(order)
                 .filter(|c| touch(c[self.vd]))
-                .collect(),
+                .collect()],
             OrderPolicy::Pebbling | OrderPolicy::Naive => {
                 // Varying dimension first (Lemma 5.1): slice by slice;
                 // within a slice, copy-through chunks stream first, then
                 // the graph nodes in the chosen order.
-                let mut seq = Vec::new();
+                let mut groups = Vec::new();
                 let other: Vec<usize> = (0..geom.ndims()).filter(|&d| d != self.vd).collect();
                 let walk: Vec<usize> =
                     std::iter::once(self.vd).chain(other.iter().copied()).collect();
@@ -292,6 +344,7 @@ impl<'a> Env<'a> {
                     if coord[self.vd] != 0 {
                         continue; // one anchor per slice
                     }
+                    let mut seq = Vec::new();
                     let mut anchor = coord;
                     for l in 0..geom.grid()[self.vd] {
                         if (copy_labels[l as usize] || residue[l as usize])
@@ -305,10 +358,84 @@ impl<'a> Env<'a> {
                         anchor[self.vd] = graph.label(n);
                         seq.push(anchor.clone());
                     }
+                    if !seq.is_empty() {
+                        groups.push(seq);
+                    }
                 }
-                seq
+                groups
             }
         };
+
+        let workers = match self.policy {
+            OrderPolicy::DimOrder(_) => 1,
+            _ => threads.max(1).min(groups.len().max(1)),
+        };
+        if workers <= 1 {
+            for seq in &groups {
+                self.process(out, dest, &graph, &node_of_label, &affected, copy_labels, seq, report)?;
+            }
+            return Ok(());
+        }
+
+        let mut buckets: Vec<Vec<&Vec<Vec<u32>>>> = vec![Vec::new(); workers];
+        for (i, g) in groups.iter().enumerate() {
+            buckets[i % workers].push(g);
+        }
+        let graph = &graph;
+        let node_of_label = &node_of_label;
+        let affected = &affected[..];
+        let parts: Vec<Result<ExecReport>> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        let mut r = ExecReport::default();
+                        for seq in bucket {
+                            self.process(
+                                out, dest, graph, node_of_label, affected, copy_labels, seq,
+                                &mut r,
+                            )?;
+                        }
+                        Ok(r)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+        let mut peak_sum = 0u64;
+        for part in parts {
+            let r = part?;
+            report.chunks_read += r.chunks_read;
+            report.cells_relocated += r.cells_relocated;
+            report.cells_dropped += r.cells_dropped;
+            report.slices += r.slices;
+            peak_sum += r.peak_out_buffers;
+        }
+        // Sum of per-worker peaks: an upper bound on simultaneous
+        // residency (workers need not peak at the same instant).
+        report.peak_out_buffers = report.peak_out_buffers.max(peak_sum);
+        Ok(())
+    }
+
+    /// Processes one ordered chunk sequence with private slice/buffer
+    /// state. Serial passes feed every group through one call chain;
+    /// parallel passes give each worker its own report to merge later.
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        &self,
+        out: &Cube,
+        dest: &DestMap,
+        graph: &MergeGraph,
+        node_of_label: &HashMap<u32, usize>,
+        affected: &[bool],
+        copy_labels: &[bool],
+        sequence: &[Vec<u32>],
+        report: &mut ExecReport,
+    ) -> Result<()> {
+        let geom = self.cube.geometry();
 
         struct SliceState {
             processed: Vec<bool>,
@@ -319,7 +446,7 @@ impl<'a> Env<'a> {
 
         for coord in sequence {
             let label = coord[self.vd];
-            let id = geom.chunk_id(&coord);
+            let id = geom.chunk_id(coord);
             let materialized = self.cube.chunk_exists(id);
             if materialized {
                 report.chunks_read += 1;
@@ -374,7 +501,7 @@ impl<'a> Env<'a> {
             if materialized {
                 let chunk = self.cube.chunk(id)?;
                 for (off, v) in chunk.present_cells() {
-                    let cell = geom.cell_of_local(&coord, off);
+                    let cell = geom.cell_of_local(coord, off);
                     let src = cell[self.vd];
                     let t = cell[self.pd];
                     match dest.fate(src, t) {
@@ -650,6 +777,39 @@ mod tests {
         })
         .unwrap();
         assert!(checked > 0);
+    }
+
+    #[test]
+    fn threaded_execution_matches_serial() {
+        let (cube, prod) = fixture();
+        let varying = cube.schema().varying(prod).unwrap();
+        for (sem, p) in [
+            (Semantics::Forward, vec![1u32, 3]),
+            (Semantics::Static, vec![0, 2, 4]),
+        ] {
+            let vs_out = phi(sem, varying.instances(), &p, 6);
+            let map = DestMap::build(&cube, prod, &vs_out).unwrap();
+            for policy in [OrderPolicy::Pebbling, OrderPolicy::Naive] {
+                let (serial, s_rep) = execute_chunked(&cube, prod, &map, &policy).unwrap();
+                for threads in [2, 4] {
+                    let (par, p_rep) =
+                        execute_chunked_threaded(&cube, prod, &map, &policy, threads).unwrap();
+                    assert!(
+                        par.same_cells(&serial).unwrap(),
+                        "{sem:?} {policy:?} threads={threads} diverged"
+                    );
+                    assert_eq!(p_rep.chunks_read, s_rep.chunks_read);
+                    assert_eq!(p_rep.cells_relocated, s_rep.cells_relocated);
+                    assert_eq!(p_rep.slices, s_rep.slices);
+                }
+                // Multi-pass decomposition, threaded, agrees too.
+                let passes = decompose_passes(&map, sem, &p, varying);
+                let (mp, _) =
+                    execute_passes_threaded(&cube, prod, &map, &passes, &policy, None, 3)
+                        .unwrap();
+                assert!(mp.same_cells(&serial).unwrap(), "{sem:?} {policy:?} multi-pass");
+            }
+        }
     }
 
     #[test]

@@ -106,7 +106,19 @@ impl WhatIfResult {
 /// Applies a what-if scenario to a cube (Theorem 4.1's right-hand side:
 /// the algebra applied to the core query's result).
 pub fn apply(cube: &Cube, scenario: &Scenario, strategy: &Strategy) -> Result<WhatIfResult> {
-    apply_scoped(cube, scenario, strategy, None)
+    apply_scoped_threaded(cube, scenario, strategy, None, 1)
+}
+
+/// Like [`apply`] with an explicit parallelism degree for the chunked
+/// executor (see [`crate::exec::execute_chunked_threaded`]); `1` is the
+/// serial default.
+pub fn apply_threaded(
+    cube: &Cube,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    threads: usize,
+) -> Result<WhatIfResult> {
+    apply_scoped_threaded(cube, scenario, strategy, None, threads)
 }
 
 /// Like [`apply`], optionally scoped to the varying-dimension slots the
@@ -117,6 +129,17 @@ pub fn apply_scoped(
     scenario: &Scenario,
     strategy: &Strategy,
     scope: Option<&[u32]>,
+) -> Result<WhatIfResult> {
+    apply_scoped_threaded(cube, scenario, strategy, scope, 1)
+}
+
+/// [`apply_scoped`] with an explicit parallelism degree.
+pub fn apply_scoped_threaded(
+    cube: &Cube,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    scope: Option<&[u32]>,
+    threads: usize,
 ) -> Result<WhatIfResult> {
     match scenario {
         Scenario::Negative(spec) => {
@@ -155,7 +178,9 @@ pub fn apply_scoped(
                         &spec.perspectives,
                         varying,
                     );
-                    crate::exec::execute_passes(cube, spec.dim, &map, &passes, policy, scope)?
+                    crate::exec::execute_passes_threaded(
+                        cube, spec.dim, &map, &passes, policy, scope, threads,
+                    )?
                 }
             };
             Ok(WhatIfResult {

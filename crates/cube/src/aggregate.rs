@@ -83,18 +83,25 @@ impl GroupByResult {
 }
 
 /// Observed execution metrics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AggregationReport {
-    /// Peak simultaneously-live buffer cells across all group-bys.
+    /// Peak simultaneously-live buffer cells across all group-bys. In
+    /// parallel mode this is the sum of the per-worker peaks — an upper
+    /// bound on simultaneous residency (workers need not peak together).
     pub peak_buffer_cells: u64,
-    /// Peak simultaneously-live chunk buffers across all group-bys.
+    /// Peak simultaneously-live chunk buffers across all group-bys
+    /// (summed over workers in parallel mode, like `peak_buffer_cells`).
     pub peak_buffer_chunks: u64,
     /// Base chunks scanned (materialized or implicit ⊥; summed over
-    /// passes for the multi-pass fallback).
+    /// passes for the multi-pass fallback, and over workers in parallel
+    /// mode — each worker streams the base once).
     pub base_chunks_scanned: u64,
     /// Number of passes over the input (1 unless a memory budget forced
     /// Zhao's multi-pass fallback).
     pub passes: u64,
+    /// Peak live buffer cells observed by each worker thread. Empty in
+    /// serial mode; element-wise maxed across passes in multi-pass runs.
+    pub per_thread_peak_cells: Vec<u64>,
 }
 
 /// In-flight chunk buffer of one group-by node.
@@ -129,28 +136,54 @@ struct Block {
     cells: Vec<(Vec<u32>, Acc)>,
 }
 
+/// A node's shape in the cascade plan, shared (read-only) by every
+/// worker; each worker instantiates its own [`Node`]s from these.
+struct NodeSpec {
+    mask: GroupByMask,
+    dims: Vec<usize>,
+    children: Vec<usize>,
+    expected: u32,
+}
+
 /// Computes group-bys of a cube's leaf cells in one chunked pass.
 pub struct CubeAggregator<'a> {
     cube: &'a Cube,
     order: Vec<usize>,
+    threads: usize,
 }
 
 impl<'a> CubeAggregator<'a> {
     /// Aggregator with the minimum-memory (ascending-cardinality) order.
     pub fn new(cube: &'a Cube) -> Self {
         let order = crate::lattice::min_memory_order(cube.geometry());
-        CubeAggregator { cube, order }
+        CubeAggregator { cube, order, threads: 1 }
     }
 
     /// Aggregator with an explicit read order (`order[0]` fastest).
     pub fn with_order(cube: &'a Cube, order: Vec<usize>) -> Self {
         assert_eq!(order.len(), cube.geometry().ndims());
-        CubeAggregator { cube, order }
+        CubeAggregator { cube, order, threads: 1 }
+    }
+
+    /// Sets the parallelism degree. `1` (the default) runs the serial
+    /// cascade; `n ≥ 2` partitions the MMST's root subtrees across up to
+    /// `n` worker threads, each streaming the base chunks with a private
+    /// buffer map (the `(sum, count, min, max)` accumulators make every
+    /// merge associative, and each requested mask belongs to exactly one
+    /// subtree, so no cross-worker merging is needed).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The read order in use.
     pub fn order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// The configured parallelism degree.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Zhao et al.'s multi-pass fallback: "If the available memory falls
@@ -174,6 +207,13 @@ impl<'a> CubeAggregator<'a> {
             report.peak_buffer_cells = report.peak_buffer_cells.max(r.peak_buffer_cells);
             report.peak_buffer_chunks = report.peak_buffer_chunks.max(r.peak_buffer_chunks);
             report.base_chunks_scanned += r.base_chunks_scanned;
+            for (i, &v) in r.per_thread_peak_cells.iter().enumerate() {
+                if i < report.per_thread_peak_cells.len() {
+                    report.per_thread_peak_cells[i] = report.per_thread_peak_cells[i].max(v);
+                } else {
+                    report.per_thread_peak_cells.push(v);
+                }
+            }
         }
         report.passes = passes.len() as u64;
         Ok((out, report))
@@ -189,9 +229,50 @@ impl<'a> CubeAggregator<'a> {
         let geom = self.cube.geometry();
         let lattice = Lattice::new(geom.ndims());
         let full = lattice.full();
+        let specs = self.build_specs(masks, &lattice, full);
+        let root_children = specs[0].children.clone();
+
+        let workers = self.threads.min(root_children.len().max(1));
+        let (mut out, mut report) = if workers <= 1 {
+            // Serial path: one pass, every subtree delivered in turn.
+            let mut nodes = self.instantiate(&specs, masks, full);
+            let report = self.scan(&mut nodes, &root_children)?;
+            let mut out = HashMap::new();
+            for node in nodes.iter_mut() {
+                if let Some(r) = node.result.take() {
+                    out.insert(node.mask, r);
+                }
+            }
+            (out, report)
+        } else {
+            self.compute_parallel(&specs, &root_children, masks, full, workers)?
+        };
+        report.passes = 1;
+        // The full mask, if requested, is the base cube itself.
+        if masks.contains(&full) {
+            let dims: Vec<usize> = (0..geom.ndims()).collect();
+            let mut r = GroupByResult::new(full, dims, geom.lens().to_vec());
+            self.cube.for_each_present(|cell, v| {
+                let idx = r.index(cell);
+                r.accs[idx].add(v);
+            })?;
+            out.insert(full, r);
+        }
+        Ok((out, report))
+    }
+
+    /// Builds the cascade plan: the closure of the requested masks under
+    /// MMST parents, root first, with tree children and per-chunk
+    /// completion counts. `specs[0]` is always the full mask.
+    fn build_specs(
+        &self,
+        masks: &[GroupByMask],
+        lattice: &Lattice,
+        full: GroupByMask,
+    ) -> Vec<NodeSpec> {
+        let geom = self.cube.geometry();
         let mmst = Mmst::build(geom, &self.order);
 
-        // Closure of requested masks under MMST parents, root first.
         let mut needed: Vec<GroupByMask> = vec![full];
         let mut mark = vec![false; 1usize << lattice.ndims()];
         mark[full as usize] = true;
@@ -211,45 +292,70 @@ impl<'a> CubeAggregator<'a> {
         needed.sort_unstable_by_key(|m| std::cmp::Reverse(m.count_ones()));
 
         let mut index_of: HashMap<GroupByMask, usize> = HashMap::new();
-        let mut nodes: Vec<Node> = Vec::with_capacity(needed.len());
+        let mut specs: Vec<NodeSpec> = Vec::with_capacity(needed.len());
         for &m in &needed {
-            index_of.insert(m, nodes.len());
-            let dims = lattice.dims_of(m);
-            let shape: Vec<u32> = dims.iter().map(|&d| geom.lens()[d]).collect();
-            let requested = masks.contains(&m) && m != full;
-            nodes.push(Node {
+            index_of.insert(m, specs.len());
+            specs.push(NodeSpec {
                 mask: m,
-                dims: dims.clone(),
+                dims: lattice.dims_of(m),
                 children: Vec::new(),
                 expected: 0,
-                buffers: HashMap::new(),
-                result: requested.then(|| GroupByResult::new(m, dims, shape)),
             });
         }
-        for i in 1..nodes.len() {
-            let m = nodes[i].mask;
+        for i in 1..specs.len() {
+            let m = specs[i].mask;
             let p = mmst.parent(m).expect("non-root has a parent");
             let pi = index_of[&p];
-            nodes[pi].children.push(i);
+            specs[pi].children.push(i);
             let diff = p & !m;
-            nodes[i].expected = lattice
+            specs[i].expected = lattice
                 .dims_of(diff)
                 .into_iter()
                 .map(|d| geom.grid()[d])
                 .product::<u32>()
                 .max(1);
         }
+        specs
+    }
 
+    /// Materializes fresh (empty) nodes from the plan — one set per
+    /// worker, so buffer maps are thread-private.
+    fn instantiate(
+        &self,
+        specs: &[NodeSpec],
+        masks: &[GroupByMask],
+        full: GroupByMask,
+    ) -> Vec<Node> {
+        let geom = self.cube.geometry();
+        specs
+            .iter()
+            .map(|s| {
+                let shape: Vec<u32> = s.dims.iter().map(|&d| geom.lens()[d]).collect();
+                let requested = masks.contains(&s.mask) && s.mask != full;
+                Node {
+                    mask: s.mask,
+                    dims: s.dims.clone(),
+                    children: s.children.clone(),
+                    expected: s.expected,
+                    buffers: HashMap::new(),
+                    result: requested.then(|| GroupByResult::new(s.mask, s.dims.clone(), shape)),
+                }
+            })
+            .collect()
+    }
+
+    /// Streams every base chunk in the chosen order, delivering each
+    /// block to the root children in `deliver_to` only. Implicit (all-⊥)
+    /// chunks are announced too: children count completions per parent
+    /// chunk.
+    fn scan(&self, nodes: &mut [Node], deliver_to: &[usize]) -> Result<AggregationReport> {
+        let geom = self.cube.geometry();
         let mut exec = Exec {
             geom,
             live_cells: 0,
             live_chunks: 0,
             report: AggregationReport::default(),
         };
-
-        // Stream base chunks in the chosen order. Implicit (all-⊥) chunks
-        // are announced too: children count completions per parent chunk.
-        let root_children = nodes[0].children.clone();
         let all_dims: Vec<usize> = (0..geom.ndims()).collect();
         for coord in geom.chunks_in_order(&self.order) {
             exec.report.base_chunks_scanned += 1;
@@ -270,11 +376,10 @@ impl<'a> CubeAggregator<'a> {
                 chunk_coord: coord,
                 cells,
             };
-            for &c in &root_children {
-                exec.deliver(&mut nodes, c, &block);
+            for &c in deliver_to {
+                exec.deliver(nodes, c, &block);
             }
         }
-
         for node in &nodes[1..] {
             debug_assert!(
                 node.buffers.is_empty(),
@@ -283,25 +388,63 @@ impl<'a> CubeAggregator<'a> {
                 node.buffers.len()
             );
         }
+        Ok(exec.report)
+    }
 
+    /// Parallel cascade: root subtrees are disjoint (every non-full mask
+    /// hangs under exactly one child of the root), so they partition
+    /// round-robin across `workers` scoped threads. Each worker streams
+    /// the base chunks itself (the buffer pool is safe for concurrent
+    /// readers) into a private node set, and hands back results for its
+    /// subtrees only; the root merge is a disjoint union.
+    fn compute_parallel(
+        &self,
+        specs: &[NodeSpec],
+        root_children: &[usize],
+        masks: &[GroupByMask],
+        full: GroupByMask,
+        workers: usize,
+    ) -> Result<(HashMap<GroupByMask, GroupByResult>, AggregationReport)> {
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (i, &c) in root_children.iter().enumerate() {
+            assigned[i % workers].push(c);
+        }
+        let parts: Vec<Result<(HashMap<GroupByMask, GroupByResult>, AggregationReport)>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = assigned
+                    .iter()
+                    .map(|mine| {
+                        s.spawn(move || {
+                            let mut nodes = self.instantiate(specs, masks, full);
+                            let report = self.scan(&mut nodes, mine)?;
+                            let mut out = HashMap::new();
+                            let mut stack = mine.clone();
+                            while let Some(ni) = stack.pop() {
+                                stack.extend_from_slice(&nodes[ni].children);
+                                if let Some(r) = nodes[ni].result.take() {
+                                    out.insert(nodes[ni].mask, r);
+                                }
+                            }
+                            Ok((out, report))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("aggregation worker panicked"))
+                    .collect()
+            });
         let mut out = HashMap::new();
-        for node in nodes.iter_mut() {
-            if let Some(r) = node.result.take() {
-                out.insert(node.mask, r);
-            }
+        let mut report = AggregationReport::default();
+        for part in parts {
+            let (results, r) = part?;
+            out.extend(results);
+            report.peak_buffer_cells += r.peak_buffer_cells;
+            report.peak_buffer_chunks += r.peak_buffer_chunks;
+            report.base_chunks_scanned += r.base_chunks_scanned;
+            report.per_thread_peak_cells.push(r.peak_buffer_cells);
         }
-        exec.report.passes = 1;
-        // The full mask, if requested, is the base cube itself.
-        if masks.contains(&full) {
-            let dims: Vec<usize> = (0..geom.ndims()).collect();
-            let mut r = GroupByResult::new(full, dims, geom.lens().to_vec());
-            self.cube.for_each_present(|cell, v| {
-                let idx = r.index(cell);
-                r.accs[idx].add(v);
-            })?;
-            out.insert(full, r);
-        }
-        Ok((out, exec.report))
+        Ok((out, report))
     }
 }
 
@@ -604,6 +747,49 @@ mod tests {
             .compute_with_budget(&masks, mmst.total_memory_cells())
             .unwrap();
         assert_eq!(r.passes, 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_accumulators() {
+        let cube = cube3d();
+        let lattice = Lattice::new(3);
+        // Include the full mask so the main-thread path is covered too.
+        let mut masks = lattice.proper_masks();
+        masks.push(lattice.full());
+        let serial = CubeAggregator::with_order(&cube, vec![0, 1, 2]);
+        let (s_res, s_rep) = serial.compute(&masks).unwrap();
+        assert!(s_rep.per_thread_peak_cells.is_empty(), "serial mode");
+        for threads in [2, 3, 8] {
+            let par = CubeAggregator::with_order(&cube, vec![0, 1, 2]).with_threads(threads);
+            let (p_res, p_rep) = par.compute(&masks).unwrap();
+            assert_eq!(s_res.len(), p_res.len());
+            for (&m, r) in &s_res {
+                let r2 = &p_res[&m];
+                for (i, acc) in r.accs.iter().enumerate() {
+                    assert_eq!(acc, &r2.accs[i], "threads {threads} mask {m:b} cell {i}");
+                }
+            }
+            assert!(!p_rep.per_thread_peak_cells.is_empty());
+            assert_eq!(
+                p_rep.per_thread_peak_cells.iter().sum::<u64>(),
+                p_rep.peak_buffer_cells,
+                "aggregate peak is the sum of per-worker peaks"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_one_is_bit_identical_to_default() {
+        let cube = cube3d();
+        let masks = Lattice::new(3).proper_masks();
+        let (_, base) = CubeAggregator::with_order(&cube, vec![0, 1, 2])
+            .compute(&masks)
+            .unwrap();
+        let (_, one) = CubeAggregator::with_order(&cube, vec![0, 1, 2])
+            .with_threads(1)
+            .compute(&masks)
+            .unwrap();
+        assert_eq!(base, one);
     }
 
     #[test]

@@ -7,7 +7,6 @@ use olap_store::{
     BufferPool, CellValue, Chunk, ChunkGeometry, ChunkId, FileStore, IoSnapshot, MemStore,
     PoolStats,
 };
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -121,7 +120,7 @@ impl CubeBuilder {
         Ok(Cube {
             schema: self.schema,
             geometry: self.geometry,
-            pool: Mutex::new(BufferPool::new(store, self.pool_capacity)),
+            pool: BufferPool::new(store, self.pool_capacity),
             rules: self.rules,
             dense_threshold: self.dense_threshold,
         })
@@ -136,7 +135,7 @@ impl CubeBuilder {
 pub struct Cube {
     schema: Arc<Schema>,
     geometry: ChunkGeometry,
-    pool: Mutex<BufferPool>,
+    pool: BufferPool,
     rules: RuleSet,
     dense_threshold: f64,
 }
@@ -185,7 +184,7 @@ impl Cube {
     pub fn get(&self, cell: &[u32]) -> Result<CellValue> {
         self.geometry.check_cell(cell)?;
         let (id, off) = self.geometry.split_cell(cell);
-        let mut pool = self.pool.lock();
+        let pool = &self.pool;
         if !pool.contains(id) {
             return Ok(CellValue::Null);
         }
@@ -193,11 +192,13 @@ impl Cube {
         Ok(chunk.get(off))
     }
 
-    /// Writes a leaf cell (read-modify-write of its chunk).
+    /// Writes a leaf cell (read-modify-write of its chunk). Not atomic
+    /// against concurrent `set` calls on the same chunk; writers should
+    /// be externally serialized (the parallel executors only read).
     pub fn set(&self, cell: &[u32], v: CellValue) -> Result<()> {
         self.geometry.check_cell(cell)?;
         let (id, off) = self.geometry.split_cell(cell);
-        let mut pool = self.pool.lock();
+        let pool = &self.pool;
         let mut chunk = if pool.contains(id) {
             (*pool.get(id)?).clone()
         } else {
@@ -210,7 +211,7 @@ impl Cube {
 
     /// Fetches a chunk by id; missing chunks come back as all-⊥.
     pub fn chunk(&self, id: ChunkId) -> Result<Arc<Chunk>> {
-        let mut pool = self.pool.lock();
+        let pool = &self.pool;
         if !pool.contains(id) {
             let shape = self.geometry.chunk_shape(&self.geometry.chunk_coord(id));
             return Ok(Arc::new(Chunk::new_dense(shape)));
@@ -220,40 +221,39 @@ impl Cube {
 
     /// Whether a chunk is materialized.
     pub fn chunk_exists(&self, id: ChunkId) -> bool {
-        self.pool.lock().contains(id)
+        self.pool.contains(id)
     }
 
     /// Ids of all materialized chunks.
     pub fn chunk_ids(&self) -> Vec<ChunkId> {
-        self.pool.lock().store().ids()
+        self.pool.store().ids()
     }
 
     /// Number of materialized chunks.
     pub fn chunk_count(&self) -> usize {
-        self.pool.lock().store().chunk_count()
+        self.pool.store().chunk_count()
     }
 
-    /// Runs a closure with exclusive access to the buffer pool (executors,
-    /// statistics readers).
-    pub fn with_pool<R>(&self, f: impl FnOnce(&mut BufferPool) -> R) -> R {
-        f(&mut self.pool.lock())
+    /// Runs a closure with access to the (thread-safe) buffer pool
+    /// (executors, statistics readers).
+    pub fn with_pool<R>(&self, f: impl FnOnce(&BufferPool) -> R) -> R {
+        f(&self.pool)
     }
 
     /// Snapshot of the backing store's I/O counters.
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.pool.lock().store().stats().snapshot()
+        self.pool.store().stats().snapshot()
     }
 
     /// Snapshot of the buffer pool's counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.lock().stats()
+        self.pool.stats()
     }
 
     /// Resets pool and store counters.
     pub fn reset_stats(&self) {
-        let mut pool = self.pool.lock();
-        pool.reset_stats();
-        pool.store().stats().reset();
+        self.pool.reset_stats();
+        self.pool.store().stats().reset();
     }
 
     /// Calls `f(cell, value)` for every stored non-⊥ leaf cell.
@@ -290,7 +290,7 @@ impl Cube {
         Cube {
             schema: Arc::clone(&self.schema),
             geometry: self.geometry.clone(),
-            pool: Mutex::new(BufferPool::new(Box::new(MemStore::new()), 1024)),
+            pool: BufferPool::new(Box::new(MemStore::new()), 1024),
             rules: self.rules.clone(),
             dense_threshold: self.dense_threshold,
         }
@@ -312,7 +312,7 @@ impl Cube {
         Ok(Cube {
             schema,
             geometry,
-            pool: Mutex::new(BufferPool::new(Box::new(MemStore::new()), 1024)),
+            pool: BufferPool::new(Box::new(MemStore::new()), 1024),
             rules: self.rules.clone(),
             dense_threshold: self.dense_threshold,
         })
@@ -321,13 +321,13 @@ impl Cube {
     /// Writes a whole chunk (used by the chunked executors).
     pub fn put_chunk(&self, id: ChunkId, mut chunk: Chunk) -> Result<()> {
         chunk.compact(self.dense_threshold);
-        self.pool.lock().put(id, chunk)?;
+        self.pool.put(id, chunk)?;
         Ok(())
     }
 
     /// Flushes dirty pool frames to the backing store.
     pub fn flush(&self) -> Result<()> {
-        self.pool.lock().flush_all()?;
+        self.pool.flush_all()?;
         Ok(())
     }
 

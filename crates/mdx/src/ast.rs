@@ -166,7 +166,9 @@ fn fmt_name(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     if plain {
         f.write_str(s)
     } else {
-        write!(f, "[{s}]")
+        // A literal ']' inside a bracketed name is escaped by doubling,
+        // per MDX convention; the lexer reverses it.
+        write!(f, "[{}]", s.replace(']', "]]"))
     }
 }
 

@@ -8,7 +8,7 @@ use crate::resolve::{Atom, NamedSets, Resolver, Tuple};
 use crate::Result;
 use olap_cube::{CellEvaluator, Cube, Sel};
 use olap_model::{AxisSlot, DimensionId, MemberId, Schema};
-use whatif_core::{apply, Change, Mode, Scenario, Strategy, WhatIfResult};
+use whatif_core::{Change, Mode, Scenario, Strategy, WhatIfResult};
 
 /// Everything a query needs besides its text: the cube, named sets, and
 /// the execution strategy for what-if clauses.
@@ -23,6 +23,10 @@ pub struct QueryContext<'a> {
     /// query touches (Essbase-style retrieval). On by default; turn off
     /// to force full perspective-cube materialization.
     pub scoped_retrieval: bool,
+    /// Parallelism degree for the chunked executor: `1` (the default)
+    /// runs serially; `n ≥ 2` fans independent slices out across worker
+    /// threads (see [`whatif_core::execute_chunked_threaded`]).
+    pub threads: usize,
 }
 
 impl<'a> QueryContext<'a> {
@@ -34,6 +38,7 @@ impl<'a> QueryContext<'a> {
             named_sets: NamedSets::new(),
             strategy: Strategy::Chunked(whatif_core::OrderPolicy::Pebbling),
             scoped_retrieval: true,
+            threads: 1,
         }
     }
 
@@ -84,7 +89,12 @@ pub fn evaluate_full(
     };
     let mut whatif: Option<WhatIfResult> = None;
     if let Some(s @ Scenario::Positive { .. }) = &scenario {
-        whatif = Some(apply(ctx.cube, s, &ctx.strategy)?);
+        whatif = Some(whatif_core::apply_threaded(
+            ctx.cube,
+            s,
+            &ctx.strategy,
+            ctx.threads,
+        )?);
     }
     let schema_arc = match &whatif {
         Some(r) => std::sync::Arc::clone(&r.schema),
@@ -147,11 +157,12 @@ pub fn evaluate_full(
         } else {
             None
         };
-        whatif = Some(whatif_core::apply_scoped(
+        whatif = Some(whatif_core::apply_scoped_threaded(
             ctx.cube,
             s,
             &ctx.strategy,
             scope.as_deref(),
+            ctx.threads,
         )?);
     }
 

@@ -106,21 +106,36 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 out.push(Token { at, kind: Tok::Cmp(op) });
             }
             '[' => {
+                // `]]` inside brackets is an escaped literal `]`; a
+                // lone `]` terminates the name.
+                let mut name = String::new();
                 let mut j = i + 1;
-                while j < chars.len() && chars[j].1 != ']' {
-                    j += 1;
-                }
-                if j >= chars.len() {
-                    return Err(MdxError::Lex {
-                        at,
-                        msg: "unterminated '['".into(),
-                    });
+                loop {
+                    if j >= chars.len() {
+                        return Err(MdxError::Lex {
+                            at,
+                            msg: "unterminated '['".into(),
+                        });
+                    }
+                    let cc = chars[j].1;
+                    if cc == ']' {
+                        if j + 1 < chars.len() && chars[j + 1].1 == ']' {
+                            name.push(']');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        name.push(cc);
+                        j += 1;
+                    }
                 }
                 out.push(Token {
                     at,
-                    kind: Tok::Bracketed(src[byte_at(i + 1)..byte_at(j)].to_string()),
+                    kind: Tok::Bracketed(name),
                 });
-                i = j + 1;
+                i = j;
             }
             '0'..='9' => {
                 let mut j = i;
@@ -202,6 +217,15 @@ mod tests {
         assert!(matches!(&toks[0].kind, Tok::Bracketed(s) if s == "EmployeesWithAtleastOneMove-Set1"));
         assert!(matches!(&toks[1].kind, Tok::Dot));
         assert!(matches!(&toks[2].kind, Tok::Bracketed(s) if s == "BU Version_1"));
+    }
+
+    #[test]
+    fn doubled_bracket_escapes_literal_bracket() {
+        let toks = lex("[a]]b].[]]]").unwrap();
+        assert!(matches!(&toks[0].kind, Tok::Bracketed(s) if s == "a]b"));
+        assert!(matches!(&toks[1].kind, Tok::Dot));
+        assert!(matches!(&toks[2].kind, Tok::Bracketed(s) if s == "]"));
+        assert!(lex("[a]]").is_err(), "trailing ]] leaves the name open");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A fixed-capacity buffer pool over a chunk store.
+//! A fixed-capacity, thread-safe buffer pool over a chunk store.
 //!
 //! The pool is the measuring instrument for Section 5 of the paper: the
 //! perspective-cube executor *pins* every chunk that still awaits a merge,
@@ -6,13 +6,31 @@
 //! chosen read order required. Unpinned chunks are cached LRU up to
 //! `capacity`; pinned chunks are never evicted (the pool grows past
 //! capacity if it must, counting [`PoolStats::overflows`]).
+//!
+//! Concurrency: every method takes `&self`. Frames are partitioned into
+//! [`SHARD_COUNT`] independently locked shards so parallel aggregation
+//! workers contend only when touching the same shard; counters are
+//! atomics. The backing store sits behind a `RwLock` — reads proceed
+//! concurrently, writes (flushes) are exclusive. Lock order is always
+//! one shard at a time, then the store, so the pool cannot deadlock
+//! against itself. Under concurrent misses residency can transiently
+//! exceed `capacity` by at most one frame per racing thread; in
+//! single-threaded use the LRU behavior (victim choice, eviction and
+//! overflow counts) is exactly that of the previous exclusive pool.
 
 use crate::chunk::Chunk;
 use crate::geometry::ChunkId;
 use crate::store::ChunkStore;
 use crate::Result;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of frame shards (fixed; chunk ids are multiplicatively hashed
+/// across them).
+pub const SHARD_COUNT: usize = 16;
 
 /// Pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,23 +59,67 @@ struct Frame {
     dirty: bool,
 }
 
-/// LRU buffer pool with pinning.
-pub struct BufferPool {
-    store: Box<dyn ChunkStore>,
-    capacity: usize,
+#[derive(Debug, Default)]
+struct Shard {
     frames: HashMap<ChunkId, Frame>,
-    tick: u64,
-    stats: PoolStats,
+}
+
+/// Sharded LRU buffer pool with pinning; safe for concurrent readers.
+pub struct BufferPool {
+    store: RwLock<Box<dyn ChunkStore>>,
+    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+    resident: AtomicUsize,
+    pinned: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    peak_resident: AtomicU64,
+    peak_pinned: AtomicU64,
+    overflows: AtomicU64,
+}
+
+/// Read access to the pool's backing store (guard; holds the store's
+/// read lock while alive).
+pub struct StoreRef<'a>(parking_lot::RwLockReadGuard<'a, Box<dyn ChunkStore>>);
+
+impl Deref for StoreRef<'_> {
+    type Target = dyn ChunkStore;
+    fn deref(&self) -> &(dyn ChunkStore + 'static) {
+        self.0.as_ref()
+    }
+}
+
+/// Exclusive access to the pool's backing store (guard; holds the
+/// store's write lock while alive).
+pub struct StoreMut<'a>(parking_lot::RwLockWriteGuard<'a, Box<dyn ChunkStore>>);
+
+impl Deref for StoreMut<'_> {
+    type Target = dyn ChunkStore;
+    fn deref(&self) -> &(dyn ChunkStore + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl DerefMut for StoreMut<'_> {
+    fn deref_mut(&mut self) -> &mut (dyn ChunkStore + 'static) {
+        self.0.as_mut()
+    }
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity)
-            .field("resident", &self.frames.len())
-            .field("stats", &self.stats)
+            .field("resident", &self.resident())
+            .field("stats", &self.stats())
             .finish()
     }
+}
+
+fn shard_of(id: ChunkId) -> usize {
+    ((id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 48) as usize % SHARD_COUNT
 }
 
 impl BufferPool {
@@ -65,65 +127,186 @@ impl BufferPool {
     /// (minimum 1).
     pub fn new(store: Box<dyn ChunkStore>, capacity: usize) -> Self {
         BufferPool {
-            store,
+            store: RwLock::new(store),
             capacity: capacity.max(1),
-            frames: HashMap::new(),
-            tick: 0,
-            stats: PoolStats::default(),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            tick: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            pinned: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+            peak_pinned: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
         }
     }
 
-    fn touch(&mut self, id: ChunkId) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(f) = self.frames.get_mut(&id) {
-            f.last_use = tick;
-        }
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn admit(&mut self, id: ChunkId, chunk: Arc<Chunk>, dirty: bool) -> Result<()> {
-        // Make room first: evict the least-recently-used unpinned frame.
-        while self.frames.len() >= self.capacity {
-            let victim = self
-                .frames
-                .iter()
-                .filter(|(_, f)| f.pins == 0)
-                .min_by_key(|(_, f)| f.last_use)
-                .map(|(&id, _)| id);
-            match victim {
-                Some(v) => {
-                    self.flush_frame(v)?;
-                    self.frames.remove(&v);
-                    self.stats.evictions += 1;
-                }
-                None => {
-                    // Everything is pinned: exceed capacity rather than fail —
-                    // Section 5's point is to *measure* this, not crash.
-                    self.stats.overflows += 1;
-                    break;
+    /// Records a transition of a frame's pin count from zero.
+    fn note_first_pin(&self) {
+        let now = self.pinned.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_pinned.fetch_max(now as u64, Ordering::Relaxed);
+    }
+
+    /// Evicts least-recently-used unpinned frames until residency drops
+    /// below capacity, or counts an overflow if everything is pinned.
+    fn make_room(&self) -> Result<()> {
+        while self.resident.load(Ordering::Relaxed) >= self.capacity {
+            // Global LRU victim: scan shards one lock at a time.
+            let mut victim: Option<(u64, usize, ChunkId)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let sh = shard.lock();
+                for (&id, f) in &sh.frames {
+                    if f.pins == 0 && victim.map(|(lu, _, _)| f.last_use < lu).unwrap_or(true) {
+                        victim = Some((f.last_use, si, id));
+                    }
                 }
             }
+            let Some((last_use, si, id)) = victim else {
+                // Everything is pinned: exceed capacity rather than fail —
+                // Section 5's point is to *measure* this, not crash.
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            };
+            let mut sh = self.shards[si].lock();
+            // Revalidate under the shard lock: the frame may have been
+            // pinned, touched, or removed since the scan.
+            let still_victim = sh
+                .frames
+                .get(&id)
+                .map(|f| f.pins == 0 && f.last_use == last_use)
+                .unwrap_or(false);
+            if !still_victim {
+                continue;
+            }
+            let frame = sh.frames.remove(&id).expect("checked above");
+            if frame.dirty {
+                self.store.write().write(id, &frame.chunk)?;
+            }
+            drop(sh);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        self.tick += 1;
-        self.frames.insert(
-            id,
-            Frame {
-                chunk,
-                pins: 0,
-                last_use: self.tick,
-                dirty,
-            },
-        );
-        self.stats.peak_resident = self.stats.peak_resident.max(self.frames.len() as u64);
         Ok(())
     }
 
-    fn flush_frame(&mut self, id: ChunkId) -> Result<()> {
-        if let Some(f) = self.frames.get(&id) {
-            if f.dirty {
-                let chunk = Arc::clone(&f.chunk);
-                self.store.write(id, &chunk)?;
-                if let Some(f) = self.frames.get_mut(&id) {
+    /// Hit-or-read-and-admit, optionally pinning, with miss accounting
+    /// only after the store read succeeds (a failed read must leave
+    /// stats and residency untouched).
+    fn fetch(&self, id: ChunkId, pin: bool) -> Result<Arc<Chunk>> {
+        let si = shard_of(id);
+        {
+            let mut sh = self.shards[si].lock();
+            if let Some(f) = sh.frames.get_mut(&id) {
+                f.last_use = self.next_tick();
+                if pin {
+                    f.pins += 1;
+                    if f.pins == 1 {
+                        self.note_first_pin();
+                    }
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&f.chunk));
+            }
+        }
+        // Miss: read outside the shard lock so parallel misses overlap.
+        let chunk = Arc::new(self.store.read().read(id)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.make_room()?;
+        let mut sh = self.shards[si].lock();
+        let f = sh.frames.entry(id).or_insert_with(|| {
+            let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+            self.peak_resident.fetch_max(now as u64, Ordering::Relaxed);
+            Frame {
+                chunk: Arc::clone(&chunk),
+                pins: 0,
+                last_use: 0,
+                dirty: false,
+            }
+        });
+        f.last_use = self.next_tick();
+        if pin {
+            f.pins += 1;
+            if f.pins == 1 {
+                self.note_first_pin();
+            }
+        }
+        // If another thread admitted `id` first (possibly via `put`),
+        // its frame wins; return the resident chunk for coherence.
+        Ok(Arc::clone(&f.chunk))
+    }
+
+    /// Fetches a chunk (cached or from the store), unpinned.
+    pub fn get(&self, id: ChunkId) -> Result<Arc<Chunk>> {
+        self.fetch(id, false)
+    }
+
+    /// Fetches and pins a chunk; it stays resident until unpinned.
+    pub fn pin(&self, id: ChunkId) -> Result<Arc<Chunk>> {
+        self.fetch(id, true)
+    }
+
+    /// Releases one pin. Panics if the chunk is not pinned (a pin/unpin
+    /// imbalance is always an executor bug worth failing loudly on).
+    pub fn unpin(&self, id: ChunkId) {
+        let mut sh = self.shards[shard_of(id)].lock();
+        let f = sh
+            .frames
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unpin of non-resident chunk {id:?}"));
+        assert!(f.pins > 0, "unpin of unpinned chunk {id:?}");
+        f.pins -= 1;
+        if f.pins == 0 {
+            self.pinned.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replaces a chunk's contents (write-through is deferred until
+    /// eviction or [`BufferPool::flush_all`]).
+    pub fn put(&self, id: ChunkId, chunk: Chunk) -> Result<()> {
+        let arc = Arc::new(chunk);
+        let si = shard_of(id);
+        {
+            let mut sh = self.shards[si].lock();
+            if let Some(f) = sh.frames.get_mut(&id) {
+                f.chunk = arc;
+                f.dirty = true;
+                f.last_use = self.next_tick();
+                return Ok(());
+            }
+        }
+        self.make_room()?;
+        let mut sh = self.shards[si].lock();
+        let f = sh.frames.entry(id).or_insert_with(|| {
+            let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+            self.peak_resident.fetch_max(now as u64, Ordering::Relaxed);
+            Frame {
+                chunk: Arc::clone(&arc),
+                pins: 0,
+                last_use: 0,
+                dirty: true,
+            }
+        });
+        f.chunk = arc;
+        f.dirty = true;
+        f.last_use = self.next_tick();
+        Ok(())
+    }
+
+    /// Writes every dirty frame back to the store.
+    pub fn flush_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            let mut sh = shard.lock();
+            // Take the store lock while holding the shard lock so a
+            // concurrent `put` cannot be flushed-over with stale data.
+            let mut store = self.store.write();
+            for (&id, f) in sh.frames.iter_mut() {
+                if f.dirty {
+                    store.write(id, &f.chunk)?;
                     f.dirty = false;
                 }
             }
@@ -131,110 +314,76 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Fetches a chunk (cached or from the store), unpinned.
-    pub fn get(&mut self, id: ChunkId) -> Result<Arc<Chunk>> {
-        if self.frames.contains_key(&id) {
-            self.stats.hits += 1;
-            self.touch(id);
-            return Ok(Arc::clone(&self.frames[&id].chunk));
-        }
-        self.stats.misses += 1;
-        let chunk = Arc::new(self.store.read(id)?);
-        self.admit(id, Arc::clone(&chunk), false)?;
-        Ok(chunk)
-    }
-
-    /// Fetches and pins a chunk; it stays resident until unpinned.
-    pub fn pin(&mut self, id: ChunkId) -> Result<Arc<Chunk>> {
-        let chunk = self.get(id)?;
-        let f = self.frames.get_mut(&id).expect("frame admitted by get");
-        f.pins += 1;
-        let pinned = self.pinned_count() as u64;
-        self.stats.peak_pinned = self.stats.peak_pinned.max(pinned);
-        Ok(chunk)
-    }
-
-    /// Releases one pin. Panics if the chunk is not pinned (a pin/unpin
-    /// imbalance is always an executor bug worth failing loudly on).
-    pub fn unpin(&mut self, id: ChunkId) {
-        let f = self
-            .frames
-            .get_mut(&id)
-            .unwrap_or_else(|| panic!("unpin of non-resident chunk {id:?}"));
-        assert!(f.pins > 0, "unpin of unpinned chunk {id:?}");
-        f.pins -= 1;
-    }
-
-    /// Replaces a chunk's contents (write-through is deferred until
-    /// eviction or [`BufferPool::flush_all`]).
-    pub fn put(&mut self, id: ChunkId, chunk: Chunk) -> Result<()> {
-        let arc = Arc::new(chunk);
-        if let Some(f) = self.frames.get_mut(&id) {
-            f.chunk = arc;
-            f.dirty = true;
-            self.touch(id);
-            return Ok(());
-        }
-        self.admit(id, arc, true)
-    }
-
-    /// Writes every dirty frame back to the store.
-    pub fn flush_all(&mut self) -> Result<()> {
-        let ids: Vec<ChunkId> = self.frames.keys().copied().collect();
-        for id in ids {
-            self.flush_frame(id)?;
-        }
-        Ok(())
-    }
-
     /// Whether the chunk exists (resident or in the backing store).
     pub fn contains(&self, id: ChunkId) -> bool {
-        self.frames.contains_key(&id) || self.store.contains(id)
+        if self.shards[shard_of(id)].lock().frames.contains_key(&id) {
+            return true;
+        }
+        self.store.read().contains(id)
     }
 
     /// Currently resident frames.
     pub fn resident(&self) -> usize {
-        self.frames.len()
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// Currently pinned frames.
     pub fn pinned_count(&self) -> usize {
-        self.frames.values().filter(|f| f.pins > 0).count()
+        self.pinned.load(Ordering::Relaxed)
     }
 
-    /// Pool counters.
+    /// Pool counters (a consistent-enough snapshot; each field is
+    /// individually atomic).
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            peak_resident: self.peak_resident.load(Ordering::Relaxed),
+            peak_pinned: self.peak_pinned.load(Ordering::Relaxed),
+            overflows: self.overflows.load(Ordering::Relaxed),
+        }
     }
 
     /// Zeroes the counters (keeps resident frames).
-    pub fn reset_stats(&mut self) {
-        self.stats = PoolStats::default();
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.peak_resident.store(0, Ordering::Relaxed);
+        self.peak_pinned.store(0, Ordering::Relaxed);
+        self.overflows.store(0, Ordering::Relaxed);
     }
 
-    /// Immutable access to the backing store.
-    pub fn store(&self) -> &dyn ChunkStore {
-        self.store.as_ref()
+    /// Read access to the backing store.
+    pub fn store(&self) -> StoreRef<'_> {
+        StoreRef(self.store.read())
     }
 
-    /// Mutable access to the backing store (reorganization, seek models).
-    pub fn store_mut(&mut self) -> &mut dyn ChunkStore {
-        self.store.as_mut()
+    /// Exclusive access to the backing store (reorganization, seek
+    /// models).
+    pub fn store_mut(&self) -> StoreMut<'_> {
+        StoreMut(self.store.write())
     }
 
     /// Flushes and drops every frame, forcing subsequent reads back to
     /// the store. Panics if any frame is pinned.
-    pub fn clear(&mut self) -> Result<()> {
+    pub fn clear(&self) -> Result<()> {
         assert_eq!(self.pinned_count(), 0, "clear() with pinned frames");
         self.flush_all()?;
-        self.frames.clear();
+        for shard in &self.shards {
+            let mut sh = shard.lock();
+            let n = sh.frames.len();
+            sh.frames.clear();
+            self.resident.fetch_sub(n, Ordering::Relaxed);
+        }
         Ok(())
     }
 
     /// Flushes and returns the backing store.
-    pub fn into_store(mut self) -> Result<Box<dyn ChunkStore>> {
+    pub fn into_store(self) -> Result<Box<dyn ChunkStore>> {
         self.flush_all()?;
-        Ok(self.store)
+        Ok(self.store.into_inner())
     }
 }
 
@@ -256,7 +405,7 @@ mod tests {
 
     #[test]
     fn hits_and_misses() {
-        let mut p = BufferPool::new(store_with(4), 2);
+        let p = BufferPool::new(store_with(4), 2);
         p.get(ChunkId(0)).unwrap();
         p.get(ChunkId(0)).unwrap();
         let s = p.stats();
@@ -266,7 +415,7 @@ mod tests {
 
     #[test]
     fn lru_eviction() {
-        let mut p = BufferPool::new(store_with(4), 2);
+        let p = BufferPool::new(store_with(4), 2);
         p.get(ChunkId(0)).unwrap();
         p.get(ChunkId(1)).unwrap();
         p.get(ChunkId(0)).unwrap(); // 1 is now LRU
@@ -280,7 +429,7 @@ mod tests {
 
     #[test]
     fn pinned_chunks_survive_pressure() {
-        let mut p = BufferPool::new(store_with(5), 2);
+        let p = BufferPool::new(store_with(5), 2);
         p.pin(ChunkId(0)).unwrap();
         p.pin(ChunkId(1)).unwrap();
         // Pool full of pins; next get overflows rather than evicting.
@@ -293,7 +442,7 @@ mod tests {
 
     #[test]
     fn peak_pinned_tracks_pebbles() {
-        let mut p = BufferPool::new(store_with(5), 10);
+        let p = BufferPool::new(store_with(5), 10);
         p.pin(ChunkId(0)).unwrap();
         p.pin(ChunkId(1)).unwrap();
         p.pin(ChunkId(2)).unwrap();
@@ -305,7 +454,7 @@ mod tests {
 
     #[test]
     fn put_writes_back_on_flush() {
-        let mut p = BufferPool::new(store_with(2), 2);
+        let p = BufferPool::new(store_with(2), 2);
         let mut c = Chunk::new_dense(vec![2]);
         c.set(1, CellValue::num(42.0));
         p.put(ChunkId(0), c.clone()).unwrap();
@@ -316,7 +465,7 @@ mod tests {
 
     #[test]
     fn eviction_flushes_dirty_frames() {
-        let mut p = BufferPool::new(store_with(3), 1);
+        let p = BufferPool::new(store_with(3), 1);
         let mut c = Chunk::new_dense(vec![2]);
         c.set(0, CellValue::num(7.0));
         p.put(ChunkId(0), c).unwrap();
@@ -328,8 +477,45 @@ mod tests {
     #[test]
     #[should_panic(expected = "unpin")]
     fn unbalanced_unpin_panics() {
-        let mut p = BufferPool::new(store_with(1), 2);
+        let p = BufferPool::new(store_with(1), 2);
         p.get(ChunkId(0)).unwrap();
         p.unpin(ChunkId(0));
+    }
+
+    /// Regression: a failed store read must not disturb the counters or
+    /// admit anything — previously the miss was counted before the read
+    /// could fail.
+    #[test]
+    fn failed_read_leaves_stats_and_residency_unchanged() {
+        let p = BufferPool::new(store_with(2), 4);
+        p.get(ChunkId(0)).unwrap();
+        let before = p.stats();
+        let resident_before = p.resident();
+        assert!(p.get(ChunkId(99)).is_err());
+        assert!(p.pin(ChunkId(99)).is_err());
+        assert_eq!(p.stats(), before);
+        assert_eq!(p.resident(), resident_before);
+        assert!(!p.shards[shard_of(ChunkId(99))].lock().frames.contains_key(&ChunkId(99)));
+    }
+
+    /// The pool is usable from multiple threads through `&self`.
+    #[test]
+    fn concurrent_gets_share_the_pool() {
+        let p = BufferPool::new(store_with(8), 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let id = ChunkId((i + t) % 8);
+                        let c = p.pin(id).unwrap();
+                        assert_eq!(c.get(0), CellValue::num((id.0) as f64));
+                        p.unpin(id);
+                    }
+                });
+            }
+        });
+        let s = p.stats();
+        assert_eq!(s.hits + s.misses, 800);
     }
 }

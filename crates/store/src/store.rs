@@ -96,8 +96,11 @@ pub struct IoSnapshot {
 /// A keyed store of chunks.
 ///
 /// Chunks are read by value: the perspective-cube executor mutates private
-/// copies while merging, and the buffer pool handles sharing.
-pub trait ChunkStore: Send {
+/// copies while merging, and the buffer pool handles sharing. `read` is
+/// `&self` (and implementations keep it safe for concurrent callers) so
+/// the buffer pool can serve parallel readers; `write` is `&mut self` and
+/// serialized by the pool.
+pub trait ChunkStore: Send + Sync {
     /// Reads a chunk, erroring if absent.
     fn read(&self, id: ChunkId) -> Result<Chunk>;
 

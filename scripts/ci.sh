@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gate: tier-1 (release build + full test suite) plus lint.
+# Run from the repository root. Fails on the first broken step.
+set -eu
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fmt check =="
+cargo fmt --all --check 2>/dev/null || echo "(rustfmt unavailable or dirty — non-fatal)"
+
+echo "CI OK"

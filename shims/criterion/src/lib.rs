@@ -1,0 +1,162 @@
+//! Offline shim for `criterion`: enough of the API for the workspace's
+//! `harness = false` benches to build and run. Each benchmark runs a
+//! short calibrated loop and prints the mean wall-clock per iteration —
+//! no statistics, no HTML reports.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (prevents the optimizer from deleting work).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("static", 4)` → `static/4`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare name without a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up / calibration round.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~100ms of total measurement, capped by sample_size.
+    let target = Duration::from_millis(100);
+    let iters = (target.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, sample_size as u128) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed / iters.max(1) as u32;
+    println!("bench {label:<48} {mean:>12?}/iter  ({iters} iters)");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Global default sample size.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Limits iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -184,6 +184,66 @@ fn paper_queries_parse_verbatim() {
     parse(filter).unwrap();
 }
 
+/// Pinned from `mdx_roundtrip.proptest-regressions`: the shrunk case
+/// `s = "\u{FFFC}"` (U+FFFC OBJECT REPLACEMENT CHARACTER) once made the
+/// parser misbehave. Exotic input must yield a clean `Err`, never a
+/// panic — bare at top level, and as content inside brackets.
+#[test]
+fn regression_ufffc_and_exotic_chars_never_panic() {
+    for s in [
+        "\u{FFFC}",
+        "[\u{FFFC}]",
+        "SELECT {[\u{FFFC}]} ON COLUMNS FROM [W]",
+        "\u{2028}",   // LINE SEPARATOR (printable per \PC, not whitespace here)
+        "a\u{0301}b", // combining acute
+        "🙂",
+        "[",
+        "]",
+        "[]",
+    ] {
+        let _ = parse(s);
+    }
+    assert!(parse("\u{FFFC}").is_err(), "bare U+FFFC is not a token");
+    let q = parse("SELECT {[\u{FFFC}]} ON COLUMNS FROM [W]").unwrap();
+    assert_eq!(
+        q.axes[0].set,
+        SetExpr::Braces(vec![SetExpr::Ref(MemberExpr::name("\u{FFFC}"))])
+    );
+}
+
+/// Names containing `]`, non-ASCII, or other bracket-requiring content
+/// must survive print → parse unchanged (MDX escapes a literal `]` in a
+/// bracketed name by doubling it).
+#[test]
+fn bracketed_names_with_hostile_content_roundtrip() {
+    for name in [
+        "\u{FFFC}",
+        "a]b",
+        "]]",
+        "]",
+        "x[y",
+        "中文 name",
+        "Ω-1",
+        "trailing ",
+        "1leading",
+    ] {
+        let q = Query {
+            with: None,
+            axes: vec![AxisSpec {
+                set: SetExpr::Ref(MemberExpr::name(name)),
+                properties: vec![],
+                axis: Axis::Columns,
+            }],
+            from: Some(vec!["W".to_string()]),
+            slicer: None,
+        };
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{name:?} printed as {printed:?}: {e}"));
+        assert_eq!(q, reparsed, "name {name:?} corrupted via {printed:?}");
+    }
+}
+
 #[test]
 fn parse_errors_are_informative() {
     for (q, needle) in [

@@ -83,11 +83,8 @@ fn reorganize_preserves_query_results() {
     wf.cube.with_pool(|pool| {
         pool.clear().unwrap();
         let ids: Vec<_> = pool.store().ids().into_iter().rev().collect();
-        let store = pool
-            .store_mut()
-            .as_any_mut()
-            .downcast_mut::<FileStore>()
-            .unwrap();
+        let mut guard = pool.store_mut();
+        let store = guard.as_any_mut().downcast_mut::<FileStore>().unwrap();
         store.reorganize(&ids).unwrap();
         store.set_seek_model(Some(SeekModel::default_disk()));
     });
@@ -106,11 +103,8 @@ fn compressed_store_roundtrips_and_shrinks() {
     let wf = file_workforce(&path);
     wf.cube.flush().unwrap();
     let (plain_size, total) = wf.cube.with_pool(|pool| {
-        let store = pool
-            .store()
-            .as_any()
-            .downcast_ref::<FileStore>()
-            .unwrap();
+        let guard = pool.store();
+        let store = guard.as_any().downcast_ref::<FileStore>().unwrap();
         (store.file_size(), 0.0)
     });
     let _ = total;
@@ -118,11 +112,8 @@ fn compressed_store_roundtrips_and_shrinks() {
     wf.cube.with_pool(|pool| {
         pool.clear().unwrap();
         let ids = pool.store().ids();
-        let store = pool
-            .store_mut()
-            .as_any_mut()
-            .downcast_mut::<FileStore>()
-            .unwrap();
+        let mut guard = pool.store_mut();
+        let store = guard.as_any_mut().downcast_mut::<FileStore>().unwrap();
         store.set_compression(true);
         // Rewrite every chunk compressed, then defragment.
         for id in &ids {

@@ -100,7 +100,7 @@ proptest! {
             backing.write(ChunkId(id), &c).unwrap();
             model.insert(id, c);
         }
-        let mut pool = BufferPool::new(Box::new(backing), capacity);
+        let pool = BufferPool::new(Box::new(backing), capacity);
         let mut pins: HashMap<u64, u32> = HashMap::new();
         let mut gets = 0u64;
         for (id, kind) in ops {
@@ -192,4 +192,42 @@ proptest! {
             "order {:?}, mask {:b}", order, mask
         );
     }
+}
+
+/// Pinned from `store_model.proptest-regressions`: the shrunk case
+/// `lens = [2, 3, 2], extent = 2, drop_dim_seed = 50, order_seed = 31`
+/// (i.e. mask 0b011 under read order [1, 2, 0]) once disagreed with the
+/// Zhao prediction. Kept as an explicit test so the exact input runs on
+/// every `cargo test`, independent of any proptest seed replay.
+#[test]
+fn regression_zhao_prediction_lens_2_3_2() {
+    let lens = [2u32, 3, 2];
+    let extent = 2u32;
+    let ndims = lens.len();
+    let mut builder = SchemaBuilder::new();
+    for (i, &l) in lens.iter().enumerate() {
+        let names: Vec<String> = (0..l).map(|j| format!("m{j}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        builder = builder.dimension(DimensionSpec::new(&format!("D{i}")).leaves(&refs));
+    }
+    let schema = Arc::new(builder.build().unwrap());
+    let mut b = Cube::builder(schema, vec![extent; ndims]).unwrap();
+    let mut cell = vec![0u32; ndims];
+    for k in 0..lens[0] {
+        cell[0] = k;
+        cell[1] = k % lens[1];
+        b.set_num(&cell, k as f64 + 1.0).unwrap();
+    }
+    let cube = b.finish().unwrap();
+    // drop_dim_seed = 50 → drop dim 2; order_seed = 31 → rotate by 1, no
+    // reverse.
+    let order = vec![1usize, 2, 0];
+    let mask = Lattice::new(ndims).full() & !(1 << 2);
+    let predicted = lattice::memory_chunks(cube.geometry(), &order, mask);
+    let agg = CubeAggregator::with_order(&cube, order.clone());
+    let (_, report) = agg.compute(&[mask]).unwrap();
+    assert_eq!(
+        report.peak_buffer_chunks, predicted,
+        "order {order:?}, mask {mask:b}"
+    );
 }

@@ -99,7 +99,12 @@ fn main() {
         print_table_s();
     }
     if threads > 1 {
-        println!("(executor parallelism: {threads} threads)\n");
+        println!("(executor parallelism: {threads} threads)");
+        println!(
+            "(note: with --threads >= 2, peak-buffer and chunks-scanned figures sum over \
+             workers — each worker streams the base once — so they are not comparable to \
+             the paper's serial Sec. 5 measurements; use --threads 1 to reproduce those)\n"
+        );
     }
     for f in figs {
         let fig = match f {

@@ -104,6 +104,20 @@ pub struct AggregationReport {
     pub per_thread_peak_cells: Vec<u64>,
 }
 
+impl AggregationReport {
+    /// Largest single-worker peak of live buffer cells — the figure
+    /// comparable to a serial run's `peak_buffer_cells` (which in
+    /// parallel mode sums the workers instead). Equals
+    /// `peak_buffer_cells` in serial mode.
+    pub fn max_worker_peak_cells(&self) -> u64 {
+        self.per_thread_peak_cells
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.peak_buffer_cells)
+    }
+}
+
 /// In-flight chunk buffer of one group-by node.
 struct Buffer {
     accs: Vec<Acc>,
@@ -775,6 +789,7 @@ mod tests {
                 p_rep.peak_buffer_cells,
                 "aggregate peak is the sum of per-worker peaks"
             );
+            assert!(p_rep.max_worker_peak_cells() <= p_rep.peak_buffer_cells);
         }
     }
 

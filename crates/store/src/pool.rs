@@ -13,17 +13,22 @@
 //! atomics. The backing store sits behind a `RwLock` — reads proceed
 //! concurrently, writes (flushes) are exclusive. Lock order is always
 //! one shard at a time, then the store, so the pool cannot deadlock
-//! against itself. Under concurrent misses residency can transiently
-//! exceed `capacity` by at most one frame per racing thread; in
-//! single-threaded use the LRU behavior (victim choice, eviction and
-//! overflow counts) is exactly that of the previous exclusive pool.
+//! against itself. Concurrent misses on the *same* chunk are
+//! deduplicated: the first thread reads while the rest wait on the
+//! shard's condvar, so each admission is exactly one store read and
+//! exactly one counted miss (`resident == misses - evictions` holds
+//! under contention). Residency can still transiently exceed
+//! `capacity` by at most one frame per thread admitting a *distinct*
+//! chunk; in single-threaded use the LRU behavior (victim choice,
+//! eviction and overflow counts) is exactly that of the previous
+//! exclusive pool.
 
 use crate::chunk::Chunk;
 use crate::geometry::ChunkId;
 use crate::store::ChunkStore;
 use crate::Result;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -62,13 +67,24 @@ struct Frame {
 #[derive(Debug, Default)]
 struct Shard {
     frames: HashMap<ChunkId, Frame>,
+    /// Chunks some thread is currently reading from the store; other
+    /// threads missing on the same chunk wait instead of re-reading.
+    in_flight: HashSet<ChunkId>,
+}
+
+/// One lockable frame shard plus the condvar its in-flight readers
+/// signal on.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    shard: Mutex<Shard>,
+    read_done: Condvar,
 }
 
 /// Sharded LRU buffer pool with pinning; safe for concurrent readers.
 pub struct BufferPool {
     store: RwLock<Box<dyn ChunkStore>>,
     capacity: usize,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardSlot>,
     tick: AtomicU64,
     resident: AtomicUsize,
     pinned: AtomicUsize,
@@ -129,7 +145,7 @@ impl BufferPool {
         BufferPool {
             store: RwLock::new(store),
             capacity: capacity.max(1),
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..SHARD_COUNT).map(|_| ShardSlot::default()).collect(),
             tick: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
             pinned: AtomicUsize::new(0),
@@ -158,8 +174,8 @@ impl BufferPool {
         while self.resident.load(Ordering::Relaxed) >= self.capacity {
             // Global LRU victim: scan shards one lock at a time.
             let mut victim: Option<(u64, usize, ChunkId)> = None;
-            for (si, shard) in self.shards.iter().enumerate() {
-                let sh = shard.lock();
+            for (si, slot) in self.shards.iter().enumerate() {
+                let sh = slot.shard.lock();
                 for (&id, f) in &sh.frames {
                     if f.pins == 0 && victim.map(|(lu, _, _)| f.last_use < lu).unwrap_or(true) {
                         victim = Some((f.last_use, si, id));
@@ -167,12 +183,22 @@ impl BufferPool {
                 }
             }
             let Some((last_use, si, id)) = victim else {
+                if self.resident.load(Ordering::Relaxed) < self.capacity {
+                    // A concurrent eviction made room during the scan.
+                    return Ok(());
+                }
+                if self.pinned.load(Ordering::Relaxed) == 0 {
+                    // Nothing is pinned, so unpinned frames exist — the
+                    // scan just raced admissions/evictions. Rescan
+                    // rather than count a spurious overflow.
+                    continue;
+                }
                 // Everything is pinned: exceed capacity rather than fail —
                 // Section 5's point is to *measure* this, not crash.
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             };
-            let mut sh = self.shards[si].lock();
+            let mut sh = self.shards[si].shard.lock();
             // Revalidate under the shard lock: the frame may have been
             // pinned, touched, or removed since the scan.
             let still_victim = sh
@@ -184,41 +210,68 @@ impl BufferPool {
                 continue;
             }
             let frame = sh.frames.remove(&id).expect("checked above");
+            // Decrement residency before releasing the shard lock so a
+            // concurrent victimless scan never sees the removed frame
+            // still counted (which would read as an overflow).
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
             if frame.dirty {
                 self.store.write().write(id, &frame.chunk)?;
             }
-            drop(sh);
-            self.resident.fetch_sub(1, Ordering::Relaxed);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
 
     /// Hit-or-read-and-admit, optionally pinning, with miss accounting
     /// only after the store read succeeds (a failed read must leave
-    /// stats and residency untouched).
+    /// stats and residency untouched). Concurrent misses on the same
+    /// chunk are read once: the first thread registers the chunk as
+    /// in-flight and later threads wait on the shard's condvar, turning
+    /// their requests into hits once the frame is admitted.
     fn fetch(&self, id: ChunkId, pin: bool) -> Result<Arc<Chunk>> {
-        let si = shard_of(id);
+        let slot = &self.shards[shard_of(id)];
         {
-            let mut sh = self.shards[si].lock();
-            if let Some(f) = sh.frames.get_mut(&id) {
-                f.last_use = self.next_tick();
-                if pin {
-                    f.pins += 1;
-                    if f.pins == 1 {
-                        self.note_first_pin();
+            let mut sh = slot.shard.lock();
+            loop {
+                if let Some(f) = sh.frames.get_mut(&id) {
+                    f.last_use = self.next_tick();
+                    if pin {
+                        f.pins += 1;
+                        if f.pins == 1 {
+                            self.note_first_pin();
+                        }
                     }
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&f.chunk));
                 }
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&f.chunk));
+                if sh.in_flight.insert(id) {
+                    break; // this thread performs the read
+                }
+                // Another thread is reading `id`; wait for it rather
+                // than duplicating the store I/O, then re-check.
+                slot.read_done.wait(&mut sh);
             }
         }
-        // Miss: read outside the shard lock so parallel misses overlap.
-        let chunk = Arc::new(self.store.read().read(id)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.make_room()?;
-        let mut sh = self.shards[si].lock();
+        // Miss: read outside the shard lock so reads of distinct chunks
+        // overlap.
+        let read = self.store.read().read(id);
+        let room = if read.is_ok() { self.make_room() } else { Ok(()) };
+        let mut sh = slot.shard.lock();
+        sh.in_flight.remove(&id);
+        slot.read_done.notify_all();
+        let chunk = match read {
+            Ok(c) => Arc::new(c),
+            Err(e) => return Err(e),
+        };
+        room?;
+        // Decide hit-vs-miss under the shard lock: only the thread that
+        // actually admits the frame counts a miss, paired with exactly
+        // one residency increment, so `resident == misses - evictions`
+        // holds under contention. If another thread admitted `id` first
+        // (e.g. via `put`), its frame wins and this is a hit.
+        let mut admitted = false;
         let f = sh.frames.entry(id).or_insert_with(|| {
+            admitted = true;
             let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
             self.peak_resident.fetch_max(now as u64, Ordering::Relaxed);
             Frame {
@@ -228,6 +281,11 @@ impl BufferPool {
                 dirty: false,
             }
         });
+        if admitted {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
         f.last_use = self.next_tick();
         if pin {
             f.pins += 1;
@@ -235,8 +293,6 @@ impl BufferPool {
                 self.note_first_pin();
             }
         }
-        // If another thread admitted `id` first (possibly via `put`),
-        // its frame wins; return the resident chunk for coherence.
         Ok(Arc::clone(&f.chunk))
     }
 
@@ -253,7 +309,7 @@ impl BufferPool {
     /// Releases one pin. Panics if the chunk is not pinned (a pin/unpin
     /// imbalance is always an executor bug worth failing loudly on).
     pub fn unpin(&self, id: ChunkId) {
-        let mut sh = self.shards[shard_of(id)].lock();
+        let mut sh = self.shards[shard_of(id)].shard.lock();
         let f = sh
             .frames
             .get_mut(&id)
@@ -271,7 +327,7 @@ impl BufferPool {
         let arc = Arc::new(chunk);
         let si = shard_of(id);
         {
-            let mut sh = self.shards[si].lock();
+            let mut sh = self.shards[si].shard.lock();
             if let Some(f) = sh.frames.get_mut(&id) {
                 f.chunk = arc;
                 f.dirty = true;
@@ -280,7 +336,7 @@ impl BufferPool {
             }
         }
         self.make_room()?;
-        let mut sh = self.shards[si].lock();
+        let mut sh = self.shards[si].shard.lock();
         let f = sh.frames.entry(id).or_insert_with(|| {
             let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
             self.peak_resident.fetch_max(now as u64, Ordering::Relaxed);
@@ -299,8 +355,8 @@ impl BufferPool {
 
     /// Writes every dirty frame back to the store.
     pub fn flush_all(&self) -> Result<()> {
-        for shard in &self.shards {
-            let mut sh = shard.lock();
+        for slot in &self.shards {
+            let mut sh = slot.shard.lock();
             // Take the store lock while holding the shard lock so a
             // concurrent `put` cannot be flushed-over with stale data.
             let mut store = self.store.write();
@@ -316,7 +372,7 @@ impl BufferPool {
 
     /// Whether the chunk exists (resident or in the backing store).
     pub fn contains(&self, id: ChunkId) -> bool {
-        if self.shards[shard_of(id)].lock().frames.contains_key(&id) {
+        if self.shards[shard_of(id)].shard.lock().frames.contains_key(&id) {
             return true;
         }
         self.store.read().contains(id)
@@ -371,8 +427,8 @@ impl BufferPool {
     pub fn clear(&self) -> Result<()> {
         assert_eq!(self.pinned_count(), 0, "clear() with pinned frames");
         self.flush_all()?;
-        for shard in &self.shards {
-            let mut sh = shard.lock();
+        for slot in &self.shards {
+            let mut sh = slot.shard.lock();
             let n = sh.frames.len();
             sh.frames.clear();
             self.resident.fetch_sub(n, Ordering::Relaxed);
@@ -495,7 +551,34 @@ mod tests {
         assert!(p.pin(ChunkId(99)).is_err());
         assert_eq!(p.stats(), before);
         assert_eq!(p.resident(), resident_before);
-        assert!(!p.shards[shard_of(ChunkId(99))].lock().frames.contains_key(&ChunkId(99)));
+        let sh = p.shards[shard_of(ChunkId(99))].shard.lock();
+        assert!(!sh.frames.contains_key(&ChunkId(99)));
+        assert!(sh.in_flight.is_empty(), "failed read left an in-flight marker");
+    }
+
+    /// Regression: threads racing to miss on the same chunk must produce
+    /// exactly one store read / counted miss (the rest wait on the
+    /// in-flight marker and score hits), keeping
+    /// `resident == misses - evictions` under contention.
+    #[test]
+    fn concurrent_misses_on_one_chunk_count_once() {
+        let p = BufferPool::new(store_with(1), 4);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = &p;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let c = p.get(ChunkId(0)).unwrap();
+                    assert_eq!(c.get(0), CellValue::Num(0.0));
+                });
+            }
+        });
+        let st = p.stats();
+        assert_eq!(st.misses, 1, "racing misses must not double-count");
+        assert_eq!(st.hits, 7);
+        assert_eq!(p.resident(), 1);
     }
 
     /// The pool is usable from multiple threads through `&self`.

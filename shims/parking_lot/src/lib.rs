@@ -1,6 +1,7 @@
-//! Offline shim for `parking_lot`: the `Mutex`/`RwLock` subset the
-//! workspace uses, implemented over `std::sync` with parking_lot's
-//! non-poisoning API (a panicked holder does not wedge the lock).
+//! Offline shim for `parking_lot`: the `Mutex`/`RwLock`/`Condvar`
+//! subset the workspace uses, implemented over `std::sync` with
+//! parking_lot's non-poisoning API (a panicked holder does not wedge
+//! the lock).
 
 use std::sync::{self, TryLockError};
 
@@ -91,6 +92,53 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with parking_lot's in-place `wait(&mut guard)`
+/// signature.
+#[derive(Default, Debug)]
+pub struct Condvar(sync::Condvar);
+
+/// Aborts if dropped; guards the unsafe guard-swap in [`Condvar::wait`]
+/// against unwinding (a double-drop of the mutex guard would be UB).
+struct AbortOnDrop;
+
+impl Drop for AbortOnDrop {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified;
+    /// the guard holds the re-acquired lock on return. Spurious wakeups
+    /// are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let taken = std::ptr::read(guard);
+            // std's wait only panics on cross-mutex misuse; unwinding
+            // past the moved-out guard would double-drop it, so abort.
+            let unwind_fence = AbortOnDrop;
+            let reacquired = self.0.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::mem::forget(unwind_fence);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +157,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
     }
 
     #[test]

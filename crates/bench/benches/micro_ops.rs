@@ -65,7 +65,7 @@ fn micro(c: &mut Criterion) {
         chunk.set(i, CellValue::num(i as f64));
     }
     c.bench_function("codec_roundtrip_256cell_chunk", |b| {
-        b.iter(|| codec::decode(&codec::encode(&chunk)).unwrap())
+        b.iter(|| codec::decode(&codec::encode(&chunk).unwrap()).unwrap())
     });
 }
 

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--all] [--csv DIR]
-//!       [--threads N]
+//!       [--threads N] [--prefetch K]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -17,7 +17,9 @@ use bench::setup::{
 use bench::min_time;
 use olap_store::SeekModel;
 use olap_workload::{Workforce, WorkforceConfig};
-use whatif_core::{execute_chunked_threaded, merge, phi, DestMap, OrderPolicy, Semantics};
+use whatif_core::{
+    execute_chunked_scoped_opts, merge, phi, DestMap, ExecOpts, OrderPolicy, Semantics,
+};
 
 const ITERS: u32 = 3;
 
@@ -28,6 +30,7 @@ fn main() {
     let mut ablations = false;
     let mut csv_dir: Option<String> = None;
     let mut threads = 1usize;
+    let mut prefetch = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +44,13 @@ fn main() {
                         eprintln!("--threads needs a positive integer");
                         std::process::exit(2);
                     });
+            }
+            "--prefetch" => {
+                i += 1;
+                prefetch = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--prefetch needs a non-negative integer");
+                    std::process::exit(2);
+                });
             }
             "--fig" => {
                 i += 1;
@@ -81,7 +91,7 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--all] [--csv DIR] \
-                     [--threads N]"
+                     [--threads N] [--prefetch K]"
                 );
                 std::process::exit(2);
             }
@@ -106,18 +116,21 @@ fn main() {
              the paper's serial Sec. 5 measurements; use --threads 1 to reproduce those)\n"
         );
     }
+    if prefetch > 0 {
+        println!("(chunk prefetch lookahead: {prefetch})");
+    }
     for f in figs {
         let fig = match f {
-            "11" => fig11(threads),
-            "12" => fig12(),
-            "13" => fig13(threads),
+            "11" => fig11(threads, prefetch),
+            "12" => fig12(prefetch),
+            "13" => fig13(threads, prefetch),
             _ => unreachable!(),
         };
         println!("{fig}");
         outputs.push(fig);
     }
     if ablations {
-        run_ablations(threads);
+        run_ablations(threads, prefetch);
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -176,11 +189,15 @@ fn print_table_s() {
     println!("(scale: 1/10th linear — see DESIGN.md §2)\n");
 }
 
-fn fig11(threads: usize) -> Figure {
+fn fig11(threads: usize, prefetch: usize) -> Figure {
     eprintln!("[fig11] building workload…");
     let wf = default_workforce();
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
     let mut ctx = context(&wf);
     ctx.threads = threads;
+    ctx.prefetch = prefetch;
     let ks = [1usize, 2, 3, 4, 6, 8, 10, 12];
     let mut static_s = Vec::new();
     let mut fwd_s = Vec::new();
@@ -213,7 +230,7 @@ fn fig11(threads: usize) -> Figure {
     }
 }
 
-fn fig12() -> Figure {
+fn fig12(prefetch: usize) -> Figure {
     eprintln!("[fig12] building file-backed rig…");
     let rig = Fig12Rig::build();
     let base = (rig.other_chunks.len() / 6).max(10);
@@ -230,29 +247,43 @@ fn fig12() -> Figure {
     for multiple in 1..=5usize {
         rig.set_separation(base * multiple, seek);
         let sep = rig.separation_bytes();
-        let t = min_time(ITERS, || rig.run_query());
+        let t = min_time(ITERS, || rig.run_query_with(prefetch));
         pts.push((multiple as f64, t.as_secs_f64() * 1e6));
         eprintln!(
             "[fig12] ×{multiple}: separation {sep} bytes ({} chunks)",
             base * multiple
         );
     }
+    let st = rig.wf.cube.with_pool(|pool| pool.stats());
+    println!(
+        "[fig12] pool prefetch counters (whole sweep): issued {}, hits {}, wasted {}",
+        st.prefetch_issued, st.prefetch_hits, st.prefetch_wasted
+    );
+    let name = if prefetch > 0 {
+        format!("Dynamic Forward (1 employee, prefetch {prefetch})")
+    } else {
+        "Dynamic Forward (1 employee)".to_string()
+    };
     Figure {
         id: "Fig. 12".into(),
         title: "related-chunk co-location vs. query time".into(),
         x_label: "separation (multiples of base)".into(),
         y_label: "query time (µs, min of runs; simulated seek)".into(),
-        series: vec![Series { name: "Dynamic Forward (1 employee)".into(), points: pts }],
+        series: vec![Series { name, points: pts }],
         paper_expectation: "rises with separation, then flattens once seek cost saturates"
             .into(),
     }
 }
 
-fn fig13(threads: usize) -> Figure {
+fn fig13(threads: usize, prefetch: usize) -> Figure {
     eprintln!("[fig13] building 4-move workload…");
     let wf = fig13_workforce(25);
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
     let mut ctx = context(&wf);
     ctx.threads = threads;
+    ctx.prefetch = prefetch;
     let p = quarterly();
     let mut pts = Vec::new();
     for &n in &[5u32, 10, 15, 20, 25] {
@@ -271,7 +302,7 @@ fn fig13(threads: usize) -> Figure {
     }
 }
 
-fn run_ablations(threads: usize) {
+fn run_ablations(threads: usize, prefetch: usize) {
     println!("=== Ablations ===");
     // Pebbling vs naive on the paper's Fig. 9 graph.
     let g = merge::MergeGraph::fig9();
@@ -291,6 +322,10 @@ fn run_ablations(threads: usize) {
         scenarios: 2,
         ..WorkforceConfig::default()
     });
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
+    let opts = ExecOpts { threads, prefetch };
     let varying = wf.schema.varying(wf.department).unwrap();
     let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 6], 12);
     let map = DestMap::build(&wf.cube, wf.department, &vs_out).unwrap();
@@ -300,10 +335,12 @@ fn run_ablations(threads: usize) {
         ("param-dim first ", OrderPolicy::DimOrder(vec![0, 2, 3, 4, 5, 6, 1])),
     ] {
         let t = min_time(ITERS, || {
-            execute_chunked_threaded(&wf.cube, wf.department, &map, &policy, threads).unwrap()
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts)
+                .unwrap()
         });
         let (_, report) =
-            execute_chunked_threaded(&wf.cube, wf.department, &map, &policy, threads).unwrap();
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts)
+                .unwrap();
         println!(
             "{name}: peak buffers {:>5}, predicted pebbles {:>4}, time {:>8.2} ms \
              (graph {} nodes / {} edges)",

@@ -156,7 +156,21 @@ impl Fig12Rig {
     /// and their merge partners are read from disk). The buffer pool is
     /// cleared first so every run pays real (simulated-seek) I/O.
     pub fn run_query(&self) -> whatif_core::ExecReport {
-        self.wf.cube.with_pool(|pool| pool.clear().expect("no pins"));
+        self.run_query_with(0)
+    }
+
+    /// [`Self::run_query`] with a prefetch lookahead of `prefetch` chunks
+    /// (0 = no hints). Starts the pool's I/O workers on first use.
+    pub fn run_query_with(&self, prefetch: usize) -> whatif_core::ExecReport {
+        if prefetch > 0 {
+            self.wf.cube.start_io_threads(prefetch.min(4));
+        }
+        self.wf.cube.with_pool(|pool| {
+            // Let stragglers from the previous run land before clearing,
+            // so each run starts from a cold, stable pool.
+            pool.wait_prefetch_idle();
+            pool.clear().expect("no pins")
+        });
         let varying = self.wf.schema.varying(self.wf.department).expect("varying");
         let p: Vec<u32> = [0u32, 3, 6, 9]
             .iter()
@@ -176,12 +190,16 @@ impl Fig12Rig {
             .iter()
             .map(|i| i.0)
             .collect();
-        let (_, report) = whatif_core::execute_chunked_scoped(
+        let (_, report) = whatif_core::execute_chunked_scoped_opts(
             &self.wf.cube,
             self.wf.department,
             &map,
             &whatif_core::OrderPolicy::Pebbling,
             Some(&slots),
+            whatif_core::ExecOpts {
+                threads: 1,
+                prefetch,
+            },
         )
         .expect("scoped execution");
         report

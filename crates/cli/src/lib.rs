@@ -62,6 +62,7 @@ impl Loaded {
 pub struct Session {
     data: Loaded,
     threads: usize,
+    prefetch: usize,
 }
 
 /// What the caller should do after a line.
@@ -83,7 +84,11 @@ impl Session {
                 Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
             }
         };
-        Session { data, threads: 1 }
+        Session {
+            data,
+            threads: 1,
+            prefetch: 0,
+        }
     }
 
     /// Sets the executor parallelism degree (`--threads N`); 1 = serial.
@@ -92,9 +97,21 @@ impl Session {
         self
     }
 
+    /// Sets the prefetch lookahead (`--prefetch K`); 0 = off. A nonzero
+    /// K starts the cube's buffer-pool I/O workers so query execution
+    /// overlaps store reads with compute.
+    pub fn with_prefetch(mut self, prefetch: usize) -> Session {
+        self.prefetch = prefetch;
+        if prefetch > 0 {
+            self.data.cube().start_io_threads(prefetch.min(4));
+        }
+        self
+    }
+
     fn context(&self) -> QueryContext<'_> {
         let mut ctx = QueryContext::new(self.data.cube());
         ctx.threads = self.threads;
+        ctx.prefetch = self.prefetch;
         for (name, dim, members) in self.data.named_sets() {
             ctx.define_set(&name, dim, &members);
         }
@@ -394,6 +411,17 @@ mod tests {
         let mut serial = Session::new(Dataset::Running);
         let mut parallel = Session::new(Dataset::Running).with_threads(4);
         assert_eq!(serial.handle(q), parallel.handle(q));
+    }
+
+    #[test]
+    fn prefetching_session_matches_serial() {
+        let q = "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL \
+                 SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, \
+                 {Organization.[FTE], Organization.[PTE], Organization.[Contractor]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        let mut plain = Session::new(Dataset::Running);
+        let mut hinted = Session::new(Dataset::Running).with_prefetch(3);
+        assert_eq!(plain.handle(q), hinted.handle(q));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `polap` — the perspective-olap shell.
 //!
 //! ```sh
-//! polap [running|retail|workforce] [--threads N]
+//! polap [running|retail|workforce] [--threads N] [--prefetch K]
 //! ```
 
 use polap_cli::{Dataset, Outcome, Session, HELP};
@@ -11,6 +11,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dataset_arg: Option<String> = None;
     let mut threads = 1usize;
+    let mut prefetch = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,10 +26,17 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--prefetch" => {
+                i += 1;
+                prefetch = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--prefetch needs a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
             other if dataset_arg.is_none() => dataset_arg = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
-                eprintln!("usage: polap [running|retail|workforce] [--threads N]");
+                eprintln!("usage: polap [running|retail|workforce] [--threads N] [--prefetch K]");
                 std::process::exit(2);
             }
         }
@@ -40,7 +48,7 @@ fn main() {
         std::process::exit(2);
     };
     eprintln!("loading {dataset:?} dataset…");
-    let mut session = Session::new(dataset).with_threads(threads);
+    let mut session = Session::new(dataset).with_threads(threads).with_prefetch(prefetch);
     println!("{HELP}\n");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

@@ -75,6 +75,27 @@ pub struct ExecReport {
     pub passes: u64,
 }
 
+/// Tuning knobs for the chunked executors.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOpts {
+    /// Worker threads for the Lemma 5.1 slice fan-out
+    /// (`Pebbling`/`Naive` only; `DimOrder` stays serial).
+    pub threads: usize,
+    /// Prefetch lookahead K: while processing a chunk sequence, the next
+    /// K chunk ids are hinted to the cube's buffer pool so its I/O
+    /// workers overlap store reads with merge compute. `0` disables
+    /// hinting and is bit-identical to the unhinted executor; any K only
+    /// changes I/O timing, never results. Has no effect unless
+    /// I/O workers are running (`Cube::start_io_threads`).
+    pub prefetch: usize,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts { threads: 1, prefetch: 0 }
+    }
+}
+
 /// Single-pass chunked execution over the whole cube.
 pub fn execute_chunked(
     cube: &Cube,
@@ -127,11 +148,23 @@ pub fn execute_chunked_scoped_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<(Cube, ExecReport)> {
-    let env = Env::new(cube, dim, dest, policy, scope)?;
+    execute_chunked_scoped_opts(cube, dim, dest, policy, scope, ExecOpts { threads, prefetch: 0 })
+}
+
+/// [`execute_chunked_scoped`] with the full set of tuning knobs.
+pub fn execute_chunked_scoped_opts(
+    cube: &Cube,
+    dim: DimensionId,
+    dest: &DestMap,
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+    opts: ExecOpts,
+) -> Result<(Cube, ExecReport)> {
+    let env = Env::new(cube, dim, dest, policy, scope, opts.prefetch)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
     let copy_labels = env.copy_labels();
-    env.run_pass(&out, dest, &copy_labels, &mut report, threads)?;
+    env.run_pass(&out, dest, &copy_labels, &mut report, opts.threads)?;
     report.passes = 1;
     out.flush()?;
     Ok((out, report))
@@ -164,14 +197,27 @@ pub fn execute_passes_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<(Cube, ExecReport)> {
-    let env = Env::new(cube, dim, full, policy, scope)?;
+    execute_passes_opts(cube, dim, full, passes, policy, scope, ExecOpts { threads, prefetch: 0 })
+}
+
+/// [`execute_passes`] with the full set of tuning knobs.
+pub fn execute_passes_opts(
+    cube: &Cube,
+    dim: DimensionId,
+    full: &DestMap,
+    passes: &[DestMap],
+    policy: &OrderPolicy,
+    scope: Option<&[u32]>,
+    opts: ExecOpts,
+) -> Result<(Cube, ExecReport)> {
+    let env = Env::new(cube, dim, full, policy, scope, opts.prefetch)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
     let copy_labels = env.copy_labels();
     let no_copy = vec![false; copy_labels.len()];
     for (i, pass) in passes.iter().enumerate() {
         let labels = if i == 0 { &copy_labels } else { &no_copy };
-        env.run_pass(&out, pass, labels, &mut report, threads)?;
+        env.run_pass(&out, pass, labels, &mut report, opts.threads)?;
         report.passes += 1;
     }
     out.flush()?;
@@ -190,6 +236,8 @@ struct Env<'a> {
     kept: Vec<bool>,
     /// The full plan's merge graph, induced on `kept`.
     full_graph: MergeGraph,
+    /// Prefetch lookahead in chunks (0 = no hints).
+    prefetch: usize,
 }
 
 impl<'a> Env<'a> {
@@ -199,6 +247,7 @@ impl<'a> Env<'a> {
         full: &DestMap,
         policy: &'a OrderPolicy,
         scope: Option<&[u32]>,
+        prefetch: usize,
     ) -> Result<Self> {
         let schema = cube.schema();
         let varying = schema
@@ -237,6 +286,7 @@ impl<'a> Env<'a> {
             vd_extent,
             kept,
             full_graph,
+            prefetch,
         })
     }
 
@@ -444,7 +494,31 @@ impl<'a> Env<'a> {
         let mut slices: HashMap<Vec<u32>, SliceState> = HashMap::new();
         let mut buffers: HashMap<ChunkId, Chunk> = HashMap::new();
 
-        for coord in sequence {
+        // Hint the next K chunks of this sequence to the pool's I/O
+        // workers so store reads overlap the merge below. The watermark
+        // keeps each id from being hinted more than once.
+        let ids: Vec<ChunkId> = if self.prefetch > 0 {
+            sequence.iter().map(|c| geom.chunk_id(c)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut hinted = 0usize;
+
+        for (pos, coord) in sequence.iter().enumerate() {
+            if self.prefetch > 0 {
+                let window = crate::merge::prefetch_window(&ids, pos, self.prefetch);
+                let end = pos + 1 + window.len();
+                let fresh_from = hinted.max(pos + 1);
+                if end > fresh_from {
+                    let fresh: Vec<ChunkId> = ids[fresh_from..end]
+                        .iter()
+                        .copied()
+                        .filter(|&cid| self.cube.chunk_exists(cid))
+                        .collect();
+                    hinted = end;
+                    self.cube.prefetch(&fresh);
+                }
+            }
             let label = coord[self.vd];
             let id = geom.chunk_id(coord);
             let materialized = self.cube.chunk_exists(id);

@@ -6,4 +6,6 @@ pub mod graph;
 pub mod pebbling;
 
 pub use graph::MergeGraph;
-pub use pebbling::{heuristic_order, naive_order, optimal_pebbles, pebbles_for_order};
+pub use pebbling::{
+    heuristic_order, naive_order, optimal_pebbles, pebbles_for_order, prefetch_window,
+};

@@ -7,7 +7,7 @@
 //! cells on the output cube, non-visual retains the input's.
 
 use crate::error::WhatIfError;
-use crate::exec::{ExecReport, OrderPolicy, Strategy};
+use crate::exec::{ExecOpts, ExecReport, OrderPolicy, Strategy};
 use crate::operators::relocate::{relocate, DestMap};
 use crate::operators::split::split;
 use crate::perspective::Mode;
@@ -141,6 +141,17 @@ pub fn apply_scoped_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<WhatIfResult> {
+    apply_opts(cube, scenario, strategy, scope, ExecOpts { threads, prefetch: 0 })
+}
+
+/// [`apply_scoped`] with the full set of executor tuning knobs.
+pub fn apply_opts(
+    cube: &Cube,
+    scenario: &Scenario,
+    strategy: &Strategy,
+    scope: Option<&[u32]>,
+    opts: ExecOpts,
+) -> Result<WhatIfResult> {
     match scenario {
         Scenario::Negative(spec) => {
             let schema = cube.schema();
@@ -178,8 +189,8 @@ pub fn apply_scoped_threaded(
                         &spec.perspectives,
                         varying,
                     );
-                    crate::exec::execute_passes_threaded(
-                        cube, spec.dim, &map, &passes, policy, scope, threads,
+                    crate::exec::execute_passes_opts(
+                        cube, spec.dim, &map, &passes, policy, scope, opts,
                     )?
                 }
             };

@@ -15,7 +15,7 @@ use crate::cube::Cube;
 use crate::lattice::{GroupByMask, Lattice, Mmst};
 use crate::rules::{Acc, AggFn};
 use crate::Result;
-use olap_store::{CellValue, ChunkGeometry};
+use olap_store::{CellValue, ChunkGeometry, ChunkId};
 use std::collections::HashMap;
 
 /// One completed group-by: a dense array of accumulators over the
@@ -164,19 +164,20 @@ pub struct CubeAggregator<'a> {
     cube: &'a Cube,
     order: Vec<usize>,
     threads: usize,
+    prefetch: usize,
 }
 
 impl<'a> CubeAggregator<'a> {
     /// Aggregator with the minimum-memory (ascending-cardinality) order.
     pub fn new(cube: &'a Cube) -> Self {
         let order = crate::lattice::min_memory_order(cube.geometry());
-        CubeAggregator { cube, order, threads: 1 }
+        CubeAggregator { cube, order, threads: 1, prefetch: 0 }
     }
 
     /// Aggregator with an explicit read order (`order[0]` fastest).
     pub fn with_order(cube: &'a Cube, order: Vec<usize>) -> Self {
         assert_eq!(order.len(), cube.geometry().ndims());
-        CubeAggregator { cube, order, threads: 1 }
+        CubeAggregator { cube, order, threads: 1, prefetch: 0 }
     }
 
     /// Sets the parallelism degree. `1` (the default) runs the serial
@@ -190,9 +191,25 @@ impl<'a> CubeAggregator<'a> {
         self
     }
 
+    /// Sets the prefetch lookahead: during the scan, the next `k` chunk
+    /// ids of the current slice are hinted to the cube's buffer pool so
+    /// its I/O workers overlap reads with aggregation. `0` (the default)
+    /// issues no hints and is bit-identical to no prefetching; `k ≥ 1`
+    /// only changes I/O timing, never results. Requires
+    /// [`Cube::start_io_threads`] to have any effect.
+    pub fn with_prefetch(mut self, k: usize) -> Self {
+        self.prefetch = k;
+        self
+    }
+
     /// The read order in use.
     pub fn order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// The configured prefetch lookahead.
+    pub fn prefetch(&self) -> usize {
+        self.prefetch
     }
 
     /// The configured parallelism degree.
@@ -371,7 +388,31 @@ impl<'a> CubeAggregator<'a> {
             report: AggregationReport::default(),
         };
         let all_dims: Vec<usize> = (0..geom.ndims()).collect();
-        for coord in geom.chunks_in_order(&self.order) {
+        // With prefetching on, materialize the scan order once up front
+        // so the next-K chunk ids can be hinted ahead of each read (the
+        // odometer iterator cannot be cloned to peek ahead).
+        let lookahead: Vec<ChunkId> = if self.prefetch > 0 {
+            geom.chunks_in_order(&self.order)
+                .map(|c| geom.chunk_id(&c))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut hinted = 0usize; // lookahead[..hinted] already issued
+        for (pos, coord) in geom.chunks_in_order(&self.order).enumerate() {
+            if self.prefetch > 0 {
+                let end = (pos + 1 + self.prefetch).min(lookahead.len());
+                let fresh_from = hinted.max(pos + 1);
+                if end > fresh_from {
+                    let fresh: Vec<ChunkId> = lookahead[fresh_from..end]
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.cube.chunk_exists(id))
+                        .collect();
+                    hinted = end;
+                    self.cube.prefetch(&fresh);
+                }
+            }
             exec.report.base_chunks_scanned += 1;
             let id = geom.chunk_id(&coord);
             let mut cells = Vec::new();

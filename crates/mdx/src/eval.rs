@@ -27,6 +27,11 @@ pub struct QueryContext<'a> {
     /// runs serially; `n ≥ 2` fans independent slices out across worker
     /// threads (see [`whatif_core::execute_chunked_threaded`]).
     pub threads: usize,
+    /// Prefetch lookahead K for the chunked executor: the next K chunk
+    /// ids of each processing sequence are hinted to the buffer pool's
+    /// I/O workers (`0`, the default, disables hinting). Only has an
+    /// effect when the cube's pool runs I/O workers.
+    pub prefetch: usize,
 }
 
 impl<'a> QueryContext<'a> {
@@ -39,6 +44,7 @@ impl<'a> QueryContext<'a> {
             strategy: Strategy::Chunked(whatif_core::OrderPolicy::Pebbling),
             scoped_retrieval: true,
             threads: 1,
+            prefetch: 0,
         }
     }
 
@@ -89,11 +95,15 @@ pub fn evaluate_full(
     };
     let mut whatif: Option<WhatIfResult> = None;
     if let Some(s @ Scenario::Positive { .. }) = &scenario {
-        whatif = Some(whatif_core::apply_threaded(
+        whatif = Some(whatif_core::apply_opts(
             ctx.cube,
             s,
             &ctx.strategy,
-            ctx.threads,
+            None,
+            whatif_core::ExecOpts {
+                threads: ctx.threads,
+                prefetch: ctx.prefetch,
+            },
         )?);
     }
     let schema_arc = match &whatif {
@@ -157,12 +167,15 @@ pub fn evaluate_full(
         } else {
             None
         };
-        whatif = Some(whatif_core::apply_scoped_threaded(
+        whatif = Some(whatif_core::apply_opts(
             ctx.cube,
             s,
             &ctx.strategy,
             scope.as_deref(),
-            ctx.threads,
+            whatif_core::ExecOpts {
+                threads: ctx.threads,
+                prefetch: ctx.prefetch,
+            },
         )?);
     }
 

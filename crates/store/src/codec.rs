@@ -23,9 +23,17 @@ use olap_model::BitSet;
 
 const MAGIC: u32 = 0x4F4C_4331;
 
-/// Serializes a chunk.
-pub fn encode(chunk: &Chunk) -> Bytes {
+/// Bounds-checks a length destined for a `u32` record/count field —
+/// `len as u32` would silently truncate and corrupt the log.
+pub(crate) fn count_u32(len: usize, what: &'static str) -> Result<u32> {
+    u32::try_from(len).map_err(|_| StoreError::TooLarge { what, len: len as u64 })
+}
+
+/// Serializes a chunk. Fails if the present-cell count overflows the
+/// format's `u32` count field.
+pub fn encode(chunk: &Chunk) -> Result<Bytes> {
     let present: Vec<(u32, f64)> = chunk.present_cells().collect();
+    let count = count_u32(present.len(), "cell count")?;
     let mut buf = BytesMut::with_capacity(4 + 2 + chunk.shape().len() * 4 + 4 + present.len() * 12);
     buf.put_u32_le(MAGIC);
     buf.put_u8(match chunk.data() {
@@ -36,12 +44,12 @@ pub fn encode(chunk: &Chunk) -> Bytes {
     for &s in chunk.shape() {
         buf.put_u32_le(s);
     }
-    buf.put_u32_le(present.len() as u32);
+    buf.put_u32_le(count);
     for (off, v) in present {
         buf.put_u32_le(off);
         buf.put_f64_le(v);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Deserializes a chunk.
@@ -102,7 +110,7 @@ mod tests {
         let mut c = Chunk::new_dense(vec![3, 4]);
         c.set(0, CellValue::num(1.5));
         c.set(11, CellValue::num(-2.0));
-        let d = decode(&encode(&c)).unwrap();
+        let d = decode(&encode(&c).unwrap()).unwrap();
         assert_eq!(c, d);
     }
 
@@ -112,21 +120,21 @@ mod tests {
         for i in (0..100).step_by(7) {
             c.set(i, CellValue::num(i as f64 / 3.0));
         }
-        let d = decode(&encode(&c)).unwrap();
+        let d = decode(&encode(&c).unwrap()).unwrap();
         assert_eq!(c, d);
     }
 
     #[test]
     fn empty_chunk_roundtrip() {
         let c = Chunk::new_sparse(vec![4, 4]);
-        let d = decode(&encode(&c)).unwrap();
+        let d = decode(&encode(&c).unwrap()).unwrap();
         assert_eq!(c, d);
         assert_eq!(d.present_count(), 0);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = encode(&Chunk::new_dense(vec![2])).to_vec();
+        let mut bytes = encode(&Chunk::new_dense(vec![2])).unwrap().to_vec();
         bytes[0] ^= 0xFF;
         assert!(matches!(decode(&bytes), Err(StoreError::Corrupt(_))));
     }
@@ -137,9 +145,23 @@ mod tests {
             let mut c = Chunk::new_dense(vec![4]);
             c.set(1, CellValue::num(1.0));
             c
-        });
+        })
+        .unwrap();
         for cut in [0, 3, 7, bytes.len() - 1] {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    /// Regression for the unchecked `len as u32` casts (record payload
+    /// length and cell counts): a length past `u32::MAX` must error
+    /// rather than silently truncate the record.
+    #[test]
+    fn count_u32_guards_overflow() {
+        assert_eq!(count_u32(0, "x").unwrap(), 0);
+        assert_eq!(count_u32(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        assert!(matches!(
+            count_u32(u32::MAX as usize + 1, "record payload"),
+            Err(StoreError::TooLarge { what: "record payload", len }) if len == u32::MAX as u64 + 1
+        ));
     }
 }

@@ -63,9 +63,16 @@ fn get_varint(buf: &mut &[u8]) -> Result<u64> {
     }
 }
 
-/// Serializes a chunk with the OLC2 compressed format.
-pub fn encode_compressed(chunk: &Chunk) -> Bytes {
+/// Whether a record payload carries the OLC2 compressed codec.
+pub fn is_compressed(buf: &[u8]) -> bool {
+    buf.len() >= 4 && u32::from_le_bytes(buf[..4].try_into().expect("len checked")) == MAGIC_V2
+}
+
+/// Serializes a chunk with the OLC2 compressed format. Fails if the
+/// present-cell count overflows the format's `u32` count field.
+pub fn encode_compressed(chunk: &Chunk) -> Result<Bytes> {
     let present: Vec<(u32, f64)> = chunk.present_cells().collect();
+    let count = codec::count_u32(present.len(), "cell count")?;
     let constant = present
         .first()
         .map(|&(_, v0)| present.iter().all(|&(_, v)| v == v0))
@@ -80,7 +87,7 @@ pub fn encode_compressed(chunk: &Chunk) -> Bytes {
     for &s in chunk.shape() {
         buf.put_u32_le(s);
     }
-    buf.put_u32_le(present.len() as u32);
+    buf.put_u32_le(count);
     let mut prev: i64 = -1;
     for &(off, _) in &present {
         put_varint(&mut buf, (off as i64 - prev) as u64 - 1);
@@ -97,7 +104,7 @@ pub fn encode_compressed(chunk: &Chunk) -> Bytes {
             buf.put_f64_le(v);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Deserializes an OLC2 record.
@@ -174,24 +181,17 @@ pub fn decode_compressed(mut buf: &[u8]) -> Result<Chunk> {
 
 /// Decodes either codec by magic — OLC1 and OLC2 records can coexist.
 pub fn decode_any(buf: &[u8]) -> Result<Chunk> {
-    if buf.len() >= 4 {
-        let magic = u32::from_le_bytes(buf[..4].try_into().expect("len checked"));
-        if magic == MAGIC_V2 {
-            return decode_compressed(buf);
-        }
+    if is_compressed(buf) {
+        return decode_compressed(buf);
     }
     codec::decode(buf)
 }
 
 /// Compression ratio of OLC2 vs OLC1 for a chunk (< 1.0 = smaller).
-pub fn compression_ratio(chunk: &Chunk) -> f64 {
-    let v1 = codec::encode(chunk).len() as f64;
-    let v2 = encode_compressed(chunk).len() as f64;
-    if v1 == 0.0 {
-        1.0
-    } else {
-        v2 / v1
-    }
+pub fn compression_ratio(chunk: &Chunk) -> Result<f64> {
+    let v1 = codec::encode(chunk)?.len() as f64;
+    let v2 = encode_compressed(chunk)?.len() as f64;
+    Ok(if v1 == 0.0 { 1.0 } else { v2 / v1 })
 }
 
 #[cfg(test)]
@@ -205,16 +205,16 @@ mod tests {
         for i in [0u32, 3, 7, 19] {
             c.set(i, CellValue::num(i as f64 * 1.5));
         }
-        assert_eq!(decode_compressed(&encode_compressed(&c)).unwrap(), c);
+        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
     }
 
     #[test]
     fn roundtrip_sparse_and_empty() {
         let mut c = Chunk::new_sparse(vec![100]);
         c.set(99, CellValue::num(-2.25));
-        assert_eq!(decode_compressed(&encode_compressed(&c)).unwrap(), c);
+        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
         let empty = Chunk::new_sparse(vec![8]);
-        assert_eq!(decode_compressed(&encode_compressed(&empty)).unwrap(), empty);
+        assert_eq!(decode_compressed(&encode_compressed(&empty).unwrap()).unwrap(), empty);
     }
 
     #[test]
@@ -224,12 +224,12 @@ mod tests {
         for i in 0..256u32 {
             c.set(i, CellValue::num(10.0));
         }
-        let v1 = codec::encode(&c).len();
-        let v2 = encode_compressed(&c).len();
+        let v1 = codec::encode(&c).unwrap().len();
+        let v2 = encode_compressed(&c).unwrap().len();
         // OLC1: 12 bytes/cell; OLC2: ~1 byte/cell + one f64.
         assert!(v2 * 8 < v1, "OLC2 {v2} vs OLC1 {v1}");
-        assert!(compression_ratio(&c) < 0.15);
-        assert_eq!(decode_compressed(&encode_compressed(&c)).unwrap(), c);
+        assert!(compression_ratio(&c).unwrap() < 0.15);
+        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
     }
 
     #[test]
@@ -238,25 +238,25 @@ mod tests {
         for i in 0..128u32 {
             c.set(i, CellValue::num(i as f64)); // non-constant values
         }
-        let v2 = encode_compressed(&c).len();
+        let v2 = encode_compressed(&c).unwrap().len();
         // Header ~14 + 128 offset bytes + 1 + 128×8 value bytes.
         assert!(v2 < 14 + 128 + 1 + 128 * 8 + 8);
-        assert!(compression_ratio(&c) < 0.8);
+        assert!(compression_ratio(&c).unwrap() < 0.8);
     }
 
     #[test]
     fn decode_any_dispatches_on_magic() {
         let mut c = Chunk::new_dense(vec![4]);
         c.set(2, CellValue::num(7.0));
-        assert_eq!(decode_any(&codec::encode(&c)).unwrap(), c);
-        assert_eq!(decode_any(&encode_compressed(&c)).unwrap(), c);
+        assert_eq!(decode_any(&codec::encode(&c).unwrap()).unwrap(), c);
+        assert_eq!(decode_any(&encode_compressed(&c).unwrap()).unwrap(), c);
     }
 
     #[test]
     fn corruption_detected() {
         let mut c = Chunk::new_dense(vec![4]);
         c.set(1, CellValue::num(1.0));
-        let good = encode_compressed(&c);
+        let good = encode_compressed(&c).unwrap();
         let mut bad = good.to_vec();
         bad[0] ^= 0xFF;
         assert!(decode_compressed(&bad).is_err());

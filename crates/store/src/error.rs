@@ -14,6 +14,9 @@ pub enum StoreError {
     Corrupt(String),
     /// A coordinate was outside the cube/chunk geometry.
     OutOfBounds { what: &'static str, got: u64, bound: u64 },
+    /// A length destined for a `u32` record field exceeds `u32::MAX` —
+    /// writing it would silently truncate and corrupt the log.
+    TooLarge { what: &'static str, len: u64 },
     /// NaN cannot be stored — ⊥ is represented by [`crate::CellValue::Null`].
     NanValue,
 }
@@ -26,6 +29,9 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "corrupt chunk record: {m}"),
             StoreError::OutOfBounds { what, got, bound } => {
                 write!(f, "{what} {got} out of bounds (max {bound})")
+            }
+            StoreError::TooLarge { what, len } => {
+                write!(f, "{what} of {len} bytes exceeds the u32 record field")
             }
             StoreError::NanValue => {
                 write!(f, "NaN cannot be stored; use CellValue::Null for ⊥")
@@ -59,5 +65,7 @@ mod tests {
         assert!(StoreError::NanValue.to_string().contains("Null"));
         let e = StoreError::OutOfBounds { what: "cell", got: 9, bound: 4 };
         assert!(e.to_string().contains("cell"));
+        let e = StoreError::TooLarge { what: "record payload", len: 1 << 33 };
+        assert!(e.to_string().contains("u32"));
     }
 }

@@ -23,7 +23,7 @@ use crate::error::StoreError;
 use crate::geometry::ChunkId;
 use crate::store::{ChunkStore, IoStats};
 use crate::Result;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::fs::FileExt;
@@ -64,7 +64,15 @@ impl SeekModel {
         if d.is_zero() {
             return;
         }
+        // Sleeping frees the core (essential once background I/O workers
+        // share it) but overshoots by scheduler quanta; spinning is
+        // precise but burns CPU for the whole delay. Hybrid: sleep off
+        // the bulk of long delays, spin only the short remainder.
+        const SPIN_CEILING: Duration = Duration::from_micros(5);
         let start = Instant::now();
+        if d > SPIN_CEILING {
+            std::thread::sleep(d - SPIN_CEILING);
+        }
         while start.elapsed() < d {
             std::hint::spin_loop();
         }
@@ -73,12 +81,15 @@ impl SeekModel {
 
 const REC_HEADER: usize = 8 + 4; // chunk id + payload length
 
+/// Chunk id → (payload offset, payload length) in the log.
+type LogIndex = BTreeMap<ChunkId, (u64, u32)>;
+
 /// A single-file, append-log chunk store.
 #[derive(Debug)]
 pub struct FileStore {
     file: File,
     path: PathBuf,
-    index: BTreeMap<ChunkId, (u64, u32)>,
+    index: LogIndex,
     /// Next append offset.
     end: u64,
     /// Bytes occupied by superseded records.
@@ -124,6 +135,10 @@ impl FileStore {
         let mut index = BTreeMap::new();
         let mut dead = 0u64;
         let mut pos = 0usize;
+        // Carry the compression mode across reopen: the codec of the
+        // last (most recently appended) record decides. Reads always
+        // auto-detect per record, so mixed files stay valid either way.
+        let mut last_compressed = false;
         while pos + REC_HEADER <= bytes.len() {
             let id = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
             let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
@@ -132,6 +147,7 @@ impl FileStore {
             if payload_end > bytes.len() {
                 return Err(StoreError::Corrupt("truncated record".into()));
             }
+            last_compressed = compress::is_compressed(&bytes[payload_start..payload_end]);
             if let Some((_, old_len)) =
                 index.insert(ChunkId(id), (payload_start as u64, len))
             {
@@ -151,7 +167,7 @@ impl FileStore {
             stats: IoStats::default(),
             last_read_end: AtomicU64::new(0),
             seek_model: None,
-            compress: false,
+            compress: last_compressed,
         })
     }
 
@@ -159,6 +175,11 @@ impl FileStore {
     /// future work: "compression of perspective cubes").
     pub fn set_compression(&mut self, on: bool) {
         self.compress = on;
+    }
+
+    /// Whether subsequent writes use the OLC2 compressed codec.
+    pub fn compression(&self) -> bool {
+        self.compress
     }
 
     /// Installs (or clears) the seek-latency model.
@@ -196,6 +217,7 @@ impl FileStore {
     /// (chunks not listed follow in ascending id order). Defragments and
     /// resets the read head.
     pub fn reorganize(&mut self, order: &[ChunkId]) -> Result<()> {
+        let requested: HashSet<ChunkId> = order.iter().copied().collect();
         let mut sequence: Vec<ChunkId> = Vec::with_capacity(self.index.len());
         for &id in order {
             if self.index.contains_key(&id) {
@@ -203,7 +225,7 @@ impl FileStore {
             }
         }
         for &id in self.index.keys() {
-            if !order.contains(&id) {
+            if !requested.contains(&id) {
                 sequence.push(id);
             }
         }
@@ -214,22 +236,34 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(&tmp_path)?;
-        let mut new_index = BTreeMap::new();
-        let mut pos = 0u64;
-        for id in sequence {
-            let (off, len) = self.index[&id];
-            let mut payload = vec![0u8; len as usize];
-            self.file.read_exact_at(&mut payload, off)?;
-            let mut rec = Vec::with_capacity(REC_HEADER + len as usize);
-            rec.extend_from_slice(&id.0.to_le_bytes());
-            rec.extend_from_slice(&len.to_le_bytes());
-            rec.extend_from_slice(&payload);
-            tmp.write_all_at(&rec, pos)?;
-            new_index.insert(id, (pos + REC_HEADER as u64, len));
-            pos += rec.len() as u64;
-        }
-        tmp.sync_all()?;
-        std::fs::rename(&tmp_path, &self.path)?;
+        let rewrite = || -> Result<(LogIndex, u64)> {
+            let mut new_index = BTreeMap::new();
+            let mut pos = 0u64;
+            for id in sequence {
+                let (off, len) = self.index[&id];
+                let mut payload = vec![0u8; len as usize];
+                self.file.read_exact_at(&mut payload, off)?;
+                let mut rec = Vec::with_capacity(REC_HEADER + len as usize);
+                rec.extend_from_slice(&id.0.to_le_bytes());
+                rec.extend_from_slice(&len.to_le_bytes());
+                rec.extend_from_slice(&payload);
+                tmp.write_all_at(&rec, pos)?;
+                new_index.insert(id, (pos + REC_HEADER as u64, len));
+                pos += rec.len() as u64;
+            }
+            tmp.sync_all()?;
+            std::fs::rename(&tmp_path, &self.path)?;
+            Ok((new_index, pos))
+        };
+        let (new_index, pos) = match rewrite() {
+            Ok(v) => v,
+            Err(e) => {
+                // A failed rewrite must not strand the temp file; the
+                // original log is untouched and stays authoritative.
+                let _ = std::fs::remove_file(&tmp_path);
+                return Err(e);
+            }
+        };
         self.file = tmp;
         self.index = new_index;
         self.end = pos;
@@ -255,18 +289,19 @@ impl ChunkStore for FileStore {
 
     fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()> {
         let payload = if self.compress {
-            compress::encode_compressed(chunk)
+            compress::encode_compressed(chunk)?
         } else {
-            codec::encode(chunk)
+            codec::encode(chunk)?
         };
+        let len = codec::count_u32(payload.len(), "record payload")?;
         let mut rec = Vec::with_capacity(REC_HEADER + payload.len());
         rec.extend_from_slice(&id.0.to_le_bytes());
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&len.to_le_bytes());
         rec.extend_from_slice(&payload);
         self.file.write_all_at(&rec, self.end)?;
         if let Some((_, old_len)) = self
             .index
-            .insert(id, (self.end + REC_HEADER as u64, payload.len() as u32))
+            .insert(id, (self.end + REC_HEADER as u64, len))
         {
             self.dead_bytes += REC_HEADER as u64 + old_len as u64;
         }
@@ -402,6 +437,72 @@ mod tests {
         let d0 = s.stats().seek_distance();
         s.read(ChunkId(3)).unwrap(); // jump forward
         assert!(s.stats().seek_distance() > d0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The hybrid sleep/spin `apply` must still charge at least the
+    /// modeled latency, in both the spin-only (<5µs) and the
+    /// sleep-then-spin (≥5µs) regimes.
+    #[test]
+    fn seek_model_apply_charges_latency() {
+        let m = SeekModel {
+            ns_per_byte: 1000.0,
+            max_ns: 2_000_000,
+        };
+        for dist in [2u64 /* 2µs: spin */, 500 /* 500µs: sleep+spin */] {
+            let d = m.latency(dist);
+            let start = Instant::now();
+            m.apply(dist);
+            assert!(start.elapsed() >= d, "undercharged {dist}-byte seek");
+        }
+    }
+
+    /// Regression: a mid-loop read failure during `reorganize` used to
+    /// strand the `.reorg` temp file; it must be removed and the
+    /// original log left authoritative.
+    #[test]
+    fn reorganize_failure_cleans_up_temp_file() {
+        let path = tmp("reorgfail");
+        let mut s = FileStore::create(&path).unwrap();
+        for i in 0..4u64 {
+            s.write(ChunkId(i), &chunk(i as f64)).unwrap();
+        }
+        // Point one index entry past EOF so the rewrite loop's read fails.
+        s.index.insert(ChunkId(9), (1 << 30, 64));
+        assert!(s.reorganize(&[ChunkId(9)]).is_err());
+        let tmp_path = path.with_extension("reorg");
+        assert!(!tmp_path.exists(), "stranded {} after failed reorganize", tmp_path.display());
+        // The original file is untouched and still readable.
+        assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: reopening a store written with compression used to
+    /// silently reset the flag, so later writes reverted to OLC1.
+    #[test]
+    fn compression_mode_survives_reopen() {
+        let path = tmp("reopen-compress");
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            assert!(!s.compression());
+            s.set_compression(true);
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+        }
+        {
+            let s = FileStore::open(&path).unwrap();
+            assert!(s.compression(), "compress flag lost across reopen");
+        }
+        // An uncompressed last record carries `false` over instead.
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.set_compression(false);
+            s.write(ChunkId(2), &chunk(2.0)).unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert!(!s.compression());
+        // Mixed-codec files stay readable either way.
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(2.0));
         std::fs::remove_file(&path).ok();
     }
 

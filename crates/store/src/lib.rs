@@ -31,7 +31,7 @@ pub mod store;
 pub mod value;
 
 pub use chunk::{Chunk, ChunkData};
-pub use compress::{compression_ratio, decode_any, encode_compressed};
+pub use compress::{compression_ratio, decode_any, encode_compressed, is_compressed};
 pub use error::StoreError;
 pub use filestore::{FileStore, SeekModel};
 pub use geometry::{CellCoord, ChunkCoord, ChunkGeometry, ChunkId, DimOrderIter};

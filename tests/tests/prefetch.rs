@@ -1,0 +1,128 @@
+//! Prefetching tests: hinted execution must be bit-identical to demand
+//! paging, and on a seek-model FileStore the hints must actually land.
+
+use olap_cube::{CubeAggregator, Lattice};
+use olap_store::{FileStore, SeekModel};
+use olap_workload::{retail_example, running_example, Workforce, WorkforceConfig};
+use whatif_core::{
+    apply, apply_opts, ExecOpts, Mode, OrderPolicy, Scenario, Semantics, Strategy,
+};
+
+#[test]
+fn prefetched_aggregation_matches_demand_paging() {
+    let retail = retail_example(42);
+    let lattice = Lattice::new(retail.cube.geometry().ndims());
+    let masks = lattice.proper_masks();
+    let (plain, plain_report) = CubeAggregator::new(&retail.cube).compute(&masks).unwrap();
+
+    retail.cube.start_io_threads(2);
+    let (hinted, hinted_report) = CubeAggregator::new(&retail.cube)
+        .with_prefetch(3)
+        .compute(&masks)
+        .unwrap();
+
+    assert_eq!(plain.len(), hinted.len());
+    for (mask, result) in &plain {
+        // Same scan order ⇒ same merge order ⇒ bitwise-equal totals.
+        assert_eq!(
+            result.grand_total(),
+            hinted[mask].grand_total(),
+            "mask {mask:b} diverged under prefetch"
+        );
+    }
+    assert_eq!(
+        plain_report.base_chunks_scanned,
+        hinted_report.base_chunks_scanned
+    );
+}
+
+#[test]
+fn prefetched_whatif_matches_demand_paging() {
+    let ex = running_example();
+    let scenario = Scenario::negative(ex.org, [1, 3], Semantics::Forward, Mode::Visual);
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let plain = apply(&ex.cube, &scenario, &strategy).unwrap();
+
+    ex.cube.start_io_threads(2);
+    for prefetch in [1, 3, 8] {
+        let hinted = apply_opts(
+            &ex.cube,
+            &scenario,
+            &strategy,
+            None,
+            ExecOpts {
+                threads: 1,
+                prefetch,
+            },
+        )
+        .unwrap();
+        assert!(
+            hinted.cube.same_cells(&plain.cube).unwrap(),
+            "prefetch={prefetch} perspective cube diverged"
+        );
+        // Hints may only change I/O timing, never the work done.
+        assert_eq!(hinted.report, plain.report, "prefetch={prefetch}");
+    }
+}
+
+#[test]
+fn prefetch_hits_on_a_seek_model_filestore() {
+    let path = std::env::temp_dir().join(format!(
+        "perspective-olap-prefetch-test-{}.cube",
+        std::process::id()
+    ));
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 200,
+        departments: 8,
+        changing: 40,
+        accounts: 4,
+        scenarios: 2,
+        backend: olap_cube::StoreBackend::File(path.clone()),
+        ..WorkforceConfig::default()
+    });
+    // Cold pool with a simulated disk: every demand read pays seek
+    // latency, so the I/O workers have time to get ahead of the scan.
+    wf.cube.with_pool(|pool| {
+        pool.flush_all().unwrap();
+        let mut guard = pool.store_mut();
+        let store = guard
+            .as_any_mut()
+            .downcast_mut::<FileStore>()
+            .expect("file-backed workload");
+        store.set_seek_model(Some(SeekModel {
+            ns_per_byte: 10.0,
+            max_ns: 200_000,
+        }));
+    });
+    wf.cube.with_pool(|pool| pool.clear().unwrap());
+    wf.cube.start_io_threads(2);
+
+    let scenario = Scenario::negative(wf.department, [0, 6], Semantics::Forward, Mode::Visual);
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    apply_opts(
+        &wf.cube,
+        &scenario,
+        &strategy,
+        None,
+        ExecOpts {
+            threads: 1,
+            prefetch: 4,
+        },
+    )
+    .unwrap();
+
+    let st = wf.cube.with_pool(|pool| {
+        pool.wait_prefetch_idle();
+        pool.stats()
+    });
+    let resident = wf.cube.with_pool(|pool| pool.resident()) as u64;
+    assert!(st.prefetch_issued > 0, "executor issued no hints: {st:?}");
+    assert!(st.prefetch_hits > 0, "no prefetch ever landed: {st:?}");
+    assert_eq!(
+        resident,
+        st.misses - st.evictions,
+        "prefetch admissions broke the residency invariant: {st:?}"
+    );
+    drop(wf);
+    std::fs::remove_file(&path).ok();
+}

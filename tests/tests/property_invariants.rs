@@ -195,7 +195,7 @@ proptest! {
                 chunk.set(off % n, olap_store::CellValue::num(v));
             }
         }
-        let decoded = olap_store::codec::decode(&olap_store::codec::encode(&chunk)).unwrap();
+        let decoded = olap_store::codec::decode(&olap_store::codec::encode(&chunk).unwrap()).unwrap();
         prop_assert_eq!(chunk, decoded);
     }
 
@@ -220,11 +220,11 @@ proptest! {
                 chunk.set(off % n, olap_store::CellValue::num(v));
             }
         }
-        let bytes = olap_store::encode_compressed(&chunk);
+        let bytes = olap_store::encode_compressed(&chunk).unwrap();
         let decoded = olap_store::decode_any(&bytes).unwrap();
         prop_assert_eq!(&chunk, &decoded);
         // Compressed is never much larger than OLC1.
-        let v1 = olap_store::codec::encode(&chunk).len();
+        let v1 = olap_store::codec::encode(&chunk).unwrap().len();
         prop_assert!(bytes.len() <= v1 + 2);
     }
 

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olap_workload::{Workforce, WorkforceConfig};
-use whatif_core::{
-    execute_chunked, merge, phi, DestMap, OrderPolicy, Semantics,
-};
+use whatif_core::{execute_chunked, merge, phi, DestMap, OrderPolicy, Semantics};
 
 fn setup() -> (Workforce, DestMap) {
     // Dense merge graphs: every changer moves a lot, one instance per
@@ -36,7 +34,9 @@ fn pebbling(c: &mut Criterion) {
         eprintln!(
             "ablation_pebbling[{name}]: graph {} nodes / {} edges, \
              predicted pebbles {}, peak buffers {}",
-            report.graph_nodes, report.graph_edges, report.predicted_pebbles,
+            report.graph_nodes,
+            report.graph_edges,
+            report.predicted_pebbles,
             report.peak_out_buffers
         );
     }

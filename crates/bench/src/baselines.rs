@@ -41,13 +41,8 @@ pub fn merge(mut acc: Grid, other: Grid) -> Grid {
             None => {
                 acc.rows.push(row.clone());
                 acc.cells.push(other.cells[i].clone());
-                acc.row_properties.push(
-                    other
-                        .row_properties
-                        .get(i)
-                        .cloned()
-                        .unwrap_or_default(),
-                );
+                acc.row_properties
+                    .push(other.row_properties.get(i).cloned().unwrap_or_default());
             }
         }
     }

@@ -11,10 +11,10 @@
 
 use bench::baselines::multiple_mdx;
 use bench::figures::{Figure, Series};
+use bench::min_time;
 use bench::setup::{
     context, default_workforce, fig13_workforce, first_months, quarterly, run, Fig12Rig,
 };
-use bench::min_time;
 use olap_store::SeekModel;
 use olap_workload::{Workforce, WorkforceConfig};
 use whatif_core::{
@@ -135,7 +135,11 @@ fn main() {
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         for fig in &outputs {
-            let name = fig.id.replace(". ", "_").replace([' ', '.'], "_").to_lowercase();
+            let name = fig
+                .id
+                .replace(". ", "_")
+                .replace([' ', '.'], "_")
+                .to_lowercase();
             let path = format!("{dir}/{name}.csv");
             std::fs::write(&path, fig.to_csv()).expect("write csv");
             println!("wrote {path}");
@@ -151,12 +155,24 @@ fn print_table_s() {
     let varying = wf.schema.varying(wf.department).unwrap();
     let rows: Vec<(&str, String, String)> = vec![
         ("dimensions", "7".into(), wf.schema.dim_count().to_string()),
-        ("employees", "20,250".into(), wf.config.employees.to_string()),
-        ("departments", "51".into(), wf.config.departments.to_string()),
+        (
+            "employees",
+            "20,250".into(),
+            wf.config.employees.to_string(),
+        ),
+        (
+            "departments",
+            "51".into(),
+            wf.config.departments.to_string(),
+        ),
         (
             "changing employees",
             "250 (1%)".into(),
-            format!("{} ({:.1}%)", wf.movers.len(), 100.0 * wf.movers.len() as f64 / wf.config.employees as f64),
+            format!(
+                "{} ({:.1}%)",
+                wf.movers.len(),
+                100.0 * wf.movers.len() as f64 / wf.config.employees as f64
+            ),
         ),
         ("moves per changer", "1–11".into(), {
             let min = wf.movers.iter().map(|&(_, c)| c).min().unwrap_or(0);
@@ -220,9 +236,18 @@ fn fig11(threads: usize, prefetch: usize) -> Figure {
         x_label: "perspectives".into(),
         y_label: "query time (ms, min of runs)".into(),
         series: vec![
-            Series { name: "Multiple MDX".into(), points: multi_s },
-            Series { name: "Static".into(), points: static_s },
-            Series { name: "Dynamic Forward".into(), points: fwd_s },
+            Series {
+                name: "Multiple MDX".into(),
+                points: multi_s,
+            },
+            Series {
+                name: "Static".into(),
+                points: static_s,
+            },
+            Series {
+                name: "Dynamic Forward".into(),
+                points: fwd_s,
+            },
         ],
         paper_expectation: "all linear in k; direct multi-perspective beats the Multiple-MDX \
                             simulation; Static ≈ Forward beyond ~6 perspectives"
@@ -270,8 +295,7 @@ fn fig12(prefetch: usize) -> Figure {
         x_label: "separation (multiples of base)".into(),
         y_label: "query time (µs, min of runs; simulated seek)".into(),
         series: vec![Series { name, points: pts }],
-        paper_expectation: "rises with separation, then flattens once seek cost saturates"
-            .into(),
+        paper_expectation: "rises with separation, then flattens once seek cost saturates".into(),
     }
 }
 
@@ -297,7 +321,10 @@ fn fig13(threads: usize, prefetch: usize) -> Figure {
         title: "varying member instances in scope vs. query time".into(),
         x_label: "employees (paper scale ×10)".into(),
         y_label: "query time (ms, min of runs)".into(),
-        series: vec![Series { name: "Static, 4 perspectives".into(), points: pts }],
+        series: vec![Series {
+            name: "Static, 4 perspectives".into(),
+            points: pts,
+        }],
         paper_expectation: "linear in the number of varying member instances".into(),
     }
 }
@@ -332,11 +359,13 @@ fn run_ablations(threads: usize, prefetch: usize) {
     for (name, policy) in [
         ("pebbling        ", OrderPolicy::Pebbling),
         ("naive           ", OrderPolicy::Naive),
-        ("param-dim first ", OrderPolicy::DimOrder(vec![0, 2, 3, 4, 5, 6, 1])),
+        (
+            "param-dim first ",
+            OrderPolicy::DimOrder(vec![0, 2, 3, 4, 5, 6, 1]),
+        ),
     ] {
         let t = min_time(ITERS, || {
-            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts)
-                .unwrap()
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts).unwrap()
         });
         let (_, report) =
             execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts)

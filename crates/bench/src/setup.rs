@@ -183,8 +183,8 @@ impl Fig12Rig {
             &p,
             varying.moments(),
         );
-        let map = whatif_core::DestMap::build(&self.wf.cube, self.wf.department, &vs_out)
-            .expect("plan");
+        let map =
+            whatif_core::DestMap::build(&self.wf.cube, self.wf.department, &vs_out).expect("plan");
         let slots: Vec<u32> = varying
             .instances_of(self.employee)
             .iter()

@@ -160,7 +160,11 @@ impl Session {
                         "[{name}] — {} members: {}{}",
                         members.len(),
                         names.join(", "),
-                        if more > 0 { format!(", … (+{more})") } else { String::new() }
+                        if more > 0 {
+                            format!(", … (+{more})")
+                        } else {
+                            String::new()
+                        }
                     );
                 }
                 Outcome::Continue(out)
@@ -186,9 +190,7 @@ impl Session {
                     Err(e) => Outcome::Continue(format!("error: {e}")),
                 }
             }
-            other => Outcome::Continue(format!(
-                "unknown command .{other} — try .help"
-            )),
+            other => Outcome::Continue(format!("unknown command .{other} — try .help")),
         }
     }
 

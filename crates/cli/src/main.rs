@@ -48,7 +48,9 @@ fn main() {
         std::process::exit(2);
     };
     eprintln!("loading {dataset:?} dataset…");
-    let mut session = Session::new(dataset).with_threads(threads).with_prefetch(prefetch);
+    let mut session = Session::new(dataset)
+        .with_threads(threads)
+        .with_prefetch(prefetch);
     println!("{HELP}\n");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

@@ -101,11 +101,7 @@ fn run_into(state: &mut AlgebraOutput, expr: &AlgebraExpr, strategy: &Strategy) 
             state.cube = select(&state.cube, *dim, pred)?;
         }
         AlgebraExpr::PhiRelocate { spec } => {
-            let r: WhatIfResult = apply(
-                &state.cube,
-                &Scenario::Negative(spec.clone()),
-                strategy,
-            )?;
+            let r: WhatIfResult = apply(&state.cube, &Scenario::Negative(spec.clone()), strategy)?;
             state.cube = r.cube;
         }
         AlgebraExpr::Split { dim, changes } => {
@@ -114,7 +110,11 @@ fn run_into(state: &mut AlgebraOutput, expr: &AlgebraExpr, strategy: &Strategy) 
             state.cube = cube;
         }
         AlgebraExpr::Eval { visual } => {
-            state.mode = Some(if *visual { Mode::Visual } else { Mode::NonVisual });
+            state.mode = Some(if *visual {
+                Mode::Visual
+            } else {
+                Mode::NonVisual
+            });
         }
         AlgebraExpr::Compose(steps) => {
             for s in steps {
@@ -147,10 +147,10 @@ mod tests {
     fn fixture() -> (Cube, DimensionId) {
         let schema = Arc::new(
             SchemaBuilder::new()
-                .dimension(DimensionSpec::new("Org").tree(&[
-                    ("FTE", &["Joe", "Lisa"][..]),
-                    ("PTE", &["Tom"]),
-                ]))
+                .dimension(
+                    DimensionSpec::new("Org")
+                        .tree(&[("FTE", &["Joe", "Lisa"][..]), ("PTE", &["Tom"])]),
+                )
                 .dimension(
                     DimensionSpec::new("Time")
                         .ordered()

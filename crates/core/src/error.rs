@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(WhatIfError::NoPerspectives.to_string().contains("empty"));
-        let e = WhatIfError::BadPerspective { moment: 14, moments: 12 };
+        let e = WhatIfError::BadPerspective {
+            moment: 14,
+            moments: 12,
+        };
         assert!(e.to_string().contains("14"));
     }
 }

@@ -92,7 +92,10 @@ pub struct ExecOpts {
 
 impl Default for ExecOpts {
     fn default() -> Self {
-        ExecOpts { threads: 1, prefetch: 0 }
+        ExecOpts {
+            threads: 1,
+            prefetch: 0,
+        }
     }
 }
 
@@ -148,7 +151,17 @@ pub fn execute_chunked_scoped_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<(Cube, ExecReport)> {
-    execute_chunked_scoped_opts(cube, dim, dest, policy, scope, ExecOpts { threads, prefetch: 0 })
+    execute_chunked_scoped_opts(
+        cube,
+        dim,
+        dest,
+        policy,
+        scope,
+        ExecOpts {
+            threads,
+            prefetch: 0,
+        },
+    )
 }
 
 /// [`execute_chunked_scoped`] with the full set of tuning knobs.
@@ -197,7 +210,18 @@ pub fn execute_passes_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<(Cube, ExecReport)> {
-    execute_passes_opts(cube, dim, full, passes, policy, scope, ExecOpts { threads, prefetch: 0 })
+    execute_passes_opts(
+        cube,
+        dim,
+        full,
+        passes,
+        policy,
+        scope,
+        ExecOpts {
+            threads,
+            prefetch: 0,
+        },
+    )
 }
 
 /// [`execute_passes`] with the full set of tuning knobs.
@@ -333,8 +357,8 @@ impl<'a> Env<'a> {
         let schema = self.cube.schema();
         let varying = schema.varying(self.dim).expect("checked by Env::new");
         // This pass's own merge graph (⊆ the full graph).
-        let graph = MergeGraph::build(varying, dest, self.vd_extent)
-            .induced(|l| self.kept[l as usize]);
+        let graph =
+            MergeGraph::build(varying, dest, self.vd_extent).induced(|l| self.kept[l as usize]);
         let node_order: Vec<usize> = match self.policy {
             OrderPolicy::Pebbling => heuristic_order(&graph),
             OrderPolicy::Naive | OrderPolicy::DimOrder(_) => naive_order(&graph),
@@ -388,8 +412,9 @@ impl<'a> Env<'a> {
                 // the graph nodes in the chosen order.
                 let mut groups = Vec::new();
                 let other: Vec<usize> = (0..geom.ndims()).filter(|&d| d != self.vd).collect();
-                let walk: Vec<usize> =
-                    std::iter::once(self.vd).chain(other.iter().copied()).collect();
+                let walk: Vec<usize> = std::iter::once(self.vd)
+                    .chain(other.iter().copied())
+                    .collect();
                 for coord in geom.chunks_in_order(&walk) {
                     if coord[self.vd] != 0 {
                         continue; // one anchor per slice
@@ -397,8 +422,7 @@ impl<'a> Env<'a> {
                     let mut seq = Vec::new();
                     let mut anchor = coord;
                     for l in 0..geom.grid()[self.vd] {
-                        if (copy_labels[l as usize] || residue[l as usize])
-                            && !affected[l as usize]
+                        if (copy_labels[l as usize] || residue[l as usize]) && !affected[l as usize]
                         {
                             anchor[self.vd] = l;
                             seq.push(anchor.clone());
@@ -422,7 +446,16 @@ impl<'a> Env<'a> {
         };
         if workers <= 1 {
             for seq in &groups {
-                self.process(out, dest, &graph, &node_of_label, &affected, copy_labels, seq, report)?;
+                self.process(
+                    out,
+                    dest,
+                    &graph,
+                    &node_of_label,
+                    &affected,
+                    copy_labels,
+                    seq,
+                    report,
+                )?;
             }
             return Ok(());
         }
@@ -442,7 +475,13 @@ impl<'a> Env<'a> {
                         let mut r = ExecReport::default();
                         for seq in bucket {
                             self.process(
-                                out, dest, graph, node_of_label, affected, copy_labels, seq,
+                                out,
+                                dest,
+                                graph,
+                                node_of_label,
+                                affected,
+                                copy_labels,
+                                seq,
                                 &mut r,
                             )?;
                         }
@@ -538,9 +577,7 @@ impl<'a> Env<'a> {
                         let mut buf = Chunk::new_dense(geom.chunk_shape(&ccoord));
                         for (off, v) in chunk.present_cells() {
                             let cell = geom.cell_of_local(&ccoord, off);
-                            if let CellFate::To(d) =
-                                dest.fate(cell[self.vd], cell[self.pd])
-                            {
+                            if let CellFate::To(d) = dest.fate(cell[self.vd], cell[self.pd]) {
                                 debug_assert_eq!(
                                     d, cell[self.vd],
                                     "residue chunks only hold identity cells"
@@ -592,9 +629,7 @@ impl<'a> Env<'a> {
                             target[self.vd] = dst;
                             let (tid, toff) = geom.split_cell(&target);
                             let buf = buffers.entry(tid).or_insert_with(|| {
-                                Chunk::new_dense(
-                                    geom.chunk_shape(&geom.chunk_coord(tid)),
-                                )
+                                Chunk::new_dense(geom.chunk_shape(&geom.chunk_coord(tid)))
                             });
                             buf.set(toff, olap_store::CellValue::num(v));
                         }
@@ -780,8 +815,7 @@ mod tests {
             let vs_out = phi(Semantics::Static, varying.instances(), &p, 6);
             let map = DestMap::build(&cube, prod, &vs_out).unwrap();
             let passes = decompose_passes(&map, Semantics::Static, &p, varying);
-            let (_, report) =
-                execute_passes(&cube, prod, &map, &passes, &policy, None).unwrap();
+            let (_, report) = execute_passes(&cube, prod, &map, &passes, &policy, None).unwrap();
             assert!(
                 report.chunks_read >= prev,
                 "reads should not shrink with more perspectives"
@@ -797,8 +831,7 @@ mod tests {
         let varying = cube.schema().varying(prod).unwrap();
         let vs_out = phi(Semantics::Forward, varying.instances(), &[0], 6);
         let map = DestMap::build(&cube, prod, &vs_out).unwrap();
-        let (_, slice_first) =
-            execute_chunked(&cube, prod, &map, &OrderPolicy::Naive).unwrap();
+        let (_, slice_first) = execute_chunked(&cube, prod, &map, &OrderPolicy::Naive).unwrap();
         let (_, param_first) =
             execute_chunked(&cube, prod, &map, &OrderPolicy::DimOrder(vec![1, 2, 0])).unwrap();
         assert!(
@@ -827,14 +860,9 @@ mod tests {
             .map(|i| i.0)
             .collect();
         assert!(slots.len() >= 2);
-        let (scoped, scoped_report) = execute_chunked_scoped(
-            &cube,
-            prod,
-            &map,
-            &OrderPolicy::Pebbling,
-            Some(&slots),
-        )
-        .unwrap();
+        let (scoped, scoped_report) =
+            execute_chunked_scoped(&cube, prod, &map, &OrderPolicy::Pebbling, Some(&slots))
+                .unwrap();
         assert!(
             scoped_report.chunks_read < full_report.chunks_read,
             "scoped {} vs full {}",
@@ -879,9 +907,11 @@ mod tests {
                 // Multi-pass decomposition, threaded, agrees too.
                 let passes = decompose_passes(&map, sem, &p, varying);
                 let (mp, _) =
-                    execute_passes_threaded(&cube, prod, &map, &passes, &policy, None, 3)
-                        .unwrap();
-                assert!(mp.same_cells(&serial).unwrap(), "{sem:?} {policy:?} multi-pass");
+                    execute_passes_threaded(&cube, prod, &map, &passes, &policy, None, 3).unwrap();
+                assert!(
+                    mp.same_cells(&serial).unwrap(),
+                    "{sem:?} {policy:?} multi-pass"
+                );
             }
         }
     }

@@ -42,8 +42,8 @@ pub use algebra::{compile, run, AlgebraExpr, AlgebraOutput};
 pub use error::WhatIfError;
 pub use exec::{
     execute_chunked, execute_chunked_scoped, execute_chunked_scoped_opts,
-    execute_chunked_scoped_threaded, execute_chunked_threaded, execute_passes,
-    execute_passes_opts, execute_passes_threaded, ExecOpts, ExecReport, OrderPolicy, Strategy,
+    execute_chunked_scoped_threaded, execute_chunked_threaded, execute_passes, execute_passes_opts,
+    execute_passes_threaded, ExecOpts, ExecReport, OrderPolicy, Strategy,
 };
 pub use merge::MergeGraph;
 pub use operators::{
@@ -55,8 +55,8 @@ pub use perspective_cube::{
     apply, apply_default, apply_opts, apply_scoped, apply_scoped_threaded, apply_threaded,
     WhatIfResult,
 };
-pub use plan::decompose_passes;
 pub use phi::{phi, prune_vacancies, VsMap};
+pub use plan::decompose_passes;
 pub use scenario::{Change, Scenario};
 
 /// Crate-wide result alias.

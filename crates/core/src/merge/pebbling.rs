@@ -86,7 +86,10 @@ pub fn heuristic_order(g: &MergeGraph) -> Vec<usize> {
             let pick = if frontier.is_empty() {
                 // The component's placed region is exhausted (can happen
                 // only for disconnected leftovers, defensive).
-                comp.iter().copied().filter(|&v| !placed[v]).min_by_key(|&v| (g.cost(v), v))
+                comp.iter()
+                    .copied()
+                    .filter(|&v| !placed[v])
+                    .min_by_key(|&v| (g.cost(v), v))
             } else {
                 // Prefer a node whose placement frees a pebble.
                 let frees = |y: usize| -> bool {
@@ -147,16 +150,17 @@ fn place(
 /// over placed-sets suffices.
 pub fn optimal_pebbles(g: &MergeGraph) -> usize {
     let n = g.len();
-    assert!(n <= 24, "optimal pebbling is exponential; use the heuristic");
+    assert!(
+        n <= 24,
+        "optimal pebbling is exponential; use the heuristic"
+    );
     if n == 0 {
         return 0;
     }
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     let q_size = |mask: u32| -> usize {
         (0..n)
-            .filter(|&v| {
-                mask & (1 << v) != 0 && g.neighbors(v).any(|w| mask & (1 << w) == 0)
-            })
+            .filter(|&v| mask & (1 << v) != 0 && g.neighbors(v).any(|w| mask & (1 << w) == 0))
             .count()
     };
     let mut best = vec![usize::MAX; (full as usize) + 1];
@@ -184,7 +188,11 @@ pub fn optimal_pebbles(g: &MergeGraph) -> usize {
 /// The next `k` chunk ids after position `pos` in a placement sequence —
 /// the lookahead window the executor hands to `BufferPool::prefetch` so
 /// store reads overlap merge compute. Empty at the tail (or with `k == 0`).
-pub fn prefetch_window(sequence: &[olap_store::ChunkId], pos: usize, k: usize) -> &[olap_store::ChunkId] {
+pub fn prefetch_window(
+    sequence: &[olap_store::ChunkId],
+    pos: usize,
+    k: usize,
+) -> &[olap_store::ChunkId] {
     let start = (pos + 1).min(sequence.len());
     let end = pos.saturating_add(1).saturating_add(k).min(sequence.len());
     &sequence[start..end]
@@ -241,7 +249,10 @@ mod tests {
     fn star_needs_two_pebbles() {
         // "a star, with node x adjacent to n nodes, can be pebbled using
         // just two pebbles."
-        let g = MergeGraph::from_edges(&[0, 1, 2, 3, 4, 5], &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let g = MergeGraph::from_edges(
+            &[0, 1, 2, 3, 4, 5],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
+        );
         assert_eq!(optimal_pebbles(&g), 2);
         let order = heuristic_order(&g);
         assert_eq!(pebbles_for_order(&g, &order), 2);

@@ -93,9 +93,7 @@ pub fn reallocate(cube: &Cube, moves: &[Reallocation]) -> Result<Cube> {
             .filter(|(cell, &v)| {
                 v != 0.0
                     && cell[dimx] == from_slot.0
-                    && scope_slots
-                        .iter()
-                        .all(|(&d, keep)| keep[cell[d] as usize])
+                    && scope_slots.iter().all(|(&d, keep)| keep[cell[d] as usize])
             })
             .map(|(cell, &v)| (cell.clone(), v * m.fraction))
             .collect();
@@ -146,14 +144,11 @@ mod tests {
         pub fn build() -> Example {
             let schema = Arc::new(
                 SchemaBuilder::new()
-                    .dimension(DimensionSpec::new("Organization").tree(&[
-                        ("FTE", &["Lisa"][..]),
-                        ("PTE", &["Tom", "Dave"]),
-                    ]))
                     .dimension(
-                        DimensionSpec::new("Location")
-                            .tree(&[("East", &["NY", "MA"][..])]),
+                        DimensionSpec::new("Organization")
+                            .tree(&[("FTE", &["Lisa"][..]), ("PTE", &["Tom", "Dave"])]),
                     )
+                    .dimension(DimensionSpec::new("Location").tree(&[("East", &["NY", "MA"][..])]))
                     .dimension(DimensionSpec::new("Time").ordered().tree(&[
                         ("Qtr1", &["Jan", "Feb", "Mar"][..]),
                         ("Qtr2", &["Apr", "May", "Jun"]),
@@ -225,16 +220,28 @@ mod tests {
         )
         .unwrap();
         // PTE Qtr1 NY salary: was 2 employees × 3 months × 10 = 60; now 54.
-        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]), CellValue::Num(54.0));
-        assert_eq!(value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]), CellValue::Num(6.0));
+        assert_eq!(
+            value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]),
+            CellValue::Num(54.0)
+        );
+        assert_eq!(
+            value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]),
+            CellValue::Num(6.0)
+        );
         // East total unchanged — allocation moved, value conserved.
         assert_eq!(
             value(&ex, &out, ["PTE", "East", "Qtr1", "Salary"]),
             CellValue::Num(60.0)
         );
         // Out-of-scope cells untouched: FTE, Qtr2, Hours.
-        assert_eq!(value(&ex, &out, ["FTE", "NY", "Qtr1", "Salary"]), CellValue::Num(30.0));
-        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr2", "Salary"]), CellValue::Num(60.0));
+        assert_eq!(
+            value(&ex, &out, ["FTE", "NY", "Qtr1", "Salary"]),
+            CellValue::Num(30.0)
+        );
+        assert_eq!(
+            value(&ex, &out, ["PTE", "NY", "Qtr2", "Salary"]),
+            CellValue::Num(60.0)
+        );
         assert_eq!(
             value(&ex, &out, ["PTE", "NY", "Qtr1", "Hours"]),
             CellValue::Num(600.0)
@@ -251,18 +258,36 @@ mod tests {
         // fraction 0 = identity.
         let out = reallocate(
             &ex.cube,
-            &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 0.0, scope: vec![] }],
+            &[Reallocation {
+                dim: ex.location,
+                from: ny,
+                to: ma,
+                fraction: 0.0,
+                scope: vec![],
+            }],
         )
         .unwrap();
         assert!(out.same_cells(&ex.cube).unwrap());
         // fraction 1 moves everything.
         let out = reallocate(
             &ex.cube,
-            &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 1.0, scope: vec![] }],
+            &[Reallocation {
+                dim: ex.location,
+                from: ny,
+                to: ma,
+                fraction: 1.0,
+                scope: vec![],
+            }],
         )
         .unwrap();
-        assert_eq!(value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]), CellValue::Null);
-        assert_eq!(value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]), CellValue::Num(60.0));
+        assert_eq!(
+            value(&ex, &out, ["PTE", "NY", "Qtr1", "Salary"]),
+            CellValue::Null
+        );
+        assert_eq!(
+            value(&ex, &out, ["PTE", "MA", "Qtr1", "Salary"]),
+            CellValue::Num(60.0)
+        );
     }
 
     #[test]
@@ -274,8 +299,20 @@ mod tests {
         let out = reallocate(
             &ex.cube,
             &[
-                Reallocation { dim: ex.location, from: ny, to: ma, fraction: 0.5, scope: vec![] },
-                Reallocation { dim: ex.location, from: ma, to: ny, fraction: 0.5, scope: vec![] },
+                Reallocation {
+                    dim: ex.location,
+                    from: ny,
+                    to: ma,
+                    fraction: 0.5,
+                    scope: vec![],
+                },
+                Reallocation {
+                    dim: ex.location,
+                    from: ma,
+                    to: ny,
+                    fraction: 0.5,
+                    scope: vec![],
+                },
             ],
         )
         .unwrap();
@@ -295,7 +332,13 @@ mod tests {
         assert!(matches!(
             reallocate(
                 &ex.cube,
-                &[Reallocation { dim: ex.location, from: ny, to: ma, fraction: 1.5, scope: vec![] }],
+                &[Reallocation {
+                    dim: ex.location,
+                    from: ny,
+                    to: ma,
+                    fraction: 1.5,
+                    scope: vec![]
+                }],
             ),
             Err(WhatIfError::BadChange(_))
         ));
@@ -303,7 +346,13 @@ mod tests {
         assert!(matches!(
             reallocate(
                 &ex.cube,
-                &[Reallocation { dim: ex.location, from: east, to: ma, fraction: 0.5, scope: vec![] }],
+                &[Reallocation {
+                    dim: ex.location,
+                    from: east,
+                    to: ma,
+                    fraction: 0.5,
+                    scope: vec![]
+                }],
             ),
             Err(WhatIfError::BadChange(_))
         ));
@@ -328,7 +377,13 @@ mod tests {
             }],
         )
         .unwrap();
-        assert_eq!(value(&ex, &out, ["Tom", "MA", "Qtr1", "Salary"]), CellValue::Num(30.0));
-        assert_eq!(value(&ex, &out, ["Dave", "MA", "Qtr1", "Salary"]), CellValue::Null);
+        assert_eq!(
+            value(&ex, &out, ["Tom", "MA", "Qtr1", "Salary"]),
+            CellValue::Num(30.0)
+        );
+        assert_eq!(
+            value(&ex, &out, ["Dave", "MA", "Qtr1", "Salary"]),
+            CellValue::Null
+        );
     }
 }

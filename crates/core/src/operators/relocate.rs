@@ -197,13 +197,11 @@ mod tests {
     fn fixture() -> (Cube, DimensionId) {
         let schema = Arc::new(
             SchemaBuilder::new()
-                .dimension(
-                    DimensionSpec::new("Organization").tree(&[
-                        ("FTE", &["Joe", "Lisa"][..]),
-                        ("PTE", &["Tom"]),
-                        ("Contractor", &["Jane"]),
-                    ]),
-                )
+                .dimension(DimensionSpec::new("Organization").tree(&[
+                    ("FTE", &["Joe", "Lisa"][..]),
+                    ("PTE", &["Tom"]),
+                    ("Contractor", &["Jane"]),
+                ]))
                 .dimension(
                     DimensionSpec::new("Time")
                         .ordered()
@@ -240,7 +238,7 @@ mod tests {
         assert_eq!(out.get(&[1, 2]).unwrap(), CellValue::Num(10.0)); // PTE/Joe Mar
         assert_eq!(out.get(&[1, 0]).unwrap(), CellValue::Null); // PTE/Joe Jan
         assert_eq!(out.get(&[1, 1]).unwrap(), CellValue::Num(10.0)); // own Feb
-        // FTE/Joe dropped entirely.
+                                                                     // FTE/Joe dropped entirely.
         for t in 0..6 {
             assert_eq!(out.get(&[0, t]).unwrap(), CellValue::Null);
         }

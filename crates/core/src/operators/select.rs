@@ -122,7 +122,11 @@ pub fn slot_matches(cube: &Cube, dim: DimensionId, slot: u32, pred: &Predicate) 
             let member = varying.instance(olap_model::InstanceId(slot)).member;
             varying.instances_of(member).len() > 1
         }
-        Predicate::ValueCmp { fixed, op, threshold } => {
+        Predicate::ValueCmp {
+            fixed,
+            op,
+            threshold,
+        } => {
             let mut sels: Vec<Sel> = (0..schema.dim_count())
                 .map(|_| Sel::Member(MemberId::ROOT))
                 .collect();
@@ -192,10 +196,10 @@ mod tests {
     fn fixture() -> (Cube, DimensionId) {
         let schema = Arc::new(
             SchemaBuilder::new()
-                .dimension(DimensionSpec::new("Product").tree(&[
-                    ("AudioVideo", &["TV", "Radio"][..]),
-                    ("Print", &["Book"]),
-                ]))
+                .dimension(
+                    DimensionSpec::new("Product")
+                        .tree(&[("AudioVideo", &["TV", "Radio"][..]), ("Print", &["Book"])]),
+                )
                 .dimension(
                     DimensionSpec::new("Time")
                         .ordered()
@@ -240,8 +244,7 @@ mod tests {
     #[test]
     fn vs_intersects_selects_by_validity() {
         let (cube, prod) = fixture();
-        let slots =
-            matching_slots(&cube, prod, &Predicate::VsIntersects(vec![0])).unwrap();
+        let slots = matching_slots(&cube, prod, &Predicate::VsIntersects(vec![0])).unwrap();
         // Valid at t0: AudioVideo/TV, Radio, Book.
         assert_eq!(slots, vec![0, 2, 3]);
     }
@@ -280,8 +283,7 @@ mod tests {
     fn boolean_combinators() {
         let (cube, prod) = fixture();
         let tv = cube.schema().dim(prod).resolve("TV").unwrap();
-        let pred = Predicate::MemberIs(tv)
-            .and(Predicate::VsIntersects(vec![2]));
+        let pred = Predicate::MemberIs(tv).and(Predicate::VsIntersects(vec![2]));
         let slots = matching_slots(&cube, prod, &pred).unwrap();
         assert_eq!(slots, vec![1]); // Print/TV only
         let pred = Predicate::MemberIs(tv).negate();

@@ -67,7 +67,10 @@ fn drop_identities(steps: Vec<AlgebraExpr>, report: &mut OptimizeReport) -> Vec<
     let mut out: Vec<AlgebraExpr> = Vec::with_capacity(steps.len());
     for s in steps {
         match s {
-            AlgebraExpr::Select { pred: Predicate::True, .. } => {
+            AlgebraExpr::Select {
+                pred: Predicate::True,
+                ..
+            } => {
                 report.identities_dropped += 1;
             }
             AlgebraExpr::Eval { .. } => {
@@ -93,9 +96,7 @@ fn member_structural(p: &Predicate) -> bool {
     match p {
         Predicate::True | Predicate::MemberIs(_) | Predicate::Changing => true,
         Predicate::Under(_) | Predicate::VsIntersects(_) | Predicate::ValueCmp { .. } => false,
-        Predicate::And(a, b) | Predicate::Or(a, b) => {
-            member_structural(a) && member_structural(b)
-        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => member_structural(a) && member_structural(b),
         Predicate::Not(a) => member_structural(a),
     }
 }
@@ -158,10 +159,10 @@ mod tests {
     fn fixture() -> (Cube, DimensionId) {
         let schema = Arc::new(
             SchemaBuilder::new()
-                .dimension(DimensionSpec::new("Org").tree(&[
-                    ("A", &["m0", "m1", "m2"][..]),
-                    ("B", &["m3"]),
-                ]))
+                .dimension(
+                    DimensionSpec::new("Org")
+                        .tree(&[("A", &["m0", "m1", "m2"][..]), ("B", &["m3"])]),
+                )
                 .dimension(
                     DimensionSpec::new("Time")
                         .ordered()
@@ -214,7 +215,10 @@ mod tests {
     fn drops_true_selects_and_stale_evals() {
         let (_, org) = fixture();
         let expr = AlgebraExpr::Compose(vec![
-            AlgebraExpr::Select { dim: org, pred: Predicate::True },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::True,
+            },
             AlgebraExpr::Eval { visual: false },
             AlgebraExpr::Eval { visual: true },
         ]);
@@ -227,7 +231,10 @@ mod tests {
     fn fuses_same_dim_selections() {
         let (_, org) = fixture();
         let expr = AlgebraExpr::Compose(vec![
-            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::Changing,
+            },
             AlgebraExpr::Select {
                 dim: org,
                 pred: Predicate::VsIntersects(vec![0]),
@@ -236,7 +243,10 @@ mod tests {
         let (opt, report) = optimize(&expr);
         assert_eq!(report.selections_fused, 1);
         match opt {
-            AlgebraExpr::Select { pred: Predicate::And(_, _), .. } => {}
+            AlgebraExpr::Select {
+                pred: Predicate::And(_, _),
+                ..
+            } => {}
             other => panic!("expected fused select, got {other:?}"),
         }
     }
@@ -246,7 +256,10 @@ mod tests {
         let (_, org) = fixture();
         let expr = AlgebraExpr::Compose(vec![
             phirelocate(org),
-            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::Changing,
+            },
         ]);
         let (opt, report) = optimize(&expr);
         assert_eq!(report.selections_pushed, 1);
@@ -291,9 +304,18 @@ mod tests {
         let b = cube.schema().dim(org).resolve("B").unwrap();
         let candidates: Vec<AlgebraExpr> = vec![
             phirelocate(org),
-            AlgebraExpr::Select { dim: org, pred: Predicate::Changing },
-            AlgebraExpr::Select { dim: org, pred: Predicate::MemberIs(m0) },
-            AlgebraExpr::Select { dim: org, pred: Predicate::True },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::Changing,
+            },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::MemberIs(m0),
+            },
+            AlgebraExpr::Select {
+                dim: org,
+                pred: Predicate::True,
+            },
             AlgebraExpr::Select {
                 dim: org,
                 pred: Predicate::VsIntersects(vec![0, 1]),

@@ -92,7 +92,12 @@ pub struct PerspectiveSpec {
 
 impl PerspectiveSpec {
     /// Builds a spec, sorting and deduplicating the perspective set.
-    pub fn new(dim: DimensionId, perspectives: impl IntoIterator<Item = Moment>, semantics: Semantics, mode: Mode) -> Self {
+    pub fn new(
+        dim: DimensionId,
+        perspectives: impl IntoIterator<Item = Moment>,
+        semantics: Semantics,
+        mode: Mode,
+    ) -> Self {
         let mut p: Vec<Moment> = perspectives.into_iter().collect();
         p.sort_unstable();
         p.dedup();

@@ -141,7 +141,16 @@ pub fn apply_scoped_threaded(
     scope: Option<&[u32]>,
     threads: usize,
 ) -> Result<WhatIfResult> {
-    apply_opts(cube, scenario, strategy, scope, ExecOpts { threads, prefetch: 0 })
+    apply_opts(
+        cube,
+        scenario,
+        strategy,
+        scope,
+        ExecOpts {
+            threads,
+            prefetch: 0,
+        },
+    )
 }
 
 /// [`apply_scoped`] with the full set of executor tuning knobs.
@@ -174,7 +183,12 @@ pub fn apply_opts(
                     parameter: schema.dim(pdim).name().to_string(),
                 });
             }
-            let vs_raw = phi(spec.semantics, varying.instances(), &spec.perspectives, moments);
+            let vs_raw = phi(
+                spec.semantics,
+                varying.instances(),
+                &spec.perspectives,
+                moments,
+            );
             let mut vs_pruned = vs_raw.clone();
             prune_vacancies(&mut vs_pruned, varying.instances(), moments);
             let (out, report) = match strategy {
@@ -237,12 +251,15 @@ mod tests {
                     ("PTE", &["Tom"]),
                     ("Contractor", &["Jane"]),
                 ]))
+                .dimension(DimensionSpec::new("Time").ordered().tree(&[
+                    ("Qtr1", &["Jan", "Feb", "Mar"][..]),
+                    ("Qtr2", &["Apr", "May", "Jun"]),
+                ]))
                 .dimension(
-                    DimensionSpec::new("Time")
-                        .ordered()
-                        .tree(&[("Qtr1", &["Jan", "Feb", "Mar"][..]), ("Qtr2", &["Apr", "May", "Jun"])]),
+                    DimensionSpec::new("Measures")
+                        .measures()
+                        .leaves(&["Salary"]),
                 )
-                .dimension(DimensionSpec::new("Measures").measures().leaves(&["Salary"]))
                 .varying("Organization", "Time")
                 .reclassify("Organization", "Joe", "PTE", "Feb")
                 .reclassify("Organization", "Joe", "Contractor", "Mar")
@@ -280,8 +297,7 @@ mod tests {
         let cube = fixture();
         let org = cube.schema().resolve_dimension("Organization").unwrap();
         // P = {Feb, Apr}, forward, visual.
-        let scenario =
-            Scenario::negative(org, [1, 3], Semantics::Forward, Mode::Visual);
+        let scenario = Scenario::negative(org, [1, 3], Semantics::Forward, Mode::Visual);
         let r = apply_default(&cube, &scenario).unwrap();
         // PTE total over Qtr1 in the output: Tom (Jan+Feb+Mar) + PTE/Joe
         // (Feb + Mar inherited) = 30 + 20 = 50.
@@ -306,8 +322,7 @@ mod tests {
     fn forward_nonvisual_keeps_input_totals() {
         let cube = fixture();
         let org = cube.schema().resolve_dimension("Organization").unwrap();
-        let scenario =
-            Scenario::negative(org, [1, 3], Semantics::Forward, Mode::NonVisual);
+        let scenario = Scenario::negative(org, [1, 3], Semantics::Forward, Mode::NonVisual);
         let r = apply_default(&cube, &scenario).unwrap();
         // Non-visual: the PTE Qtr1 total is the input's (Tom 30 + PTE/Joe
         // Feb 10 = 40), even though leaf cells moved.

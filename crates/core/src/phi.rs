@@ -28,7 +28,10 @@ pub fn phi(
     perspectives: &[Moment],
     moments: u32,
 ) -> VsMap {
-    debug_assert!(!perspectives.is_empty(), "perspective set must be non-empty");
+    debug_assert!(
+        !perspectives.is_empty(),
+        "perspective set must be non-empty"
+    );
     debug_assert!(perspectives.windows(2).all(|w| w[0] < w[1]));
     match semantics {
         Semantics::Static => phi_static(instances, perspectives, moments),
@@ -161,9 +164,9 @@ mod tests {
             validity: ValiditySet::of(6, vs.iter().copied()),
         };
         vec![
-            inst(10, 1, &[0]),       // FTE/Joe
-            inst(10, 2, &[1]),       // PTE/Joe
-            inst(10, 3, &[2, 3, 5]), // Contractor/Joe
+            inst(10, 1, &[0]),                // FTE/Joe
+            inst(10, 2, &[1]),                // PTE/Joe
+            inst(10, 3, &[2, 3, 5]),          // Contractor/Joe
             inst(11, 1, &[0, 1, 2, 3, 4, 5]), // FTE/Lisa
         ]
     }
@@ -224,10 +227,7 @@ mod tests {
         // valid at Apr (Contractor/Joe), not to the instances that were
         // actually valid then.
         let out = phi(Semantics::ExtendedForward, &joe_and_lisa(), &[3], 6);
-        assert_eq!(
-            out[2].iter().collect::<Vec<_>>(),
-            vec![0, 1, 2, 3, 4, 5]
-        );
+        assert_eq!(out[2].iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
         assert!(out[0].is_empty());
         assert!(out[1].is_empty());
     }
@@ -282,9 +282,6 @@ mod tests {
         assert_eq!(mirror_vs(&mirror_vs(&vs, 7), 7), vs);
         assert_eq!(mirror_vs(&vs, 7).iter().collect::<Vec<_>>(), vec![0, 3, 6]);
         let vs2 = ValiditySet::of(7, [1, 2]);
-        assert_eq!(
-            mirror_vs(&vs2, 7).iter().collect::<Vec<_>>(),
-            vec![4, 5]
-        );
+        assert_eq!(mirror_vs(&vs2, 7).iter().collect::<Vec<_>>(), vec![4, 5]);
     }
 }

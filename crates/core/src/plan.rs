@@ -54,9 +54,7 @@ pub fn decompose_passes(
                         if i == 0 {
                             // Pass 0 owns every cell of never-valid
                             // instances (all drops).
-                            return !perspectives
-                                .iter()
-                                .any(|&q| inst.validity.is_valid_at(q))
+                            return !perspectives.iter().any(|&q| inst.validity.is_valid_at(q))
                                 && inst.validity.is_valid_at(t);
                         }
                         false
@@ -129,11 +127,8 @@ mod tests {
         d.add_member("n", a).unwrap();
         d.add_member("o", b).unwrap();
         d.seal();
-        let mut v = VaryingDimension::new(
-            olap_model::DimensionId(0),
-            olap_model::DimensionId(1),
-            12,
-        );
+        let mut v =
+            VaryingDimension::new(olap_model::DimensionId(0), olap_model::DimensionId(1), 12);
         v.reclassify(&d, m, b, 4).unwrap();
         v.rebuild(&d);
         (d, v)

@@ -171,13 +171,23 @@ impl<'a> CubeAggregator<'a> {
     /// Aggregator with the minimum-memory (ascending-cardinality) order.
     pub fn new(cube: &'a Cube) -> Self {
         let order = crate::lattice::min_memory_order(cube.geometry());
-        CubeAggregator { cube, order, threads: 1, prefetch: 0 }
+        CubeAggregator {
+            cube,
+            order,
+            threads: 1,
+            prefetch: 0,
+        }
     }
 
     /// Aggregator with an explicit read order (`order[0]` fastest).
     pub fn with_order(cube: &'a Cube, order: Vec<usize>) -> Self {
         assert_eq!(order.len(), cube.geometry().ndims());
-        CubeAggregator { cube, order, threads: 1, prefetch: 0 }
+        CubeAggregator {
+            cube,
+            order,
+            threads: 1,
+            prefetch: 0,
+        }
     }
 
     /// Sets the parallelism degree. `1` (the default) runs the serial
@@ -635,7 +645,8 @@ mod tests {
         for a in 0..4u32 {
             for bb in 0..6u32 {
                 for c in 0..3u32 {
-                    b.set_num(&[a, bb, c], (100 * a + 10 * bb + c) as f64).unwrap();
+                    b.set_num(&[a, bb, c], (100 * a + 10 * bb + c) as f64)
+                        .unwrap();
                 }
             }
         }

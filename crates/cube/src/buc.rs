@@ -171,7 +171,8 @@ mod tests {
                     if sparse && (a + bb + c) % 3 == 0 {
                         continue;
                     }
-                    b.set_num(&[a, bb, c], (a * 100 + bb * 10 + c) as f64).unwrap();
+                    b.set_num(&[a, bb, c], (a * 100 + bb * 10 + c) as f64)
+                        .unwrap();
                 }
             }
         }

@@ -377,9 +377,11 @@ mod tests {
     fn small_schema() -> Arc<Schema> {
         Arc::new(
             SchemaBuilder::new()
-                .dimension(DimensionSpec::new("Time").ordered().leaves(&[
-                    "Jan", "Feb", "Mar", "Apr",
-                ]))
+                .dimension(
+                    DimensionSpec::new("Time")
+                        .ordered()
+                        .leaves(&["Jan", "Feb", "Mar", "Apr"]),
+                )
                 .dimension(DimensionSpec::new("Product").leaves(&["TV", "Radio", "Web"]))
                 .build()
                 .unwrap(),
@@ -419,15 +421,12 @@ mod tests {
         b.set_num(&[3, 1], 3.0).unwrap();
         let cube = b.finish().unwrap();
         let mut seen = Vec::new();
-        cube.for_each_present(|c, v| seen.push((c.to_vec(), v))).unwrap();
+        cube.for_each_present(|c, v| seen.push((c.to_vec(), v)))
+            .unwrap();
         seen.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(
             seen,
-            vec![
-                (vec![0, 0], 1.0),
-                (vec![1, 2], 2.0),
-                (vec![3, 1], 3.0)
-            ]
+            vec![(vec![0, 0], 1.0), (vec![1, 2], 2.0), (vec![3, 1], 3.0)]
         );
         assert_eq!(cube.total_sum().unwrap(), 6.0);
         assert_eq!(cube.present_cell_count().unwrap(), 3);

@@ -27,13 +27,19 @@ impl fmt::Display for CubeError {
             CubeError::Model(e) => write!(f, "model error: {e}"),
             CubeError::Store(e) => write!(f, "store error: {e}"),
             CubeError::BadCellRef { expected, got } => {
-                write!(f, "cell ref has {got} selectors, cube has {expected} dimensions")
+                write!(
+                    f,
+                    "cell ref has {got} selectors, cube has {expected} dimensions"
+                )
             }
             CubeError::SlotOutOfRange { dim, slot, len } => {
                 write!(f, "slot {slot} out of range (axis {dim} has {len} slots)")
             }
             CubeError::RuleCycle { measure } => {
-                write!(f, "rule cycle detected while evaluating measure {measure:?}")
+                write!(
+                    f,
+                    "rule cycle detected while evaluating measure {measure:?}"
+                )
             }
             CubeError::DivisionByZero { measure } => {
                 write!(f, "division by zero evaluating measure {measure:?}")
@@ -74,9 +80,14 @@ mod tests {
 
     #[test]
     fn displays_context() {
-        let e = CubeError::BadCellRef { expected: 3, got: 2 };
+        let e = CubeError::BadCellRef {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3'));
-        let e = CubeError::RuleCycle { measure: "Margin".into() };
+        let e = CubeError::RuleCycle {
+            measure: "Margin".into(),
+        };
         assert!(e.to_string().contains("Margin"));
     }
 }

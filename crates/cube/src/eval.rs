@@ -104,8 +104,9 @@ impl<'a> CellEvaluator<'a> {
     /// Does the cell fall inside the rule's scope?
     fn scope_matches(&self, rule: &FormulaRule, sels: &[Sel]) -> bool {
         let schema = self.data.schema();
-        rule.scope.iter().all(|&(dim, scope_member)| {
-            match sels.get(dim.index()) {
+        rule.scope
+            .iter()
+            .all(|&(dim, scope_member)| match sels.get(dim.index()) {
                 None => false,
                 Some(Sel::Slot(s)) => {
                     let leaf = schema.slot_member(dim, AxisSlot(*s));
@@ -117,8 +118,7 @@ impl<'a> CellEvaluator<'a> {
                 Some(Sel::Member(m)) => {
                     *m == scope_member || schema.dim(dim).is_ancestor(scope_member, *m)
                 }
-            }
-        })
+            })
     }
 
     fn eval_expr(
@@ -197,7 +197,11 @@ impl<'a> CellEvaluator<'a> {
             }
             Sel::Member(m) => {
                 schema.dim(dim).try_member(m)?;
-                Ok(schema.slots_under(dim, m).into_iter().map(|s| s.0).collect())
+                Ok(schema
+                    .slots_under(dim, m)
+                    .into_iter()
+                    .map(|s| s.0)
+                    .collect())
             }
         }
     }
@@ -305,11 +309,12 @@ mod tests {
                         .tree(&[("East", &["NY", "MA"][..]), ("West", &["CA"])]),
                 )
                 .dimension(DimensionSpec::new("Time").ordered().leaves(&["Jan", "Feb"]))
-                .dimension(
-                    DimensionSpec::new("Measures")
-                        .measures()
-                        .leaves(&["Sales", "COGS", "Margin", "MarginPct"]),
-                )
+                .dimension(DimensionSpec::new("Measures").measures().leaves(&[
+                    "Sales",
+                    "COGS",
+                    "Margin",
+                    "MarginPct",
+                ]))
                 .build()
                 .unwrap(),
         );
@@ -355,7 +360,7 @@ mod tests {
         b.set_num(&[1, 0, 0], 50.0).unwrap(); // MA Jan
         b.set_num(&[2, 0, 0], 80.0).unwrap(); // CA Jan
         b.set_num(&[0, 1, 0], 10.0).unwrap(); // NY Feb
-        // COGS
+                                              // COGS
         b.set_num(&[0, 0, 1], 40.0).unwrap(); // NY Jan
         b.set_num(&[1, 0, 1], 20.0).unwrap(); // MA Jan
         b.set_num(&[2, 0, 1], 30.0).unwrap(); // CA Jan
@@ -505,10 +510,13 @@ mod tests {
         let (cube, _) = fixture();
         let ev = CellEvaluator::new(&cube);
         assert_eq!(
-            ev.value(&[Sel::Slot(0), Sel::Slot(0), Sel::Slot(0)]).unwrap(),
+            ev.value(&[Sel::Slot(0), Sel::Slot(0), Sel::Slot(0)])
+                .unwrap(),
             CellValue::Num(100.0)
         );
-        assert!(ev.value(&[Sel::Slot(99), Sel::Slot(0), Sel::Slot(0)]).is_err());
+        assert!(ev
+            .value(&[Sel::Slot(99), Sel::Slot(0), Sel::Slot(0)])
+            .is_err());
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl Lattice {
 
     /// Every proper group-by (excludes the base cube).
     pub fn proper_masks(&self) -> Vec<GroupByMask> {
-        self.all_masks().into_iter().filter(|&m| m != self.full()).collect()
+        self.all_masks()
+            .into_iter()
+            .filter(|&m| m != self.full())
+            .collect()
     }
 
     /// Direct parents: masks with exactly one more retained dimension.
@@ -247,9 +250,7 @@ impl Mmst {
     ) -> Result<Vec<Vec<GroupByMask>>> {
         // Order: by depth from the root so parents come first, then by
         // descending memory so big buffers pack early.
-        let depth = |g: GroupByMask| -> u32 {
-            (self.lattice.n as u32) - g.count_ones()
-        };
+        let depth = |g: GroupByMask| -> u32 { (self.lattice.n as u32) - g.count_ones() };
         let mut work: Vec<GroupByMask> = masks.to_vec();
         work.sort_by_key(|&g| (depth(g), std::cmp::Reverse(self.mem_cells[&g])));
         let mut passes: Vec<Vec<GroupByMask>> = Vec::new();

@@ -35,8 +35,8 @@ pub use cube::{Cube, CubeBuilder, StoreBackend};
 pub use error::CubeError;
 pub use eval::{CellEvaluator, Sel};
 pub use lattice::{GroupByMask, Lattice, Mmst};
-pub use views::{estimate_sizes, greedy_select_views, materialize, ViewSelection};
 pub use rules::{AggFn, Expr, FormulaRule, RuleSet};
+pub use views::{estimate_sizes, greedy_select_views, materialize, ViewSelection};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CubeError>;

@@ -262,12 +262,7 @@ impl RuleSet {
             .enumerate()
             .filter(|(_, r)| r.target == target)
             .collect();
-        c.sort_by(|(ia, a), (ib, b)| {
-            b.scope
-                .len()
-                .cmp(&a.scope.len())
-                .then(ib.cmp(ia))
-        });
+        c.sort_by(|(ia, a), (ib, b)| b.scope.len().cmp(&a.scope.len()).then(ib.cmp(ia)));
         c.into_iter().map(|(_, r)| r).collect()
     }
 

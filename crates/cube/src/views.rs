@@ -109,8 +109,11 @@ pub fn greedy_select_views(
 ) -> ViewSelection {
     let full = lattice.full();
     // cost[q] = size of the smallest materialized ancestor of q.
-    let mut cost: HashMap<GroupByMask, u64> =
-        lattice.all_masks().into_iter().map(|q| (q, sizes[&full])).collect();
+    let mut cost: HashMap<GroupByMask, u64> = lattice
+        .all_masks()
+        .into_iter()
+        .map(|q| (q, sizes[&full]))
+        .collect();
     let weight =
         |q: GroupByMask| -> f64 { weights.and_then(|w| w.get(&q)).copied().unwrap_or(1.0) };
     let mut chosen = Vec::with_capacity(k);
@@ -133,8 +136,7 @@ pub fn greedy_select_views(
                 // Deterministic tie-break: larger benefit, then smaller
                 // view, then smaller mask.
                 Some((bv, bb)) => {
-                    benefit > bb
-                        || (benefit == bb && (sizes[&v], v) < (sizes[&bv], bv))
+                    benefit > bb || (benefit == bb && (sizes[&v], v) < (sizes[&bv], bv))
                 }
             };
             if better {
@@ -280,7 +282,8 @@ mod tests {
         for a in 0..4u32 {
             for bb in 0..2u32 {
                 for c in 0..3u32 {
-                    b.set_num(&[a, bb, c], (a * 100 + bb * 10 + c) as f64).unwrap();
+                    b.set_num(&[a, bb, c], (a * 100 + bb * 10 + c) as f64)
+                        .unwrap();
                 }
             }
         }
@@ -308,8 +311,7 @@ mod tests {
             loop {
                 // Sum the view rows projecting onto idx.
                 let mut total = crate::rules::Acc::new();
-                let vshape: Vec<u32> =
-                    view.dims().iter().map(|&d| [4u32, 2, 3][d]).collect();
+                let vshape: Vec<u32> = view.dims().iter().map(|&d| [4u32, 2, 3][d]).collect();
                 let mut vidx = vec![0u32; vshape.len()];
                 'view: loop {
                     let matches = q_dims.iter().enumerate().all(|(qi, qd)| {

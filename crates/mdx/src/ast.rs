@@ -160,7 +160,10 @@ impl MemberExpr {
 fn fmt_name(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     // Bracket anything that isn't a plain identifier.
     let plain = !s.is_empty()
-        && s.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
         && s.chars().all(|c| c.is_alphanumeric() || c == '_')
         && !is_keyword(s);
     if plain {
@@ -175,11 +178,37 @@ fn fmt_name(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 fn is_keyword(s: &str) -> bool {
     matches!(
         s.to_ascii_uppercase().as_str(),
-        "SELECT" | "FROM" | "WHERE" | "ON" | "WITH" | "PERSPECTIVE" | "CHANGES" | "FOR"
-            | "STATIC" | "DYNAMIC" | "FORWARD" | "BACKWARD" | "EXTENDED" | "VISUAL"
-            | "NONVISUAL" | "COLUMNS" | "ROWS" | "PAGES" | "DIMENSION" | "PROPERTIES"
-            | "CROSSJOIN" | "UNION" | "HEAD" | "TAIL" | "FILTER" | "CHILDREN" | "MEMBERS" | "LEVELS"
-            | "DESCENDANTS" | "SELF_AND_AFTER" | "SELF"
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "ON"
+            | "WITH"
+            | "PERSPECTIVE"
+            | "CHANGES"
+            | "FOR"
+            | "STATIC"
+            | "DYNAMIC"
+            | "FORWARD"
+            | "BACKWARD"
+            | "EXTENDED"
+            | "VISUAL"
+            | "NONVISUAL"
+            | "COLUMNS"
+            | "ROWS"
+            | "PAGES"
+            | "DIMENSION"
+            | "PROPERTIES"
+            | "CROSSJOIN"
+            | "UNION"
+            | "HEAD"
+            | "TAIL"
+            | "FILTER"
+            | "CHILDREN"
+            | "MEMBERS"
+            | "LEVELS"
+            | "DESCENDANTS"
+            | "SELF_AND_AFTER"
+            | "SELF"
     )
 }
 
@@ -260,7 +289,12 @@ impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if let Some(w) = &self.with {
             match w {
-                WithClause::Perspective { moments, dim, semantics, mode } => {
+                WithClause::Perspective {
+                    moments,
+                    dim,
+                    semantics,
+                    mode,
+                } => {
                     f.write_str("WITH PERSPECTIVE {")?;
                     for (i, m) in moments.iter().enumerate() {
                         if i > 0 {
@@ -282,7 +316,11 @@ impl fmt::Display for Query {
                         if i > 0 {
                             f.write_str(", ")?;
                         }
-                        write!(f, "({}, {}, {}, {})", t.member, t.old_parent, t.new_parent, t.at)?;
+                        write!(
+                            f,
+                            "({}, {}, {}, {})",
+                            t.member, t.old_parent, t.new_parent, t.at
+                        )?;
                     }
                     f.write_str("}")?;
                     if let Some(m) = mode {
@@ -356,9 +394,9 @@ mod tests {
         );
         assert_eq!(m.to_string(), "Descendants(Period, 1, SELF_AND_AFTER)");
         let s = SetExpr::Head(
-            Box::new(SetExpr::Ref(MemberExpr::Children(Box::new(MemberExpr::name(
-                "Set1",
-            ))))),
+            Box::new(SetExpr::Ref(MemberExpr::Children(Box::new(
+                MemberExpr::name("Set1"),
+            )))),
             50,
         );
         assert_eq!(s.to_string(), "Head(Set1.Children, 50)");

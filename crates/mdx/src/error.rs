@@ -70,8 +70,13 @@ mod tests {
 
     #[test]
     fn display_has_positions() {
-        let e = MdxError::Parse { at: 42, msg: "expected SELECT".into() };
+        let e = MdxError::Parse {
+            at: 42,
+            msg: "expected SELECT".into(),
+        };
         assert!(e.to_string().contains("42"));
-        assert!(MdxError::Unresolved("[Xyz]".into()).to_string().contains("Xyz"));
+        assert!(MdxError::Unresolved("[Xyz]".into())
+            .to_string()
+            .contains("Xyz"));
     }
 }

@@ -353,7 +353,12 @@ pub fn compile_with(ctx: &QueryContext<'_>, clause: &WithClause) -> Result<Scena
     let schema = ctx.cube.schema();
     let resolver = Resolver::new(schema, &ctx.named_sets);
     match clause {
-        WithClause::Perspective { moments, dim, semantics, mode } => {
+        WithClause::Perspective {
+            moments,
+            dim,
+            semantics,
+            mode,
+        } => {
             let dim_id = schema
                 .find_dimension(dim)
                 .ok_or_else(|| MdxError::Unresolved(dim.clone()))?;
@@ -514,9 +519,7 @@ fn eval_set(resolver: &Resolver<'_>, cube: &Cube, set: &SetExpr) -> Result<Vec<T
                         "=" => x == cond.value,
                         "<>" => x != cond.value,
                         other => {
-                            return Err(MdxError::Semantic(format!(
-                                "unknown comparison {other:?}"
-                            )))
+                            return Err(MdxError::Semantic(format!("unknown comparison {other:?}")))
                         }
                     },
                 };
@@ -555,7 +558,11 @@ mod tests {
                     ("Q1", &["Jan", "Feb", "Mar"][..]),
                     ("Q2", &["Apr", "May", "Jun"]),
                 ]))
-                .dimension(DimensionSpec::new("Measures").measures().leaves(&["Salary"]))
+                .dimension(
+                    DimensionSpec::new("Measures")
+                        .measures()
+                        .leaves(&["Salary"]),
+                )
                 .varying("Organization", "Time")
                 .reclassify("Organization", "Joe", "PTE", "Feb")
                 .reclassify("Organization", "Joe", "Contractor", "Mar")

@@ -39,11 +39,7 @@ impl Grid {
 
     /// Sum of all numeric cells (⊥ skipped).
     pub fn total(&self) -> f64 {
-        self.cells
-            .iter()
-            .flatten()
-            .filter_map(|v| v.as_f64())
-            .sum()
+        self.cells.iter().flatten().filter_map(|v| v.as_f64()).sum()
     }
 
     /// Count of non-⊥ cells.
@@ -126,7 +122,12 @@ impl fmt::Display for Grid {
         for (r, rh) in self.rows.iter().enumerate() {
             write!(f, "{:rowhdr_w$}", rh)?;
             for (c, _) in self.columns.iter().enumerate() {
-                write!(f, "  {:>w$}", format!("{}", self.cells[r][c]), w = col_ws[c])?;
+                write!(
+                    f,
+                    "  {:>w$}",
+                    format!("{}", self.cells[r][c]),
+                    w = col_ws[c]
+                )?;
             }
             if let Some(props) = self.row_properties.get(r) {
                 for p in props {

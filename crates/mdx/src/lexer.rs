@@ -60,9 +60,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     // Work over char boundaries so multi-byte input can't cause
     // mid-character slicing (found by the fuzz property test).
     let chars: Vec<(usize, char)> = src.char_indices().collect();
-    let byte_at = |k: usize| -> usize {
-        chars.get(k).map(|&(b, _)| b).unwrap_or(src.len())
-    };
+    let byte_at = |k: usize| -> usize { chars.get(k).map(|&(b, _)| b).unwrap_or(src.len()) };
     let mut out = Vec::new();
     let mut i = 0usize; // index into `chars`
     while i < chars.len() {
@@ -70,23 +68,38 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '{' => {
-                out.push(Token { at, kind: Tok::LBrace });
+                out.push(Token {
+                    at,
+                    kind: Tok::LBrace,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { at, kind: Tok::RBrace });
+                out.push(Token {
+                    at,
+                    kind: Tok::RBrace,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { at, kind: Tok::LParen });
+                out.push(Token {
+                    at,
+                    kind: Tok::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { at, kind: Tok::RParen });
+                out.push(Token {
+                    at,
+                    kind: Tok::RParen,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { at, kind: Tok::Comma });
+                out.push(Token {
+                    at,
+                    kind: Tok::Comma,
+                });
                 i += 1;
             }
             '.' => {
@@ -103,7 +116,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                out.push(Token { at, kind: Tok::Cmp(op) });
+                out.push(Token {
+                    at,
+                    kind: Tok::Cmp(op),
+                });
             }
             '[' => {
                 // `]]` inside brackets is an escaped literal `]`; a
@@ -144,10 +160,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
                 // A dot followed by a digit makes it a decimal literal;
                 // otherwise the dot is a path separator.
-                if j + 1 < chars.len()
-                    && chars[j].1 == '.'
-                    && chars[j + 1].1.is_ascii_digit()
-                {
+                if j + 1 < chars.len() && chars[j].1 == '.' && chars[j + 1].1.is_ascii_digit() {
                     j += 1;
                     while j < chars.len() && chars[j].1.is_ascii_digit() {
                         j += 1;
@@ -157,14 +170,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         at,
                         msg: "bad decimal literal".into(),
                     })?;
-                    out.push(Token { at, kind: Tok::Float(v) });
+                    out.push(Token {
+                        at,
+                        kind: Tok::Float(v),
+                    });
                 } else {
                     let text = &src[at..byte_at(j)];
                     let n: u64 = text.parse().map_err(|_| MdxError::Lex {
                         at,
                         msg: "number too large".into(),
                     })?;
-                    out.push(Token { at, kind: Tok::Number(n) });
+                    out.push(Token {
+                        at,
+                        kind: Tok::Number(n),
+                    });
                 }
                 i = j;
             }
@@ -192,7 +211,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { at: src.len(), kind: Tok::Eof });
+    out.push(Token {
+        at: src.len(),
+        kind: Tok::Eof,
+    });
     Ok(out)
 }
 
@@ -214,7 +236,9 @@ mod tests {
     #[test]
     fn bracketed_names_keep_dashes_and_spaces() {
         let toks = lex("[EmployeesWithAtleastOneMove-Set1].[BU Version_1]").unwrap();
-        assert!(matches!(&toks[0].kind, Tok::Bracketed(s) if s == "EmployeesWithAtleastOneMove-Set1"));
+        assert!(
+            matches!(&toks[0].kind, Tok::Bracketed(s) if s == "EmployeesWithAtleastOneMove-Set1")
+        );
         assert!(matches!(&toks[1].kind, Tok::Dot));
         assert!(matches!(&toks[2].kind, Tok::Bracketed(s) if s == "BU Version_1"));
     }

@@ -156,7 +156,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { with, axes, from, slicer })
+        Ok(Query {
+            with,
+            axes,
+            from,
+            slicer,
+        })
     }
 
     fn with_clause(&mut self) -> Result<WithClause> {
@@ -185,7 +190,12 @@ impl Parser {
             let dim = self.name()?;
             let semantics = self.semantics()?;
             let mode = self.opt_mode();
-            Ok(WithClause::Perspective { moments, dim, semantics, mode })
+            Ok(WithClause::Perspective {
+                moments,
+                dim,
+                semantics,
+                mode,
+            })
         } else if self.eat_kw("CHANGES") {
             self.expect_tok(Tok::LBrace, "'{'")?;
             let mut tuples = Vec::new();
@@ -199,7 +209,12 @@ impl Parser {
                 self.expect_tok(Tok::Comma, "','")?;
                 let at = self.member_expr()?;
                 self.expect_tok(Tok::RParen, "')'")?;
-                tuples.push(ChangeTuple { member, old_parent, new_parent, at });
+                tuples.push(ChangeTuple {
+                    member,
+                    old_parent,
+                    new_parent,
+                    at,
+                });
                 if *self.peek() == Tok::Comma {
                     self.bump();
                 } else {
@@ -284,7 +299,11 @@ impl Parser {
         } else {
             return self.err("expected COLUMNS, ROWS or PAGES");
         };
-        Ok(AxisSpec { set, properties, axis })
+        Ok(AxisSpec {
+            set,
+            properties,
+            axis,
+        })
     }
 
     fn set_expr(&mut self) -> Result<SetExpr> {
@@ -431,9 +450,7 @@ impl Parser {
                 _ => match &mut expr {
                     MemberExpr::Path(segs) => segs.push(seg),
                     _ => {
-                        return self.err(format!(
-                            "cannot extend {expr} with path segment {seg:?}"
-                        ))
+                        return self.err(format!("cannot extend {expr} with path segment {seg:?}"))
                     }
                 },
             }
@@ -462,7 +479,12 @@ mod tests {
         )
         .unwrap();
         match q.with.as_ref().unwrap() {
-            WithClause::Perspective { moments, dim, semantics, mode } => {
+            WithClause::Perspective {
+                moments,
+                dim,
+                semantics,
+                mode,
+            } => {
                 assert_eq!(moments.len(), 2);
                 assert_eq!(dim, "Department");
                 assert_eq!(*semantics, Semantics::Static);
@@ -486,7 +508,9 @@ mod tests {
         )
         .unwrap();
         match q.with.as_ref().unwrap() {
-            WithClause::Perspective { moments, semantics, .. } => {
+            WithClause::Perspective {
+                moments, semantics, ..
+            } => {
                 assert_eq!(moments.len(), 4);
                 assert_eq!(*semantics, Semantics::Forward);
             }

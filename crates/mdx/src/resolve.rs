@@ -161,10 +161,8 @@ impl<'a> Resolver<'a> {
         if segs.len() > 1 {
             if let Some(v) = self.schema.varying(dim) {
                 let leaf = d.find(segs.last().expect("non-empty"));
-                let want: Option<Vec<MemberId>> = segs[..segs.len() - 1]
-                    .iter()
-                    .map(|s| d.find(s))
-                    .collect();
+                let want: Option<Vec<MemberId>> =
+                    segs[..segs.len() - 1].iter().map(|s| d.find(s)).collect();
                 if let (Some(leaf), Some(want)) = (leaf, want) {
                     for &inst in v.instances_of(leaf) {
                         if v.instance(inst).path == want {
@@ -269,8 +267,7 @@ impl<'a> Resolver<'a> {
                         }
                     }
                 }
-                Ok(d
-                    .member_ids()
+                Ok(d.member_ids()
                     .filter(|&m| m != MemberId::ROOT && heights[m.index()] == *n)
                     .map(|m| self.atom_for_member(dim, m))
                     .collect())
@@ -338,10 +335,10 @@ mod tests {
 
     fn schema() -> Schema {
         SchemaBuilder::new()
-            .dimension(DimensionSpec::new("Organization").tree(&[
-                ("FTE", &["Joe", "Lisa"][..]),
-                ("PTE", &["Tom"]),
-            ]))
+            .dimension(
+                DimensionSpec::new("Organization")
+                    .tree(&[("FTE", &["Joe", "Lisa"][..]), ("PTE", &["Tom"])]),
+            )
             .dimension(DimensionSpec::new("Time").ordered().tree(&[
                 ("Q1", &["Jan", "Feb", "Mar"][..]),
                 ("Q2", &["Apr", "May", "Jun"]),

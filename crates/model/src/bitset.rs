@@ -140,7 +140,10 @@ impl BitSet {
     /// `true` if every ordinal of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The smallest ordinal present, if any.

@@ -99,12 +99,12 @@ impl DimensionSpec {
         for (path, name) in &self.adds {
             let mut parent = MemberId::ROOT;
             for seg in path {
-                parent = d
-                    .find_under(parent, seg)
-                    .ok_or_else(|| crate::ModelError::UnknownMemberName {
+                parent = d.find_under(parent, seg).ok_or_else(|| {
+                    crate::ModelError::UnknownMemberName {
                         dim: self.name.clone(),
                         member: seg.clone(),
-                    })?;
+                    }
+                })?;
             }
             d.add_member(name, parent)?;
         }
@@ -139,7 +139,8 @@ impl SchemaBuilder {
 
     /// Declares `varying` to change as a function of `parameter`.
     pub fn varying(mut self, varying: &str, parameter: &str) -> Self {
-        self.varying.push((varying.to_string(), parameter.to_string()));
+        self.varying
+            .push((varying.to_string(), parameter.to_string()));
         self
     }
 

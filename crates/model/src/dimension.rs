@@ -160,10 +160,11 @@ impl Dimension {
 
     /// Looks up by name, erroring with dimension context when missing.
     pub fn resolve(&self, name: &str) -> Result<MemberId> {
-        self.find(name).ok_or_else(|| ModelError::UnknownMemberName {
-            dim: self.name.clone(),
-            member: name.to_string(),
-        })
+        self.find(name)
+            .ok_or_else(|| ModelError::UnknownMemberName {
+                dim: self.name.clone(),
+                member: name.to_string(),
+            })
     }
 
     /// Resolves a `/`-separated path from the root, e.g. `"FTE/Joe"`.

@@ -260,7 +260,11 @@ impl Schema {
                 if self.dim(dim).is_leaf(member) {
                     // Fast path: a leaf member's slots are exactly its
                     // instances.
-                    return v.instances_of(member).iter().map(|i| AxisSlot(i.0)).collect();
+                    return v
+                        .instances_of(member)
+                        .iter()
+                        .map(|i| AxisSlot(i.0))
+                        .collect();
                 }
                 (0..n)
                     .map(AxisSlot)
@@ -413,8 +417,14 @@ mod tests {
         let (s, _, org) = schema();
         let fte = s.dim(org).resolve("FTE").unwrap();
         let pte = s.dim(org).resolve("PTE").unwrap();
-        assert_eq!(s.slot_ancestors(org, AxisSlot(0)), vec![fte, MemberId::ROOT]);
-        assert_eq!(s.slot_ancestors(org, AxisSlot(1)), vec![pte, MemberId::ROOT]);
+        assert_eq!(
+            s.slot_ancestors(org, AxisSlot(0)),
+            vec![fte, MemberId::ROOT]
+        );
+        assert_eq!(
+            s.slot_ancestors(org, AxisSlot(1)),
+            vec![pte, MemberId::ROOT]
+        );
     }
 
     #[test]

@@ -214,7 +214,10 @@ mod tests {
 
     #[test]
     fn display_with_names() {
-        let names: Vec<String> = ["Jan", "Feb", "Mar"].iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = ["Jan", "Feb", "Mar"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let v = ValiditySet::of(3, [0, 2]);
         assert_eq!(format!("{}", v.display_with(&names)), "{Jan, Mar}");
     }

@@ -150,7 +150,10 @@ impl VaryingDimension {
         let tl = self.timeline_mut(dim, member);
         for t in at {
             if t >= moments {
-                return Err(ModelError::MomentOutOfRange { moment: t, len: moments });
+                return Err(ModelError::MomentOutOfRange {
+                    moment: t,
+                    len: moments,
+                });
             }
             tl[t as usize] = Some(parent);
         }
@@ -170,7 +173,10 @@ impl VaryingDimension {
         let tl = self.timeline_mut(dim, member);
         for t in at {
             if t >= moments {
-                return Err(ModelError::MomentOutOfRange { moment: t, len: moments });
+                return Err(ModelError::MomentOutOfRange {
+                    moment: t,
+                    len: moments,
+                });
             }
             tl[t as usize] = None;
         }
@@ -316,7 +322,10 @@ impl VaryingDimension {
     /// The instances of a leaf member, in first-valid order.
     pub fn instances_of(&self, member: MemberId) -> &[InstanceId] {
         self.assert_clean();
-        self.by_member.get(&member).map(Vec::as_slice).unwrap_or(&[])
+        self.by_member
+            .get(&member)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The paper's `dₜ`: the unique instance of `member` valid at `t`.
@@ -367,11 +376,7 @@ impl VaryingDimension {
     /// Display name of an instance, e.g. `"FTE/Joe"`.
     pub fn instance_name(&self, dim: &Dimension, id: InstanceId) -> String {
         let inst = self.instance(id);
-        let mut segs: Vec<&str> = inst
-            .path
-            .iter()
-            .map(|&m| dim.member_name(m))
-            .collect();
+        let mut segs: Vec<&str> = inst.path.iter().map(|&m| dim.member_name(m)).collect();
         segs.push(dim.member_name(inst.member));
         segs.join("/")
     }

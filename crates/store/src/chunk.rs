@@ -50,7 +50,9 @@ impl Chunk {
     pub fn new_sparse(shape: Vec<u32>) -> Self {
         Chunk {
             shape,
-            data: ChunkData::Sparse { entries: Vec::new() },
+            data: ChunkData::Sparse {
+                entries: Vec::new(),
+            },
         }
     }
 
@@ -305,22 +307,31 @@ mod tests {
     fn from_parts_validates() {
         assert!(Chunk::from_parts(
             vec![2],
-            ChunkData::Sparse { entries: vec![(5, 1.0)] }
+            ChunkData::Sparse {
+                entries: vec![(5, 1.0)]
+            }
         )
         .is_err());
         assert!(Chunk::from_parts(
             vec![4],
-            ChunkData::Sparse { entries: vec![(2, 1.0), (1, 2.0)] }
+            ChunkData::Sparse {
+                entries: vec![(2, 1.0), (1, 2.0)]
+            }
         )
         .is_err());
         assert!(Chunk::from_parts(
             vec![4],
-            ChunkData::Sparse { entries: vec![(1, f64::NAN)] }
+            ChunkData::Sparse {
+                entries: vec![(1, f64::NAN)]
+            }
         )
         .is_err());
         assert!(Chunk::from_parts(
             vec![4],
-            ChunkData::Dense { values: vec![0.0; 3], present: BitSet::new(4) }
+            ChunkData::Dense {
+                values: vec![0.0; 3],
+                present: BitSet::new(4)
+            }
         )
         .is_err());
     }

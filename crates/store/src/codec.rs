@@ -26,7 +26,10 @@ const MAGIC: u32 = 0x4F4C_4331;
 /// Bounds-checks a length destined for a `u32` record/count field —
 /// `len as u32` would silently truncate and corrupt the log.
 pub(crate) fn count_u32(len: usize, what: &'static str) -> Result<u32> {
-    u32::try_from(len).map_err(|_| StoreError::TooLarge { what, len: len as u64 })
+    u32::try_from(len).map_err(|_| StoreError::TooLarge {
+        what,
+        len: len as u64,
+    })
 }
 
 /// Serializes a chunk. Fails if the present-cell count overflows the

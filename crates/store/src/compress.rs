@@ -205,16 +205,25 @@ mod tests {
         for i in [0u32, 3, 7, 19] {
             c.set(i, CellValue::num(i as f64 * 1.5));
         }
-        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
+        assert_eq!(
+            decode_compressed(&encode_compressed(&c).unwrap()).unwrap(),
+            c
+        );
     }
 
     #[test]
     fn roundtrip_sparse_and_empty() {
         let mut c = Chunk::new_sparse(vec![100]);
         c.set(99, CellValue::num(-2.25));
-        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
+        assert_eq!(
+            decode_compressed(&encode_compressed(&c).unwrap()).unwrap(),
+            c
+        );
         let empty = Chunk::new_sparse(vec![8]);
-        assert_eq!(decode_compressed(&encode_compressed(&empty).unwrap()).unwrap(), empty);
+        assert_eq!(
+            decode_compressed(&encode_compressed(&empty).unwrap()).unwrap(),
+            empty
+        );
     }
 
     #[test]
@@ -229,7 +238,10 @@ mod tests {
         // OLC1: 12 bytes/cell; OLC2: ~1 byte/cell + one f64.
         assert!(v2 * 8 < v1, "OLC2 {v2} vs OLC1 {v1}");
         assert!(compression_ratio(&c).unwrap() < 0.15);
-        assert_eq!(decode_compressed(&encode_compressed(&c).unwrap()).unwrap(), c);
+        assert_eq!(
+            decode_compressed(&encode_compressed(&c).unwrap()).unwrap(),
+            c
+        );
     }
 
     #[test]

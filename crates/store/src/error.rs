@@ -13,7 +13,11 @@ pub enum StoreError {
     /// A chunk record failed to decode (corruption or version skew).
     Corrupt(String),
     /// A coordinate was outside the cube/chunk geometry.
-    OutOfBounds { what: &'static str, got: u64, bound: u64 },
+    OutOfBounds {
+        what: &'static str,
+        got: u64,
+        bound: u64,
+    },
     /// A length destined for a `u32` record field exceeds `u32::MAX` —
     /// writing it would silently truncate and corrupt the log.
     TooLarge { what: &'static str, len: u64 },
@@ -61,11 +65,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(StoreError::MissingChunk(ChunkId(7)).to_string().contains('7'));
+        assert!(StoreError::MissingChunk(ChunkId(7))
+            .to_string()
+            .contains('7'));
         assert!(StoreError::NanValue.to_string().contains("Null"));
-        let e = StoreError::OutOfBounds { what: "cell", got: 9, bound: 4 };
+        let e = StoreError::OutOfBounds {
+            what: "cell",
+            got: 9,
+            bound: 4,
+        };
         assert!(e.to_string().contains("cell"));
-        let e = StoreError::TooLarge { what: "record payload", len: 1 << 33 };
+        let e = StoreError::TooLarge {
+            what: "record payload",
+            len: 1 << 33,
+        };
         assert!(e.to_string().contains("u32"));
     }
 }

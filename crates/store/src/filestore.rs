@@ -148,9 +148,7 @@ impl FileStore {
                 return Err(StoreError::Corrupt("truncated record".into()));
             }
             last_compressed = compress::is_compressed(&bytes[payload_start..payload_end]);
-            if let Some((_, old_len)) =
-                index.insert(ChunkId(id), (payload_start as u64, len))
-            {
+            if let Some((_, old_len)) = index.insert(ChunkId(id), (payload_start as u64, len)) {
                 dead += REC_HEADER as u64 + old_len as u64;
             }
             pos = payload_end;
@@ -299,10 +297,7 @@ impl ChunkStore for FileStore {
         rec.extend_from_slice(&len.to_le_bytes());
         rec.extend_from_slice(&payload);
         self.file.write_all_at(&rec, self.end)?;
-        if let Some((_, old_len)) = self
-            .index
-            .insert(id, (self.end + REC_HEADER as u64, len))
-        {
+        if let Some((_, old_len)) = self.index.insert(id, (self.end + REC_HEADER as u64, len)) {
             self.dead_bytes += REC_HEADER as u64 + old_len as u64;
         }
         self.end += rec.len() as u64;
@@ -449,7 +444,10 @@ mod tests {
             ns_per_byte: 1000.0,
             max_ns: 2_000_000,
         };
-        for dist in [2u64 /* 2µs: spin */, 500 /* 500µs: sleep+spin */] {
+        for dist in [
+            2u64, /* 2µs: spin */
+            500,  /* 500µs: sleep+spin */
+        ] {
             let d = m.latency(dist);
             let start = Instant::now();
             m.apply(dist);
@@ -471,7 +469,11 @@ mod tests {
         s.index.insert(ChunkId(9), (1 << 30, 64));
         assert!(s.reorganize(&[ChunkId(9)]).is_err());
         let tmp_path = path.with_extension("reorg");
-        assert!(!tmp_path.exists(), "stranded {} after failed reorganize", tmp_path.display());
+        assert!(
+            !tmp_path.exists(),
+            "stranded {} after failed reorganize",
+            tmp_path.display()
+        );
         // The original file is untouched and still readable.
         assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(2.0));
         std::fs::remove_file(&path).ok();

@@ -69,7 +69,11 @@ impl ChunkGeometry {
             .zip(&ext)
             .map(|(&l, &e)| l.div_ceil(e).max(1))
             .collect();
-        Ok(ChunkGeometry { lens, extents: ext, grid })
+        Ok(ChunkGeometry {
+            lens,
+            extents: ext,
+            grid,
+        })
     }
 
     /// Uniform chunk extent along every axis.

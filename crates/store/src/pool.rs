@@ -322,7 +322,11 @@ impl PoolInner {
         // Miss: read outside the shard lock so reads of distinct chunks
         // overlap.
         let read = self.store.read().read(id);
-        let room = if read.is_ok() { self.make_room() } else { Ok(()) };
+        let room = if read.is_ok() {
+            self.make_room()
+        } else {
+            Ok(())
+        };
         let mut sh = slot.shard.lock();
         sh.in_flight.remove(&id);
         slot.read_done.notify_all();
@@ -378,7 +382,11 @@ impl PoolInner {
             }
         }
         let read = self.store.read().read(id);
-        let room = if read.is_ok() { self.make_room() } else { Ok(()) };
+        let room = if read.is_ok() {
+            self.make_room()
+        } else {
+            Ok(())
+        };
         let mut sh = slot.shard.lock();
         sh.in_flight.remove(&id);
         slot.read_done.notify_all();
@@ -616,7 +624,12 @@ impl BufferPool {
 
     /// Whether the chunk exists (resident or in the backing store).
     pub fn contains(&self, id: ChunkId) -> bool {
-        if self.inner.shards[shard_of(id)].shard.lock().frames.contains_key(&id) {
+        if self.inner.shards[shard_of(id)]
+            .shard
+            .lock()
+            .frames
+            .contains_key(&id)
+        {
             return true;
         }
         self.inner.store.read().contains(id)
@@ -823,7 +836,10 @@ mod tests {
         assert_eq!(p.resident(), resident_before);
         let sh = p.inner.shards[shard_of(ChunkId(99))].shard.lock();
         assert!(!sh.frames.contains_key(&ChunkId(99)));
-        assert!(sh.in_flight.is_empty(), "failed read left an in-flight marker");
+        assert!(
+            sh.in_flight.is_empty(),
+            "failed read left an in-flight marker"
+        );
     }
 
     /// Regression: threads racing to miss on the same chunk must produce

@@ -24,7 +24,10 @@ impl CellValue {
     /// handle untrusted input).
     #[inline]
     pub fn num(v: f64) -> Self {
-        assert!(!v.is_nan(), "NaN cannot be a cell value; use CellValue::Null");
+        assert!(
+            !v.is_nan(),
+            "NaN cannot be a cell value; use CellValue::Null"
+        );
         CellValue::Num(v)
     }
 

@@ -18,6 +18,6 @@ pub mod type2;
 pub mod workforce;
 
 pub use retail::{retail_example, Retail};
-pub use type2::{simulate_forward, type2_of, Type2};
 pub use running_example::{running_example, RunningExample};
+pub use type2::{simulate_forward, type2_of, Type2};
 pub use workforce::{Workforce, WorkforceConfig, MONTHS};

@@ -38,19 +38,19 @@ pub fn retail_example(seed: u64) -> Retail {
                 ("200", &["2001"]),
                 ("300", &["3001"]),
             ]))
-            .dimension(DimensionSpec::new("Market").tree(&[
-                ("East", &["NY", "MA"][..]),
-                ("West", &["CA"]),
-            ]))
-            .dimension(DimensionSpec::new("Time").ordered().leaves(&[
-                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
-                "Dec",
-            ]))
             .dimension(
-                DimensionSpec::new("Measures")
-                    .measures()
-                    .leaves(&["Sales", "COGS", "Margin", "MarginPct"]),
+                DimensionSpec::new("Market")
+                    .tree(&[("East", &["NY", "MA"][..]), ("West", &["CA"])]),
             )
+            .dimension(DimensionSpec::new("Time").ordered().leaves(&[
+                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+            ]))
+            .dimension(DimensionSpec::new("Measures").measures().leaves(&[
+                "Sales",
+                "COGS",
+                "Margin",
+                "MarginPct",
+            ]))
             .varying("Product", "Time")
             // Fig. 7: product 1001 changes families during the year.
             .reclassify("Product", "1001", "200", "Apr")
@@ -104,8 +104,10 @@ pub fn retail_example(seed: u64) -> Retail {
             for mk in 0..n_markets {
                 let s = rng.random_range(500.0..1500.0_f64).round();
                 let c = (s * rng.random_range(0.4..0.8)).round();
-                b.set_num(&[i as u32, mk, t, sales_ord], s).expect("in range");
-                b.set_num(&[i as u32, mk, t, cogs_ord], c).expect("in range");
+                b.set_num(&[i as u32, mk, t, sales_ord], s)
+                    .expect("in range");
+                b.set_num(&[i as u32, mk, t, cogs_ord], c)
+                    .expect("in range");
             }
         }
     }

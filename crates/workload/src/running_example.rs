@@ -152,10 +152,7 @@ mod tests {
         let v = ex.schema.varying(ex.org).unwrap();
         let joe = ex.schema.dim(ex.org).resolve("Joe").unwrap();
         let fte_joe = v.instances_of(joe)[0];
-        assert_eq!(
-            ex.cube.get(&[fte_joe.0, 0, 1, 0]).unwrap(),
-            CellValue::Null
-        );
+        assert_eq!(ex.cube.get(&[fte_joe.0, 0, 1, 0]).unwrap(), CellValue::Null);
         assert_eq!(
             ex.cube.get(&[fte_joe.0, 0, 0, 0]).unwrap(),
             CellValue::Num(10.0)
@@ -166,9 +163,8 @@ mod tests {
     fn quarter_rollups() {
         let ex = running_example();
         let ev = CellEvaluator::new(&ex.cube);
-        let d = |dim: DimensionId, name: &str| {
-            Sel::Member(ex.schema.dim(dim).resolve(name).unwrap())
-        };
+        let d =
+            |dim: DimensionId, name: &str| Sel::Member(ex.schema.dim(dim).resolve(name).unwrap());
         // Joe's Salary over Qtr1 in NY across all instances: 30.
         let v = ev
             .value(&[

@@ -81,8 +81,12 @@ pub fn type2_of(cube: &Cube, dim: DimensionId) -> Type2 {
             // Clone the hierarchy verbatim (preorder keeps parents first).
             clone_dim(src_schema.dim(d), schema.dim_mut(nd));
         }
-        schema.dim_mut(nd).set_ordered(src_schema.dim(d).is_ordered());
-        schema.dim_mut(nd).set_measure(src_schema.dim(d).is_measure());
+        schema
+            .dim_mut(nd)
+            .set_ordered(src_schema.dim(d).is_ordered());
+        schema
+            .dim_mut(nd)
+            .set_measure(src_schema.dim(d).is_measure());
     }
     // Surrogates, one per instance, numbered in instance order.
     let ndim = dim_map[&dim];
@@ -111,8 +115,8 @@ pub fn type2_of(cube: &Cube, dim: DimensionId) -> Type2 {
     let schema = Arc::new(schema);
 
     // Re-home the data: instance slot → surrogate slot.
-    let mut b = Cube::builder(Arc::clone(&schema), cube.geometry().extents().to_vec())
-        .expect("same rank");
+    let mut b =
+        Cube::builder(Arc::clone(&schema), cube.geometry().extents().to_vec()).expect("same rank");
     let vd = dim.index();
     let slot_of_surrogate: HashMap<u32, u32> = surrogate_of_instance
         .iter()
@@ -120,7 +124,10 @@ pub fn type2_of(cube: &Cube, dim: DimensionId) -> Type2 {
         .map(|(i, &sid)| {
             (
                 i as u32,
-                schema.dim(ndim).leaf_ordinal(sid).expect("surrogates are leaves"),
+                schema
+                    .dim(ndim)
+                    .leaf_ordinal(sid)
+                    .expect("surrogates are leaves"),
             )
         })
         .collect();
@@ -202,7 +209,9 @@ pub fn simulate_forward(
                         .copied()
                         .find(|s| t2.effective[s].is_valid_at(t));
                     let survives = actual.is_some_and(|s| {
-                        perspectives.iter().any(|&p| t2.effective[&s].is_valid_at(p))
+                        perspectives
+                            .iter()
+                            .any(|&p| t2.effective[&s].is_valid_at(p))
                     });
                     row[t as usize] = if survives { actual } else { None };
                 }
@@ -228,7 +237,9 @@ pub fn simulate_forward(
             // cube stores them that way already).
             if let Some(owner_sid) = owner[natural.as_str()][t as usize] {
                 let parent = d.parent(owner_sid).expect("leaf");
-                *totals.entry(d.member_name(parent).to_string()).or_insert(0.0) += v;
+                *totals
+                    .entry(d.member_name(parent).to_string())
+                    .or_insert(0.0) += v;
             }
         })
         .expect("iterate");
@@ -249,10 +260,7 @@ mod tests {
         // Joe has three surrogates with the instance validity sets.
         let sids = &t2.surrogates["Joe"];
         assert_eq!(sids.len(), 3);
-        assert_eq!(
-            t2.effective[&sids[0]].iter().collect::<Vec<_>>(),
-            vec![0]
-        );
+        assert_eq!(t2.effective[&sids[0]].iter().collect::<Vec<_>>(), vec![0]);
         assert_eq!(
             t2.effective[&sids[2]].iter().collect::<Vec<_>>(),
             vec![2, 3, 5]
@@ -282,12 +290,7 @@ mod tests {
             Sel::Member(t2.schema.dim(m).resolve("Salary").unwrap())
         };
         let v = ev
-            .value(&[
-                Sel::Member(fte),
-                ny,
-                Sel::Member(MemberId::ROOT),
-                salary,
-            ])
+            .value(&[Sel::Member(fte), ny, Sel::Member(MemberId::ROOT), salary])
             .unwrap();
         // FTE NY salary over the year: Joe#1 (Jan) + Lisa (6 months).
         assert_eq!(v, olap_store::CellValue::Num(70.0));
@@ -305,8 +308,7 @@ mod tests {
             let slicer = vec![None, Some(0u32), None, Some(0u32)];
             let simulated = simulate_forward(&t2, &p, &slicer);
             // Native: perspective cube + visual rollups per type.
-            let scenario =
-                Scenario::negative(ex.org, p.clone(), Semantics::Forward, Mode::Visual);
+            let scenario = Scenario::negative(ex.org, p.clone(), Semantics::Forward, Mode::Visual);
             let r = apply_default(&ex.cube, &scenario).unwrap();
             let ev = CellEvaluator::new(&r.cube);
             for group in ["FTE", "PTE", "Contractor"] {

@@ -194,19 +194,31 @@ impl Workforce {
                 .get(s as usize)
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| format!("Scenario{s}"));
-            schema.dim_mut(scenario).add_child_of_root(&name).expect("unique");
+            schema
+                .dim_mut(scenario)
+                .add_child_of_root(&name)
+                .expect("unique");
         }
 
         let currency = schema.add_dimension("Currency");
-        schema.dim_mut(currency).add_child_of_root("Local").expect("unique");
-        schema.dim_mut(currency).add_child_of_root("USD").expect("unique");
+        schema
+            .dim_mut(currency)
+            .add_child_of_root("Local")
+            .expect("unique");
+        schema
+            .dim_mut(currency)
+            .add_child_of_root("USD")
+            .expect("unique");
 
         let version = schema.add_dimension("Version");
         schema
             .dim_mut(version)
             .add_child_of_root("BU Version_1")
             .expect("unique");
-        schema.dim_mut(version).add_child_of_root("Final").expect("unique");
+        schema
+            .dim_mut(version)
+            .add_child_of_root("Final")
+            .expect("unique");
 
         let hsp_rates = schema.add_dimension("HSP_Rates");
         schema
@@ -284,7 +296,8 @@ impl Workforce {
                 for t in inst.validity.iter() {
                     for s in 0..config.scenarios.max(1) {
                         let v = base + (t as f64) + (s as f64) * 0.5;
-                        b.set_num(&[t, inst_id, a, s, 0, 0, 0], v).expect("in range");
+                        b.set_num(&[t, inst_id, a, s, 0, 0, 0], v)
+                            .expect("in range");
                     }
                 }
             }
@@ -432,7 +445,10 @@ mod tests {
     fn deterministic_given_seed() {
         let a = Workforce::build(WorkforceConfig::tiny());
         let b = Workforce::build(WorkforceConfig::tiny());
-        assert_eq!(a.schema.axis_len(a.department), b.schema.axis_len(b.department));
+        assert_eq!(
+            a.schema.axis_len(a.department),
+            b.schema.axis_len(b.department)
+        );
         assert_eq!(a.cube.total_sum().unwrap(), b.cube.total_sum().unwrap());
     }
 
@@ -442,10 +458,8 @@ mod tests {
         let c = &w.config;
         // Instances' validity sets partition months per member, so cells =
         // employees × months × accounts × scenarios.
-        let want = (c.employees as u64)
-            * (c.months as u64)
-            * (c.accounts as u64)
-            * (c.scenarios as u64);
+        let want =
+            (c.employees as u64) * (c.months as u64) * (c.accounts as u64) * (c.scenarios as u64);
         assert_eq!(w.input_cells(), want);
     }
 

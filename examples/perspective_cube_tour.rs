@@ -43,7 +43,11 @@ fn main() {
 
     // The paper's Fig. 9 merge-dependency graph and its pebbling.
     let g = MergeGraph::fig9();
-    println!("\nFig. 9 merge graph ({} nodes, {} edges):", g.len(), g.edge_count());
+    println!(
+        "\nFig. 9 merge graph ({} nodes, {} edges):",
+        g.len(),
+        g.edge_count()
+    );
     let heuristic = heuristic_order(&g);
     let labels: Vec<u32> = heuristic.iter().map(|&n| g.label(n)).collect();
     println!("  heuristic order {labels:?}");

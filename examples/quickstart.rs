@@ -15,15 +15,19 @@ fn main() {
     //    Contractor in March.
     let schema = Arc::new(
         SchemaBuilder::new()
-            .dimension(DimensionSpec::new("Organization").tree(&[
-                ("FTE", &["Joe", "Lisa"][..]),
-                ("Contractor", &["Jane"]),
-            ]))
+            .dimension(
+                DimensionSpec::new("Organization")
+                    .tree(&[("FTE", &["Joe", "Lisa"][..]), ("Contractor", &["Jane"])]),
+            )
             .dimension(DimensionSpec::new("Time").ordered().tree(&[
                 ("Q1", &["Jan", "Feb", "Mar"][..]),
                 ("Q2", &["Apr", "May", "Jun"]),
             ]))
-            .dimension(DimensionSpec::new("Measures").measures().leaves(&["Salary"]))
+            .dimension(
+                DimensionSpec::new("Measures")
+                    .measures()
+                    .leaves(&["Salary"]),
+            )
             .varying("Organization", "Time")
             .reclassify("Organization", "Joe", "Contractor", "Mar")
             .build()

@@ -70,9 +70,8 @@ fn main() {
              FROM [App].[Db] WHERE (Account.[acc000], Scenario.[Current], \
              Currency.[Local], Version.[BU Version_1], HSP_Rates.[HSP_InputValue])"
         );
-        let q_whatif = format!(
-            "WITH PERSPECTIVE {{(Jan)}} FOR Department DYNAMIC FORWARD VISUAL {q_actual}"
-        );
+        let q_whatif =
+            format!("WITH PERSPECTIVE {{(Jan)}} FOR Department DYNAMIC FORWARD VISUAL {q_actual}");
         let a = execute(&ctx, &q_actual).expect("dept actual").total();
         let w = execute(&ctx, &q_whatif).expect("dept what-if").total();
         if (a - w).abs() > 1e-9 {

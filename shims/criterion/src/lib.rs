@@ -60,8 +60,8 @@ fn run_one(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     // Aim for ~100ms of total measurement, capped by sample_size.
     let target = Duration::from_millis(100);
-    let iters = (target.as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, sample_size as u128) as u64;
+    let iters =
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, sample_size as u128) as u64;
     let mut b = Bencher {
         iters,
         elapsed: Duration::ZERO,
@@ -130,9 +130,11 @@ impl BenchmarkGroup {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id.name), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 

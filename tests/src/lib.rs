@@ -36,14 +36,22 @@ pub fn random_warehouse(
 
     let time = schema.add_dimension("T");
     for t in 0..moments {
-        schema.dim_mut(time).add_child_of_root(&format!("t{t}")).unwrap();
+        schema
+            .dim_mut(time)
+            .add_child_of_root(&format!("t{t}"))
+            .unwrap();
     }
     schema.dim_mut(time).set_ordered(true);
 
     let d = schema.add_dimension("D");
     let mut group_ids = Vec::new();
     for g in 0..groups {
-        group_ids.push(schema.dim_mut(d).add_child_of_root(&format!("g{g}")).unwrap());
+        group_ids.push(
+            schema
+                .dim_mut(d)
+                .add_child_of_root(&format!("g{g}"))
+                .unwrap(),
+        );
     }
     let mut leaf_ids = Vec::new();
     for m in 0..members {
@@ -53,7 +61,10 @@ pub fn random_warehouse(
 
     let ctx = schema.add_dimension("X");
     for x in 0..3 {
-        schema.dim_mut(ctx).add_child_of_root(&format!("x{x}")).unwrap();
+        schema
+            .dim_mut(ctx)
+            .add_child_of_root(&format!("x{x}"))
+            .unwrap();
     }
 
     schema.make_varying(d, time).unwrap();

@@ -111,12 +111,7 @@ fn split_then_perspective_s2_style() {
     assert_eq!(ids.len(), 2, "split created the hypothetical instance");
     // All of Lisa's cells sit on the FTE instance after the perspective.
     let fte_cells: f64 = (0..6)
-        .map(|t| {
-            out.cube
-                .get(&[ids[0].0, 0, t, 0])
-                .unwrap()
-                .or_zero()
-        })
+        .map(|t| out.cube.get(&[ids[0].0, 0, t, 0]).unwrap().or_zero())
         .sum();
     assert_eq!(fte_cells, 60.0);
 }

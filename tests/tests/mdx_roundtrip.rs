@@ -16,21 +16,22 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_member() -> impl Strategy<Value = MemberExpr> {
-    let leaf = prop_oneof![
-        proptest::collection::vec(arb_name(), 1..4).prop_map(MemberExpr::Path),
-    ];
+    let leaf = prop_oneof![proptest::collection::vec(arb_name(), 1..4).prop_map(MemberExpr::Path),];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|m| MemberExpr::Children(Box::new(m))),
+            inner
+                .clone()
+                .prop_map(|m| MemberExpr::Children(Box::new(m))),
             proptest::collection::vec(arb_name(), 1..4)
                 .prop_map(|p| MemberExpr::Members(Box::new(MemberExpr::Path(p)))),
             (arb_name(), 0u32..4).prop_map(|(n, l)| {
                 MemberExpr::LevelsMembers(Box::new(MemberExpr::name(&n)), l)
             }),
-            (inner, 0u32..4, prop_oneof![
-                Just(DescFlag::SelfOnly),
-                Just(DescFlag::SelfAndAfter)
-            ])
+            (
+                inner,
+                0u32..4,
+                prop_oneof![Just(DescFlag::SelfOnly), Just(DescFlag::SelfAndAfter)]
+            )
                 .prop_map(|(m, d, f)| MemberExpr::Descendants(Box::new(m), d, f)),
         ]
     })
@@ -54,7 +55,12 @@ fn arb_set() -> impl Strategy<Value = SetExpr> {
                 inner,
                 proptest::collection::vec(arb_member(), 1..3),
                 prop_oneof![
-                    Just(">"), Just(">="), Just("<"), Just("<="), Just("="), Just("<>")
+                    Just(">"),
+                    Just(">="),
+                    Just("<"),
+                    Just("<="),
+                    Just("="),
+                    Just("<>")
                 ],
                 prop_oneof![
                     (0u32..100_000).prop_map(|n| n as f64),
@@ -64,7 +70,11 @@ fn arb_set() -> impl Strategy<Value = SetExpr> {
                 .prop_map(|(s, members, op, value)| {
                     SetExpr::Filter(
                         Box::new(s),
-                        FilterCond { members, op: op.to_string(), value },
+                        FilterCond {
+                            members,
+                            op: op.to_string(),
+                            value,
+                        },
                     )
                 }),
         ]
@@ -238,8 +248,8 @@ fn bracketed_names_with_hostile_content_roundtrip() {
             slicer: None,
         };
         let printed = q.to_string();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("{name:?} printed as {printed:?}: {e}"));
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("{name:?} printed as {printed:?}: {e}"));
         assert_eq!(q, reparsed, "name {name:?} corrupted via {printed:?}");
     }
 }
@@ -249,10 +259,16 @@ fn parse_errors_are_informative() {
     for (q, needle) in [
         ("SELECT", "set expression"),
         ("SELECT {A} ON SIDEWAYS FROM [W]", "COLUMNS"),
-        ("WITH PERSPECTIVE {(Jan)} Department STATIC SELECT {A} ON COLUMNS", "FOR"),
+        (
+            "WITH PERSPECTIVE {(Jan)} Department STATIC SELECT {A} ON COLUMNS",
+            "FOR",
+        ),
         ("SELECT {A} ON COLUMNS FROM", "name"),
     ] {
         let err = parse(q).unwrap_err().to_string();
-        assert!(err.contains(needle), "error {err:?} should mention {needle:?}");
+        assert!(
+            err.contains(needle),
+            "error {err:?} should mention {needle:?}"
+        );
     }
 }

@@ -32,8 +32,7 @@ fn pool_concurrent_pins_lose_no_peak_updates() {
             let pool = &pool;
             let barrier = &barrier;
             s.spawn(move || {
-                let ids: Vec<ChunkId> =
-                    (0..PER).map(|k| ChunkId(t * PER + k)).collect();
+                let ids: Vec<ChunkId> = (0..PER).map(|k| ChunkId(t * PER + k)).collect();
                 for &id in &ids {
                     pool.pin(id).unwrap();
                 }

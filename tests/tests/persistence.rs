@@ -29,12 +29,7 @@ fn file_and_memory_backends_agree() {
     let file = file_workforce(&path);
     assert!(mem.cube.same_cells(&file.cube).unwrap());
     // And a what-if gives the same output cube.
-    let scenario = Scenario::negative(
-        mem.department,
-        [0, 6],
-        Semantics::Forward,
-        Mode::Visual,
-    );
+    let scenario = Scenario::negative(mem.department, [0, 6], Semantics::Forward, Mode::Visual);
     let a = apply_default(&mem.cube, &scenario).unwrap();
     let b = apply_default(&file.cube, &scenario).unwrap();
     assert!(a.cube.same_cells(&b.cube).unwrap());
@@ -152,7 +147,8 @@ fn dirty_cube_flushes_through_pool_pressure() {
         .finish()
         .unwrap();
     for i in 0..64u32 {
-        cube.set(&[i], olap_store::CellValue::num(i as f64)).unwrap();
+        cube.set(&[i], olap_store::CellValue::num(i as f64))
+            .unwrap();
     }
     cube.flush().unwrap();
     for i in 0..64u32 {

@@ -4,9 +4,7 @@
 use olap_cube::{CubeAggregator, Lattice};
 use olap_store::{FileStore, SeekModel};
 use olap_workload::{retail_example, running_example, Workforce, WorkforceConfig};
-use whatif_core::{
-    apply, apply_opts, ExecOpts, Mode, OrderPolicy, Scenario, Semantics, Strategy,
-};
+use whatif_core::{apply, apply_opts, ExecOpts, Mode, OrderPolicy, Scenario, Semantics, Strategy};
 
 #[test]
 fn prefetched_aggregation_matches_demand_paging() {

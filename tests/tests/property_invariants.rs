@@ -5,15 +5,14 @@
 
 use olap_model::{InstanceId, ValiditySet};
 use proptest::prelude::*;
-use whatif_integration_tests::{all_semantics, random_warehouse};
 use whatif_core::{
     decompose_passes, execute_chunked, execute_passes, phi, relocate, DestMap, OrderPolicy,
     Semantics,
 };
+use whatif_integration_tests::{all_semantics, random_warehouse};
 
 fn arb_perspectives(moments: u32) -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::btree_set(0..moments, 1..=4)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set(0..moments, 1..=4).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

@@ -7,9 +7,7 @@ use olap_mdx::{execute, QueryContext};
 use olap_model::{InstanceId, MemberId};
 use olap_store::CellValue;
 use olap_workload::running_example;
-use whatif_core::{
-    apply_default, phi, prune_vacancies, Change, Mode, Scenario, Semantics,
-};
+use whatif_core::{apply_default, phi, prune_vacancies, Change, Mode, Scenario, Semantics};
 
 /// Instance ids in the running example's axis order.
 fn joe_instances(ex: &olap_workload::RunningExample) -> (u32, u32, u32) {
@@ -31,10 +29,19 @@ fn fig2_meaningless_combinations() {
     // valid in Feb" — and May is Joe's vacation (no instance valid).
     let ex = running_example();
     let (fte_joe, pte_joe, contr_joe) = joe_instances(&ex);
-    assert_eq!(ex.cube.get(&ny_salary_cell(&ex, fte_joe, 1)).unwrap(), CellValue::Null);
-    assert_eq!(ex.cube.get(&ny_salary_cell(&ex, pte_joe, 0)).unwrap(), CellValue::Null);
+    assert_eq!(
+        ex.cube.get(&ny_salary_cell(&ex, fte_joe, 1)).unwrap(),
+        CellValue::Null
+    );
+    assert_eq!(
+        ex.cube.get(&ny_salary_cell(&ex, pte_joe, 0)).unwrap(),
+        CellValue::Null
+    );
     for inst in [fte_joe, pte_joe, contr_joe] {
-        assert_eq!(ex.cube.get(&ny_salary_cell(&ex, inst, 4)).unwrap(), CellValue::Null);
+        assert_eq!(
+            ex.cube.get(&ny_salary_cell(&ex, inst, 4)).unwrap(),
+            CellValue::Null
+        );
     }
     // Valid combinations hold data.
     assert_eq!(
@@ -50,10 +57,25 @@ fn fig2_validity_sets() {
     let ex = running_example();
     let v = ex.schema.varying(ex.org).unwrap();
     let (a, b, c) = joe_instances(&ex);
-    assert_eq!(v.instance(InstanceId(a)).validity.iter().collect::<Vec<_>>(), vec![0]);
-    assert_eq!(v.instance(InstanceId(b)).validity.iter().collect::<Vec<_>>(), vec![1]);
     assert_eq!(
-        v.instance(InstanceId(c)).validity.iter().collect::<Vec<_>>(),
+        v.instance(InstanceId(a))
+            .validity
+            .iter()
+            .collect::<Vec<_>>(),
+        vec![0]
+    );
+    assert_eq!(
+        v.instance(InstanceId(b))
+            .validity
+            .iter()
+            .collect::<Vec<_>>(),
+        vec![1]
+    );
+    assert_eq!(
+        v.instance(InstanceId(c))
+            .validity
+            .iter()
+            .collect::<Vec<_>>(),
         vec![2, 3, 5]
     );
     let lisa = ex.schema.dim(ex.org).resolve("Lisa").unwrap();
@@ -83,12 +105,24 @@ fn fig4_forward_visual_inheritance() {
     );
     // FTE/Joe (valid at neither perspective) disappears entirely.
     for t in 0..6 {
-        assert_eq!(r.cube.get(&ny_salary_cell(&ex, fte_joe, t)).unwrap(), CellValue::Null);
+        assert_eq!(
+            r.cube.get(&ny_salary_cell(&ex, fte_joe, t)).unwrap(),
+            CellValue::Null
+        );
     }
     // Contractor/Joe owns [Apr, ∞): Apr and Jun, ⊥ in May (vacation).
-    assert_eq!(r.cube.get(&ny_salary_cell(&ex, contr_joe, 3)).unwrap(), CellValue::Num(10.0));
-    assert_eq!(r.cube.get(&ny_salary_cell(&ex, contr_joe, 4)).unwrap(), CellValue::Null);
-    assert_eq!(r.cube.get(&ny_salary_cell(&ex, contr_joe, 5)).unwrap(), CellValue::Num(10.0));
+    assert_eq!(
+        r.cube.get(&ny_salary_cell(&ex, contr_joe, 3)).unwrap(),
+        CellValue::Num(10.0)
+    );
+    assert_eq!(
+        r.cube.get(&ny_salary_cell(&ex, contr_joe, 4)).unwrap(),
+        CellValue::Null
+    );
+    assert_eq!(
+        r.cube.get(&ny_salary_cell(&ex, contr_joe, 5)).unwrap(),
+        CellValue::Num(10.0)
+    );
 }
 
 #[test]
@@ -163,9 +197,15 @@ fn fig5_positive_split() {
     );
     // FTE/Lisa ⊥ for τ ≥ Apr; PTE/Lisa ⊥ for τ < Apr.
     assert_eq!(r.cube.get(&[ids[0].0, 0, 3, 0]).unwrap(), CellValue::Null);
-    assert_eq!(r.cube.get(&[ids[0].0, 0, 2, 0]).unwrap(), CellValue::Num(10.0));
+    assert_eq!(
+        r.cube.get(&[ids[0].0, 0, 2, 0]).unwrap(),
+        CellValue::Num(10.0)
+    );
     assert_eq!(r.cube.get(&[ids[1].0, 0, 2, 0]).unwrap(), CellValue::Null);
-    assert_eq!(r.cube.get(&[ids[1].0, 0, 3, 0]).unwrap(), CellValue::Num(10.0));
+    assert_eq!(
+        r.cube.get(&[ids[1].0, 0, 3, 0]).unwrap(),
+        CellValue::Num(10.0)
+    );
     // Values are conserved across the split.
     assert_eq!(r.cube.total_sum().unwrap(), ex.cube.total_sum().unwrap());
 }
@@ -182,8 +222,18 @@ fn s1_scenario_tom_contractor_then_fte() {
     let scenario = Scenario::positive(
         ex.org,
         vec![
-            Change { member: tom, old_parent: None, new_parent: contractor, at: 2 },
-            Change { member: tom, old_parent: None, new_parent: fte, at: 5 },
+            Change {
+                member: tom,
+                old_parent: None,
+                new_parent: contractor,
+                at: 2,
+            },
+            Change {
+                member: tom,
+                old_parent: None,
+                new_parent: fte,
+                at: 5,
+            },
         ],
         Mode::Visual,
     );

@@ -42,7 +42,9 @@ fn location_varying() -> (Cube, DimensionId, DimensionId) {
     let measures = None::<DimensionId>;
     let _ = measures;
     rules.set_default_agg(olap_cube::AggFn::Sum);
-    let mut b = Cube::builder(Arc::clone(&schema), vec![3, 2]).unwrap().rules(rules);
+    let mut b = Cube::builder(Arc::clone(&schema), vec![3, 2])
+        .unwrap()
+        .rules(rules);
     // Hours worked: every valid (instance, location) = 8.
     let varying = schema.varying(org).unwrap();
     for (i, inst) in varying.instances().iter().enumerate() {
@@ -67,8 +69,14 @@ fn s2_lisa_is_pte_in_ma_only() {
         .collect();
     assert_eq!(names, vec!["FTE/Lisa", "PTE/Lisa"]);
     // FTE/Lisa valid in {NY, CA}, PTE/Lisa in {MA}.
-    assert_eq!(v.instance(ids[0]).validity.iter().collect::<Vec<_>>(), vec![0, 2]);
-    assert_eq!(v.instance(ids[1]).validity.iter().collect::<Vec<_>>(), vec![1]);
+    assert_eq!(
+        v.instance(ids[0]).validity.iter().collect::<Vec<_>>(),
+        vec![0, 2]
+    );
+    assert_eq!(
+        v.instance(ids[1]).validity.iter().collect::<Vec<_>>(),
+        vec![1]
+    );
     // FTE hours across locations: Lisa's NY + CA work only.
     let ev = CellEvaluator::new(&cube);
     let fte = schema.dim(org).resolve("FTE").unwrap();
@@ -143,7 +151,12 @@ fn s2_as_positive_change_over_location() {
     let cube = b.finish().unwrap();
     let scenario = Scenario::positive(
         org,
-        vec![Change { member: lisa, old_parent: Some(fte), new_parent: pte, at: 1 }],
+        vec![Change {
+            member: lisa,
+            old_parent: Some(fte),
+            new_parent: pte,
+            at: 1,
+        }],
         Mode::Visual,
     );
     let r = apply_default(&cube, &scenario).unwrap();

@@ -2,12 +2,14 @@
 //! its plots are drawn from, alongside the paper's expected shape.
 //!
 //! ```text
-//! repro [--fig 11|12|13] [--table S] [--ablations] [--all] [--csv DIR]
-//!       [--threads N] [--prefetch K]
+//! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
+//!       [--csv DIR] [--threads N] [--prefetch K] [--cache MB]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
 //! runs; see EXPERIMENTS.md for recorded results and commentary.
+//! Experiments that report counters also append machine-readable rows to
+//! `BENCH_pr3.json` so the perf trajectory is tracked across PRs.
 
 use bench::baselines::multiple_mdx;
 use bench::figures::{Figure, Series};
@@ -17,23 +19,74 @@ use bench::setup::{
 };
 use olap_store::SeekModel;
 use olap_workload::{Workforce, WorkforceConfig};
+use std::sync::Arc;
 use whatif_core::{
-    execute_chunked_scoped_opts, merge, phi, DestMap, ExecOpts, OrderPolicy, Semantics,
+    apply_opts, execute_chunked_scoped_opts, merge, phi, CacheStats, DestMap, ExecOpts, Mode,
+    OrderPolicy, Scenario, ScenarioCache, Semantics, Strategy,
 };
 
 const ITERS: u32 = 3;
+
+/// One machine-readable result row for `BENCH_pr3.json`.
+struct BenchRow {
+    name: String,
+    wall_ms: f64,
+    chunk_reads: u64,
+    merges: u64,
+    cache: CacheStats,
+    /// (issued, hits, wasted) from the buffer pool.
+    prefetch: (u64, u64, u64),
+}
+
+fn write_bench_json(path: &str, rows: &[BenchRow]) {
+    let mut s = String::from("{\n  \"pr\": 3,\n  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"chunk_reads\": {}, \"merges\": {}, \
+             \"cache\": {{\"lookups\": {}, \"hits\": {}, \"invalidations\": {}, \"bytes\": {}}}, \
+             \"prefetch\": {{\"issued\": {}, \"hits\": {}, \"wasted\": {}}}}}{}\n",
+            r.name,
+            r.wall_ms,
+            r.chunk_reads,
+            r.merges,
+            r.cache.lookups,
+            r.cache.hits,
+            r.cache.invalidations,
+            r.cache.bytes,
+            r.prefetch.0,
+            r.prefetch.1,
+            r.prefetch.2,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    match std::fs::write(path, s) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<&str> = Vec::new();
     let mut table_s = false;
     let mut ablations = false;
+    let mut replay = false;
     let mut csv_dir: Option<String> = None;
     let mut threads = 1usize;
     let mut prefetch = 0usize;
+    let mut cache_mb = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--cache" => {
+                i += 1;
+                cache_mb = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cache needs a size in MB (0 disables)");
+                    std::process::exit(2);
+                });
+            }
+            "--replay" => replay = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -86,22 +139,24 @@ fn main() {
                 figs = vec!["11", "12", "13"];
                 table_s = true;
                 ablations = true;
+                replay = true;
             }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: repro [--fig N]… [--table S] [--ablations] [--all] [--csv DIR] \
-                     [--threads N] [--prefetch K]"
+                    "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
+                     [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if figs.is_empty() && !table_s && !ablations {
+    if figs.is_empty() && !table_s && !ablations && !replay {
         figs = vec!["11", "12", "13"];
         table_s = true;
         ablations = true;
+        replay = true;
     }
 
     let mut outputs: Vec<Figure> = Vec::new();
@@ -129,8 +184,15 @@ fn main() {
         println!("{fig}");
         outputs.push(fig);
     }
+    let mut bench_rows: Vec<BenchRow> = Vec::new();
     if ablations {
-        run_ablations(threads, prefetch);
+        run_ablations(threads, prefetch, &mut bench_rows);
+    }
+    if replay {
+        run_replay(threads, prefetch, cache_mb, &mut bench_rows);
+    }
+    if !bench_rows.is_empty() {
+        write_bench_json("BENCH_pr3.json", &bench_rows);
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -329,7 +391,7 @@ fn fig13(threads: usize, prefetch: usize) -> Figure {
     }
 }
 
-fn run_ablations(threads: usize, prefetch: usize) {
+fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>) {
     println!("=== Ablations ===");
     // Pebbling vs naive on the paper's Fig. 9 graph.
     let g = merge::MergeGraph::fig9();
@@ -352,7 +414,11 @@ fn run_ablations(threads: usize, prefetch: usize) {
     if prefetch > 0 {
         wf.cube.start_io_threads(prefetch.min(4));
     }
-    let opts = ExecOpts { threads, prefetch };
+    let opts = ExecOpts {
+        threads,
+        prefetch,
+        cache: None,
+    };
     let varying = wf.schema.varying(wf.department).unwrap();
     let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 6], 12);
     let map = DestMap::build(&wf.cube, wf.department, &vs_out).unwrap();
@@ -365,10 +431,11 @@ fn run_ablations(threads: usize, prefetch: usize) {
         ),
     ] {
         let t = min_time(ITERS, || {
-            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts).unwrap()
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts.clone())
+                .unwrap()
         });
         let (_, report) =
-            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts)
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts.clone())
                 .unwrap();
         println!(
             "{name}: peak buffers {:>5}, predicted pebbles {:>4}, time {:>8.2} ms \
@@ -379,6 +446,145 @@ fn run_ablations(threads: usize, prefetch: usize) {
             report.graph_nodes,
             report.graph_edges,
         );
+        let st = wf.cube.with_pool(|pool| pool.stats());
+        bench_rows.push(BenchRow {
+            name: format!("ablation_{}", name.trim().replace([' ', '-'], "_")),
+            wall_ms: t.as_secs_f64() * 1e3,
+            chunk_reads: report.chunks_read,
+            merges: report.merges,
+            cache: CacheStats::default(),
+            prefetch: (st.prefetch_issued, st.prefetch_hits, st.prefetch_wasted),
+        });
+    }
+    println!();
+}
+
+/// The one-perspective edit sequences replayed by `run_replay` (also
+/// mirrored by the `scenario_cache` integration test). Each sequence
+/// starts from a base perspective set and applies K=8 single-perspective
+/// edits, so the cache sees 9 scenarios in a row.
+pub fn replay_scenarios(
+    department: olap_model::DimensionId,
+    semantics: Semantics,
+) -> Vec<Scenario> {
+    let perspective_sets: Vec<Vec<u32>> = match semantics {
+        // The analyst keeps early history pinned and nudges the *last*
+        // perspective: under DYNAMIC FORWARD only movers with a move
+        // after the second-to-last perspective are invalidated.
+        Semantics::Forward => vec![
+            vec![0, 3, 6, 9, 10],
+            vec![0, 3, 6, 9, 11],
+            vec![0, 3, 6, 9, 10],
+            vec![0, 3, 6, 9, 11],
+            vec![0, 3, 6, 9, 10],
+            vec![0, 3, 6, 9, 11],
+            vec![0, 3, 6, 9, 10],
+            vec![0, 3, 6, 9, 11],
+            vec![0, 3, 6, 9, 10],
+        ],
+        // Rotating one-month nudges: under STATIC an edit only touches
+        // instances whose validity straddles the moved moment, so almost
+        // every component survives each edit.
+        _ => vec![
+            vec![0, 3, 6, 9],
+            vec![0, 3, 6, 10],
+            vec![0, 3, 7, 10],
+            vec![0, 4, 7, 10],
+            vec![1, 4, 7, 10],
+            vec![1, 4, 7, 9],
+            vec![1, 4, 6, 9],
+            vec![1, 3, 6, 9],
+            vec![0, 3, 6, 9],
+        ],
+    };
+    perspective_sets
+        .into_iter()
+        .map(|p| Scenario::negative(department, p, semantics, Mode::Visual))
+        .collect()
+}
+
+/// The scenario-delta replay experiment: an analyst's edit session.
+/// Each sequence of K=8 one-perspective edits runs twice — cache off,
+/// then cache on — and the work counters are compared. The win is
+/// structural on any hardware: every merge component whose fate table
+/// an edit leaves unchanged is served from cache instead of being
+/// re-read and re-merged.
+fn run_replay(threads: usize, prefetch: usize, cache_mb: usize, bench_rows: &mut Vec<BenchRow>) {
+    println!("=== Scenario-delta replay (K=8 one-perspective edits) ===");
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 400,
+        departments: 12,
+        changing: 80,
+        employee_extent: 1,
+        accounts: 4,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let mb = if cache_mb > 0 { cache_mb } else { 64 };
+
+    for (sem_name, semantics) in [("fwd", Semantics::Forward), ("static", Semantics::Static)] {
+        let scenarios = replay_scenarios(wf.department, semantics);
+        for (phase, cache) in [
+            ("cache_off", None),
+            (
+                "cache_on",
+                Some(Arc::new(ScenarioCache::with_capacity_mb(mb))),
+            ),
+        ] {
+            let label = format!("replay_{sem_name}_{phase}");
+            let opts = ExecOpts {
+                threads,
+                prefetch,
+                cache: cache.clone(),
+            };
+            let pool_baseline = wf.cube.with_pool(|pool| {
+                pool.wait_prefetch_idle();
+                pool.stats()
+            });
+            let start = std::time::Instant::now();
+            let mut chunk_reads = 0u64;
+            let mut merges = 0u64;
+            let mut served = 0u64;
+            for s in &scenarios {
+                let r = apply_opts(&wf.cube, s, &strategy, None, opts.clone()).unwrap();
+                chunk_reads += r.report.chunks_read;
+                merges += r.report.merges;
+                served += r.report.cache_chunks_served;
+            }
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let cstats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+            let st = wf
+                .cube
+                .with_pool(|pool| {
+                    pool.wait_prefetch_idle();
+                    pool.stats()
+                })
+                .delta(&pool_baseline);
+            let hit_rate = if cstats.lookups > 0 {
+                100.0 * cstats.hits as f64 / cstats.lookups as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{label:<24}: {wall_ms:>8.2} ms, {chunk_reads:>6} chunk reads, \
+                 {merges:>6} merges, {served:>6} chunks served from cache \
+                 (hit rate {hit_rate:.1}%, {} invalidations, {} KiB resident)",
+                cstats.invalidations,
+                cstats.bytes / 1024,
+            );
+            bench_rows.push(BenchRow {
+                name: label,
+                wall_ms,
+                chunk_reads,
+                merges,
+                cache: cstats,
+                prefetch: (st.prefetch_issued, st.prefetch_hits, st.prefetch_wasted),
+            });
+        }
     }
     println!();
 }

@@ -199,6 +199,7 @@ impl Fig12Rig {
             whatif_core::ExecOpts {
                 threads: 1,
                 prefetch,
+                cache: None,
             },
         )
         .expect("scoped execution");

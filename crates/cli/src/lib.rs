@@ -63,6 +63,10 @@ pub struct Session {
     data: Loaded,
     threads: usize,
     prefetch: usize,
+    /// Scenario-delta cache shared by every query in the session
+    /// (`--cache MB`); `None` = off. Sound because sessions never mutate
+    /// the base cube.
+    cache: Option<std::sync::Arc<whatif_core::ScenarioCache>>,
 }
 
 /// What the caller should do after a line.
@@ -88,6 +92,7 @@ impl Session {
             data,
             threads: 1,
             prefetch: 0,
+            cache: None,
         }
     }
 
@@ -108,10 +113,25 @@ impl Session {
         self
     }
 
+    /// Enables the scenario-delta cache (`--cache MB`); 0 = off. What-if
+    /// queries in this session then reuse merged output chunks across
+    /// repeated or edited scenarios (DESIGN.md §10).
+    pub fn with_cache(mut self, mb: usize) -> Session {
+        self.cache = if mb > 0 {
+            Some(std::sync::Arc::new(
+                whatif_core::ScenarioCache::with_capacity_mb(mb),
+            ))
+        } else {
+            None
+        };
+        self
+    }
+
     fn context(&self) -> QueryContext<'_> {
         let mut ctx = QueryContext::new(self.data.cube());
         ctx.threads = self.threads;
         ctx.prefetch = self.prefetch;
+        ctx.cache = self.cache.clone();
         for (name, dim, members) in self.data.named_sets() {
             ctx.define_set(&name, dim, &members);
         }
@@ -141,6 +161,27 @@ impl Session {
             "help" | "h" => Outcome::Continue(HELP.to_string()),
             "quit" | "q" | "exit" => Outcome::Quit("bye".to_string()),
             "schema" => Outcome::Continue(self.schema_text()),
+            "cache" => Outcome::Continue(match &self.cache {
+                None => "scenario cache off — start the shell with --cache <MB>".to_string(),
+                Some(c) => {
+                    let s = c.stats();
+                    let hit_rate = if s.lookups > 0 {
+                        100.0 * s.hits as f64 / s.lookups as f64
+                    } else {
+                        0.0
+                    };
+                    format!(
+                        "scenario cache: {} entries, {} KiB / {} KiB, \
+                         {} lookups, {} hits ({hit_rate:.1}%), {} invalidations",
+                        c.len(),
+                        s.bytes / 1024,
+                        c.capacity() / 1024,
+                        s.lookups,
+                        s.hits,
+                        s.invalidations,
+                    )
+                }
+            }),
             "sets" => {
                 let sets = self.data.named_sets();
                 if sets.is_empty() {
@@ -330,6 +371,7 @@ Enter an (extended) MDX query, or a command:
   .sets                named sets registered for this dataset
   .explain <query>     parse, compile, optimize and run a query, with reports
   .csv <query>         run a query and print the grid as CSV
+  .cache               scenario-delta cache statistics (--cache MB to enable)
   .help                this text
   .quit                exit
 
@@ -424,6 +466,31 @@ mod tests {
         let mut plain = Session::new(Dataset::Running);
         let mut hinted = Session::new(Dataset::Running).with_prefetch(3);
         assert_eq!(plain.handle(q), hinted.handle(q));
+    }
+
+    #[test]
+    fn cached_session_matches_uncached() {
+        let q = "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL \
+                 SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, \
+                 {Organization.[FTE], Organization.[PTE], Organization.[Contractor]} ON ROWS \
+                 FROM [W] WHERE (Location.[NY], Measures.[Salary])";
+        let mut plain = Session::new(Dataset::Running);
+        let mut cached = Session::new(Dataset::Running).with_cache(16);
+        // Twice: the second cached run replays from a warm cache and
+        // must still render the identical grid.
+        assert_eq!(plain.handle(q), cached.handle(q));
+        assert_eq!(plain.handle(q), cached.handle(q));
+        match cached.handle(".cache") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("lookups"), "{t}");
+                assert!(!t.contains("cache off"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            Session::new(Dataset::Running).handle(".cache"),
+            Outcome::Continue(t) if t.contains("cache off")
+        ));
     }
 
     #[test]

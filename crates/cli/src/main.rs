@@ -1,7 +1,7 @@
 //! `polap` — the perspective-olap shell.
 //!
 //! ```sh
-//! polap [running|retail|workforce] [--threads N] [--prefetch K]
+//! polap [running|retail|workforce] [--threads N] [--prefetch K] [--cache MB]
 //! ```
 
 use polap_cli::{Dataset, Outcome, Session, HELP};
@@ -12,9 +12,17 @@ fn main() {
     let mut dataset_arg: Option<String> = None;
     let mut threads = 1usize;
     let mut prefetch = 0usize;
+    let mut cache_mb = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--cache" => {
+                i += 1;
+                cache_mb = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cache needs a size in MiB (0 = off)");
+                    std::process::exit(2);
+                });
+            }
             "--threads" => {
                 i += 1;
                 threads = args
@@ -36,7 +44,10 @@ fn main() {
             other if dataset_arg.is_none() => dataset_arg = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
-                eprintln!("usage: polap [running|retail|workforce] [--threads N] [--prefetch K]");
+                eprintln!(
+                    "usage: polap [running|retail|workforce] [--threads N] [--prefetch K] \
+                     [--cache MB]"
+                );
                 std::process::exit(2);
             }
         }
@@ -50,7 +61,8 @@ fn main() {
     eprintln!("loading {dataset:?} dataset…");
     let mut session = Session::new(dataset)
         .with_threads(threads)
-        .with_prefetch(prefetch);
+        .with_prefetch(prefetch)
+        .with_cache(cache_mb);
     println!("{HELP}\n");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

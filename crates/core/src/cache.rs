@@ -1,0 +1,368 @@
+//! The scenario-delta cache: memoized what-if output chunks.
+//!
+//! Interactive what-if analysis replays near-identical scenarios — the
+//! analyst nudges one perspective and re-queries. Today every edit
+//! recomputes the whole perspective cube. This module caches *merged
+//! output chunks* keyed by `(chunk id, digest of the fate table of the
+//! chunk's merge-graph component)` so the executor can skip re-merging
+//! every component whose relocation plan is unchanged by the edit
+//! (DESIGN.md §10).
+//!
+//! ## Why the component is the unit
+//!
+//! An output chunk of an affected label is a pure function of (a) the
+//! input chunks of its merge-graph *component* within the slice and
+//! (b) the destination-map fates of every slot of that component: cells
+//! can only arrive from labels the chunk shares an edge with (that is
+//! the definition of a [`crate::merge::MergeGraph`] edge), so labels
+//! outside the component cannot influence it. With the input cube held
+//! fixed — the cache belongs to a `Session` over one cube — the fate
+//! table alone determines the bytes. A perspective edit rewrites fates
+//! only for instances whose structure differs around the edited moment;
+//! every other component keeps its digest and its chunks are served
+//! from cache without touching the store.
+//!
+//! ## Invalidation
+//!
+//! One entry is kept per chunk id, stamped with the digest it was
+//! computed under. A lookup with a different digest means the scenario
+//! changed that component: the stale entry is dropped (counted in
+//! [`CacheStats::invalidations`]) and the executor recomputes. Bounded
+//! capacity evicts least-recently-used entries, also counted as
+//! invalidations.
+
+use crate::fingerprint::Fnv64;
+use crate::operators::relocate::{CellFate, DestMap};
+use olap_store::{Chunk, ChunkId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A memoized output chunk. Merged cubes are sparse: most affected
+/// labels produce *no* chunk (all cells relocated away or dropped), and
+/// remembering that emptiness is exactly as valuable as remembering
+/// bytes — otherwise every replay would re-merge just to rediscover ⊥.
+#[derive(Debug, Clone)]
+pub enum Cached {
+    /// The merge produced no materialized chunk (all-⊥).
+    Empty,
+    /// The merged chunk, shared with the producing cube's pool.
+    Chunk(Arc<Chunk>),
+}
+
+impl Cached {
+    fn bytes(&self) -> usize {
+        // A flat floor per entry keeps the map's own overhead counted.
+        const ENTRY_OVERHEAD: usize = 64;
+        match self {
+            Cached::Empty => ENTRY_OVERHEAD,
+            Cached::Chunk(c) => ENTRY_OVERHEAD + c.byte_size(),
+        }
+    }
+}
+
+/// Counters in the spirit of [`olap_store::PoolStats`]: lock-free to
+/// read, reset-able between experiment phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Per-chunk digest probes.
+    pub lookups: u64,
+    /// Probes answered from cache (and actually served — a component is
+    /// only served when *all* of its chunks hit, so partial matches are
+    /// not counted as hits).
+    pub hits: u64,
+    /// Entries dropped: stale digests on lookup plus LRU evictions.
+    pub invalidations: u64,
+    /// Resident payload bytes right now.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    digest: u64,
+    payload: Cached,
+    bytes: usize,
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<ChunkId, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A bounded, LRU-evicted, thread-safe cache of merged what-if chunks.
+///
+/// `Send + Sync`: one instance is shared by every query a `Session`
+/// runs, including parallel (`--threads`) executions. The executor
+/// consults it before pebbling each merge component and installs the
+/// component's output chunks after a miss.
+#[derive(Debug)]
+pub struct ScenarioCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ScenarioCache {
+    /// A cache bounded to `capacity` payload bytes (floored at one
+    /// chunk-sized unit so a tiny bound still caches something).
+    pub fn new(capacity: usize) -> Self {
+        ScenarioCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(4096),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience for the `--cache <MB>` flags.
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        ScenarioCache::new(mb.saturating_mul(1024 * 1024))
+    }
+
+    /// The configured byte bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All-or-nothing probe for one merge component: `keys` lists every
+    /// output chunk the component owns with the digest of its current
+    /// fate table. Returns the payloads only if *every* chunk is
+    /// resident under a matching digest — serving a partial component
+    /// would mix plans. Stale entries encountered along the way are
+    /// invalidated so the recompute path re-inserts fresh ones.
+    pub fn lookup_component(&self, keys: &[(ChunkId, u64)]) -> Option<Vec<Cached>> {
+        self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut stale = 0u64;
+        let mut complete = true;
+        for &(id, digest) in keys {
+            match inner.entries.get(&id) {
+                Some(e) if e.digest == digest => {}
+                Some(_) => {
+                    let e = inner.entries.remove(&id).unwrap();
+                    inner.bytes -= e.bytes;
+                    stale += 1;
+                    complete = false;
+                }
+                None => complete = false,
+            }
+        }
+        self.invalidations.fetch_add(stale, Ordering::Relaxed);
+        if !complete {
+            return None;
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for &(id, _) in keys {
+            let e = inner.entries.get_mut(&id).unwrap();
+            e.last_use = tick;
+            out.push(e.payload.clone());
+        }
+        self.hits.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        Some(out)
+    }
+
+    /// Installs (or replaces) one chunk's payload under `digest`,
+    /// evicting least-recently-used entries if the byte bound is
+    /// exceeded.
+    pub fn insert(&self, id: ChunkId, digest: u64, payload: Cached) {
+        let bytes = payload.bytes();
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.remove(&id) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.entries.insert(
+            id,
+            Entry {
+                digest,
+                payload,
+                bytes,
+                last_use: tick,
+            },
+        );
+        let mut evicted = 0u64;
+        while inner.bytes > self.capacity && inner.entries.len() > 1 {
+            // Evict the LRU entry, never the one just inserted.
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(vid, _)| **vid != id)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(vid, _)| *vid);
+            match victim {
+                Some(vid) => {
+                    let e = inner.entries.remove(&vid).unwrap();
+                    inner.bytes -= e.bytes;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            bytes: self.inner.lock().unwrap().bytes as u64,
+        }
+    }
+
+    /// Zeroes the counters (resident entries are kept).
+    pub fn reset_stats(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+}
+
+/// Digest of one merge component's relocation plan: the sorted label
+/// set and the complete fate table of every slot those labels own,
+/// prefixed with the geometry context that scopes slot numbering. Equal
+/// digests ⇒ identical relocation of identical inputs ⇒ identical
+/// output bytes (see the module docs for the locality argument).
+pub struct ComponentDigest<'a> {
+    h: Fnv64,
+    vd_extent: u32,
+    axis_len: u32,
+    moments: u32,
+    dest: &'a DestMap,
+}
+
+impl<'a> ComponentDigest<'a> {
+    /// Starts a digest under a fixed geometry/dimension context.
+    pub fn new(
+        geometry_sig: u64,
+        vd: usize,
+        vd_extent: u32,
+        axis_len: u32,
+        dest: &'a DestMap,
+    ) -> Self {
+        let mut h = Fnv64::new();
+        h.write_u64(geometry_sig)
+            .write_u32(vd as u32)
+            .write_u32(vd_extent)
+            .write_u32(axis_len)
+            .write_u32(dest.moments());
+        ComponentDigest {
+            h,
+            vd_extent,
+            axis_len,
+            moments: dest.moments(),
+            dest,
+        }
+    }
+
+    /// Folds one label of the component (callers fold labels in sorted
+    /// order) and the fates of every slot it owns.
+    pub fn fold_label(&mut self, label: u32) {
+        self.h.write_u32(label);
+        let lo = label * self.vd_extent;
+        let hi = ((label + 1) * self.vd_extent).min(self.axis_len);
+        for slot in lo..hi {
+            for t in 0..self.moments {
+                match self.dest.fate(slot, t) {
+                    CellFate::Skip => {
+                        self.h.write_u8(0);
+                    }
+                    CellFate::Drop => {
+                        self.h.write_u8(1);
+                    }
+                    CellFate::To(d) => {
+                        self.h.write_u8(2).write_u32(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The component digest.
+    pub fn finish(&self) -> u64 {
+        self.h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Arc<Chunk> {
+        let mut c = Chunk::new_dense(vec![2, 2]);
+        c.set(0, olap_store::CellValue::num(1.0));
+        Arc::new(c)
+    }
+
+    #[test]
+    fn all_or_nothing_component_lookup() {
+        let cache = ScenarioCache::new(1 << 20);
+        cache.insert(ChunkId(1), 7, Cached::Chunk(chunk()));
+        // Partial component: chunk 2 missing ⇒ no serve, no hit counted.
+        assert!(cache
+            .lookup_component(&[(ChunkId(1), 7), (ChunkId(2), 7)])
+            .is_none());
+        cache.insert(ChunkId(2), 7, Cached::Empty);
+        let served = cache
+            .lookup_component(&[(ChunkId(1), 7), (ChunkId(2), 7)])
+            .expect("full component should hit");
+        assert_eq!(served.len(), 2);
+        let st = cache.stats();
+        assert_eq!(st.lookups, 4);
+        assert_eq!(st.hits, 2);
+    }
+
+    #[test]
+    fn stale_digest_invalidates() {
+        let cache = ScenarioCache::new(1 << 20);
+        cache.insert(ChunkId(9), 1, Cached::Chunk(chunk()));
+        assert!(cache.lookup_component(&[(ChunkId(9), 2)]).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.is_empty(), "stale entry must be dropped");
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_bound() {
+        let per_entry = Cached::Chunk(chunk()).bytes();
+        let cache = ScenarioCache::new(4096.max(2 * per_entry + 10));
+        let n_fit = cache.capacity() / per_entry;
+        for i in 0..(n_fit as u64 + 3) {
+            cache.insert(ChunkId(i), 0, Cached::Chunk(chunk()));
+        }
+        let st = cache.stats();
+        assert!(st.bytes as usize <= cache.capacity());
+        assert!(st.invalidations >= 3, "LRU must have evicted: {st:?}");
+        // Oldest entries went first; the most recent insert survives.
+        assert!(cache
+            .lookup_component(&[(ChunkId(n_fit as u64 + 2), 0)])
+            .is_some());
+    }
+}

@@ -16,7 +16,9 @@
 //! ([`execute_chunked_scoped`]). [`ExecReport`] exposes predicted pebbles
 //! and observed peak buffer residency for the ablations.
 
+use crate::cache::{Cached, ComponentDigest, ScenarioCache};
 use crate::error::WhatIfError;
+use crate::fingerprint::Fnv64;
 use crate::merge::{heuristic_order, naive_order, pebbles_for_order, MergeGraph};
 use crate::operators::relocate::{CellFate, DestMap};
 use crate::Result;
@@ -24,6 +26,7 @@ use olap_cube::Cube;
 use olap_model::DimensionId;
 use olap_store::{Chunk, ChunkId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How to evaluate a what-if query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,21 +76,40 @@ pub struct ExecReport {
     pub slices: u64,
     /// Number of passes run.
     pub passes: u64,
+    /// Merge work units: graph-node chunks processed (buffer pebbled,
+    /// cells scattered), summed over passes. This is the work the
+    /// scenario-delta cache eliminates.
+    pub merges: u64,
+    /// Output chunks installed from the scenario-delta cache instead of
+    /// being re-merged (0 unless `ExecOpts::cache` is set).
+    pub cache_chunks_served: u64,
 }
 
 /// Tuning knobs for the chunked executors.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOpts {
     /// Worker threads for the Lemma 5.1 slice fan-out
     /// (`Pebbling`/`Naive` only; `DimOrder` stays serial).
     pub threads: usize,
     /// Prefetch lookahead K: while processing a chunk sequence, the next
     /// K chunk ids are hinted to the cube's buffer pool so its I/O
-    /// workers overlap store reads with merge compute. `0` disables
-    /// hinting and is bit-identical to the unhinted executor; any K only
-    /// changes I/O timing, never results. Has no effect unless
-    /// I/O workers are running (`Cube::start_io_threads`).
+    /// workers overlap store reads with merge compute. Hints follow each
+    /// worker's *whole* read order, crossing slice boundaries, so the
+    /// I/O workers never stall at a slice edge. `0` disables hinting and
+    /// is bit-identical to the unhinted executor; any K only changes I/O
+    /// timing, never results. Has no effect unless I/O workers are
+    /// running (`Cube::start_io_threads`).
     pub prefetch: usize,
+    /// Scenario-delta cache (DESIGN.md §10): when set, unscoped
+    /// executions probe it for whole merge components whose fate tables
+    /// are unchanged since a previous run over the same cube, serve
+    /// those output chunks without re-merging, and install recomputed
+    /// components afterwards. `None` (the default) is bit-identical to
+    /// an uncached run; a populated cache changes only the work done,
+    /// never the cells produced. The cache assumes the base cube's
+    /// chunks are immutable for its lifetime (sessions never mutate
+    /// their data cube).
+    pub cache: Option<Arc<ScenarioCache>>,
 }
 
 impl Default for ExecOpts {
@@ -95,6 +117,7 @@ impl Default for ExecOpts {
         ExecOpts {
             threads: 1,
             prefetch: 0,
+            cache: None,
         }
     }
 }
@@ -160,11 +183,14 @@ pub fn execute_chunked_scoped_threaded(
         ExecOpts {
             threads,
             prefetch: 0,
+            cache: None,
         },
     )
 }
 
-/// [`execute_chunked_scoped`] with the full set of tuning knobs.
+/// [`execute_chunked_scoped`] with the full set of tuning knobs. A
+/// single-pass run is exactly a one-element pass plan, so this shares
+/// the cached/uncached machinery of [`execute_passes_opts`].
 pub fn execute_chunked_scoped_opts(
     cube: &Cube,
     dim: DimensionId,
@@ -173,14 +199,15 @@ pub fn execute_chunked_scoped_opts(
     scope: Option<&[u32]>,
     opts: ExecOpts,
 ) -> Result<(Cube, ExecReport)> {
-    let env = Env::new(cube, dim, dest, policy, scope, opts.prefetch)?;
-    let out = cube.empty_like();
-    let mut report = env.base_report();
-    let copy_labels = env.copy_labels();
-    env.run_pass(&out, dest, &copy_labels, &mut report, opts.threads)?;
-    report.passes = 1;
-    out.flush()?;
-    Ok((out, report))
+    execute_passes_opts(
+        cube,
+        dim,
+        dest,
+        std::slice::from_ref(dest),
+        policy,
+        scope,
+        opts,
+    )
 }
 
 /// Multi-pass execution (Section 6): runs each pass of a decomposed plan
@@ -220,11 +247,19 @@ pub fn execute_passes_threaded(
         ExecOpts {
             threads,
             prefetch: 0,
+            cache: None,
         },
     )
 }
 
 /// [`execute_passes`] with the full set of tuning knobs.
+///
+/// With `ExecOpts::cache` set (and no scope — cached chunks are full
+/// output chunks, so scoped runs bypass the cache), the merge
+/// components of the *full* plan are probed first: a component whose
+/// fate-table digest matches a cached run has all its output chunks
+/// installed verbatim and is withdrawn from every pass; the remaining
+/// components run normally and are inserted afterwards.
 pub fn execute_passes_opts(
     cube: &Cube,
     dim: DimensionId,
@@ -234,9 +269,13 @@ pub fn execute_passes_opts(
     scope: Option<&[u32]>,
     opts: ExecOpts,
 ) -> Result<(Cube, ExecReport)> {
-    let env = Env::new(cube, dim, full, policy, scope, opts.prefetch)?;
+    let mut env = Env::new(cube, dim, full, policy, scope, opts.prefetch)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
+    let to_insert = match &opts.cache {
+        Some(cache) if scope.is_none() => env.serve_from_cache(cache, full, &out, &mut report)?,
+        _ => Vec::new(),
+    };
     let copy_labels = env.copy_labels();
     let no_copy = vec![false; copy_labels.len()];
     for (i, pass) in passes.iter().enumerate() {
@@ -245,10 +284,86 @@ pub fn execute_passes_opts(
         report.passes += 1;
     }
     out.flush()?;
+    if let Some(cache) = &opts.cache {
+        // Remember the freshly merged components (their emptiness too —
+        // most affected labels flush nothing, and rediscovering that
+        // costs a full re-merge).
+        for (id, digest) in to_insert {
+            let payload = if out.chunk_exists(id) {
+                Cached::Chunk(out.chunk(id)?)
+            } else {
+                Cached::Empty
+            };
+            cache.insert(id, digest, payload);
+        }
+    }
     Ok((out, report))
 }
 
-/// Immutable execution environment shared by every pass.
+/// Streams prefetch hints to the buffer pool's I/O workers over one
+/// worker's *entire* read order — the concatenation of its slice
+/// sequences — so the lookahead window crosses slice boundaries instead
+/// of draining at every slice edge (the PR 2 watermark reset). The
+/// monotone watermark guarantees each chunk id is hinted at most once
+/// per pass, so hints never cause duplicate store reads.
+struct Prefetcher<'a> {
+    cube: &'a Cube,
+    ids: Vec<ChunkId>,
+    k: usize,
+    pos: usize,
+    hinted: usize,
+}
+
+impl<'a> Prefetcher<'a> {
+    fn new<'s>(
+        cube: &'a Cube,
+        k: usize,
+        sequences: impl Iterator<Item = &'s Vec<Vec<u32>>>,
+    ) -> Self {
+        let geom = cube.geometry();
+        let ids: Vec<ChunkId> = if k > 0 {
+            sequences
+                .flat_map(|seq| seq.iter())
+                .map(|c| geom.chunk_id(c))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Prefetcher {
+            cube,
+            ids,
+            k,
+            pos: 0,
+            hinted: 0,
+        }
+    }
+
+    /// Hints the lookahead window for the current position, then moves
+    /// on. Call exactly once per chunk, in read order.
+    fn advance(&mut self) {
+        if self.k == 0 {
+            self.pos += 1;
+            return;
+        }
+        let window = crate::merge::prefetch_window(&self.ids, self.pos, self.k);
+        let end = self.pos + 1 + window.len();
+        let fresh_from = self.hinted.max(self.pos + 1);
+        if end > fresh_from {
+            let fresh: Vec<ChunkId> = self.ids[fresh_from..end]
+                .iter()
+                .copied()
+                .filter(|&cid| self.cube.chunk_exists(cid))
+                .collect();
+            self.hinted = end;
+            self.cube.prefetch(&fresh);
+        }
+        self.pos += 1;
+    }
+}
+
+/// Execution environment shared by every pass. Fixed for the run except
+/// that [`Env::serve_from_cache`] may withdraw cache-served labels from
+/// `kept`/`full_graph` before the first pass starts.
 struct Env<'a> {
     cube: &'a Cube,
     dim: DimensionId,
@@ -328,6 +443,90 @@ impl<'a> Env<'a> {
             r.predicted_pebbles = pebbles_for_order(&self.full_graph, &order);
         }
         r
+    }
+
+    /// Probes the scenario-delta cache with every merge component of the
+    /// full plan (across all slices — an output chunk is a pure function
+    /// of its component's inputs and fates, see `crate::cache`). Hit
+    /// components have all their chunks installed into `out` and their
+    /// labels withdrawn from this execution; missed components return
+    /// their `(chunk, digest)` keys so the caller can insert the freshly
+    /// merged chunks after the run.
+    fn serve_from_cache(
+        &mut self,
+        cache: &ScenarioCache,
+        full: &DestMap,
+        out: &Cube,
+        report: &mut ExecReport,
+    ) -> Result<Vec<(ChunkId, u64)>> {
+        if self.full_graph.is_empty() {
+            return Ok(Vec::new());
+        }
+        let geom = self.cube.geometry();
+        let axis_len = self.cube.schema().axis_len(self.dim);
+        // Scope slot numbering to this cube's shape and schema identity:
+        // a cache is per-session (one base cube), but make cross-cube
+        // aliasing within a process loud-proof anyway.
+        let geometry_sig = {
+            let mut h = Fnv64::new();
+            h.write_u64(Arc::as_ptr(self.cube.schema()) as u64);
+            h.write_u32(geom.ndims() as u32);
+            for d in 0..geom.ndims() {
+                h.write_u32(geom.lens()[d]).write_u32(geom.extents()[d]);
+            }
+            h.finish()
+        };
+        let other: Vec<usize> = (0..geom.ndims()).filter(|&d| d != self.vd).collect();
+        let walk: Vec<usize> = std::iter::once(self.vd)
+            .chain(other.iter().copied())
+            .collect();
+        let anchors: Vec<Vec<u32>> = geom
+            .chunks_in_order(&walk)
+            .filter(|c| c[self.vd] == 0)
+            .collect();
+
+        let mut served: Vec<u32> = Vec::new();
+        let mut to_insert: Vec<(ChunkId, u64)> = Vec::new();
+        for comp in self.full_graph.components() {
+            let mut labels: Vec<u32> = comp.iter().map(|&n| self.full_graph.label(n)).collect();
+            labels.sort_unstable();
+            let mut cd =
+                ComponentDigest::new(geometry_sig, self.vd, self.vd_extent, axis_len, full);
+            for &l in &labels {
+                cd.fold_label(l);
+            }
+            let digest = cd.finish();
+            let mut keys: Vec<(ChunkId, u64)> = Vec::with_capacity(anchors.len() * labels.len());
+            for anchor in &anchors {
+                let mut coord = anchor.clone();
+                for &l in &labels {
+                    coord[self.vd] = l;
+                    keys.push((geom.chunk_id(&coord), digest));
+                }
+            }
+            match cache.lookup_component(&keys) {
+                Some(payloads) => {
+                    for (&(id, _), payload) in keys.iter().zip(payloads) {
+                        if let Cached::Chunk(chunk) = payload {
+                            out.put_chunk(id, (*chunk).clone())?;
+                        }
+                        report.cache_chunks_served += 1;
+                    }
+                    served.extend(labels);
+                }
+                None => to_insert.extend(keys),
+            }
+        }
+        if !served.is_empty() {
+            // Withdraw served components: their chunks are already in
+            // `out`, so no pass may read, merge, or flush them again.
+            for l in served {
+                self.kept[l as usize] = false;
+            }
+            let kept = &self.kept;
+            self.full_graph = self.full_graph.induced(|l| kept[l as usize]);
+        }
+        Ok(to_insert)
     }
 
     /// Kept labels with no merge/drop activity under the full plan —
@@ -445,6 +644,10 @@ impl<'a> Env<'a> {
             _ => threads.max(1).min(groups.len().max(1)),
         };
         if workers <= 1 {
+            // One prefetcher for the whole pass: hints follow the full
+            // read order across slice boundaries (the watermark never
+            // resets between sequences).
+            let mut pf = Prefetcher::new(self.cube, self.prefetch, groups.iter());
             for seq in &groups {
                 self.process(
                     out,
@@ -454,6 +657,7 @@ impl<'a> Env<'a> {
                     &affected,
                     copy_labels,
                     seq,
+                    &mut pf,
                     report,
                 )?;
             }
@@ -473,6 +677,10 @@ impl<'a> Env<'a> {
                 .map(|bucket| {
                     s.spawn(move || {
                         let mut r = ExecReport::default();
+                        // Per-worker prefetcher spanning the worker's
+                        // whole bucket of slices.
+                        let mut pf =
+                            Prefetcher::new(self.cube, self.prefetch, bucket.iter().copied());
                         for seq in bucket {
                             self.process(
                                 out,
@@ -482,6 +690,7 @@ impl<'a> Env<'a> {
                                 affected,
                                 copy_labels,
                                 seq,
+                                &mut pf,
                                 &mut r,
                             )?;
                         }
@@ -501,6 +710,7 @@ impl<'a> Env<'a> {
             report.cells_relocated += r.cells_relocated;
             report.cells_dropped += r.cells_dropped;
             report.slices += r.slices;
+            report.merges += r.merges;
             peak_sum += r.peak_out_buffers;
         }
         // Sum of per-worker peaks: an upper bound on simultaneous
@@ -512,6 +722,8 @@ impl<'a> Env<'a> {
     /// Processes one ordered chunk sequence with private slice/buffer
     /// state. Serial passes feed every group through one call chain;
     /// parallel passes give each worker its own report to merge later.
+    /// The prefetcher is shared across a worker's sequences so hints
+    /// span slice boundaries.
     #[allow(clippy::too_many_arguments)]
     fn process(
         &self,
@@ -522,6 +734,7 @@ impl<'a> Env<'a> {
         affected: &[bool],
         copy_labels: &[bool],
         sequence: &[Vec<u32>],
+        pf: &mut Prefetcher<'_>,
         report: &mut ExecReport,
     ) -> Result<()> {
         let geom = self.cube.geometry();
@@ -533,31 +746,8 @@ impl<'a> Env<'a> {
         let mut slices: HashMap<Vec<u32>, SliceState> = HashMap::new();
         let mut buffers: HashMap<ChunkId, Chunk> = HashMap::new();
 
-        // Hint the next K chunks of this sequence to the pool's I/O
-        // workers so store reads overlap the merge below. The watermark
-        // keeps each id from being hinted more than once.
-        let ids: Vec<ChunkId> = if self.prefetch > 0 {
-            sequence.iter().map(|c| geom.chunk_id(c)).collect()
-        } else {
-            Vec::new()
-        };
-        let mut hinted = 0usize;
-
-        for (pos, coord) in sequence.iter().enumerate() {
-            if self.prefetch > 0 {
-                let window = crate::merge::prefetch_window(&ids, pos, self.prefetch);
-                let end = pos + 1 + window.len();
-                let fresh_from = hinted.max(pos + 1);
-                if end > fresh_from {
-                    let fresh: Vec<ChunkId> = ids[fresh_from..end]
-                        .iter()
-                        .copied()
-                        .filter(|&cid| self.cube.chunk_exists(cid))
-                        .collect();
-                    hinted = end;
-                    self.cube.prefetch(&fresh);
-                }
-            }
+        for coord in sequence.iter() {
+            pf.advance();
             let label = coord[self.vd];
             let id = geom.chunk_id(coord);
             let materialized = self.cube.chunk_exists(id);
@@ -591,6 +781,7 @@ impl<'a> Env<'a> {
                 continue;
             }
             let node = node_of_label[&label];
+            report.merges += 1;
             let slice_key: Vec<u32> = coord
                 .iter()
                 .enumerate()

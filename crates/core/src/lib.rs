@@ -27,8 +27,10 @@
 //!   ([`merge`]) and measuring memory via the buffer pool.
 
 pub mod algebra;
+pub mod cache;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod merge;
 pub mod operators;
 pub mod optimize;
@@ -39,12 +41,14 @@ pub mod plan;
 pub mod scenario;
 
 pub use algebra::{compile, run, AlgebraExpr, AlgebraOutput};
+pub use cache::{CacheStats, Cached, ScenarioCache};
 pub use error::WhatIfError;
 pub use exec::{
     execute_chunked, execute_chunked_scoped, execute_chunked_scoped_opts,
     execute_chunked_scoped_threaded, execute_chunked_threaded, execute_passes, execute_passes_opts,
     execute_passes_threaded, ExecOpts, ExecReport, OrderPolicy, Strategy,
 };
+pub use fingerprint::Fnv64;
 pub use merge::MergeGraph;
 pub use operators::{
     reallocate, relocate, select, split, CmpOp, DestMap, EvalOp, Predicate, Reallocation,

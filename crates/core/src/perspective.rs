@@ -77,7 +77,7 @@ impl fmt::Display for Mode {
 
 /// A full perspective clause: `WITH PERSPECTIVE {p₁, …, pₖ} FOR D
 /// <semantics> <mode>`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PerspectiveSpec {
     /// The varying dimension the perspectives act on.
     pub dim: DimensionId,

@@ -149,6 +149,7 @@ pub fn apply_scoped_threaded(
         ExecOpts {
             threads,
             prefetch: 0,
+            cache: None,
         },
     )
 }

@@ -7,7 +7,7 @@ use olap_model::{DimensionId, MemberId, Moment};
 /// One tuple of the positive-change relation `R(m, o, n, t)`: "o is the
 /// current parent of m at point t, and it should be hypothetically changed
 /// to n from t onward" (Section 3.4).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Change {
     /// The member being reclassified.
     pub member: MemberId,
@@ -22,7 +22,7 @@ pub struct Change {
 }
 
 /// A what-if scenario.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// A *negative* scenario: perspectives that hypothetically undo
     /// changes present in the cube.

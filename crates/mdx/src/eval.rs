@@ -32,6 +32,13 @@ pub struct QueryContext<'a> {
     /// I/O workers (`0`, the default, disables hinting). Only has an
     /// effect when the cube's pool runs I/O workers.
     pub prefetch: usize,
+    /// Scenario-delta cache shared across this context's queries: a
+    /// negative-scenario query re-merges only the chunks whose merge
+    /// components changed since the cache last saw them (DESIGN.md §10).
+    /// Setting it forces full materialization (cached chunks are whole
+    /// output chunks, so `scoped_retrieval` is bypassed for cached
+    /// queries). `None` (the default) is bit-identical to today.
+    pub cache: Option<std::sync::Arc<whatif_core::ScenarioCache>>,
 }
 
 impl<'a> QueryContext<'a> {
@@ -45,6 +52,7 @@ impl<'a> QueryContext<'a> {
             scoped_retrieval: true,
             threads: 1,
             prefetch: 0,
+            cache: None,
         }
     }
 
@@ -103,6 +111,9 @@ pub fn evaluate_full(
             whatif_core::ExecOpts {
                 threads: ctx.threads,
                 prefetch: ctx.prefetch,
+                // Positive scenarios rebuild the axis via split(), which
+                // the chunk cache does not cover.
+                cache: None,
             },
         )?);
     }
@@ -160,9 +171,13 @@ pub fn evaluate_full(
         }
     }
 
-    // 3½. Apply a negative scenario, scoped to the touched slots.
+    // 3½. Apply a negative scenario, scoped to the touched slots. With a
+    // scenario cache, scoping is skipped: cached entries are whole
+    // output chunks, and a scoped run would produce (and consult)
+    // partial ones. Full materialization makes consecutive edited
+    // queries share work — the very case the cache exists for.
     if let Some(s @ Scenario::Negative(_)) = &scenario {
-        let scope = if ctx.scoped_retrieval {
+        let scope = if ctx.scoped_retrieval && ctx.cache.is_none() {
             compute_scope(schema, s.dim(), &columns, &rows, &base)
         } else {
             None
@@ -175,6 +190,7 @@ pub fn evaluate_full(
             whatif_core::ExecOpts {
                 threads: ctx.threads,
                 prefetch: ctx.prefetch,
+                cache: ctx.cache.clone(),
             },
         )?);
     }

@@ -77,6 +77,33 @@ pub struct PoolStats {
     pub prefetch_wasted: u64,
 }
 
+impl PoolStats {
+    /// The counter difference `self − baseline`: pool activity since
+    /// `baseline` was snapshotted, without globally resetting the
+    /// counters (which would race with concurrent measurement).
+    /// Monotone counters subtract saturating (a `reset_stats` between
+    /// the snapshots never underflows); `peak_resident`/`peak_pinned`
+    /// are high-water marks, not monotone counters, so the later
+    /// snapshot's value is kept as-is.
+    pub fn delta(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            peak_resident: self.peak_resident,
+            peak_pinned: self.peak_pinned,
+            overflows: self.overflows.saturating_sub(baseline.overflows),
+            prefetch_issued: self
+                .prefetch_issued
+                .saturating_sub(baseline.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(baseline.prefetch_hits),
+            prefetch_wasted: self
+                .prefetch_wasted
+                .saturating_sub(baseline.prefetch_wasted),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Frame {
     chunk: Arc<Chunk>,
@@ -972,6 +999,28 @@ mod tests {
         // demand admissions counted misses and the rest hit.
         assert_eq!(st.prefetch_wasted, 0);
         assert_eq!(st.hits, 3 * N + st.prefetch_hits);
+    }
+
+    /// `PoolStats::delta` isolates one measured phase without resetting
+    /// the live counters.
+    #[test]
+    fn stats_delta_isolates_a_phase() {
+        let p = BufferPool::new(store_with(4), 4);
+        p.get(ChunkId(0)).unwrap();
+        p.get(ChunkId(0)).unwrap();
+        let baseline = p.stats();
+        p.get(ChunkId(0)).unwrap();
+        p.get(ChunkId(1)).unwrap();
+        let d = p.stats().delta(&baseline);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 1);
+        // High-water marks carry through instead of subtracting.
+        assert_eq!(d.peak_resident, p.stats().peak_resident);
+        // A reset between snapshots saturates instead of underflowing.
+        p.reset_stats();
+        let d = p.stats().delta(&baseline);
+        assert_eq!(d.hits, 0);
+        assert_eq!(d.misses, 0);
     }
 
     /// I/O workers shut down cleanly on drop and `into_store`.

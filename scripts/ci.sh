@@ -13,17 +13,19 @@ echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== concurrency flake gate (10x) =="
-# The pool prefetcher and the parallel executors are timing-sensitive;
-# a single green run proves little. Hammer the concurrency-heavy suites.
+# The pool prefetcher, the parallel executors and the shared scenario
+# cache are timing-sensitive; a single green run proves little. Hammer
+# the concurrency-heavy suites.
 i=1
 while [ "$i" -le 10 ]; do
     cargo test -q -p olap-store --lib >/dev/null
-    cargo test -q -p whatif-integration-tests --test parallel_exec --test prefetch >/dev/null
+    cargo test -q -p whatif-integration-tests \
+        --test parallel_exec --test prefetch --test scenario_cache >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
 
 echo "== fmt check =="
-cargo fmt --all --check 2>/dev/null || echo "(rustfmt unavailable or dirty — non-fatal)"
+cargo fmt --all --check
 
 echo "CI OK"

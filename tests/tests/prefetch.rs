@@ -51,6 +51,7 @@ fn prefetched_whatif_matches_demand_paging() {
             ExecOpts {
                 threads: 1,
                 prefetch,
+                cache: None,
             },
         )
         .unwrap();
@@ -105,6 +106,7 @@ fn prefetch_hits_on_a_seek_model_filestore() {
         ExecOpts {
             threads: 1,
             prefetch: 4,
+            cache: None,
         },
     )
     .unwrap();
@@ -123,4 +125,72 @@ fn prefetch_hits_on_a_seek_model_filestore() {
     );
     drop(wf);
     std::fs::remove_file(&path).ok();
+}
+
+/// The prefetch watermark is per *pass*, not per slice: a serial
+/// multi-slice what-if hints every chunk of the pass exactly once, so
+/// hints span slice boundaries instead of restarting (and re-reading)
+/// at each slice.
+#[test]
+fn prefetch_hints_span_slice_boundaries() {
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 120,
+        departments: 6,
+        changing: 30,
+        accounts: 3,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    wf.cube.with_pool(|pool| pool.clear().unwrap());
+    wf.cube.start_io_threads(2);
+
+    let scenario = Scenario::negative(wf.department, [0, 6], Semantics::Forward, Mode::Visual);
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let result = apply_opts(
+        &wf.cube,
+        &scenario,
+        &strategy,
+        None,
+        ExecOpts {
+            threads: 1,
+            prefetch: 4,
+            cache: None,
+        },
+    )
+    .unwrap();
+    assert!(
+        result.report.slices >= 2,
+        "workload must span multiple slices: {:?}",
+        result.report
+    );
+
+    let st = wf.cube.with_pool(|pool| {
+        pool.wait_prefetch_idle();
+        pool.stats()
+    });
+    // Within each pass, every chunk of the serial read order except the
+    // very first is hinted exactly once — the watermark is monotone over
+    // the *concatenated* slice sequences. A per-slice watermark (the
+    // pre-PR 3 behavior) would restart at every slice boundary and issue
+    // only `chunks_read - slices` hints; crossing boundaries recovers
+    // one hint per interior slice edge.
+    assert_eq!(
+        st.prefetch_issued,
+        result.report.chunks_read - result.report.passes,
+        "hints must cover each pass's whole read order, slice gaps included: {st:?} {:?}",
+        result.report
+    );
+    assert!(
+        st.prefetch_issued > result.report.chunks_read - result.report.slices,
+        "hints do not span slice boundaries: {st:?} {:?}",
+        result.report
+    );
+    // No chunk is fetched from the store twice: demand misses plus
+    // prefetch admissions account for every resident chunk.
+    let resident = wf.cube.with_pool(|pool| pool.resident()) as u64;
+    assert_eq!(st.evictions, 0, "pool must be large enough for the test");
+    assert_eq!(
+        resident, st.misses,
+        "a chunk was fetched from the store more than once: {st:?}"
+    );
 }

@@ -1,0 +1,101 @@
+//! Property tests for scenario fingerprints (the scenario-delta cache
+//! key): semantically equal scenarios must hash equal, and any material
+//! single-field edit must change the digest.
+
+use olap_model::{DimensionId, MemberId};
+use proptest::prelude::*;
+use whatif_core::{Change, Mode, Scenario};
+
+fn arb_change() -> impl Strategy<Value = Change> {
+    (0u32..50, proptest::option::of(0u32..10), 0u32..10, 0u32..12).prop_map(
+        |(member, old_parent, new_parent, at)| Change {
+            member: MemberId(member),
+            old_parent: old_parent.map(MemberId),
+            new_parent: MemberId(new_parent),
+            at,
+        },
+    )
+}
+
+fn arb_changes() -> impl Strategy<Value = Vec<Change>> {
+    proptest::collection::vec(arb_change(), 1..8)
+}
+
+/// Fisher–Yates with a splitmix64 stream: a deterministic shuffle the
+/// proptest shim (which has no `prop_shuffle`) can drive from one seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The change relation R is a set: shuffling the Vec<Change> order
+    /// must not change the scenario's fingerprint.
+    #[test]
+    fn change_order_is_immaterial(changes in arb_changes(), seed in 0u64..u64::MAX) {
+        let mut shuffled = changes.clone();
+        shuffle(&mut shuffled, seed);
+        let a = Scenario::positive(DimensionId(1), changes, Mode::Visual);
+        let b = Scenario::positive(DimensionId(1), shuffled, Mode::Visual);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Mutating any single field of any single change must change the
+    /// digest (no field is dead in the cache key).
+    #[test]
+    fn any_single_change_mutation_changes_the_digest(
+        changes in arb_changes(),
+        idx in 0usize..8,
+        field in 0usize..4,
+    ) {
+        let idx = idx % changes.len();
+        let mut mutated = changes.clone();
+        let c = &mut mutated[idx];
+        match field {
+            0 => c.member = MemberId(c.member.0 + 100),
+            1 => {
+                c.old_parent = match c.old_parent {
+                    None => Some(MemberId(0)),
+                    Some(m) => Some(MemberId(m.0 + 100)),
+                }
+            }
+            2 => c.new_parent = MemberId(c.new_parent.0 + 100),
+            _ => c.at += 100,
+        }
+        let a = Scenario::positive(DimensionId(1), changes, Mode::Visual);
+        let b = Scenario::positive(DimensionId(1), mutated, Mode::Visual);
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Negative scenarios: perspective order is immaterial, but moving
+    /// any one perspective moment changes the digest.
+    #[test]
+    fn perspective_set_drives_the_negative_digest(
+        mut p in proptest::collection::btree_set(0u32..24, 1..5),
+        bump in 24u32..48,
+    ) {
+        use whatif_core::Semantics;
+        let fwd: Vec<u32> = p.iter().copied().collect();
+        let rev: Vec<u32> = p.iter().rev().copied().collect();
+        let a = Scenario::negative(DimensionId(2), fwd, Semantics::Forward, Mode::Visual);
+        let b = Scenario::negative(DimensionId(2), rev, Semantics::Forward, Mode::Visual);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let first = *p.iter().next().unwrap();
+        p.remove(&first);
+        p.insert(bump); // 24..48 never collides with 0..24
+        let moved: Vec<u32> = p.iter().copied().collect();
+        let c = Scenario::negative(DimensionId(2), moved, Semantics::Forward, Mode::Visual);
+        prop_assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
-//!       [--csv DIR] [--threads N] [--prefetch K] [--cache MB]
+//!       [--faults [N]] [--csv DIR] [--threads N] [--prefetch K] [--cache MB]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -17,7 +17,7 @@ use bench::min_time;
 use bench::setup::{
     context, default_workforce, fig13_workforce, first_months, quarterly, run, Fig12Rig,
 };
-use olap_store::SeekModel;
+use olap_store::{FaultStore, SeekModel};
 use olap_workload::{Workforce, WorkforceConfig};
 use std::sync::Arc;
 use whatif_core::{
@@ -76,9 +76,24 @@ fn main() {
     let mut threads = 1usize;
     let mut prefetch = 0usize;
     let mut cache_mb = 0usize;
+    let mut fault_schedules = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--faults" => {
+                // Optional schedule count; bare `--faults` runs 8.
+                match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => {
+                        eprintln!("--faults needs a positive schedule count");
+                        std::process::exit(2);
+                    }
+                    Some(n) => {
+                        fault_schedules = n;
+                        i += 1;
+                    }
+                    None => fault_schedules = 8,
+                }
+            }
             "--cache" => {
                 i += 1;
                 cache_mb = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -145,14 +160,14 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
-                     [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
+                     [--faults [N]] [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if figs.is_empty() && !table_s && !ablations && !replay {
+    if figs.is_empty() && !table_s && !ablations && !replay && fault_schedules == 0 {
         figs = vec!["11", "12", "13"];
         table_s = true;
         ablations = true;
@@ -190,6 +205,9 @@ fn main() {
     }
     if replay {
         run_replay(threads, prefetch, cache_mb, &mut bench_rows);
+    }
+    if fault_schedules > 0 {
+        run_faults(threads, prefetch, fault_schedules);
     }
     if !bench_rows.is_empty() {
         write_bench_json("BENCH_pr3.json", &bench_rows);
@@ -457,6 +475,102 @@ fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>
         });
     }
     println!();
+}
+
+/// `--faults N`: run the replay what-if under `N` seed-derived fault
+/// schedules (see `FaultStore::with_random_plan`) and check the
+/// robustness invariant of DESIGN.md §11 on each: the query either
+/// returns `Err` or a perspective cube bit-identical to the fault-free
+/// baseline — never a silently wrong answer. Exits non-zero if any
+/// schedule violates the invariant, so the sweep is CI-usable.
+fn run_faults(threads: usize, prefetch: usize, schedules: u64) {
+    println!("=== Fault injection ({schedules} seeded schedules) ===");
+    let build = || {
+        Workforce::build(WorkforceConfig {
+            employees: 400,
+            departments: 12,
+            changing: 80,
+            employee_extent: 1,
+            accounts: 4,
+            scenarios: 2,
+            ..WorkforceConfig::default()
+        })
+    };
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let opts = ExecOpts {
+        threads,
+        prefetch,
+        cache: None,
+    };
+    let baseline = {
+        let wf = build();
+        let s = Scenario::negative(wf.department, [0, 6], Semantics::Forward, Mode::Visual);
+        apply_opts(&wf.cube, &s, &strategy, None, opts.clone()).unwrap()
+    };
+    let mut violations = 0u64;
+    let mut absorbed = 0u64;
+    let mut errored = 0u64;
+    for seed in 0..schedules {
+        let wf = build();
+        if prefetch > 0 {
+            wf.cube.start_io_threads(prefetch.min(4));
+        }
+        wf.cube.flush().unwrap();
+        let mut plan = String::new();
+        wf.cube.with_pool(|pool| {
+            pool.clear().unwrap();
+            pool.wrap_store(|s| {
+                let fs = FaultStore::with_random_plan(s, seed);
+                plan = format!("{:?}", fs.plan());
+                Box::new(fs)
+            });
+        });
+        let scenario = Scenario::negative(wf.department, [0, 6], Semantics::Forward, Mode::Visual);
+        let start = std::time::Instant::now();
+        let r = apply_opts(&wf.cube, &scenario, &strategy, None, opts.clone());
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let st = wf.cube.with_pool(|pool| {
+            pool.wait_prefetch_idle();
+            pool.stats()
+        });
+        let fired = wf.cube.with_pool(|pool| {
+            pool.store()
+                .as_any()
+                .downcast_ref::<FaultStore>()
+                .map(|f| f.faults_injected())
+                .unwrap_or(0)
+        });
+        let outcome = match r {
+            Ok(res) if res.cube.same_cells(&baseline.cube).unwrap() => {
+                absorbed += 1;
+                "ok, bit-identical".to_string()
+            }
+            Ok(_) => {
+                violations += 1;
+                "SILENT DIVERGENCE — invariant violated".to_string()
+            }
+            Err(e) => {
+                errored += 1;
+                format!("err: {e}")
+            }
+        };
+        println!(
+            "seed {seed:>3}: {wall_ms:>8.2} ms, {fired:>2} faults fired, \
+             {:>2} read errors, {:>2} retries — {outcome}",
+            st.read_errors, st.retries
+        );
+        println!("          plan {plan}");
+    }
+    println!(
+        "invariant held on {}/{schedules} schedules \
+         ({absorbed} absorbed, {errored} clean errors)",
+        absorbed + errored
+    );
+    println!();
+    if violations > 0 {
+        eprintln!("{violations} schedule(s) produced a silently wrong answer");
+        std::process::exit(1);
+    }
 }
 
 /// The one-perspective edit sequences replayed by `run_replay` (also

@@ -182,6 +182,26 @@ impl Session {
                     )
                 }
             }),
+            "stats" => {
+                let s = self.data.cube().pool_stats();
+                Outcome::Continue(format!(
+                    "buffer pool: {} hits, {} misses, {} evictions, {} overflows\n\
+                     peaks: {} resident, {} pinned\n\
+                     prefetch: {} issued, {} hits, {} wasted\n\
+                     faults: {} read errors, {} retries",
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.overflows,
+                    s.peak_resident,
+                    s.peak_pinned,
+                    s.prefetch_issued,
+                    s.prefetch_hits,
+                    s.prefetch_wasted,
+                    s.read_errors,
+                    s.retries,
+                ))
+            }
             "sets" => {
                 let sets = self.data.named_sets();
                 if sets.is_empty() {
@@ -372,6 +392,7 @@ Enter an (extended) MDX query, or a command:
   .explain <query>     parse, compile, optimize and run a query, with reports
   .csv <query>         run a query and print the grid as CSV
   .cache               scenario-delta cache statistics (--cache MB to enable)
+  .stats               buffer-pool counters (incl. read errors and retries)
   .help                this text
   .quit                exit
 
@@ -491,6 +512,24 @@ mod tests {
             Session::new(Dataset::Running).handle(".cache"),
             Outcome::Continue(t) if t.contains("cache off")
         ));
+    }
+
+    #[test]
+    fn stats_command_reports_pool_counters() {
+        let mut s = Session::new(Dataset::Running);
+        // Run a query so the counters are nonzero.
+        s.handle(
+            "SELECT {Time.[Qtr1]} ON COLUMNS, {Organization.[FTE]} ON ROWS \
+             FROM [W] WHERE (Location.[NY], Measures.[Salary])",
+        );
+        match s.handle(".stats") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("buffer pool:"), "{t}");
+                assert!(t.contains("read errors"), "{t}");
+                assert!(t.contains("retries"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::chunk::{Chunk, ChunkData};
 use crate::codec;
 use crate::error::StoreError;
+use crate::integrity;
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use olap_model::BitSet;
@@ -63,8 +64,15 @@ fn get_varint(buf: &mut &[u8]) -> Result<u64> {
     }
 }
 
-/// Whether a record payload carries the OLC2 compressed codec.
+/// Whether a record payload carries the OLC2 compressed codec, looking
+/// through an OLC3 checksum envelope if one is present (codec sniffing
+/// cares about the logical encoding, not the integrity wrapper).
 pub fn is_compressed(buf: &[u8]) -> bool {
+    let buf = if integrity::is_checksummed(buf) {
+        &buf[integrity::ENVELOPE_BYTES.min(buf.len())..]
+    } else {
+        buf
+    };
     buf.len() >= 4 && u32::from_le_bytes(buf[..4].try_into().expect("len checked")) == MAGIC_V2
 }
 
@@ -179,8 +187,19 @@ pub fn decode_compressed(mut buf: &[u8]) -> Result<Chunk> {
     Chunk::from_parts(shape, data)
 }
 
-/// Decodes either codec by magic — OLC1 and OLC2 records can coexist.
+/// Decodes any record payload by magic: an OLC3 envelope (whose CRC is
+/// verified before the inner codec runs) around OLC1/OLC2, or a bare
+/// OLC1/OLC2 record from an older file.
 pub fn decode_any(buf: &[u8]) -> Result<Chunk> {
+    let buf = if integrity::is_checksummed(buf) {
+        let inner = integrity::unwrap_verified(buf)?;
+        if integrity::is_checksummed(inner) {
+            return Err(StoreError::Corrupt("nested OLC3 envelope".into()));
+        }
+        inner
+    } else {
+        buf
+    };
     if is_compressed(buf) {
         return decode_compressed(buf);
     }
@@ -262,6 +281,47 @@ mod tests {
         c.set(2, CellValue::num(7.0));
         assert_eq!(decode_any(&codec::encode(&c).unwrap()).unwrap(), c);
         assert_eq!(decode_any(&encode_compressed(&c).unwrap()).unwrap(), c);
+    }
+
+    /// OLC3-enveloped payloads decode through `decode_any` for both
+    /// inner codecs, and codec sniffing sees through the envelope.
+    #[test]
+    fn decode_any_handles_checksum_envelope() {
+        let mut c = Chunk::new_dense(vec![4]);
+        c.set(1, CellValue::num(3.5));
+        let plain = integrity::wrap_checksummed(&codec::encode(&c).unwrap());
+        let packed = integrity::wrap_checksummed(&encode_compressed(&c).unwrap());
+        assert_eq!(decode_any(&plain).unwrap(), c);
+        assert_eq!(decode_any(&packed).unwrap(), c);
+        assert!(!is_compressed(&plain));
+        assert!(is_compressed(&packed));
+        // A nested envelope is corruption, not recursion.
+        let nested = integrity::wrap_checksummed(&plain);
+        assert!(matches!(decode_any(&nested), Err(StoreError::Corrupt(_))));
+    }
+
+    /// The checksum turns silent payload corruption into a clean
+    /// `Corrupt` error: flipping a value bit in an OLC1 record decodes
+    /// to a wrong number, while the same flip under OLC3 is detected.
+    #[test]
+    fn envelope_catches_value_bit_flips_olc1_cannot() {
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(0, CellValue::num(1.0));
+        let bare = codec::encode(&c).unwrap().to_vec();
+        // Flip a low mantissa bit of the stored f64 (last payload byte
+        // region) — structurally valid, numerically wrong.
+        let mut bad_bare = bare.clone();
+        let flip_at = bare.len() - 3;
+        bad_bare[flip_at] ^= 0x01;
+        let decoded = decode_any(&bad_bare).unwrap();
+        assert_ne!(decoded, c, "OLC1 cannot detect a value bit flip");
+        // The same flip inside an OLC3 envelope is caught.
+        let mut bad_wrapped = integrity::wrap_checksummed(&bare);
+        bad_wrapped[integrity::ENVELOPE_BYTES + flip_at] ^= 0x01;
+        assert!(matches!(
+            decode_any(&bad_wrapped),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::codec;
 use crate::compress;
 use crate::error::StoreError;
 use crate::geometry::ChunkId;
+use crate::integrity;
 use crate::store::{ChunkStore, IoStats};
 use crate::Result;
 use std::collections::{BTreeMap, HashSet};
@@ -84,6 +85,23 @@ const REC_HEADER: usize = 8 + 4; // chunk id + payload length
 /// Chunk id → (payload offset, payload length) in the log.
 type LogIndex = BTreeMap<ChunkId, (u64, u32)>;
 
+/// What [`FileStore::open`] salvaged from a file with a torn tail: the
+/// crash-recovery rule is *truncate to the last valid record* instead
+/// of refusing the whole store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailRecovery {
+    /// Complete, valid records kept (the index may map fewer ids —
+    /// later records supersede earlier ones).
+    pub records_recovered: u64,
+    /// Complete-looking trailing records dropped because their payload
+    /// failed validation (a torn write can leave a full-length record
+    /// of partial bytes).
+    pub records_dropped: u64,
+    /// Bytes truncated off the tail (partial fragment + dropped
+    /// records).
+    pub bytes_truncated: u64,
+}
+
 /// A single-file, append-log chunk store.
 #[derive(Debug)]
 pub struct FileStore {
@@ -100,6 +118,11 @@ pub struct FileStore {
     /// Write new records with the OLC2 compressed codec (reads always
     /// auto-detect, so mixed files are fine).
     compress: bool,
+    /// Wrap new record payloads in the OLC3 checksum envelope (reads
+    /// always auto-detect, so mixed files are fine).
+    checksums: bool,
+    /// Set when [`FileStore::open`] truncated a torn tail.
+    tail_recovery: Option<TailRecovery>,
 }
 
 impl FileStore {
@@ -122,50 +145,123 @@ impl FileStore {
             last_read_end: AtomicU64::new(0),
             seek_model: None,
             compress: false,
+            checksums: true,
+            tail_recovery: None,
         })
     }
 
     /// Opens an existing store, rebuilding the index by scanning records
     /// (later records for the same chunk win, as in any append log).
+    ///
+    /// A torn tail — a crash mid-append leaving a partial record, or a
+    /// complete-looking final record whose payload fails validation — is
+    /// recovered from by truncating the file back to the last valid
+    /// record ([`TailRecovery`] reports what was salvaged). Interior
+    /// records are not decoded here (truncating at an interior record
+    /// would discard the good data after it); corruption before the
+    /// tail surfaces as [`StoreError::Corrupt`] when the record is
+    /// read.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let mut index = BTreeMap::new();
-        let mut dead = 0u64;
+
+        // Pass 1: collect structurally complete records. The first
+        // record extending past EOF (torn mid-header or mid-payload)
+        // marks the tear; everything from it on is tail fragment.
+        struct Rec {
+            id: u64,
+            payload_start: usize,
+            payload_end: usize,
+        }
+        let mut recs: Vec<Rec> = Vec::new();
         let mut pos = 0usize;
-        // Carry the compression mode across reopen: the codec of the
-        // last (most recently appended) record decides. Reads always
-        // auto-detect per record, so mixed files stay valid either way.
-        let mut last_compressed = false;
-        while pos + REC_HEADER <= bytes.len() {
+        while pos < bytes.len() {
+            if pos + REC_HEADER > bytes.len() {
+                break; // torn mid-header
+            }
             let id = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
             let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
             let payload_start = pos + REC_HEADER;
             let payload_end = payload_start + len as usize;
             if payload_end > bytes.len() {
-                return Err(StoreError::Corrupt("truncated record".into()));
+                break; // torn mid-payload
             }
-            last_compressed = compress::is_compressed(&bytes[payload_start..payload_end]);
-            if let Some((_, old_len)) = index.insert(ChunkId(id), (payload_start as u64, len)) {
-                dead += REC_HEADER as u64 + old_len as u64;
-            }
+            recs.push(Rec {
+                id,
+                payload_start,
+                payload_end,
+            });
             pos = payload_end;
         }
-        if pos != bytes.len() {
-            return Err(StoreError::Corrupt("trailing garbage".into()));
+
+        // Pass 2: a torn write can also leave a record whose framing is
+        // complete but whose payload bytes are partial. Drop trailing
+        // records until the last one decodes. Interior corruption (a bad
+        // record with valid records after it) is *not* a torn tail and
+        // still refuses the open.
+        let mut dropped = 0u64;
+        while let Some(last) = recs.last() {
+            if compress::decode_any(&bytes[last.payload_start..last.payload_end]).is_ok() {
+                break;
+            }
+            recs.pop();
+            dropped += 1;
+        }
+
+        let valid_end = recs.last().map_or(0, |r| r.payload_end) as u64;
+        let mut tail_recovery = None;
+        if valid_end < bytes.len() as u64 {
+            let recovery = TailRecovery {
+                records_recovered: recs.len() as u64,
+                records_dropped: dropped,
+                bytes_truncated: bytes.len() as u64 - valid_end,
+            };
+            eprintln!(
+                "olap-store: torn tail in {}: truncating {} byte(s) ({} record(s) dropped), \
+                 {} record(s) recovered",
+                path.display(),
+                recovery.bytes_truncated,
+                recovery.records_dropped,
+                recovery.records_recovered,
+            );
+            file.set_len(valid_end)?;
+            file.sync_all()?;
+            tail_recovery = Some(recovery);
+        }
+
+        let mut index = BTreeMap::new();
+        let mut dead = 0u64;
+        // Carry the compression and checksum modes across reopen: the
+        // codecs of the last (most recently appended) record decide.
+        // Reads always auto-detect per record, so mixed files stay
+        // valid either way.
+        let mut last_compressed = false;
+        let mut last_checksummed = false;
+        for rec in &recs {
+            let payload = &bytes[rec.payload_start..rec.payload_end];
+            last_compressed = compress::is_compressed(payload);
+            last_checksummed = integrity::is_checksummed(payload);
+            let len = (rec.payload_end - rec.payload_start) as u32;
+            if let Some((_, old_len)) =
+                index.insert(ChunkId(rec.id), (rec.payload_start as u64, len))
+            {
+                dead += REC_HEADER as u64 + old_len as u64;
+            }
         }
         Ok(FileStore {
             file,
             path,
             index,
-            end: bytes.len() as u64,
+            end: valid_end,
             dead_bytes: dead,
             stats: IoStats::default(),
             last_read_end: AtomicU64::new(0),
             seek_model: None,
             compress: last_compressed,
+            checksums: last_checksummed,
+            tail_recovery,
         })
     }
 
@@ -178,6 +274,23 @@ impl FileStore {
     /// Whether subsequent writes use the OLC2 compressed codec.
     pub fn compression(&self) -> bool {
         self.compress
+    }
+
+    /// Enables/disables the OLC3 checksum envelope for subsequent writes
+    /// (on by default for new stores; reads always auto-detect).
+    pub fn set_checksums(&mut self, on: bool) {
+        self.checksums = on;
+    }
+
+    /// Whether subsequent writes carry the OLC3 checksum envelope.
+    pub fn checksums(&self) -> bool {
+        self.checksums
+    }
+
+    /// What [`FileStore::open`] salvaged if the file had a torn tail;
+    /// `None` when the file was clean.
+    pub fn tail_recovery(&self) -> Option<TailRecovery> {
+        self.tail_recovery
     }
 
     /// Installs (or clears) the seek-latency model.
@@ -286,11 +399,14 @@ impl ChunkStore for FileStore {
     }
 
     fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()> {
-        let payload = if self.compress {
+        let mut payload = if self.compress {
             compress::encode_compressed(chunk)?
         } else {
             codec::encode(chunk)?
         };
+        if self.checksums {
+            payload = integrity::wrap_checksummed(&payload).into();
+        }
         let len = codec::count_u32(payload.len(), "record payload")?;
         let mut rec = Vec::with_capacity(REC_HEADER + payload.len());
         rec.extend_from_slice(&id.0.to_le_bytes());
@@ -319,6 +435,11 @@ impl ChunkStore for FileStore {
 
     fn chunk_count(&self) -> usize {
         self.index.len()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -505,6 +626,102 @@ mod tests {
         // Mixed-codec files stay readable either way.
         assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
         assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// New stores checksum by default, the mode survives reopen (like
+    /// compression, the last record decides), and pre-OLC3 files keep
+    /// working with the flag off.
+    #[test]
+    fn checksum_mode_defaults_on_and_survives_reopen() {
+        let path = tmp("cksum-mode");
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            assert!(s.checksums());
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+        }
+        {
+            let s = FileStore::open(&path).unwrap();
+            assert!(s.checksums(), "checksum flag lost across reopen");
+            assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        }
+        // A legacy (unchecksummed) last record carries `false` over.
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.set_checksums(false);
+            s.write(ChunkId(2), &chunk(2.0)).unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert!(!s.checksums());
+        // Mixed files stay readable record by record.
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The corruption smoke test of the issue: one flipped payload byte
+    /// must surface as `StoreError::Corrupt`, never as garbage cells.
+    /// (A flipped *final* record is instead dropped by the torn-tail
+    /// rule on reopen; interior corruption is kept and caught on read.)
+    #[test]
+    fn flipped_payload_byte_reads_as_corrupt() {
+        let path = tmp("cksum-flip");
+        let mut s = FileStore::create(&path).unwrap();
+        s.write(ChunkId(1), &chunk(3.5)).unwrap();
+        s.write(ChunkId(2), &chunk(4.5)).unwrap();
+        let (off, len) = s.index[&ChunkId(1)];
+        drop(s);
+        // Flip a bit in the middle of chunk 1's codec payload, past the
+        // OLC3 + OLC1 headers — the bytes where a wrong-but-plausible
+        // value would otherwise hide.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = off as usize + len as usize - 3;
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.tail_recovery().is_none(), "interior flip is not a tear");
+        assert!(matches!(s.read(ChunkId(1)), Err(StoreError::Corrupt(_))));
+        // Healthy records around the corruption still read fine.
+        assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(4.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A crash mid-append (partial trailing record) must not condemn
+    /// the store: reopen truncates the tail and serves everything
+    /// written before it.
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn-basic");
+        let full_len;
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            for i in 0..3u64 {
+                s.write(ChunkId(i), &chunk(i as f64)).unwrap();
+            }
+            full_len = s.file_size();
+        }
+        // Simulate a torn append: a record header promising more bytes
+        // than the file holds.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&99u64.to_le_bytes()).unwrap();
+            f.write_all(&1024u32.to_le_bytes()).unwrap();
+            f.write_all(&[0xAB; 10]).unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        let rec = s.tail_recovery().expect("tear must be reported");
+        assert_eq!(rec.records_recovered, 3);
+        assert_eq!(rec.records_dropped, 0);
+        assert_eq!(rec.bytes_truncated, REC_HEADER as u64 + 10);
+        assert_eq!(s.file_size(), full_len);
+        assert!(!s.contains(ChunkId(99)));
+        for i in 0..3u64 {
+            assert_eq!(s.read(ChunkId(i)).unwrap().get(0), CellValue::Num(i as f64));
+        }
+        // The truncation is physical: a second open is clean.
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.tail_recovery().is_none());
         std::fs::remove_file(&path).ok();
     }
 

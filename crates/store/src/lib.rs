@@ -23,8 +23,10 @@ pub mod chunk;
 pub mod codec;
 pub mod compress;
 pub mod error;
+pub mod fault;
 pub mod filestore;
 pub mod geometry;
+pub mod integrity;
 pub mod memstore;
 pub mod pool;
 pub mod store;
@@ -33,8 +35,10 @@ pub mod value;
 pub use chunk::{Chunk, ChunkData};
 pub use compress::{compression_ratio, decode_any, encode_compressed, is_compressed};
 pub use error::StoreError;
-pub use filestore::{FileStore, SeekModel};
+pub use fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+pub use filestore::{FileStore, SeekModel, TailRecovery};
 pub use geometry::{CellCoord, ChunkCoord, ChunkGeometry, ChunkId, DimOrderIter};
+pub use integrity::{crc32, is_checksummed, unwrap_verified, wrap_checksummed};
 pub use memstore::MemStore;
 pub use pool::{BufferPool, PoolStats};
 pub use store::{ChunkStore, IoSnapshot, IoStats};

@@ -32,17 +32,37 @@
 //! never a duplicate store read, and exactly one counted miss. With no
 //! I/O workers running, `prefetch` is a no-op, so `--prefetch 0`
 //! behavior is bit-identical to a pool without the feature.
+//!
+//! Fault handling (DESIGN.md §11): a demand read that fails with a
+//! *transient* ([`crate::StoreError::Io`]) error is retried a bounded
+//! number of times with backoff before the error propagates;
+//! deterministic failures (`Corrupt`, `MissingChunk`) are never
+//! retried. A failed read always clears the in-flight slot and wakes
+//! condvar waiters — they re-enter the miss path and retry rather than
+//! hanging on a slot whose owner errored out. Prefetch-worker read
+//! errors are still deferred to the demand read (a prefetch is a hint)
+//! but are now *counted* in [`PoolStats::read_errors`] instead of
+//! vanishing.
 
 use crate::chunk::Chunk;
+use crate::error::StoreError;
 use crate::geometry::ChunkId;
 use crate::store::ChunkStore;
 use crate::Result;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Extra read attempts after a transient (`StoreError::Io`) failure
+/// before the error propagates to the caller.
+pub const READ_RETRIES: u32 = 2;
+
+/// Backoff before retry `n` (1-based): `n × READ_RETRY_BACKOFF`.
+pub const READ_RETRY_BACKOFF: Duration = Duration::from_micros(50);
 
 /// Number of frame shards (fixed; chunk ids are multiplicatively hashed
 /// across them).
@@ -75,6 +95,15 @@ pub struct PoolStats {
     /// Prefetched frames evicted or cleared before any demand touch —
     /// wasted store reads.
     pub prefetch_wasted: u64,
+    /// Store reads that ultimately failed with an I/O or corruption
+    /// error (after retries; missing-chunk lookups are a caller error,
+    /// not a store failure, and are not counted). Includes
+    /// prefetch-worker reads, whose errors are otherwise deferred to
+    /// the demand read.
+    pub read_errors: u64,
+    /// Transient-failure read attempts that were retried (each backoff
+    /// retry counts once, whether or not it eventually succeeded).
+    pub retries: u64,
 }
 
 impl PoolStats {
@@ -100,6 +129,8 @@ impl PoolStats {
             prefetch_wasted: self
                 .prefetch_wasted
                 .saturating_sub(baseline.prefetch_wasted),
+            read_errors: self.read_errors.saturating_sub(baseline.read_errors),
+            retries: self.retries.saturating_sub(baseline.retries),
         }
     }
 }
@@ -156,6 +187,11 @@ struct PoolInner {
     prefetch_issued: AtomicU64,
     prefetch_hits: AtomicU64,
     prefetch_wasted: AtomicU64,
+    read_errors: AtomicU64,
+    retries: AtomicU64,
+    /// When set, [`BufferPool::flush_all`] fsyncs the store after
+    /// writing dirty frames.
+    durable_flush: AtomicBool,
     io_queue: Mutex<IoQueue>,
     io_ready: Condvar,
     /// Prefetch reads popped from the queue but not yet admitted
@@ -240,6 +276,33 @@ fn io_worker_loop(inner: Arc<PoolInner>) {
 impl PoolInner {
     fn next_tick(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Store read with bounded retry/backoff for transient
+    /// (`StoreError::Io`) failures; deterministic failures (`Corrupt`,
+    /// `MissingChunk`, …) propagate immediately. Counts every retry in
+    /// `retries` and the final failure — missing chunks excepted — in
+    /// `read_errors`.
+    fn read_with_retry(&self, id: ChunkId) -> Result<Chunk> {
+        let mut attempt = 0u32;
+        loop {
+            match self.store.read().read(id) {
+                Ok(c) => return Ok(c),
+                Err(StoreError::Io(_)) if attempt < READ_RETRIES => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    // Backoff outside the store lock so concurrent
+                    // readers of healthy chunks proceed meanwhile.
+                    std::thread::sleep(READ_RETRY_BACKOFF * attempt);
+                }
+                Err(e) => {
+                    if !matches!(e, StoreError::MissingChunk(_)) {
+                        self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Records a transition of a frame's pin count from zero.
@@ -347,8 +410,11 @@ impl PoolInner {
             }
         }
         // Miss: read outside the shard lock so reads of distinct chunks
-        // overlap.
-        let read = self.store.read().read(id);
+        // overlap. Transient failures are retried with backoff while
+        // this thread still owns the in-flight slot; on final failure
+        // the slot is cleared and waiters are woken below, so they
+        // re-enter the miss path and retry instead of hanging.
+        let read = self.read_with_retry(id);
         let room = if read.is_ok() {
             self.make_room()
         } else {
@@ -396,8 +462,10 @@ impl PoolInner {
     }
 
     /// Reads one prefetch hint into the pool. Runs on an I/O worker;
-    /// errors are swallowed (a prefetch is only a hint — a missing or
-    /// corrupt chunk surfaces on the demand read that follows).
+    /// errors don't propagate (a prefetch is only a hint — a missing or
+    /// corrupt chunk surfaces on the demand read that follows, which
+    /// also owns the retry budget) but failed reads are counted in
+    /// `read_errors` so they can't vanish silently.
     fn prefetch_one(&self, id: ChunkId) {
         let slot = &self.shards[shard_of(id)];
         {
@@ -409,6 +477,9 @@ impl PoolInner {
             }
         }
         let read = self.store.read().read(id);
+        if matches!(read, Err(ref e) if !matches!(e, StoreError::MissingChunk(_))) {
+            self.read_errors.fetch_add(1, Ordering::Relaxed);
+        }
         let room = if read.is_ok() {
             self.make_room()
         } else {
@@ -509,6 +580,9 @@ impl PoolInner {
                 }
             }
         }
+        if self.durable_flush.load(Ordering::Relaxed) {
+            self.store.write().sync()?;
+        }
         Ok(())
     }
 }
@@ -534,6 +608,9 @@ impl BufferPool {
                 prefetch_issued: AtomicU64::new(0),
                 prefetch_hits: AtomicU64::new(0),
                 prefetch_wasted: AtomicU64::new(0),
+                read_errors: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                durable_flush: AtomicBool::new(false),
                 io_queue: Mutex::new(IoQueue::default()),
                 io_ready: Condvar::new(),
                 io_busy: AtomicUsize::new(0),
@@ -644,9 +721,35 @@ impl BufferPool {
         self.inner.put(id, chunk)
     }
 
-    /// Writes every dirty frame back to the store.
+    /// Writes every dirty frame back to the store. When
+    /// [`BufferPool::set_durable_flush`] is on, also fsyncs the store so
+    /// the flush survives a crash.
     pub fn flush_all(&self) -> Result<()> {
         self.inner.flush_all()
+    }
+
+    /// Enables/disables fsync-on-flush (off by default: in-memory
+    /// stores have nothing to sync and benchmarks shouldn't pay for
+    /// durability they don't measure).
+    pub fn set_durable_flush(&self, on: bool) {
+        self.inner.durable_flush.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether [`BufferPool::flush_all`] fsyncs the store.
+    pub fn durable_flush(&self) -> bool {
+        self.inner.durable_flush.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the backing store with `f(old store)` — the injection
+    /// point for wrapping a live pool's store in a
+    /// [`crate::FaultStore`]. Resident frames keep serving hits; call
+    /// [`BufferPool::clear`] first if subsequent reads must go through
+    /// the new store.
+    pub fn wrap_store(&self, f: impl FnOnce(Box<dyn ChunkStore>) -> Box<dyn ChunkStore>) {
+        let mut guard = self.inner.store.write();
+        let placeholder: Box<dyn ChunkStore> = Box::new(crate::memstore::MemStore::new());
+        let old = std::mem::replace(&mut *guard, placeholder);
+        *guard = f(old);
     }
 
     /// Whether the chunk exists (resident or in the backing store).
@@ -686,6 +789,8 @@ impl BufferPool {
             prefetch_issued: i.prefetch_issued.load(Ordering::Relaxed),
             prefetch_hits: i.prefetch_hits.load(Ordering::Relaxed),
             prefetch_wasted: i.prefetch_wasted.load(Ordering::Relaxed),
+            read_errors: i.read_errors.load(Ordering::Relaxed),
+            retries: i.retries.load(Ordering::Relaxed),
         }
     }
 
@@ -701,6 +806,8 @@ impl BufferPool {
         i.prefetch_issued.store(0, Ordering::Relaxed);
         i.prefetch_hits.store(0, Ordering::Relaxed);
         i.prefetch_wasted.store(0, Ordering::Relaxed);
+        i.read_errors.store(0, Ordering::Relaxed);
+        i.retries.store(0, Ordering::Relaxed);
     }
 
     /// Read access to the backing store.
@@ -1021,6 +1128,195 @@ mod tests {
         let d = p.stats().delta(&baseline);
         assert_eq!(d.hits, 0);
         assert_eq!(d.misses, 0);
+    }
+
+    /// A single transient read fault is absorbed by the retry loop: the
+    /// caller sees success, and the stats record the retry.
+    #[test]
+    fn transient_read_fault_is_retried() {
+        use crate::fault::FaultStore;
+        let p = BufferPool::new(store_with(2), 4);
+        p.wrap_store(|s| Box::new(FaultStore::fail_nth_read(s, 1)));
+        let c = p.get(ChunkId(0)).unwrap();
+        assert_eq!(c.get(0), CellValue::Num(0.0));
+        let st = p.stats();
+        assert_eq!(st.retries, 1);
+        assert_eq!(st.read_errors, 0);
+        assert_eq!(st.misses, 1);
+    }
+
+    /// A persistent fault exhausts the retry budget: the error
+    /// propagates, `read_errors` records it, and nothing is admitted.
+    #[test]
+    fn exhausted_retries_surface_error_and_count() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(2), 4);
+        p.wrap_store(|s| {
+            Box::new(FaultStore::new(
+                s,
+                vec![FaultSpec {
+                    op: FaultOp::Read,
+                    at: 1,
+                    kind: FaultKind::Error,
+                    persistent: true,
+                }],
+            ))
+        });
+        assert!(matches!(p.get(ChunkId(0)), Err(StoreError::Io(_))));
+        let st = p.stats();
+        assert_eq!(st.retries, READ_RETRIES as u64);
+        assert_eq!(st.read_errors, 1);
+        assert_eq!(st.misses, 0);
+        assert_eq!(p.resident(), 0);
+        let sh = p.inner.shards[shard_of(ChunkId(0))].shard.lock();
+        assert!(sh.in_flight.is_empty(), "failed read left in-flight slot");
+    }
+
+    /// Corrupt reads are deterministic: no retry, immediate error,
+    /// counted once.
+    #[test]
+    fn corrupt_read_is_not_retried() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(1), 4);
+        p.wrap_store(|s| {
+            Box::new(FaultStore::new(
+                s,
+                vec![FaultSpec {
+                    op: FaultOp::Read,
+                    at: 1,
+                    kind: FaultKind::BitFlip,
+                    persistent: false,
+                }],
+            ))
+        });
+        assert!(matches!(p.get(ChunkId(0)), Err(StoreError::Corrupt(_))));
+        let st = p.stats();
+        assert_eq!(st.retries, 0, "corruption must not be retried");
+        assert_eq!(st.read_errors, 1);
+        // The fault was one-shot; the pool recovers on the next demand.
+        assert_eq!(p.get(ChunkId(0)).unwrap().get(0), CellValue::Num(0.0));
+    }
+
+    /// Satellite regression: PR 2's prefetch workers swallowed read
+    /// errors entirely; they must now surface in `read_errors` while
+    /// the demand path still owns the authoritative error.
+    #[test]
+    fn prefetch_error_is_counted_not_swallowed() {
+        use crate::fault::FaultStore;
+        let p = BufferPool::new(store_with(2), 4).with_io_threads(1);
+        p.wrap_store(|s| Box::new(FaultStore::fail_nth_read(s, 1)));
+        p.prefetch(&[ChunkId(0)]);
+        p.wait_prefetch_idle();
+        let st = p.stats();
+        assert_eq!(st.read_errors, 1, "prefetch error vanished");
+        assert_eq!(st.misses, 0);
+        assert_eq!(p.resident(), 0);
+        // The transient fault cleared; the demand read succeeds.
+        assert_eq!(p.get(ChunkId(0)).unwrap().get(0), CellValue::Num(0.0));
+    }
+
+    /// Satellite regression: a demand read whose owner fails must wake
+    /// condvar waiters and let one of them take over the read — never
+    /// strand them. Three transient faults exhaust the first owner's
+    /// whole retry budget (1 + READ_RETRIES attempts), so a waiter must
+    /// take over with attempt 4, which succeeds.
+    #[test]
+    fn failed_owner_wakes_waiters_who_retry() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(1), 4);
+        let plan = (1..=3)
+            .map(|at| FaultSpec {
+                op: FaultOp::Read,
+                at,
+                kind: FaultKind::Error,
+                persistent: false,
+            })
+            .collect();
+        p.wrap_store(|s| Box::new(FaultStore::new(s, plan)));
+        let barrier = std::sync::Barrier::new(8);
+        let errors = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = &p;
+                let barrier = &barrier;
+                let errors = &errors;
+                s.spawn(move || {
+                    barrier.wait();
+                    match p.get(ChunkId(0)) {
+                        Ok(c) => assert_eq!(c.get(0), CellValue::Num(0.0)),
+                        Err(StoreError::Io(_)) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error class: {e}"),
+                    }
+                });
+            }
+        });
+        // Exactly one thread (the first owner) burned the fault budget;
+        // every waiter it woke re-raced the slot and succeeded.
+        assert_eq!(errors.load(Ordering::Relaxed), 1);
+        let st = p.stats();
+        assert_eq!(st.read_errors, 1);
+        assert_eq!(st.retries, READ_RETRIES as u64);
+        assert_eq!(st.misses, 1);
+        assert_eq!(p.resident(), 1);
+    }
+
+    /// `flush_all` fsyncs the store when (and only when) the durability
+    /// knob is on.
+    #[test]
+    fn durable_flush_syncs_store() {
+        use crate::store::IoStats;
+
+        #[derive(Debug, Default)]
+        struct SyncCounting {
+            inner: MemStore,
+            syncs: AtomicUsize,
+        }
+        impl ChunkStore for SyncCounting {
+            fn read(&self, id: ChunkId) -> Result<Chunk> {
+                self.inner.read(id)
+            }
+            fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()> {
+                self.inner.write(id, chunk)
+            }
+            fn contains(&self, id: ChunkId) -> bool {
+                self.inner.contains(id)
+            }
+            fn ids(&self) -> Vec<ChunkId> {
+                self.inner.ids()
+            }
+            fn stats(&self) -> &IoStats {
+                self.inner.stats()
+            }
+            fn sync(&mut self) -> Result<()> {
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let p = BufferPool::new(Box::new(SyncCounting::default()), 4);
+        let syncs = |p: &BufferPool| {
+            p.store()
+                .as_any()
+                .downcast_ref::<SyncCounting>()
+                .unwrap()
+                .syncs
+                .load(Ordering::Relaxed)
+        };
+        p.put(ChunkId(0), Chunk::new_dense(vec![2])).unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(syncs(&p), 0, "durability off: no fsync");
+        p.set_durable_flush(true);
+        assert!(p.durable_flush());
+        p.flush_all().unwrap();
+        assert_eq!(syncs(&p), 1, "durability on: flush fsyncs");
     }
 
     /// I/O workers shut down cleanly on drop and `into_store`.

@@ -121,6 +121,12 @@ pub trait ChunkStore: Send + Sync {
         self.ids().len()
     }
 
+    /// Forces previously written chunks to durable media (fsync).
+    /// In-memory stores have nothing to do; the default is a no-op.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// Downcast support (e.g. to reach [`crate::FileStore::reorganize`]
     /// through a `Box<dyn ChunkStore>`).
     fn as_any(&self) -> &dyn std::any::Any;

@@ -13,17 +13,30 @@ echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== concurrency flake gate (10x) =="
-# The pool prefetcher, the parallel executors and the shared scenario
-# cache are timing-sensitive; a single green run proves little. Hammer
-# the concurrency-heavy suites.
+# The pool prefetcher, the parallel executors, the shared scenario
+# cache and the fault-injection suite are timing-sensitive; a single
+# green run proves little. Hammer the concurrency-heavy suites.
 i=1
 while [ "$i" -le 10 ]; do
     cargo test -q -p olap-store --lib >/dev/null
     cargo test -q -p whatif-integration-tests \
-        --test parallel_exec --test prefetch --test scenario_cache >/dev/null
+        --test parallel_exec --test prefetch --test scenario_cache \
+        --test fault_injection --test persistence >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
+
+echo "== corruption smoke test =="
+# One flipped payload byte must surface as StoreError::Corrupt on read,
+# never as garbage cells (the OLC3 checksum gate), and a seeded fault
+# sweep through repro must hold the Err-or-identical invariant (repro
+# exits non-zero on a silent divergence).
+cargo test -q -p olap-store --lib \
+    filestore::tests::flipped_payload_byte_reads_as_corrupt >/dev/null
+cargo test -q -p whatif-integration-tests \
+    --test fault_injection bit_flip_fault_yields_corrupt_not_garbage >/dev/null
+./target/release/repro --faults 4 >/dev/null
+echo "(corrupt reads surface as Err, fault sweep invariant holds)"
 
 echo "== fmt check =="
 cargo fmt --all --check

@@ -1,0 +1,249 @@
+//! Fault-injection suite (ISSUE 4): under any scheduled storage fault,
+//! a query either returns `Err` or the bit-identical answer of a
+//! fault-free run — never a panic, a hang, or a silently wrong cell.
+//!
+//! Faults are injected by wrapping the cube's backing store in a
+//! [`FaultStore`] via `BufferPool::wrap_store` (after clearing the pool
+//! so reads actually reach the store). Schedules are scripted for the
+//! regression tests and seed-derived for the property tests.
+
+use olap_cube::{CubeAggregator, CubeError, Lattice};
+use olap_store::{FaultKind, FaultOp, FaultSpec, FaultStore, StoreError};
+use olap_workload::running_example;
+use proptest::prelude::*;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
+use whatif_core::{
+    apply, apply_threaded, Mode, OrderPolicy, Scenario, Semantics, Strategy, WhatIfError,
+};
+
+/// Hard per-query wall-clock budget: generous for slow CI machines but
+/// far below any hang (condvar waiters stranded on a failed read would
+/// block forever, not for seconds).
+const QUERY_TIME_BUDGET: Duration = Duration::from_secs(60);
+
+/// The injected transient class, seen through either wrapper layer.
+fn cube_err_is_io(e: &CubeError) -> bool {
+    matches!(e, CubeError::Store(StoreError::Io(_)))
+}
+
+fn whatif_err_is_io(e: &WhatIfError) -> bool {
+    match e {
+        WhatIfError::Store(StoreError::Io(_)) => true,
+        WhatIfError::Cube(c) => cube_err_is_io(c),
+        _ => false,
+    }
+}
+
+fn whatif_err_is_corrupt(e: &WhatIfError) -> bool {
+    matches!(
+        e,
+        WhatIfError::Store(StoreError::Corrupt(_))
+            | WhatIfError::Cube(CubeError::Store(StoreError::Corrupt(_)))
+    )
+}
+
+/// A running-example cube whose store is wrapped in `fault` after the
+/// pool is drained, so every chunk read goes through the fault plan.
+fn faulted_example(
+    fault: impl FnOnce(Box<dyn olap_store::ChunkStore>) -> FaultStore,
+) -> olap_workload::RunningExample {
+    let ex = running_example();
+    ex.cube.flush().unwrap();
+    ex.cube.with_pool(|pool| {
+        pool.clear().unwrap();
+        pool.wrap_store(|s| Box::new(fault(s)));
+    });
+    ex
+}
+
+fn whatif_scenario(ex: &olap_workload::RunningExample) -> Scenario {
+    Scenario::negative(ex.org, [1, 3], Semantics::Forward, Mode::Visual)
+}
+
+/// Satellite regression: exactly one transient read failure under
+/// contention. The bounded retry absorbs it — the threaded what-if must
+/// *succeed* and match the fault-free run bit for bit, with no stranded
+/// condvar waiter (the test completing is the hang assertion).
+#[test]
+fn single_transient_read_fault_under_contention_is_absorbed() {
+    let baseline = {
+        let ex = running_example();
+        let scenario = whatif_scenario(&ex);
+        apply(
+            &ex.cube,
+            &scenario,
+            &Strategy::Chunked(OrderPolicy::Pebbling),
+        )
+        .unwrap()
+    };
+    let ex = faulted_example(|s| FaultStore::fail_nth_read(s, 1));
+    let scenario = whatif_scenario(&ex);
+    let start = Instant::now();
+    let got = apply_threaded(
+        &ex.cube,
+        &scenario,
+        &Strategy::Chunked(OrderPolicy::Pebbling),
+        4,
+    )
+    .expect("one transient fault must be retried, not surfaced");
+    assert!(start.elapsed() < QUERY_TIME_BUDGET, "query stalled");
+    assert!(got.cube.same_cells(&baseline.cube).unwrap());
+    let stats = ex.cube.pool_stats();
+    assert_eq!(stats.retries, 1, "the fault must be visible in stats");
+    assert_eq!(stats.read_errors, 0);
+}
+
+/// A dead device (persistent read failure) makes queries return `Err` —
+/// serial and threaded, aggregation and what-if — never panic or hang.
+#[test]
+fn persistent_read_fault_surfaces_as_err_everywhere() {
+    let plan = vec![FaultSpec {
+        op: FaultOp::Read,
+        at: 1,
+        kind: FaultKind::Error,
+        persistent: true,
+    }];
+    let ex = faulted_example(|s| FaultStore::new(s, plan));
+    let scenario = whatif_scenario(&ex);
+    let start = Instant::now();
+
+    let masks = Lattice::new(ex.cube.geometry().ndims()).proper_masks();
+    assert!(matches!(
+        CubeAggregator::new(&ex.cube).compute(&masks),
+        Err(ref e) if cube_err_is_io(e)
+    ));
+    assert!(matches!(
+        CubeAggregator::new(&ex.cube).with_threads(4).compute(&masks),
+        Err(ref e) if cube_err_is_io(e)
+    ));
+    for threads in [1, 4] {
+        let r = apply_threaded(
+            &ex.cube,
+            &scenario,
+            &Strategy::Chunked(OrderPolicy::Pebbling),
+            threads,
+        );
+        assert!(
+            matches!(r, Err(ref e) if whatif_err_is_io(e)),
+            "threads={threads}: dead device must surface as Err"
+        );
+    }
+    assert!(start.elapsed() < QUERY_TIME_BUDGET, "query stalled");
+    let stats = ex.cube.pool_stats();
+    assert!(stats.read_errors >= 1);
+}
+
+/// Bit-flip corruption is caught by the OLC3 checksum and surfaces as
+/// `StoreError::Corrupt` — garbage cells can never flow into a result.
+#[test]
+fn bit_flip_fault_yields_corrupt_not_garbage() {
+    let plan = vec![FaultSpec {
+        op: FaultOp::Read,
+        at: 1,
+        kind: FaultKind::BitFlip,
+        persistent: false,
+    }];
+    let ex = faulted_example(|s| FaultStore::new(s, plan));
+    let scenario = whatif_scenario(&ex);
+    let r = apply(
+        &ex.cube,
+        &scenario,
+        &Strategy::Chunked(OrderPolicy::Pebbling),
+    );
+    assert!(matches!(r, Err(ref e) if whatif_err_is_corrupt(e)));
+    // The flip was injected on the read path only; the store itself is
+    // intact, so the same query now succeeds and matches a clean run.
+    let clean = {
+        let clean_ex = running_example();
+        apply(
+            &clean_ex.cube,
+            &whatif_scenario(&clean_ex),
+            &Strategy::Chunked(OrderPolicy::Pebbling),
+        )
+        .unwrap()
+    };
+    let retried = apply(
+        &ex.cube,
+        &scenario,
+        &Strategy::Chunked(OrderPolicy::Pebbling),
+    )
+    .unwrap();
+    assert!(retried.cube.same_cells(&clean.cube).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant, aggregation edition: under a seed-derived
+    /// random fault schedule (single- and multi-fault, transient and
+    /// persistent, errors/bit-flips/delays), `compute` over the full
+    /// lattice either errors or produces bitwise-identical grand totals
+    /// — and never panics (catch_unwind) or exceeds the time budget.
+    #[test]
+    fn random_fault_schedules_aggregation_err_or_identical(
+        seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+    ) {
+        let baseline = {
+            let ex = running_example();
+            let masks = Lattice::new(ex.cube.geometry().ndims()).proper_masks();
+            CubeAggregator::new(&ex.cube).compute(&masks).unwrap()
+        };
+        let ex = faulted_example(|s| FaultStore::with_random_plan(s, seed));
+        let masks = Lattice::new(ex.cube.geometry().ndims()).proper_masks();
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            CubeAggregator::new(&ex.cube).with_threads(threads).compute(&masks)
+        }));
+        prop_assert!(start.elapsed() < QUERY_TIME_BUDGET, "query stalled");
+        let result = match outcome {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::Fail(format!("seed {seed}: query panicked"))),
+        };
+        // Err is an allowed outcome — silent divergence is not.
+        if let Ok((got, _report)) = result {
+            let (want, _) = &baseline;
+            prop_assert_eq!(got.len(), want.len());
+            for (mask, result) in want {
+                prop_assert_eq!(
+                    result.grand_total(),
+                    got[mask].grand_total(),
+                    "seed {}: mask {:b} total diverged under faults", seed, mask
+                );
+            }
+        }
+    }
+
+    /// The tentpole invariant, what-if edition: a random fault schedule
+    /// under a threaded scenario merge yields `Err` or a perspective
+    /// cube bit-identical to the fault-free run.
+    #[test]
+    fn random_fault_schedules_whatif_err_or_identical(
+        seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+    ) {
+        let baseline = {
+            let ex = running_example();
+            let scenario = whatif_scenario(&ex);
+            apply(&ex.cube, &scenario, &Strategy::Chunked(OrderPolicy::Pebbling)).unwrap()
+        };
+        let ex = faulted_example(|s| FaultStore::with_random_plan(s, seed));
+        let scenario = whatif_scenario(&ex);
+        let start = Instant::now();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            apply_threaded(&ex.cube, &scenario, &Strategy::Chunked(OrderPolicy::Pebbling), threads)
+        }));
+        prop_assert!(start.elapsed() < QUERY_TIME_BUDGET, "query stalled");
+        let result = match outcome {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::Fail(format!("seed {seed}: query panicked"))),
+        };
+        if let Ok(got) = result {
+            prop_assert!(
+                got.cube.same_cells(&baseline.cube).unwrap(),
+                "seed {}: perspective cube silently diverged under faults", seed
+            );
+        }
+    }
+}

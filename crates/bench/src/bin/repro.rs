@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
-//!       [--faults [N]] [--csv DIR] [--threads N] [--prefetch K] [--cache MB]
+//!       [--faults [N]] [--crash-points] [--csv DIR] [--threads N]
+//!       [--prefetch K] [--cache MB]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -77,9 +78,11 @@ fn main() {
     let mut prefetch = 0usize;
     let mut cache_mb = 0usize;
     let mut fault_schedules = 0u64;
+    let mut crash_points = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--crash-points" => crash_points = true,
             "--faults" => {
                 // Optional schedule count; bare `--faults` runs 8.
                 match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
@@ -160,14 +163,16 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
-                     [--faults [N]] [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
+                     [--faults [N]] [--crash-points] [--csv DIR] [--threads N] [--prefetch K] \
+                     [--cache MB]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if figs.is_empty() && !table_s && !ablations && !replay && fault_schedules == 0 {
+    if figs.is_empty() && !table_s && !ablations && !replay && fault_schedules == 0 && !crash_points
+    {
         figs = vec!["11", "12", "13"];
         table_s = true;
         ablations = true;
@@ -208,6 +213,9 @@ fn main() {
     }
     if fault_schedules > 0 {
         run_faults(threads, prefetch, fault_schedules);
+    }
+    if crash_points {
+        run_crash_points();
     }
     if !bench_rows.is_empty() {
         write_bench_json("BENCH_pr3.json", &bench_rows);
@@ -569,6 +577,167 @@ fn run_faults(threads: usize, prefetch: usize, schedules: u64) {
     println!();
     if violations > 0 {
         eprintln!("{violations} schedule(s) produced a silently wrong answer");
+        std::process::exit(1);
+    }
+}
+
+/// `--crash-points`: the WAL atomicity sweep of DESIGN.md §12. For every
+/// (checksums × compression) store configuration, run a pool flush with a
+/// crash injected after every possible physical store op (WAL appends,
+/// main-log appends, fsyncs, truncations) and reopen. The recovered store
+/// must be cell-identical to the pre-flush or the post-flush image —
+/// never a mix. Also times steady-state flushes with the WAL on vs. off
+/// (the overhead number recorded in EXPERIMENTS.md). Exits non-zero on
+/// any violation, so the sweep is CI-usable.
+fn run_crash_points() {
+    use olap_store::{BufferPool, CellValue, Chunk, ChunkId, ChunkStore, FileStore};
+    use std::collections::BTreeMap;
+
+    println!("=== WAL crash-point sweep ===");
+    let dir = std::env::temp_dir();
+    let tmp = |name: &str| dir.join(format!("repro-crash-{}-{name}.cube", std::process::id()));
+    let cleanup = |p: &std::path::Path| {
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(olap_store::wal::sidecar_path(p)).ok();
+    };
+    let chunk = |v: f64| {
+        let mut c = Chunk::new_dense(vec![16]);
+        for j in 0..16u32 {
+            c.set(j, CellValue::num(v + j as f64));
+        }
+        c
+    };
+    let image = |s: &FileStore| -> BTreeMap<u64, Chunk> {
+        s.ids()
+            .into_iter()
+            .map(|id| (id.0, s.read(id).unwrap()))
+            .collect()
+    };
+    let matches = |got: &BTreeMap<u64, Chunk>, want: &BTreeMap<u64, Chunk>| {
+        got.len() == want.len()
+            && got
+                .iter()
+                .all(|(id, c)| want.get(id).is_some_and(|w| c.same_cells(w)))
+    };
+
+    let mut violations = 0u64;
+    for checksums in [false, true] {
+        for compressed in [false, true] {
+            let tag = format!(
+                "{}/{}",
+                if compressed { "olc2" } else { "olc1" },
+                if checksums { "crc" } else { "plain" }
+            );
+            let pre: BTreeMap<u64, Chunk> = (0..6u64).map(|i| (i, chunk(i as f64))).collect();
+            let mut post = pre.clone();
+            for i in 0..4u64 {
+                post.insert(i, chunk(1000.0 + i as f64));
+            }
+            post.insert(42, chunk(4242.0));
+            let dirty: Vec<u64> = vec![0, 1, 2, 3, 42];
+
+            // One run; `crash_op = None` is the dry run that learns the
+            // deterministic op-schedule length.
+            let run = |crash_op: Option<u64>, path: &std::path::Path| -> (bool, u64) {
+                cleanup(path);
+                let mut s = FileStore::create(path).unwrap();
+                s.set_checksums(checksums);
+                s.set_compression(compressed);
+                let pool = BufferPool::new(Box::new(s), 32);
+                for (id, c) in &pre {
+                    pool.put(ChunkId(*id), c.clone()).unwrap();
+                }
+                pool.flush_all().unwrap();
+                let ops_at = |pool: &BufferPool| {
+                    let guard = pool.store();
+                    guard
+                        .as_any()
+                        .downcast_ref::<FileStore>()
+                        .unwrap()
+                        .phys_ops()
+                };
+                let before = ops_at(&pool);
+                {
+                    let mut guard = pool.store_mut();
+                    let fs = guard.as_any_mut().downcast_mut::<FileStore>().unwrap();
+                    fs.set_crash_after_ops(crash_op);
+                }
+                for id in &dirty {
+                    pool.put(ChunkId(*id), post[id].clone()).unwrap();
+                }
+                let ok = pool.flush_all().is_ok();
+                let ops = ops_at(&pool) - before;
+                (ok, ops)
+            };
+
+            let dry = tmp(&format!("dry-{}-{}", checksums as u8, compressed as u8));
+            let (_, total_ops) = run(None, &dry);
+            cleanup(&dry);
+
+            let (mut rolled_back, mut redone) = (0u64, 0u64);
+            let path = tmp(&format!("k-{}-{}", checksums as u8, compressed as u8));
+            for k in 0..=total_ops {
+                let (ok, _) = run(Some(k), &path);
+                let got = image(&FileStore::open(&path).unwrap());
+                if ok && !matches(&got, &post) {
+                    violations += 1;
+                    eprintln!("{tag}: k={k} flush committed but post image lost");
+                } else if matches(&got, &pre) {
+                    rolled_back += 1;
+                } else if matches(&got, &post) {
+                    redone += 1;
+                } else {
+                    violations += 1;
+                    eprintln!("{tag}: k={k} recovered a MIXED image ({:?})", got.keys());
+                }
+                cleanup(&path);
+            }
+            println!(
+                "{tag:<11}: {total_ops:>2} crash points — {rolled_back} rolled back, \
+                 {redone} redone, all exact"
+            );
+        }
+    }
+
+    // Steady-state overhead, three durability tiers: atomic+durable
+    // (WAL on), durable-but-torn-on-crash (WAL off, fsync per flush),
+    // and neither (WAL off, no fsync — the pure logging baseline).
+    let mut per_flush = [0.0f64; 3];
+    for (slot, wal_on, durable, name) in [
+        (0usize, true, false, "ovh-wal"),
+        (1, false, true, "ovh-fsync"),
+        (2, false, false, "ovh-none"),
+    ] {
+        let path = tmp(name);
+        cleanup(&path);
+        let mut s = FileStore::create(&path).unwrap();
+        s.set_wal(wal_on);
+        let pool = BufferPool::new(Box::new(s), 32);
+        pool.set_durable_flush(durable);
+        const FLUSHES: u32 = 200;
+        let start = std::time::Instant::now();
+        for round in 0..FLUSHES {
+            for i in 0..8u64 {
+                let mut c = Chunk::new_dense(vec![16]);
+                c.set(0, CellValue::num((round as u64 * 8 + i) as f64));
+                pool.put(ChunkId(i), c).unwrap();
+            }
+            pool.flush_all().unwrap();
+        }
+        per_flush[slot] = start.elapsed().as_secs_f64() * 1e6 / f64::from(FLUSHES);
+        cleanup(&path);
+    }
+    println!(
+        "steady-state flush (8 dirty chunks): WAL {:.1} µs, fsync-only {:.1} µs \
+         ({:+.1}% for atomicity), no-durability {:.1} µs",
+        per_flush[0],
+        per_flush[1],
+        100.0 * (per_flush[0] / per_flush[1] - 1.0),
+        per_flush[2],
+    );
+    println!();
+    if violations > 0 {
+        eprintln!("{violations} crash point(s) violated flush atomicity");
         std::process::exit(1);
     }
 }

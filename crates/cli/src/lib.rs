@@ -188,7 +188,8 @@ impl Session {
                     "buffer pool: {} hits, {} misses, {} evictions, {} overflows\n\
                      peaks: {} resident, {} pinned\n\
                      prefetch: {} issued, {} hits, {} wasted\n\
-                     faults: {} read errors, {} retries",
+                     faults: {} read errors, {} retries, {} write retries\n\
+                     flushes: {} committed",
                     s.hits,
                     s.misses,
                     s.evictions,
@@ -200,8 +201,38 @@ impl Session {
                     s.prefetch_wasted,
                     s.read_errors,
                     s.retries,
+                    s.write_retries,
+                    s.flushes,
                 ))
             }
+            "commit" => match self.data.cube().flush() {
+                Err(e) => Outcome::Continue(format!("flush error: {e}")),
+                Ok(()) => Outcome::Continue(self.data.cube().with_pool(|pool| {
+                    use olap_store::ChunkStore as _;
+                    let guard = pool.store();
+                    match guard.as_any().downcast_ref::<olap_store::FileStore>() {
+                        Some(fs) => {
+                            let w = fs.wal_stats();
+                            format!(
+                                "flushed at epoch {} — WAL: {} txns committed, \
+                                 {} aborted, {} records ({} bytes), {} syncs, \
+                                 {} checkpoints",
+                                fs.flush_epoch(),
+                                w.txns_committed,
+                                w.txns_aborted,
+                                w.records_logged,
+                                w.bytes_logged,
+                                w.syncs,
+                                w.checkpoints,
+                            )
+                        }
+                        None => format!(
+                            "flushed (memory-backed store: epoch {}, no WAL)",
+                            guard.flush_epoch()
+                        ),
+                    }
+                })),
+            },
             "sets" => {
                 let sets = self.data.named_sets();
                 if sets.is_empty() {
@@ -392,7 +423,8 @@ Enter an (extended) MDX query, or a command:
   .explain <query>     parse, compile, optimize and run a query, with reports
   .csv <query>         run a query and print the grid as CSV
   .cache               scenario-delta cache statistics (--cache MB to enable)
-  .stats               buffer-pool counters (incl. read errors and retries)
+  .commit              flush dirty chunks atomically; report flush epoch + WAL counters
+  .stats               buffer-pool counters (incl. read errors, retries, flushes)
   .help                this text
   .quit                exit
 
@@ -527,7 +559,27 @@ mod tests {
                 assert!(t.contains("buffer pool:"), "{t}");
                 assert!(t.contains("read errors"), "{t}");
                 assert!(t.contains("retries"), "{t}");
+                assert!(t.contains("write retries"), "{t}");
+                assert!(t.contains("flushes:"), "{t}");
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_reports_epoch_on_memory_backed_dataset() {
+        let mut s = Session::new(Dataset::Running);
+        match s.handle(".commit") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("flushed"), "{t}");
+                assert!(t.contains("no WAL"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A clean pool has nothing staged, so no write-back transaction
+        // was committed — the counter exists but stays at zero.
+        match s.handle(".stats") {
+            Outcome::Continue(t) => assert!(t.contains("flushes: 0 committed"), "{t}"),
             other => panic!("{other:?}"),
         }
     }

@@ -265,6 +265,25 @@ impl ChunkStore for FaultStore {
         self.inner.sync()
     }
 
+    // The flush-transaction protocol passes through untouched: faults
+    // target chunk reads/writes, and the wrapped store's WAL (if any)
+    // must keep seeing real begin/commit boundaries.
+    fn begin_flush(&mut self) -> Result<()> {
+        self.inner.begin_flush()
+    }
+
+    fn commit_flush(&mut self) -> Result<u64> {
+        self.inner.commit_flush()
+    }
+
+    fn abort_flush(&mut self) -> Result<()> {
+        self.inner.abort_flush()
+    }
+
+    fn flush_epoch(&self) -> u64 {
+        self.inner.flush_epoch()
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

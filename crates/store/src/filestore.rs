@@ -23,6 +23,7 @@ use crate::error::StoreError;
 use crate::geometry::ChunkId;
 use crate::integrity;
 use crate::store::{ChunkStore, IoStats};
+use crate::wal::{self, Wal, WalRecovery, WalStats};
 use crate::Result;
 use std::collections::{BTreeMap, HashSet};
 use std::fs::{File, OpenOptions};
@@ -102,6 +103,27 @@ pub struct TailRecovery {
     pub bytes_truncated: u64,
 }
 
+/// An open flush transaction: what `abort_flush` needs to undo it and
+/// `commit_flush` needs to seal it.
+#[derive(Debug)]
+struct FlushTxn {
+    /// The epoch this transaction will commit as (`store.epoch + 1`).
+    epoch: u64,
+    /// Main-log end when the flush began — the rollback point.
+    main_start: u64,
+    /// WAL length when the flush began (runtime aborts truncate back).
+    wal_start: u64,
+    /// Whether a `BEGIN` record was WAL-logged (WAL may be disabled).
+    logged: bool,
+    /// Chunk records appended so far.
+    records: u32,
+    /// Per-write undo log: the index entry each write displaced (`None`
+    /// for first-time chunks), in write order.
+    displaced: Vec<(ChunkId, Option<(u64, u32)>)>,
+    /// `dead_bytes` added during the transaction.
+    dead_added: u64,
+}
+
 /// A single-file, append-log chunk store.
 #[derive(Debug)]
 pub struct FileStore {
@@ -123,6 +145,36 @@ pub struct FileStore {
     checksums: bool,
     /// Set when [`FileStore::open`] truncated a torn tail.
     tail_recovery: Option<TailRecovery>,
+    /// The sidecar commit-record WAL, opened lazily on first
+    /// `begin_flush` (so stores that never flush transactionally never
+    /// create one).
+    wal: Option<Wal>,
+    /// Whether flushes are WAL-protected (on by default; off restores
+    /// pre-WAL behaviour for A/B measurement).
+    wal_enabled: bool,
+    /// Last committed flush epoch (the commit LSN).
+    epoch: u64,
+    /// The open flush transaction, if any.
+    txn: Option<FlushTxn>,
+    wal_stats: WalStats,
+    /// What WAL replay did during [`FileStore::open`], if anything.
+    wal_recovery: Option<WalRecovery>,
+    /// Crash injection: remaining physical ops before the store "loses
+    /// power" (`None` = disarmed). See [`FileStore::set_crash_after_ops`].
+    crash_budget: Option<u64>,
+    /// Physical I/O operations attempted so far.
+    phys_ops: u64,
+}
+
+/// Fsyncs the directory containing `path`, making a rename or unlink of
+/// an entry in it durable (POSIX fsyncs the file, not its name).
+fn fsync_dir(path: &Path) -> Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
 impl FileStore {
@@ -135,6 +187,9 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(&path)?;
+        // A stale sidecar from a previous store at this path would
+        // replay foreign transactions into the fresh log.
+        let _ = std::fs::remove_file(wal::sidecar_path(&path));
         Ok(FileStore {
             file,
             path,
@@ -147,6 +202,14 @@ impl FileStore {
             compress: false,
             checksums: true,
             tail_recovery: None,
+            wal: None,
+            wal_enabled: true,
+            epoch: 0,
+            txn: None,
+            wal_stats: WalStats::default(),
+            wal_recovery: None,
+            crash_budget: None,
+            phys_ops: 0,
         })
     }
 
@@ -210,7 +273,7 @@ impl FileStore {
             dropped += 1;
         }
 
-        let valid_end = recs.last().map_or(0, |r| r.payload_end) as u64;
+        let mut valid_end = recs.last().map_or(0, |r| r.payload_end) as u64;
         let mut tail_recovery = None;
         if valid_end < bytes.len() as u64 {
             let recovery = TailRecovery {
@@ -228,7 +291,104 @@ impl FileStore {
             );
             file.set_len(valid_end)?;
             file.sync_all()?;
+            bytes.truncate(valid_end as usize);
             tail_recovery = Some(recovery);
+        }
+
+        // WAL replay: a sidecar with records means the last session
+        // crashed mid- or post-flush without reaching a checkpoint.
+        // Committed transactions are guaranteed visible (re-applied from
+        // WAL payloads if the main tail was torn off); the uncommitted
+        // one, if any, is rolled back to its BEGIN offset — the store
+        // recovers to exactly the pre-flush or post-flush image.
+        let wal_path = wal::sidecar_path(&path);
+        let mut epoch = 0u64;
+        let mut wal_recovery = None;
+        let wal_bytes = std::fs::read(&wal_path).unwrap_or_default();
+        if !wal_bytes.is_empty() {
+            let scan = wal::scan(&wal_bytes);
+            let mut rep = WalRecovery::default();
+            bytes.truncate(valid_end as usize);
+            // Roll back the uncommitted transaction (at most one can
+            // exist: BEGIN only follows a COMMIT or a runtime abort's
+            // truncation) by truncating the main log to its BEGIN
+            // offset, dropping every record the flush introduced.
+            if let Some(t) = scan.txns.iter().find(|t| !t.committed) {
+                rep.txns_rolled_back = 1;
+                let cut = t.main_end.min(valid_end);
+                if cut < valid_end {
+                    let kept = recs
+                        .iter()
+                        .take_while(|r| r.payload_end as u64 <= cut)
+                        .count();
+                    rep.records_rolled_back = (recs.len() - kept) as u64;
+                    recs.truncate(kept);
+                    // Snap to a record boundary in case the tear and the
+                    // BEGIN offset disagree.
+                    let cut = recs.last().map_or(0, |r| r.payload_end) as u64;
+                    rep.bytes_rolled_back = valid_end - cut;
+                    file.set_len(cut)?;
+                    file.sync_all()?;
+                    bytes.truncate(cut as usize);
+                    valid_end = cut;
+                }
+            }
+            // Redo committed transactions: any chunk record the main
+            // log lost is re-applied from the WAL payload. Idempotent —
+            // append logs are last-record-wins, and a newer non-flush
+            // record for the same chunk sorts later in `recs` anyway.
+            for t in scan.txns.iter().take_while(|t| t.committed) {
+                epoch = t.epoch;
+                rep.committed_txns += 1;
+                for c in &t.chunks {
+                    let intact = c.main_off >= REC_HEADER as u64
+                        && c.main_off + c.payload.len() as u64 <= valid_end
+                        && {
+                            let h = (c.main_off as usize) - REC_HEADER;
+                            let end = c.main_off as usize + c.payload.len();
+                            bytes[h..h + 8] == c.id.0.to_le_bytes()
+                                && bytes[h + 8..h + 12] == (c.payload.len() as u32).to_le_bytes()
+                                && bytes[c.main_off as usize..end] == c.payload[..]
+                        };
+                    if intact {
+                        rep.records_intact += 1;
+                        continue;
+                    }
+                    let len = codec::count_u32(c.payload.len(), "WAL replay payload")?;
+                    let mut rec = Vec::with_capacity(REC_HEADER + c.payload.len());
+                    rec.extend_from_slice(&c.id.0.to_le_bytes());
+                    rec.extend_from_slice(&len.to_le_bytes());
+                    rec.extend_from_slice(&c.payload);
+                    file.write_all_at(&rec, valid_end)?;
+                    recs.push(Rec {
+                        id: c.id.0,
+                        payload_start: valid_end as usize + REC_HEADER,
+                        payload_end: valid_end as usize + REC_HEADER + c.payload.len(),
+                    });
+                    bytes.extend_from_slice(&rec);
+                    valid_end += rec.len() as u64;
+                    rep.records_reapplied += 1;
+                }
+            }
+            if rep.acted() {
+                file.sync_all()?;
+                eprintln!(
+                    "olap-store: WAL recovery in {}: {} committed txn(s) \
+                     ({} record(s) intact, {} re-applied); {} txn(s) rolled back \
+                     ({} record(s), {} byte(s))",
+                    path.display(),
+                    rep.committed_txns,
+                    rep.records_intact,
+                    rep.records_reapplied,
+                    rep.txns_rolled_back,
+                    rep.records_rolled_back,
+                    rep.bytes_rolled_back,
+                );
+            }
+            wal_recovery = Some(rep);
+            // Checkpoint: the main log now reflects every committed
+            // flush, so the redo records are obsolete.
+            Wal::open_or_create(&wal_path)?.truncate_to(0)?;
         }
 
         let mut index = BTreeMap::new();
@@ -262,6 +422,14 @@ impl FileStore {
             compress: last_compressed,
             checksums: last_checksummed,
             tail_recovery,
+            wal: None,
+            wal_enabled: true,
+            epoch,
+            txn: None,
+            wal_stats: WalStats::default(),
+            wal_recovery,
+            crash_budget: None,
+            phys_ops: 0,
         })
     }
 
@@ -291,6 +459,77 @@ impl FileStore {
     /// `None` when the file was clean.
     pub fn tail_recovery(&self) -> Option<TailRecovery> {
         self.tail_recovery
+    }
+
+    /// Enables/disables WAL protection for subsequent flush
+    /// transactions (on by default). With it off,
+    /// `begin_flush`/`commit_flush` still bracket runtime rollback, but
+    /// a crash mid-flush can tear the update — the pre-WAL behaviour,
+    /// kept selectable for the overhead A/B in EXPERIMENTS.md.
+    pub fn set_wal(&mut self, on: bool) {
+        self.wal_enabled = on;
+    }
+
+    /// Whether flush transactions are WAL-protected.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_enabled
+    }
+
+    /// Cumulative WAL activity counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal_stats
+    }
+
+    /// What WAL replay did during [`FileStore::open`]; `None` when no
+    /// sidecar records existed.
+    pub fn wal_recovery(&self) -> Option<WalRecovery> {
+        self.wal_recovery
+    }
+
+    /// Current WAL length in bytes (0 when never opened or
+    /// checkpointed away).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.len())
+    }
+
+    /// Arms deterministic crash injection: the next `ops` physical I/O
+    /// operations (WAL appends, main-log appends, fsyncs, truncations)
+    /// succeed, after which every one fails permanently — the
+    /// in-process analogue of pulling the plug, leaving the on-disk
+    /// bytes exactly as a crash at that point would. Recovery is then
+    /// exercised by dropping the store and re-opening the path. `None`
+    /// disarms.
+    pub fn set_crash_after_ops(&mut self, ops: Option<u64>) {
+        self.crash_budget = ops;
+    }
+
+    /// Physical I/O operations attempted so far (the op space
+    /// [`FileStore::set_crash_after_ops`] indexes into).
+    pub fn phys_ops(&self) -> u64 {
+        self.phys_ops
+    }
+
+    /// One "power rail" check before every physical I/O operation.
+    fn crash_gate(&mut self) -> Result<()> {
+        self.phys_ops += 1;
+        match &mut self.crash_budget {
+            Some(0) => Err(StoreError::Io(std::io::Error::other(
+                "injected crash: store halted",
+            ))),
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Opens the sidecar WAL if this store hasn't yet.
+    fn ensure_wal(&mut self) -> Result<&mut Wal> {
+        if self.wal.is_none() {
+            self.wal = Some(Wal::open_or_create(wal::sidecar_path(&self.path))?);
+        }
+        Ok(self.wal.as_mut().expect("just opened"))
     }
 
     /// Installs (or clears) the seek-latency model.
@@ -328,6 +567,11 @@ impl FileStore {
     /// (chunks not listed follow in ascending id order). Defragments and
     /// resets the read head.
     pub fn reorganize(&mut self, order: &[ChunkId]) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(StoreError::Io(std::io::Error::other(
+                "reorganize during an open flush transaction",
+            )));
+        }
         let requested: HashSet<ChunkId> = order.iter().copied().collect();
         let mut sequence: Vec<ChunkId> = Vec::with_capacity(self.index.len());
         for &id in order {
@@ -364,6 +608,10 @@ impl FileStore {
             }
             tmp.sync_all()?;
             std::fs::rename(&tmp_path, &self.path)?;
+            // The rename swapped a directory entry; without fsyncing the
+            // directory a crash can resurrect the pre-reorganize file
+            // while callers believe the new layout is on disk.
+            fsync_dir(&self.path)?;
             Ok((new_index, pos))
         };
         let (new_index, pos) = match rewrite() {
@@ -380,6 +628,16 @@ impl FileStore {
         self.end = pos;
         self.dead_bytes = 0;
         self.last_read_end.store(0, Ordering::Relaxed);
+        // Reorganize doubles as a WAL checkpoint: the rewritten log was
+        // fsynced before the rename, so it holds exactly the committed
+        // image and every redo record is obsolete.
+        if let Some(w) = self.wal.as_mut() {
+            if !w.is_empty() {
+                w.truncate_to(0)?;
+                self.wal_stats.checkpoints += 1;
+                fsync_dir(&self.path)?;
+            }
+        }
         Ok(())
     }
 }
@@ -408,13 +666,36 @@ impl ChunkStore for FileStore {
             payload = integrity::wrap_checksummed(&payload).into();
         }
         let len = codec::count_u32(payload.len(), "record payload")?;
+        let payload_off = self.end + REC_HEADER as u64;
+        // Inside a WAL-logged flush transaction the payload goes to the
+        // sidecar first: it must be re-creatable from the WAL before the
+        // main log sees it, or a committed flush couldn't be redone.
+        if let Some((epoch, true)) = self.txn.as_ref().map(|t| (t.epoch, t.logged)) {
+            self.crash_gate()?;
+            let n = self
+                .wal
+                .as_mut()
+                .expect("begin_flush opened the WAL for a logged txn")
+                .append_chunk(epoch, id, payload_off, &payload)?;
+            self.wal_stats.records_logged += 1;
+            self.wal_stats.bytes_logged += n;
+        }
+        self.crash_gate()?;
         let mut rec = Vec::with_capacity(REC_HEADER + payload.len());
         rec.extend_from_slice(&id.0.to_le_bytes());
         rec.extend_from_slice(&len.to_le_bytes());
         rec.extend_from_slice(&payload);
         self.file.write_all_at(&rec, self.end)?;
-        if let Some((_, old_len)) = self.index.insert(id, (self.end + REC_HEADER as u64, len)) {
+        let displaced = self.index.insert(id, (payload_off, len));
+        if let Some((_, old_len)) = displaced {
             self.dead_bytes += REC_HEADER as u64 + old_len as u64;
+        }
+        if let Some(t) = self.txn.as_mut() {
+            t.records += 1;
+            t.displaced.push((id, displaced));
+            if let Some((_, old_len)) = displaced {
+                t.dead_added += REC_HEADER as u64 + old_len as u64;
+            }
         }
         self.end += rec.len() as u64;
         self.stats.record_write(payload.len() as u64);
@@ -438,8 +719,104 @@ impl ChunkStore for FileStore {
     }
 
     fn sync(&mut self) -> Result<()> {
+        self.crash_gate()?;
         self.file.sync_all()?;
         Ok(())
+    }
+
+    fn begin_flush(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(StoreError::Io(std::io::Error::other(
+                "begin_flush with a flush transaction already open",
+            )));
+        }
+        let epoch = self.epoch + 1;
+        let main_start = self.end;
+        let mut wal_start = 0;
+        let logged = self.wal_enabled;
+        if logged {
+            self.crash_gate()?;
+            let wal = self.ensure_wal()?;
+            wal_start = wal.len();
+            let n = wal.append_begin(epoch, main_start)?;
+            self.wal_stats.bytes_logged += n;
+        }
+        self.txn = Some(FlushTxn {
+            epoch,
+            main_start,
+            wal_start,
+            logged,
+            records: 0,
+            displaced: Vec::new(),
+            dead_added: 0,
+        });
+        Ok(())
+    }
+
+    fn commit_flush(&mut self) -> Result<u64> {
+        let Some(t) = self.txn.as_ref() else {
+            return Ok(self.epoch);
+        };
+        let (epoch, records, logged) = (t.epoch, t.records, t.logged);
+        if logged {
+            // Payload durability first: the commit record must never
+            // become durable before the chunk payloads it promises.
+            self.crash_gate()?;
+            self.wal.as_mut().expect("logged txn has a WAL").sync()?;
+            self.wal_stats.syncs += 1;
+            self.crash_gate()?;
+            let n = self
+                .wal
+                .as_mut()
+                .expect("logged txn has a WAL")
+                .append_commit(epoch, records)?;
+            self.wal_stats.bytes_logged += n;
+            self.crash_gate()?;
+            self.wal.as_mut().expect("logged txn has a WAL").sync()?;
+            self.wal_stats.syncs += 1;
+        }
+        // On any failure above the transaction stays open, so the
+        // caller's abort_flush can still undo it cleanly.
+        self.txn = None;
+        self.epoch = epoch;
+        self.wal_stats.txns_committed += 1;
+        Ok(epoch)
+    }
+
+    fn abort_flush(&mut self) -> Result<()> {
+        let Some(t) = self.txn.take() else {
+            return Ok(());
+        };
+        // In-memory undo first, in reverse write order, so the index is
+        // consistent even if the physical truncations fail (e.g. the
+        // crash gate is down — recovery then happens on re-open).
+        for (id, old) in t.displaced.into_iter().rev() {
+            match old {
+                Some(entry) => {
+                    self.index.insert(id, entry);
+                }
+                None => {
+                    self.index.remove(&id);
+                }
+            }
+        }
+        self.dead_bytes -= t.dead_added;
+        self.end = t.main_start;
+        self.wal_stats.txns_aborted += 1;
+        self.crash_gate()?;
+        self.file.set_len(t.main_start)?;
+        if t.logged {
+            self.crash_gate()?;
+            self.wal
+                .as_mut()
+                .expect("logged txn has a WAL")
+                .truncate_to(t.wal_start)?;
+        }
+        Ok(())
+    }
+
+    fn flush_epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -734,5 +1111,254 @@ mod tests {
             Err(StoreError::MissingChunk(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Removes a test store's main log and WAL sidecar.
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(wal::sidecar_path(path)).ok();
+    }
+
+    /// The full logical image of a store, for pre/post comparisons.
+    fn image(s: &FileStore) -> std::collections::BTreeMap<ChunkId, Chunk> {
+        s.ids()
+            .into_iter()
+            .map(|id| (id, s.read(id).unwrap()))
+            .collect()
+    }
+
+    /// A committed flush whose main-log records were lost (tail torn
+    /// off after the commit) is redone from the WAL payloads on open —
+    /// the "committed means visible" half of the guarantee.
+    #[test]
+    fn committed_flush_is_redone_after_main_tail_loss() {
+        let path = tmp("wal-redo");
+        let pre_flush_end;
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+            pre_flush_end = s.file_size();
+            s.begin_flush().unwrap();
+            s.write(ChunkId(1), &chunk(10.0)).unwrap();
+            s.write(ChunkId(2), &chunk(20.0)).unwrap();
+            assert_eq!(s.commit_flush().unwrap(), 1);
+            assert_eq!(s.flush_epoch(), 1);
+        }
+        // Simulate the crash model the WAL exists for: the WAL was
+        // fsynced at commit, but the main log's appends never hit disk.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(pre_flush_end).unwrap();
+        drop(f);
+        let s = FileStore::open(&path).unwrap();
+        let rep = s.wal_recovery().expect("replay must be reported");
+        assert_eq!(rep.committed_txns, 1);
+        assert_eq!(rep.records_reapplied, 2);
+        assert_eq!(rep.txns_rolled_back, 0);
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(10.0));
+        assert_eq!(s.read(ChunkId(2)).unwrap().get(0), CellValue::Num(20.0));
+        // The replay checkpointed: a second open is clean.
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.wal_recovery().is_none());
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(10.0));
+        cleanup(&path);
+    }
+
+    /// A flush with no commit record is rolled back on open — the
+    /// "uncommitted means invisible" half, even though every chunk
+    /// record landed in the main log.
+    #[test]
+    fn uncommitted_flush_rolls_back_on_open() {
+        let path = tmp("wal-rollback");
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+            s.begin_flush().unwrap();
+            s.write(ChunkId(1), &chunk(10.0)).unwrap();
+            s.write(ChunkId(2), &chunk(20.0)).unwrap();
+            // Crash before commit: the store is dropped mid-transaction.
+        }
+        let s = FileStore::open(&path).unwrap();
+        let rep = s.wal_recovery().expect("rollback must be reported");
+        assert_eq!(rep.txns_rolled_back, 1);
+        assert_eq!(rep.records_rolled_back, 2);
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        assert!(!s.contains(ChunkId(2)));
+        cleanup(&path);
+    }
+
+    /// A runtime abort undoes the transaction in place: index entries
+    /// restored, main log and WAL truncated back, and the store remains
+    /// usable for a subsequent successful flush.
+    #[test]
+    fn abort_flush_restores_index_and_log() {
+        let path = tmp("wal-abort");
+        let mut s = FileStore::create(&path).unwrap();
+        s.write(ChunkId(1), &chunk(1.0)).unwrap();
+        let end_before = s.file_size();
+        let img_before = image(&s);
+        s.begin_flush().unwrap();
+        s.write(ChunkId(1), &chunk(10.0)).unwrap();
+        s.write(ChunkId(2), &chunk(20.0)).unwrap();
+        s.abort_flush().unwrap();
+        assert_eq!(s.file_size(), end_before);
+        assert_eq!(s.dead_bytes(), 0);
+        assert_eq!(image(&s), img_before);
+        assert_eq!(s.flush_epoch(), 0);
+        // The WAL kept nothing of the aborted transaction...
+        assert_eq!(s.wal_len(), 0);
+        // ...and the next flush commits normally with the same epoch.
+        s.begin_flush().unwrap();
+        s.write(ChunkId(3), &chunk(30.0)).unwrap();
+        assert_eq!(s.commit_flush().unwrap(), 1);
+        assert_eq!(s.wal_stats().txns_aborted, 1);
+        assert_eq!(s.wal_stats().txns_committed, 1);
+        cleanup(&path);
+    }
+
+    /// With no crash, the WAL adds no bytes to the main log: a WAL-on
+    /// store's log is bit-identical to a WAL-off store's after the same
+    /// flush sequence (the acceptance criterion's A/B half).
+    #[test]
+    fn wal_on_main_log_is_bit_identical_to_wal_off() {
+        let pa = tmp("wal-ab-on");
+        let pb = tmp("wal-ab-off");
+        for (path, wal_on) in [(&pa, true), (&pb, false)] {
+            let mut s = FileStore::create(path).unwrap();
+            s.set_wal(wal_on);
+            s.write(ChunkId(0), &chunk(0.5)).unwrap();
+            s.begin_flush().unwrap();
+            for i in 1..5u64 {
+                s.write(ChunkId(i), &chunk(i as f64)).unwrap();
+            }
+            s.commit_flush().unwrap();
+            s.sync().unwrap();
+        }
+        let a = std::fs::read(&pa).unwrap();
+        let b = std::fs::read(&pb).unwrap();
+        assert_eq!(a, b, "WAL must not perturb the main log's bytes");
+        assert!(wal::sidecar_path(&pa).exists());
+        assert!(!wal::sidecar_path(&pb).exists());
+        cleanup(&pa);
+        cleanup(&pb);
+    }
+
+    /// Crash-point sweep at the store level: kill the store after every
+    /// possible physical op count during a begin/write×3/commit/sync
+    /// sequence; the reopened store must equal exactly the pre-flush or
+    /// the post-flush image — never a mix.
+    #[test]
+    fn crash_sweep_recovers_pre_or_post_image_only() {
+        let path = tmp("wal-crash-sweep");
+        let build_base = |path: &Path| -> FileStore {
+            let mut s = FileStore::create(path).unwrap();
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+            s.write(ChunkId(2), &chunk(2.0)).unwrap();
+            s
+        };
+        let flush = |s: &mut FileStore| -> Result<()> {
+            s.begin_flush()?;
+            s.write(ChunkId(1), &chunk(10.0))?;
+            s.write(ChunkId(2), &chunk(20.0))?;
+            s.write(ChunkId(3), &chunk(30.0))?;
+            s.commit_flush()?;
+            s.sync()
+        };
+        // Dry run: learn the op count and both legal images.
+        let mut s = build_base(&path);
+        let pre = image(&s);
+        let ops_before = s.phys_ops();
+        flush(&mut s).unwrap();
+        let total_ops = s.phys_ops() - ops_before;
+        let post = image(&s);
+        drop(s);
+        assert!(total_ops >= 9, "begin + 3×(wal+main) + commit×3 + sync");
+        let mut saw_pre = 0u32;
+        let mut saw_post = 0u32;
+        for k in 0..total_ops {
+            let mut s = build_base(&path);
+            s.set_crash_after_ops(Some(k));
+            let crashed = flush(&mut s).is_err();
+            assert!(crashed, "crash at op {k} must surface an error");
+            drop(s);
+            let r = FileStore::open(&path).unwrap();
+            let img = image(&r);
+            if img == pre {
+                saw_pre += 1;
+            } else if img == post {
+                saw_post += 1;
+            } else {
+                panic!("crash at op {k} recovered to a mixed image: {img:?}");
+            }
+        }
+        // Early crashes roll back, post-commit crashes redo.
+        assert!(saw_pre > 0, "no crash point recovered the pre-image");
+        assert!(saw_post > 0, "no crash point recovered the post-image");
+        cleanup(&path);
+    }
+
+    /// `reorganize` doubles as the WAL checkpoint: committed redo
+    /// records are dropped once the rewritten log is durable.
+    #[test]
+    fn reorganize_checkpoints_the_wal() {
+        let path = tmp("wal-reorg-ckpt");
+        let mut s = FileStore::create(&path).unwrap();
+        s.begin_flush().unwrap();
+        s.write(ChunkId(1), &chunk(1.0)).unwrap();
+        s.write(ChunkId(2), &chunk(2.0)).unwrap();
+        s.commit_flush().unwrap();
+        assert!(s.wal_len() > 0);
+        s.reorganize(&[ChunkId(2)]).unwrap();
+        assert_eq!(s.wal_len(), 0);
+        assert_eq!(s.wal_stats().checkpoints, 1);
+        // The checkpoint is durable: reopen sees no WAL work.
+        drop(s);
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.wal_recovery().is_none());
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        cleanup(&path);
+    }
+
+    /// Satellite regression: a *failed* reorganize must leave the WAL
+    /// intact (checkpointing on failure would discard redo records the
+    /// still-live old log may need), exercised through the existing
+    /// poisoned-index failure hook.
+    #[test]
+    fn failed_reorganize_leaves_wal_intact() {
+        let path = tmp("wal-reorg-fail");
+        let mut s = FileStore::create(&path).unwrap();
+        s.begin_flush().unwrap();
+        s.write(ChunkId(1), &chunk(1.0)).unwrap();
+        s.commit_flush().unwrap();
+        let wal_len = s.wal_len();
+        assert!(wal_len > 0);
+        // Point one index entry past EOF so the rewrite loop's read fails.
+        s.index.insert(ChunkId(9), (1 << 30, 64));
+        assert!(s.reorganize(&[ChunkId(9)]).is_err());
+        assert_eq!(s.wal_len(), wal_len, "failed reorganize checkpointed");
+        assert_eq!(s.wal_stats().checkpoints, 0);
+        assert_eq!(s.read(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        cleanup(&path);
+    }
+
+    /// `create` must not inherit a stale sidecar from a previous store
+    /// at the same path — its transactions belong to a dead log.
+    #[test]
+    fn create_discards_stale_sidecar() {
+        let path = tmp("wal-stale");
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            s.begin_flush().unwrap();
+            s.write(ChunkId(1), &chunk(1.0)).unwrap();
+            s.commit_flush().unwrap();
+            assert!(wal::sidecar_path(&path).exists());
+        }
+        let s = FileStore::create(&path).unwrap();
+        assert!(!wal::sidecar_path(&path).exists());
+        assert_eq!(s.chunk_count(), 0);
+        drop(s);
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.wal_recovery().is_none());
+        assert!(!s.contains(ChunkId(1)));
+        cleanup(&path);
     }
 }

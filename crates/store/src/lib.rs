@@ -31,6 +31,7 @@ pub mod memstore;
 pub mod pool;
 pub mod store;
 pub mod value;
+pub mod wal;
 
 pub use chunk::{Chunk, ChunkData};
 pub use compress::{compression_ratio, decode_any, encode_compressed, is_compressed};
@@ -43,6 +44,7 @@ pub use memstore::MemStore;
 pub use pool::{BufferPool, PoolStats};
 pub use store::{ChunkStore, IoSnapshot, IoStats};
 pub use value::CellValue;
+pub use wal::{Wal, WalRecovery, WalStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

@@ -104,6 +104,12 @@ pub struct PoolStats {
     /// Transient-failure read attempts that were retried (each backoff
     /// retry counts once, whether or not it eventually succeeded).
     pub retries: u64,
+    /// Transient-failure write attempts (flush or eviction) that were
+    /// retried with backoff, mirroring `retries` for the read path.
+    pub write_retries: u64,
+    /// Completed [`BufferPool::flush_all`] calls that committed at
+    /// least one dirty frame.
+    pub flushes: u64,
 }
 
 impl PoolStats {
@@ -131,6 +137,8 @@ impl PoolStats {
                 .saturating_sub(baseline.prefetch_wasted),
             read_errors: self.read_errors.saturating_sub(baseline.read_errors),
             retries: self.retries.saturating_sub(baseline.retries),
+            write_retries: self.write_retries.saturating_sub(baseline.write_retries),
+            flushes: self.flushes.saturating_sub(baseline.flushes),
         }
     }
 }
@@ -189,6 +197,8 @@ struct PoolInner {
     prefetch_wasted: AtomicU64,
     read_errors: AtomicU64,
     retries: AtomicU64,
+    write_retries: AtomicU64,
+    flushes: AtomicU64,
     /// When set, [`BufferPool::flush_all`] fsyncs the store after
     /// writing dirty frames.
     durable_flush: AtomicBool,
@@ -305,6 +315,33 @@ impl PoolInner {
         }
     }
 
+    /// Store write with the same bounded retry/backoff policy as
+    /// [`PoolInner::read_with_retry`]: transient (`StoreError::Io`)
+    /// failures get `READ_RETRIES` extra attempts, deterministic ones
+    /// propagate immediately. The caller holds the store's write lock,
+    /// so the backoff sleeps under it — writes are exclusive anyway,
+    /// and releasing mid-flush would let another writer interleave into
+    /// an open flush transaction.
+    fn write_with_retry(
+        &self,
+        store: &mut dyn ChunkStore,
+        id: ChunkId,
+        chunk: &Chunk,
+    ) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match store.write(id, chunk) {
+                Ok(()) => return Ok(()),
+                Err(StoreError::Io(_)) if attempt < READ_RETRIES => {
+                    attempt += 1;
+                    self.write_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(READ_RETRY_BACKOFF * attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Records a transition of a frame's pin count from zero.
     fn note_first_pin(&self) {
         let now = self.pinned.fetch_add(1, Ordering::Relaxed) + 1;
@@ -372,7 +409,8 @@ impl PoolInner {
                 self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
             }
             if frame.dirty {
-                self.store.write().write(id, &frame.chunk)?;
+                let mut store = self.store.write();
+                self.write_with_retry(store.as_mut(), id, &frame.chunk)?;
             }
         }
         Ok(())
@@ -568,20 +606,63 @@ impl PoolInner {
     }
 
     fn flush_all(&self) -> Result<()> {
+        // Stage dirty frames under brief shard locks — previously each
+        // shard lock was held across the store writes (and the final
+        // fsync held the last one), stalling readers for the whole
+        // flush. Dirty bits are NOT cleared here: if the flush fails
+        // they must stay set so a later flush retries every frame
+        // (previously a mid-flush error left earlier frames marked
+        // clean while the store had no commitment to keep them).
+        let mut staged: Vec<(ChunkId, Arc<Chunk>)> = Vec::new();
         for slot in &self.shards {
-            let mut sh = slot.shard.lock();
-            // Take the store lock while holding the shard lock so a
-            // concurrent `put` cannot be flushed-over with stale data.
-            let mut store = self.store.write();
-            for (&id, f) in sh.frames.iter_mut() {
+            let sh = slot.shard.lock();
+            for (&id, f) in sh.frames.iter() {
                 if f.dirty {
-                    store.write(id, &f.chunk)?;
-                    f.dirty = false;
+                    staged.push((id, Arc::clone(&f.chunk)));
                 }
             }
         }
-        if self.durable_flush.load(Ordering::Relaxed) {
-            self.store.write().sync()?;
+        if staged.is_empty() {
+            if self.durable_flush.load(Ordering::Relaxed) {
+                self.store.write().sync()?;
+            }
+            return Ok(());
+        }
+        // Ascending id order: deterministic log layout and a
+        // deterministic crash-point schedule for the fault harness.
+        staged.sort_by_key(|&(id, _)| id);
+        {
+            let mut store = self.store.write();
+            store.begin_flush()?;
+            for (id, chunk) in &staged {
+                if let Err(e) = self.write_with_retry(store.as_mut(), *id, chunk) {
+                    // Terminal failure: roll back so the store never
+                    // exposes a partial flush. Frames are still dirty.
+                    let _ = store.abort_flush();
+                    return Err(e);
+                }
+            }
+            if let Err(e) = store.commit_flush() {
+                let _ = store.abort_flush();
+                return Err(e);
+            }
+            if self.durable_flush.load(Ordering::Relaxed) {
+                // Post-commit: a sync failure propagates but must not
+                // roll back the already-committed flush.
+                store.sync()?;
+            }
+        }
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        // Clear dirty bits only where the frame still holds the exact
+        // chunk that was written — a concurrent `put` during the flush
+        // swapped in a new Arc, and that frame must stay dirty.
+        for (id, chunk) in &staged {
+            let mut sh = self.shards[shard_of(*id)].shard.lock();
+            if let Some(f) = sh.frames.get_mut(id) {
+                if f.dirty && Arc::ptr_eq(&f.chunk, chunk) {
+                    f.dirty = false;
+                }
+            }
         }
         Ok(())
     }
@@ -610,6 +691,8 @@ impl BufferPool {
                 prefetch_wasted: AtomicU64::new(0),
                 read_errors: AtomicU64::new(0),
                 retries: AtomicU64::new(0),
+                write_retries: AtomicU64::new(0),
+                flushes: AtomicU64::new(0),
                 durable_flush: AtomicBool::new(false),
                 io_queue: Mutex::new(IoQueue::default()),
                 io_ready: Condvar::new(),
@@ -745,11 +828,35 @@ impl BufferPool {
     /// [`crate::FaultStore`]. Resident frames keep serving hits; call
     /// [`BufferPool::clear`] first if subsequent reads must go through
     /// the new store.
+    ///
+    /// Panic-safe: if `f` panics, the original store is reinstalled
+    /// before the panic resumes (previously the pool was left silently
+    /// serving an empty placeholder). `f` receives the original store
+    /// behind a transparent reclaim wrapper whose `as_any` forwards to
+    /// the real store, so downcasts through it keep working.
     pub fn wrap_store(&self, f: impl FnOnce(Box<dyn ChunkStore>) -> Box<dyn ChunkStore>) {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
         let mut guard = self.inner.store.write();
         let placeholder: Box<dyn ChunkStore> = Box::new(crate::memstore::MemStore::new());
         let old = std::mem::replace(&mut *guard, placeholder);
-        *guard = f(old);
+        let slot: Arc<Mutex<Option<Box<dyn ChunkStore>>>> = Arc::new(Mutex::new(None));
+        let reclaim: Box<dyn ChunkStore> = Box::new(ReclaimStore {
+            inner: Some(old),
+            slot: Arc::clone(&slot),
+        });
+        match catch_unwind(AssertUnwindSafe(|| f(reclaim))) {
+            Ok(new_store) => *guard = new_store,
+            Err(payload) => {
+                // The unwinding closure dropped the reclaim wrapper,
+                // which parked the original store in the slot instead of
+                // destroying it — put it back.
+                if let Some(old) = slot.lock().take() {
+                    *guard = old;
+                }
+                drop(guard);
+                resume_unwind(payload);
+            }
+        }
     }
 
     /// Whether the chunk exists (resident or in the backing store).
@@ -791,6 +898,8 @@ impl BufferPool {
             prefetch_wasted: i.prefetch_wasted.load(Ordering::Relaxed),
             read_errors: i.read_errors.load(Ordering::Relaxed),
             retries: i.retries.load(Ordering::Relaxed),
+            write_retries: i.write_retries.load(Ordering::Relaxed),
+            flushes: i.flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -808,6 +917,8 @@ impl BufferPool {
         i.prefetch_wasted.store(0, Ordering::Relaxed);
         i.read_errors.store(0, Ordering::Relaxed);
         i.retries.store(0, Ordering::Relaxed);
+        i.write_retries.store(0, Ordering::Relaxed);
+        i.flushes.store(0, Ordering::Relaxed);
     }
 
     /// Read access to the backing store.
@@ -857,6 +968,89 @@ impl BufferPool {
 impl Drop for BufferPool {
     fn drop(&mut self) {
         self.stop_io_threads();
+    }
+}
+
+/// The store handed to [`BufferPool::wrap_store`]'s closure: a
+/// transparent delegate that, when dropped mid-unwind (the closure
+/// panicked), parks the wrapped store in a shared slot instead of
+/// destroying it, so `wrap_store` can reinstall it.
+struct ReclaimStore {
+    /// `Some` until drop; `Option` only so `Drop` can move it out.
+    inner: Option<Box<dyn ChunkStore>>,
+    slot: Arc<Mutex<Option<Box<dyn ChunkStore>>>>,
+}
+
+impl ReclaimStore {
+    fn get(&self) -> &dyn ChunkStore {
+        self.inner.as_deref().expect("present until drop")
+    }
+
+    fn get_mut(&mut self) -> &mut dyn ChunkStore {
+        self.inner.as_deref_mut().expect("present until drop")
+    }
+}
+
+impl Drop for ReclaimStore {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            *self.slot.lock() = Some(s);
+        }
+    }
+}
+
+impl ChunkStore for ReclaimStore {
+    fn read(&self, id: ChunkId) -> Result<Chunk> {
+        self.get().read(id)
+    }
+
+    fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()> {
+        self.get_mut().write(id, chunk)
+    }
+
+    fn contains(&self, id: ChunkId) -> bool {
+        self.get().contains(id)
+    }
+
+    fn ids(&self) -> Vec<ChunkId> {
+        self.get().ids()
+    }
+
+    fn stats(&self) -> &crate::store::IoStats {
+        self.get().stats()
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.get().chunk_count()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.get_mut().sync()
+    }
+
+    fn begin_flush(&mut self) -> Result<()> {
+        self.get_mut().begin_flush()
+    }
+
+    fn commit_flush(&mut self) -> Result<u64> {
+        self.get_mut().commit_flush()
+    }
+
+    fn abort_flush(&mut self) -> Result<()> {
+        self.get_mut().abort_flush()
+    }
+
+    fn flush_epoch(&self) -> u64 {
+        self.get().flush_epoch()
+    }
+
+    // Transparent: downcasts reach the wrapped store, not the wrapper.
+    fn as_any(&self) -> &dyn std::any::Any {
+        self.get().as_any()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self.get_mut().as_any_mut()
     }
 }
 
@@ -1317,6 +1511,113 @@ mod tests {
         assert!(p.durable_flush());
         p.flush_all().unwrap();
         assert_eq!(syncs(&p), 1, "durability on: flush fsyncs");
+    }
+
+    /// Satellite regression: one transient write fault must not fail
+    /// the flush — the retry policy demand reads got in PR 4 now covers
+    /// flush writes too, counted in `write_retries`.
+    #[test]
+    fn transient_flush_write_fault_is_retried() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(0), 4);
+        p.wrap_store(|s| {
+            Box::new(FaultStore::new(
+                s,
+                vec![FaultSpec {
+                    op: FaultOp::Write,
+                    at: 1,
+                    kind: FaultKind::Error,
+                    persistent: false,
+                }],
+            ))
+        });
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(0, CellValue::num(5.0));
+        p.put(ChunkId(0), c).unwrap();
+        p.flush_all().unwrap();
+        let st = p.stats();
+        assert_eq!(st.write_retries, 1);
+        assert_eq!(st.flushes, 1);
+        assert_eq!(
+            p.store().read(ChunkId(0)).unwrap().get(0),
+            CellValue::Num(5.0)
+        );
+    }
+
+    /// Satellite regression: a terminal flush failure must leave every
+    /// staged frame dirty (previously frames written before the error
+    /// were marked clean and their data could be lost), and the next
+    /// flush must retry and succeed.
+    #[test]
+    fn failed_flush_keeps_frames_dirty_for_retry() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(0), 8);
+        // Writes 2..4 fail persistently enough to exhaust the retry
+        // budget mid-flush, after the first chunk already went through.
+        let plan = (2..=2 + READ_RETRIES as u64)
+            .map(|at| FaultSpec {
+                op: FaultOp::Write,
+                at,
+                kind: FaultKind::Error,
+                persistent: false,
+            })
+            .collect();
+        p.wrap_store(|s| Box::new(FaultStore::new(s, plan)));
+        for i in 0..3u64 {
+            let mut c = Chunk::new_dense(vec![2]);
+            c.set(0, CellValue::num(i as f64 + 10.0));
+            p.put(ChunkId(i), c).unwrap();
+        }
+        assert!(matches!(p.flush_all(), Err(StoreError::Io(_))));
+        let st = p.stats();
+        assert_eq!(st.flushes, 0);
+        assert_eq!(st.write_retries, READ_RETRIES as u64);
+        // All three frames are still dirty: the second flush rewrites
+        // every one of them and the store ends up complete.
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().flushes, 1);
+        for i in 0..3u64 {
+            assert_eq!(
+                p.store().read(ChunkId(i)).unwrap().get(0),
+                CellValue::Num(i as f64 + 10.0)
+            );
+        }
+    }
+
+    /// Satellite regression: a panicking `wrap_store` closure used to
+    /// leave the pool silently serving an empty `MemStore` placeholder;
+    /// the original store must be reinstalled before the panic resumes.
+    #[test]
+    fn wrap_store_panic_restores_old_store() {
+        let p = BufferPool::new(store_with(2), 4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.wrap_store(|_old| panic!("injected wrap failure"));
+        }));
+        assert!(r.is_err(), "the panic must propagate");
+        // The original store is back: its chunks are still served.
+        assert_eq!(p.get(ChunkId(0)).unwrap().get(0), CellValue::Num(0.0));
+        assert_eq!(p.get(ChunkId(1)).unwrap().get(0), CellValue::Num(1.0));
+        assert_eq!(p.store().chunk_count(), 2);
+    }
+
+    /// `wrap_store`'s reclaim wrapper is transparent to downcasts: a
+    /// successful wrap that keeps the store inside a new wrapper still
+    /// lets `as_any` reach the original concrete type.
+    #[test]
+    fn wrap_store_stays_downcastable() {
+        use crate::fault::FaultStore;
+        let p = BufferPool::new(store_with(1), 4);
+        p.wrap_store(|s| Box::new(FaultStore::new(s, vec![])));
+        let store = p.store();
+        let fs = store
+            .as_any()
+            .downcast_ref::<FaultStore>()
+            .expect("outermost store is the FaultStore");
+        assert!(fs
+            .inner()
+            .as_any()
+            .downcast_ref::<MemStore>()
+            .is_some_and(|m| m.contains(ChunkId(0))));
     }
 
     /// I/O workers shut down cleanly on drop and `into_store`.

@@ -127,6 +127,36 @@ pub trait ChunkStore: Send + Sync {
         Ok(())
     }
 
+    /// Opens a flush transaction: every `write` until the matching
+    /// [`ChunkStore::commit_flush`] or [`ChunkStore::abort_flush`]
+    /// belongs to one all-or-nothing unit. Stores without a durability
+    /// story (e.g. [`crate::MemStore`], where a crash loses everything
+    /// anyway) default to a no-op, so the buffer pool can speak the
+    /// protocol unconditionally.
+    fn begin_flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Commits the open flush transaction, returning the store's flush
+    /// epoch (a commit LSN; 0 for stores that don't track one). After a
+    /// successful commit the transaction's writes are guaranteed to
+    /// survive a crash as a unit.
+    fn commit_flush(&mut self) -> Result<u64> {
+        Ok(0)
+    }
+
+    /// Rolls back the open flush transaction, undoing its writes (a
+    /// no-op if none is open). Called by the pool when a flush write
+    /// fails terminally, so a half-written flush never becomes visible.
+    fn abort_flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// The last committed flush epoch (0 if the store tracks none).
+    fn flush_epoch(&self) -> u64 {
+        0
+    }
+
     /// Downcast support (e.g. to reach [`crate::FileStore::reorganize`]
     /// through a `Box<dyn ChunkStore>`).
     fn as_any(&self) -> &dyn std::any::Any;

@@ -14,8 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== concurrency flake gate (10x) =="
 # The pool prefetcher, the parallel executors, the shared scenario
-# cache and the fault-injection suite are timing-sensitive; a single
-# green run proves little. Hammer the concurrency-heavy suites.
+# cache, the fault-injection suite and the WAL crash tests are
+# timing-sensitive; a single green run proves little. Hammer the
+# concurrency-heavy suites (olap-store --lib includes the wal,
+# filestore crash-sweep and pool retry tests).
 i=1
 while [ "$i" -le 10 ]; do
     cargo test -q -p olap-store --lib >/dev/null
@@ -25,6 +27,13 @@ while [ "$i" -le 10 ]; do
     i=$((i + 1))
 done
 echo "(10/10 green)"
+
+echo "== crash-recovery smoke test =="
+# A crash injected after every physical store op during a pool flush
+# must recover to exactly the pre- or post-flush image (repro exits
+# non-zero on any torn state), across checksum/compression configs.
+./target/release/repro --crash-points >/dev/null 2>&1
+echo "(all crash points recover to a flush boundary)"
 
 echo "== corruption smoke test =="
 # One flipped payload byte must surface as StoreError::Corrupt on read,

@@ -4,8 +4,9 @@
 //! recovered (not fatal) on reopen.
 
 use olap_cube::{Cube, StoreBackend};
-use olap_store::{CellValue, Chunk, ChunkId, ChunkStore, FileStore, SeekModel};
+use olap_store::{BufferPool, CellValue, Chunk, ChunkId, ChunkStore, FileStore, SeekModel};
 use olap_workload::{Workforce, WorkforceConfig};
+use std::collections::BTreeMap;
 use whatif_core::{apply_default, Mode, Scenario, Semantics};
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -14,6 +15,36 @@ fn tmp(name: &str) -> std::path::PathBuf {
         std::process::id(),
         name
     ))
+}
+
+/// Removes a store file and its WAL sidecar.
+fn cleanup(path: &std::path::Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(olap_store::wal::sidecar_path(path)).ok();
+}
+
+/// A small two-cell chunk keyed by a single value.
+fn marked_chunk(v: f64) -> Chunk {
+    let mut c = Chunk::new_dense(vec![8]);
+    c.set(0, CellValue::num(v));
+    c.set(3, CellValue::num(v * 2.0 + 1.0));
+    c
+}
+
+/// Reads the full on-disk image of a store as an id → chunk map.
+fn disk_image(s: &FileStore) -> BTreeMap<u64, Chunk> {
+    s.ids()
+        .into_iter()
+        .map(|id| (id.0, s.read(id).unwrap()))
+        .collect()
+}
+
+/// Cell-exact equality between an observed image and a reference one.
+fn images_match(got: &BTreeMap<u64, Chunk>, want: &BTreeMap<u64, Chunk>) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .all(|(id, c)| want.get(id).is_some_and(|w| c.same_cells(w)))
 }
 
 fn file_workforce(path: &std::path::Path) -> Workforce {
@@ -277,4 +308,179 @@ fn dirty_cube_flushes_through_pool_pressure() {
     }
     assert!(cube.pool_stats().evictions > 0, "pool pressure happened");
     std::fs::remove_file(&path).ok();
+}
+
+/// The crash-point matrix of ISSUE 5: for every (checksums ×
+/// compression) configuration, inject a crash after every possible
+/// physical store op during a pool flush. The reopened store must be
+/// cell-identical to exactly the pre-flush or the post-flush image —
+/// never a mix of the two.
+#[test]
+fn pool_flush_crash_points_recover_exact_image() {
+    for checksums in [false, true] {
+        for compressed in [false, true] {
+            let tag = format!("crashmat-c{}-z{}", checksums as u8, compressed as u8);
+
+            // Reference images: four chunks committed up front, then a
+            // second flush that overwrites three and adds a fifth.
+            let pre: BTreeMap<u64, Chunk> =
+                (0..4u64).map(|i| (i, marked_chunk(i as f64))).collect();
+            let mut post = pre.clone();
+            for i in 0..3u64 {
+                post.insert(i, marked_chunk(100.0 + i as f64));
+            }
+            post.insert(9, marked_chunk(999.0));
+            let dirty: Vec<u64> = vec![0, 1, 2, 9];
+
+            // One run of the scenario; `crash_op` of `None` is the dry
+            // run that learns the deterministic op-schedule length.
+            let run = |crash_op: Option<u64>, path: &std::path::Path| -> (bool, u64) {
+                cleanup(path);
+                let mut s = FileStore::create(path).unwrap();
+                s.set_checksums(checksums);
+                s.set_compression(compressed);
+                let pool = BufferPool::new(Box::new(s), 16);
+                for (id, c) in &pre {
+                    pool.put(ChunkId(*id), c.clone()).unwrap();
+                }
+                pool.flush_all().unwrap();
+                let before = {
+                    let guard = pool.store();
+                    guard
+                        .as_any()
+                        .downcast_ref::<FileStore>()
+                        .unwrap()
+                        .phys_ops()
+                };
+                {
+                    let mut guard = pool.store_mut();
+                    let fs = guard.as_any_mut().downcast_mut::<FileStore>().unwrap();
+                    fs.set_crash_after_ops(crash_op);
+                }
+                for id in &dirty {
+                    pool.put(ChunkId(*id), post[id].clone()).unwrap();
+                }
+                let ok = pool.flush_all().is_ok();
+                let ops = {
+                    let guard = pool.store();
+                    guard
+                        .as_any()
+                        .downcast_ref::<FileStore>()
+                        .unwrap()
+                        .phys_ops()
+                        - before
+                };
+                (ok, ops)
+            };
+
+            let dry = tmp(&format!("{tag}-dry"));
+            let (ok, total_ops) = run(None, &dry);
+            assert!(ok, "{tag}: dry run must flush cleanly");
+            cleanup(&dry);
+            assert!(total_ops >= 9, "{tag}: schedule too short: {total_ops}");
+
+            let (mut saw_pre, mut saw_post) = (0u64, 0u64);
+            for k in 0..=total_ops {
+                let path = tmp(&format!("{tag}-k{k}"));
+                let (ok, _) = run(Some(k), &path);
+                assert_eq!(
+                    ok,
+                    k >= total_ops,
+                    "{tag}: k={k} flush outcome out of schedule"
+                );
+                let got = disk_image(&FileStore::open(&path).unwrap());
+                if images_match(&got, &pre) {
+                    saw_pre += 1;
+                } else if images_match(&got, &post) {
+                    saw_post += 1;
+                } else {
+                    panic!("{tag}: k={k} recovered a mixed image: {:?}", got.keys());
+                }
+                if k == total_ops {
+                    assert!(images_match(&got, &post), "{tag}: clean flush lost data");
+                }
+                cleanup(&path);
+            }
+            assert!(saw_pre > 0, "{tag}: no crash point rolled back");
+            assert!(saw_post > 0, "{tag}: no crash point redid the flush");
+        }
+    }
+}
+
+mod crash_interleavings {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Distinguishes concurrently-running proptest cases in temp paths.
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random flush/crash interleavings: run a random sequence of
+        /// put-batches separated by flushes, then crash after a random
+        /// number of physical ops during the final flush (possibly past
+        /// the end of its schedule, in which case it succeeds). The
+        /// recovered image must be exactly the image as of one of the
+        /// two adjacent flush boundaries.
+        #[test]
+        fn random_flush_crash_recovers_a_flush_boundary(
+            checksums in any::<bool>(),
+            compressed in any::<bool>(),
+            flushes in proptest::collection::vec(
+                proptest::collection::vec((0u64..6, 0u32..1000), 1..5), 1..4),
+            crash_op in 0u64..40,
+        ) {
+            let case = CASE.fetch_add(1, Ordering::Relaxed);
+            let path = tmp(&format!("crashprop-{case}"));
+            cleanup(&path);
+            let mut s = FileStore::create(&path).unwrap();
+            s.set_checksums(checksums);
+            s.set_compression(compressed);
+            let pool = BufferPool::new(Box::new(s), 16);
+
+            // `mirror` tracks the logical contents; `prev_image` is a
+            // snapshot of it as of the last committed flush.
+            let mut mirror: BTreeMap<u64, Chunk> = BTreeMap::new();
+            let mut prev_image = mirror.clone();
+            let mut final_flush_ok = true;
+            for (j, batch) in flushes.iter().enumerate() {
+                for &(id, v) in batch {
+                    let c = marked_chunk(f64::from(v) + id as f64 / 7.0);
+                    pool.put(ChunkId(id), c.clone()).unwrap();
+                    mirror.insert(id, c);
+                }
+                if j + 1 == flushes.len() {
+                    {
+                        let mut guard = pool.store_mut();
+                        guard
+                            .as_any_mut()
+                            .downcast_mut::<FileStore>()
+                            .unwrap()
+                            .set_crash_after_ops(Some(crash_op));
+                    }
+                    final_flush_ok = pool.flush_all().is_ok();
+                } else {
+                    pool.flush_all().unwrap();
+                    prev_image = mirror.clone();
+                }
+            }
+            drop(pool);
+
+            let got = disk_image(&FileStore::open(&path).unwrap());
+            if final_flush_ok {
+                prop_assert!(
+                    images_match(&got, &mirror),
+                    "case {case}: committed flush not visible after reopen"
+                );
+            } else {
+                prop_assert!(
+                    images_match(&got, &prev_image) || images_match(&got, &mirror),
+                    "case {case}: recovered image matches neither flush boundary"
+                );
+            }
+            cleanup(&path);
+        }
+    }
 }

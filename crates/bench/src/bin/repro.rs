@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
-//!       [--faults [N]] [--crash-points] [--csv DIR] [--threads N]
-//!       [--prefetch K] [--cache MB]
+//!       [--faults [N]] [--crash-points] [--serve-bench [N]] [--csv DIR]
+//!       [--threads N] [--prefetch K] [--cache MB]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -79,10 +79,25 @@ fn main() {
     let mut cache_mb = 0usize;
     let mut fault_schedules = 0u64;
     let mut crash_points = false;
+    let mut serve_sessions = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--crash-points" => crash_points = true,
+            "--serve-bench" => {
+                // Optional session count; bare `--serve-bench` runs 32.
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(0) => {
+                        eprintln!("--serve-bench needs a positive session count");
+                        std::process::exit(2);
+                    }
+                    Some(n) => {
+                        serve_sessions = n;
+                        i += 1;
+                    }
+                    None => serve_sessions = 32,
+                }
+            }
             "--faults" => {
                 // Optional schedule count; bare `--faults` runs 8.
                 match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
@@ -163,15 +178,21 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
-                     [--faults [N]] [--crash-points] [--csv DIR] [--threads N] [--prefetch K] \
-                     [--cache MB]"
+                     [--faults [N]] [--crash-points] [--serve-bench [N]] [--csv DIR] \
+                     [--threads N] [--prefetch K] [--cache MB]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if figs.is_empty() && !table_s && !ablations && !replay && fault_schedules == 0 && !crash_points
+    if figs.is_empty()
+        && !table_s
+        && !ablations
+        && !replay
+        && fault_schedules == 0
+        && !crash_points
+        && serve_sessions == 0
     {
         figs = vec!["11", "12", "13"];
         table_s = true;
@@ -216,6 +237,9 @@ fn main() {
     }
     if crash_points {
         run_crash_points();
+    }
+    if serve_sessions > 0 {
+        run_serve_bench(serve_sessions, cache_mb);
     }
     if !bench_rows.is_empty() {
         write_bench_json("BENCH_pr3.json", &bench_rows);
@@ -444,6 +468,7 @@ fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>
         threads,
         prefetch,
         cache: None,
+        ..Default::default()
     };
     let varying = wf.schema.varying(wf.department).unwrap();
     let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 6], 12);
@@ -509,6 +534,7 @@ fn run_faults(threads: usize, prefetch: usize, schedules: u64) {
         threads,
         prefetch,
         cache: None,
+        ..Default::default()
     };
     let baseline = {
         let wf = build();
@@ -823,6 +849,7 @@ fn run_replay(threads: usize, prefetch: usize, cache_mb: usize, bench_rows: &mut
                 threads,
                 prefetch,
                 cache: cache.clone(),
+                ..Default::default()
             };
             let pool_baseline = wf.cube.with_pool(|pool| {
                 pool.wait_prefetch_idle();
@@ -870,4 +897,140 @@ fn run_replay(threads: usize, prefetch: usize, cache_mb: usize, bench_rows: &mut
         }
     }
     println!();
+}
+
+/// `--serve-bench N`: the multi-tenant correctness-and-throughput gate.
+/// Starts an in-process `olap-server` over the `bench` dataset (the
+/// `--replay` workforce configuration) with a shared scenario-delta
+/// cache, replays N concurrent edit sessions against it over TCP, and
+/// asserts every response is byte-identical to a serial replay of the
+/// same scripts. The shell's `.apply` replies carry only deterministic
+/// fields (cell count, an order-independent digest, pass count), so any
+/// cross-session interference — a poisoned cache entry, a torn eviction,
+/// a budget leaking between sessions — shows up as a diff, not a flake.
+fn run_serve_bench(sessions: usize, cache_mb: usize) {
+    use olap_server::{Server, ServerConfig, STATUS_OK};
+    use polap_cli::{proto::Client, Dataset, Outcome, Session, SharedData};
+    use std::sync::Arc;
+
+    let cache_mb = if cache_mb == 0 { 64 } else { cache_mb };
+    println!("=== serve-bench — {sessions} concurrent sessions vs. serial replay ===");
+
+    // Every session replays a deterministic edit script: the analyst
+    // keeps editing the perspective set and re-applying, then asks for
+    // a budgeted rollup. Scripts differ per session so the shared cache
+    // sees both reuse (sessions on the same step) and churn.
+    let script = |i: usize| -> Vec<String> {
+        const MOMENT_SETS: [&str; 5] = ["0,3,6,9", "0,3", "6,9", "0,9", "3,6"];
+        let mut cmds = Vec::new();
+        for step in 0..5 {
+            let sem = if (i + step).is_multiple_of(2) {
+                "forward"
+            } else {
+                "static"
+            };
+            cmds.push(format!(
+                ".apply {sem} {}",
+                MOMENT_SETS[(i + 2 * step) % MOMENT_SETS.len()]
+            ));
+        }
+        cmds.push(".rollup".to_string());
+        cmds
+    };
+
+    // Serial baseline: the same scripts, one session after another, on a
+    // private copy of the dataset with no cache at all.
+    print!("serial baseline… ");
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    let serial_t0 = std::time::Instant::now();
+    let serial_data = Arc::new(SharedData::load(Dataset::Bench));
+    let expected: Vec<Vec<String>> = (0..sessions)
+        .map(|i| {
+            let mut session = Session::attach(serial_data.clone());
+            script(i)
+                .iter()
+                .map(|cmd| match session.handle(cmd) {
+                    Outcome::Continue(text) => text,
+                    Outcome::Quit(text) => text,
+                })
+                .collect()
+        })
+        .collect();
+    let serial_elapsed = serial_t0.elapsed();
+    println!("done in {:.2} ms", serial_elapsed.as_secs_f64() * 1e3);
+
+    let mut server_data = SharedData::load(Dataset::Bench);
+    server_data.set_cache_mb(cache_mb);
+    let server = Server::start(
+        Arc::new(server_data),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: sessions,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind serve-bench server");
+    let addr = server.addr();
+
+    let t0 = std::time::Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|i| {
+            std::thread::spawn(move || -> (Vec<String>, std::time::Duration) {
+                let mut client = loop {
+                    match Client::connect(addr) {
+                        Ok(c) => break c,
+                        // Slots free asynchronously as siblings quit.
+                        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(e) => panic!("session {i}: connect: {e}"),
+                    }
+                };
+                let mut replies = Vec::new();
+                let mut busy = std::time::Duration::ZERO;
+                for cmd in script(i) {
+                    let q0 = std::time::Instant::now();
+                    let (status, text) = client.request(&cmd).expect("request");
+                    busy += q0.elapsed();
+                    assert_eq!(status, STATUS_OK, "session {i}: {cmd}: {text}");
+                    replies.push(text);
+                }
+                client.request(".quit").expect("quit");
+                (replies, busy)
+            })
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    let mut requests = 0usize;
+    let mut busy_total = std::time::Duration::ZERO;
+    for (i, w) in workers.into_iter().enumerate() {
+        let (replies, busy) = w.join().expect("serve-bench session panicked");
+        busy_total += busy;
+        requests += replies.len();
+        if replies != expected[i] {
+            mismatches += 1;
+            for (got, want) in replies.iter().zip(&expected[i]) {
+                if got != want {
+                    eprintln!("session {i} diverged:\n  serial: {want}\n  server: {got}");
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    server.shutdown();
+
+    println!(
+        "{sessions} sessions × {} requests: {:.2} ms wall ({:.0} req/s), \
+         mean latency {:.2} ms, serial replay {:.2} ms",
+        requests / sessions,
+        elapsed.as_secs_f64() * 1e3,
+        requests as f64 / elapsed.as_secs_f64(),
+        busy_total.as_secs_f64() * 1e3 / requests as f64,
+        serial_elapsed.as_secs_f64() * 1e3,
+    );
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches}/{sessions} sessions diverged from the serial replay");
+        std::process::exit(1);
+    }
+    println!("all {sessions} sessions byte-identical to the serial replay\n");
 }

@@ -200,6 +200,7 @@ impl Fig12Rig {
                 threads: 1,
                 prefetch,
                 cache: None,
+                ..Default::default()
             },
         )
         .expect("scoped execution");

@@ -3,10 +3,13 @@
 //! lives here (testable without a terminal); `main.rs` is a thin stdin
 //! loop.
 
+pub mod proto;
+
 use olap_mdx::{parse, QueryContext};
 use olap_model::{DimensionId, MemberId};
 use olap_workload::{retail_example, running_example, Workforce, WorkforceConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Which bundled dataset a session runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +20,9 @@ pub enum Dataset {
     Retail,
     /// The Section 6 workforce-planning workload (1/10th scale).
     Workforce,
+    /// A small workforce (the `--replay` configuration) sized so dozens
+    /// of concurrent server sessions stay fast; used by `--serve-bench`.
+    Bench,
 }
 
 impl Dataset {
@@ -26,6 +32,7 @@ impl Dataset {
             "running" | "example" => Some(Dataset::Running),
             "retail" => Some(Dataset::Retail),
             "workforce" => Some(Dataset::Workforce),
+            "bench" => Some(Dataset::Bench),
             _ => None,
         }
     }
@@ -58,15 +65,77 @@ impl Loaded {
     }
 }
 
-/// One interactive session.
-pub struct Session {
+/// The shareable half of a session: the loaded dataset (whose cube owns
+/// the buffer pool) and the optional scenario-delta cache. One instance
+/// backs one in-process REPL — or, behind `olap-server`, *every*
+/// concurrent analyst session: sessions share the pool and the cache
+/// but own their private tuning/budget state ([`Session`]). Sound
+/// because sessions never mutate the base cube.
+pub struct SharedData {
     data: Loaded,
+    cache: Option<Arc<whatif_core::ScenarioCache>>,
+}
+
+impl SharedData {
+    /// Loads a dataset.
+    pub fn load(dataset: Dataset) -> SharedData {
+        let data = match dataset {
+            Dataset::Running => Loaded::Running(running_example()),
+            Dataset::Retail => Loaded::Retail(retail_example(42)),
+            Dataset::Workforce => {
+                Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
+            }
+            Dataset::Bench => Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig {
+                employees: 400,
+                departments: 12,
+                changing: 80,
+                employee_extent: 1,
+                accounts: 4,
+                scenarios: 2,
+                ..WorkforceConfig::default()
+            }))),
+        };
+        SharedData { data, cache: None }
+    }
+
+    /// Enables (mb > 0) or disables (mb = 0) the shared scenario-delta
+    /// cache. Call before sharing the data across sessions.
+    pub fn set_cache_mb(&mut self, mb: usize) {
+        self.cache = if mb > 0 {
+            Some(Arc::new(whatif_core::ScenarioCache::with_capacity_mb(mb)))
+        } else {
+            None
+        };
+    }
+
+    /// The dataset's cube.
+    pub fn cube(&self) -> &olap_cube::Cube {
+        self.data.cube()
+    }
+
+    /// The shared scenario-delta cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<whatif_core::ScenarioCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Starts the cube's buffer-pool I/O workers (idempotent intent:
+    /// call once per process, before sessions attach).
+    pub fn start_io_threads(&self, k: usize) {
+        self.data.cube().start_io_threads(k);
+    }
+}
+
+/// One interactive session: private tuning and budget over an
+/// [`Arc<SharedData>`] that may be shared with other sessions.
+pub struct Session {
+    shared: Arc<SharedData>,
     threads: usize,
     prefetch: usize,
-    /// Scenario-delta cache shared by every query in the session
-    /// (`--cache MB`); `None` = off. Sound because sessions never mutate
-    /// the base cube.
-    cache: Option<std::sync::Arc<whatif_core::ScenarioCache>>,
+    /// Peak-memory ceiling in cells for this session's what-if queries
+    /// and `.rollup`s; 0 = unlimited. Enforced through the multi-pass
+    /// budget machinery (reject-with-error for merges, more passes for
+    /// aggregations).
+    budget_cells: u64,
 }
 
 /// What the caller should do after a line.
@@ -79,21 +148,26 @@ pub enum Outcome {
 }
 
 impl Session {
-    /// Loads a dataset.
+    /// Loads a dataset into a fresh, unshared session.
     pub fn new(dataset: Dataset) -> Session {
-        let data = match dataset {
-            Dataset::Running => Loaded::Running(running_example()),
-            Dataset::Retail => Loaded::Retail(retail_example(42)),
-            Dataset::Workforce => {
-                Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
-            }
-        };
+        Session::attach(Arc::new(SharedData::load(dataset)))
+    }
+
+    /// Attaches a new session to already-loaded (possibly shared) data.
+    /// This is how the server hands every connection its own session
+    /// over one pool and one cache.
+    pub fn attach(shared: Arc<SharedData>) -> Session {
         Session {
-            data,
+            shared,
             threads: 1,
             prefetch: 0,
-            cache: None,
+            budget_cells: 0,
         }
+    }
+
+    /// The shared data this session runs over.
+    pub fn shared(&self) -> &Arc<SharedData> {
+        &self.shared
     }
 
     /// Sets the executor parallelism degree (`--threads N`); 1 = serial.
@@ -108,31 +182,41 @@ impl Session {
     pub fn with_prefetch(mut self, prefetch: usize) -> Session {
         self.prefetch = prefetch;
         if prefetch > 0 {
-            self.data.cube().start_io_threads(prefetch.min(4));
+            self.shared.cube().start_io_threads(prefetch.min(4));
         }
         self
     }
 
     /// Enables the scenario-delta cache (`--cache MB`); 0 = off. What-if
     /// queries in this session then reuse merged output chunks across
-    /// repeated or edited scenarios (DESIGN.md §10).
+    /// repeated or edited scenarios (DESIGN.md §10). Must be called
+    /// before the session's data is shared with other sessions (the
+    /// server configures the cache on [`SharedData`] instead).
     pub fn with_cache(mut self, mb: usize) -> Session {
-        self.cache = if mb > 0 {
-            Some(std::sync::Arc::new(
-                whatif_core::ScenarioCache::with_capacity_mb(mb),
-            ))
-        } else {
-            None
-        };
+        Arc::get_mut(&mut self.shared)
+            .expect("with_cache must precede sharing; use SharedData::set_cache_mb")
+            .set_cache_mb(mb);
         self
     }
 
+    /// Sets the session's peak-memory budget in cells (`--budget N`);
+    /// 0 = unlimited.
+    pub fn with_budget(mut self, cells: u64) -> Session {
+        self.budget_cells = cells;
+        self
+    }
+
+    fn data(&self) -> &Loaded {
+        &self.shared.data
+    }
+
     fn context(&self) -> QueryContext<'_> {
-        let mut ctx = QueryContext::new(self.data.cube());
+        let mut ctx = QueryContext::new(self.data().cube());
         ctx.threads = self.threads;
         ctx.prefetch = self.prefetch;
-        ctx.cache = self.cache.clone();
-        for (name, dim, members) in self.data.named_sets() {
+        ctx.cache = self.shared.cache.clone();
+        ctx.budget_cells = self.budget_cells;
+        for (name, dim, members) in self.data().named_sets() {
             ctx.define_set(&name, dim, &members);
         }
         ctx
@@ -161,7 +245,7 @@ impl Session {
             "help" | "h" => Outcome::Continue(HELP.to_string()),
             "quit" | "q" | "exit" => Outcome::Quit("bye".to_string()),
             "schema" => Outcome::Continue(self.schema_text()),
-            "cache" => Outcome::Continue(match &self.cache {
+            "cache" => Outcome::Continue(match &self.shared.cache {
                 None => "scenario cache off — start the shell with --cache <MB>".to_string(),
                 Some(c) => {
                     let s = c.stats();
@@ -183,7 +267,7 @@ impl Session {
                 }
             }),
             "stats" => {
-                let s = self.data.cube().pool_stats();
+                let s = self.data().cube().pool_stats();
                 Outcome::Continue(format!(
                     "buffer pool: {} hits, {} misses, {} evictions, {} overflows\n\
                      peaks: {} resident, {} pinned\n\
@@ -205,9 +289,9 @@ impl Session {
                     s.flushes,
                 ))
             }
-            "commit" => match self.data.cube().flush() {
+            "commit" => match self.data().cube().flush() {
                 Err(e) => Outcome::Continue(format!("flush error: {e}")),
-                Ok(()) => Outcome::Continue(self.data.cube().with_pool(|pool| {
+                Ok(()) => Outcome::Continue(self.data().cube().with_pool(|pool| {
                     use olap_store::ChunkStore as _;
                     let guard = pool.store();
                     match guard.as_any().downcast_ref::<olap_store::FileStore>() {
@@ -234,11 +318,11 @@ impl Session {
                 })),
             },
             "sets" => {
-                let sets = self.data.named_sets();
+                let sets = self.data().named_sets();
                 if sets.is_empty() {
                     return Outcome::Continue("(no named sets in this dataset)".to_string());
                 }
-                let schema = self.data.cube().schema();
+                let schema = self.data().cube().schema();
                 let mut out = String::new();
                 for (name, dim, members) in sets {
                     let names: Vec<&str> = members
@@ -282,12 +366,32 @@ impl Session {
                     Err(e) => Outcome::Continue(format!("error: {e}")),
                 }
             }
+            "budget" => {
+                if arg.is_empty() {
+                    return Outcome::Continue(match self.budget_cells {
+                        0 => "session budget: unlimited".to_string(),
+                        n => format!("session budget: {n} cells"),
+                    });
+                }
+                match arg.parse::<u64>() {
+                    Ok(n) => {
+                        self.budget_cells = n;
+                        Outcome::Continue(match n {
+                            0 => "session budget: unlimited".to_string(),
+                            n => format!("session budget: {n} cells"),
+                        })
+                    }
+                    Err(_) => Outcome::Continue("usage: .budget [cells]".to_string()),
+                }
+            }
+            "apply" => Outcome::Continue(self.apply(arg)),
+            "rollup" => Outcome::Continue(self.rollup()),
             other => Outcome::Continue(format!("unknown command .{other} — try .help")),
         }
     }
 
     fn schema_text(&self) -> String {
-        let schema = self.data.cube().schema();
+        let schema = self.data().cube().schema();
         let mut out = String::new();
         for d in schema.dim_ids() {
             let dim = schema.dim(d);
@@ -315,14 +419,14 @@ impl Session {
         let _ = writeln!(
             out,
             "cube: {} cells in {} chunks",
-            self.data.cube().present_cell_count().unwrap_or(0),
-            self.data.cube().chunk_count(),
+            self.data().cube().present_cell_count().unwrap_or(0),
+            self.data().cube().chunk_count(),
         );
         out
     }
 
     fn instances_text(&self, member: &str) -> String {
-        let schema = self.data.cube().schema();
+        let schema = self.data().cube().schema();
         for d in schema.dim_ids() {
             if let Some(v) = schema.varying(d) {
                 if let Some(m) = schema.dim(d).find(member) {
@@ -412,6 +516,125 @@ impl Session {
         }
         out
     }
+
+    /// `.apply <semantics> <m1,m2,...>`: run a negative scenario over the
+    /// dataset's first varying dimension and report only *deterministic*
+    /// facts about the result — cell count, an order-independent digest,
+    /// and the pass count. Cache/pool counters are deliberately omitted:
+    /// under a shared pool and cache they depend on sibling sessions, and
+    /// the server's bench asserts byte-identical responses across
+    /// concurrent and serial runs.
+    fn apply(&self, arg: &str) -> String {
+        const USAGE: &str =
+            "usage: .apply <static|forward|xforward|backward|xbackward> <m1,m2,...>";
+        let mut parts = arg.split_whitespace();
+        let (Some(sem), Some(moments)) = (parts.next(), parts.next()) else {
+            return USAGE.to_string();
+        };
+        let semantics = match sem.to_ascii_lowercase().as_str() {
+            "static" => whatif_core::Semantics::Static,
+            "forward" | "fwd" => whatif_core::Semantics::Forward,
+            "xforward" => whatif_core::Semantics::ExtendedForward,
+            "backward" | "bwd" => whatif_core::Semantics::Backward,
+            "xbackward" => whatif_core::Semantics::ExtendedBackward,
+            _ => return USAGE.to_string(),
+        };
+        let parsed: std::result::Result<Vec<u32>, _> = moments
+            .split(',')
+            .map(|m| m.trim().parse::<u32>())
+            .collect();
+        let Ok(perspectives) = parsed else {
+            return USAGE.to_string();
+        };
+        let cube = self.data().cube();
+        let schema = cube.schema();
+        let Some(dim) = schema.dim_ids().find(|&d| schema.varying(d).is_some()) else {
+            return "this dataset has no varying dimension".to_string();
+        };
+        let scenario = whatif_core::Scenario::negative(
+            dim,
+            perspectives.iter().copied(),
+            semantics,
+            whatif_core::Mode::Visual,
+        );
+        let strategy = whatif_core::Strategy::Chunked(whatif_core::OrderPolicy::Pebbling);
+        let opts = whatif_core::ExecOpts {
+            threads: self.threads,
+            prefetch: self.prefetch,
+            cache: self.shared.cache.clone(),
+            budget_cells: self.budget_cells,
+        };
+        match whatif_core::apply_opts(cube, &scenario, &strategy, None, opts) {
+            Ok(result) => match cell_digest(&result.cube) {
+                Ok((count, digest)) => format!(
+                    "applied {} {{{}}}: {count} cells, digest {digest:016x}, {} pass(es)",
+                    sem.to_ascii_lowercase(),
+                    perspectives
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    result.report.passes,
+                ),
+                Err(e) => format!("error: {e}"),
+            },
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `.rollup`: one single-dimension group-by per cube dimension, run
+    /// through the budget-respecting multi-pass aggregator. A small
+    /// session budget means more passes; an impossible one is an error.
+    fn rollup(&self) -> String {
+        let cube = self.data().cube();
+        let schema = cube.schema();
+        let ndims = cube.geometry().ndims();
+        let masks: Vec<olap_cube::GroupByMask> = (0..ndims as u32).map(|d| 1 << d).collect();
+        let budget = match self.budget_cells {
+            0 => u64::MAX,
+            n => n,
+        };
+        match olap_cube::CubeAggregator::new(cube).compute_with_budget(&masks, budget) {
+            Ok((results, report)) => {
+                let mut out = String::new();
+                for (d, &mask) in masks.iter().enumerate() {
+                    let name = schema.dim(schema.dim_ids().nth(d).expect("dim")).name();
+                    let total = results
+                        .get(&mask)
+                        .map(|r| r.grand_total())
+                        .unwrap_or(f64::NAN);
+                    let _ = writeln!(out, "{name:<14} total {total}");
+                }
+                let _ = write!(
+                    out,
+                    "{} pass(es), peak {} buffer cells",
+                    report.passes, report.peak_buffer_cells
+                );
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+/// An order-independent digest of a cube's present cells: the wrapping
+/// sum of one FNV-1a hash per cell (coordinates, then the value's bit
+/// pattern). Identical cell sets digest identically regardless of scan
+/// or merge interleaving, which is what lets the server bench check
+/// concurrent sessions bit-for-bit against a serial replay.
+pub fn cell_digest(cube: &olap_cube::Cube) -> olap_cube::Result<(u64, u64)> {
+    let mut count = 0u64;
+    let mut digest = 0u64;
+    cube.for_each_present(|coords, v| {
+        let mut h = whatif_core::Fnv64::new();
+        for &c in coords {
+            h.write_u32(c);
+        }
+        h.write_u64(v.to_bits());
+        digest = digest.wrapping_add(h.finish());
+        count += 1;
+    })?;
+    Ok((count, digest))
 }
 
 /// The `.help` text.
@@ -422,6 +645,11 @@ Enter an (extended) MDX query, or a command:
   .sets                named sets registered for this dataset
   .explain <query>     parse, compile, optimize and run a query, with reports
   .csv <query>         run a query and print the grid as CSV
+  .apply <sem> <m,..>  run a negative scenario (first varying dim); deterministic
+                       summary: cell count, digest, passes
+  .rollup              per-dimension totals via the budget-aware multi-pass
+                       aggregator (small budgets add passes)
+  .budget [cells]      show or set this session's peak-memory budget (0 = unlimited)
   .cache               scenario-delta cache statistics (--cache MB to enable)
   .commit              flush dirty chunks atomically; report flush epoch + WAL counters
   .stats               buffer-pool counters (incl. read errors, retries, flushes)
@@ -625,6 +853,121 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn apply_digest_is_identical_across_executor_configs() {
+        let baseline = match Session::new(Dataset::Running).handle(".apply forward 1,3") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(baseline.contains("digest"), "{baseline}");
+        assert!(baseline.contains("cells"), "{baseline}");
+        for mut s in [
+            Session::new(Dataset::Running).with_threads(4),
+            Session::new(Dataset::Running).with_prefetch(2),
+            Session::new(Dataset::Running).with_cache(16),
+        ] {
+            match s.handle(".apply forward 1,3") {
+                Outcome::Continue(t) => assert_eq!(t, baseline),
+                other => panic!("{other:?}"),
+            }
+        }
+        // A warm cache replays the same answer.
+        let mut cached = Session::new(Dataset::Running).with_cache(16);
+        cached.handle(".apply forward 1,3");
+        assert!(matches!(
+            cached.handle(".apply forward 1,3"),
+            Outcome::Continue(t) if t == baseline
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_usage_errors() {
+        let mut s = Session::new(Dataset::Running);
+        for bad in [".apply", ".apply sideways 1", ".apply forward one,two"] {
+            match s.handle(bad) {
+                Outcome::Continue(t) => assert!(t.starts_with("usage:"), "{bad}: {t}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        // The retail dataset's varying Product dimension works too.
+        assert!(matches!(
+            Session::new(Dataset::Retail).handle(".apply forward 1"),
+            Outcome::Continue(t) if t.contains("digest")
+        ));
+    }
+
+    #[test]
+    fn budget_command_and_rejection() {
+        let mut s = Session::new(Dataset::Running);
+        assert!(matches!(
+            s.handle(".budget"),
+            Outcome::Continue(t) if t.contains("unlimited")
+        ));
+        assert!(matches!(
+            s.handle(".budget 1"),
+            Outcome::Continue(t) if t.contains("1 cells")
+        ));
+        // One cell can never hold a merge buffer: the executor must
+        // reject before reading rather than blow the budget.
+        match s.handle(".apply forward 1,3") {
+            Outcome::Continue(t) => assert!(t.contains("budget"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+        // Raising the budget past the predicted peak lets it through.
+        s.handle(".budget 0");
+        assert!(matches!(
+            s.handle(".apply forward 1,3"),
+            Outcome::Continue(t) if t.contains("digest")
+        ));
+    }
+
+    #[test]
+    fn rollup_respects_the_session_budget() {
+        let mut s = Session::new(Dataset::Running);
+        let unlimited = match s.handle(".rollup") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(unlimited.contains("total"), "{unlimited}");
+        assert!(unlimited.contains("1 pass(es)"), "{unlimited}");
+        // A budget of one cell cannot host any group-by buffer.
+        s.handle(".budget 1");
+        assert!(matches!(
+            s.handle(".rollup"),
+            Outcome::Continue(t) if t.starts_with("error:")
+        ));
+        // A squeezed-but-feasible budget forces extra passes yet keeps
+        // the same totals.
+        let mut squeezed = Session::new(Dataset::Running).with_budget(64);
+        match squeezed.handle(".rollup") {
+            Outcome::Continue(t) => {
+                let totals = |s: &str| -> Vec<String> {
+                    s.lines()
+                        .filter(|l| l.contains("total"))
+                        .map(|l| l.to_string())
+                        .collect()
+                };
+                assert_eq!(totals(&t), totals(&unlimited), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_attached_to_shared_data_share_the_cache() {
+        let mut shared = SharedData::load(Dataset::Running);
+        shared.set_cache_mb(16);
+        let shared = Arc::new(shared);
+        let mut a = Session::attach(shared.clone());
+        let mut b = Session::attach(shared.clone());
+        let ra = a.handle(".apply forward 1,3");
+        let rb = b.handle(".apply forward 1,3");
+        assert_eq!(ra, rb);
+        // Session b's run hit deltas that session a populated.
+        let stats = shared.cache().expect("cache on").stats();
+        assert!(stats.hits > 0, "{stats:?}");
     }
 
     #[test]

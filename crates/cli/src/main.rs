@@ -1,11 +1,17 @@
 //! `polap` — the perspective-olap shell.
 //!
 //! ```sh
-//! polap [running|retail|workforce] [--threads N] [--prefetch K] [--cache MB]
+//! polap [running|retail|workforce|bench] [--threads N] [--prefetch K]
+//!       [--cache MB] [--budget CELLS]
+//! polap --connect host:port      # client for a running olap-server
 //! ```
 
+use polap_cli::proto::{Client, STATUS_OK, STATUS_QUIT};
 use polap_cli::{Dataset, Outcome, Session, HELP};
 use std::io::{BufRead, Write};
+
+const USAGE: &str = "usage: polap [running|retail|workforce|bench] [--threads N] \
+                     [--prefetch K] [--cache MB] [--budget CELLS] | polap --connect HOST:PORT";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,6 +19,8 @@ fn main() {
     let mut threads = 1usize;
     let mut prefetch = 0usize;
     let mut cache_mb = 0usize;
+    let mut budget_cells = 0u64;
+    let mut connect: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,29 +49,82 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--budget" => {
+                i += 1;
+                budget_cells = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--budget needs a cell count (0 = unlimited)");
+                    std::process::exit(2);
+                });
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--connect needs HOST:PORT");
+                    std::process::exit(2);
+                }));
+            }
             other if dataset_arg.is_none() => dataset_arg = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
-                eprintln!(
-                    "usage: polap [running|retail|workforce] [--threads N] [--prefetch K] \
-                     [--cache MB]"
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+
+    if let Some(addr) = connect {
+        if dataset_arg.is_some() || cache_mb > 0 {
+            eprintln!("--connect runs against a server; dataset/--cache are chosen server-side");
+            std::process::exit(2);
+        }
+        run_client(&addr);
+        return;
+    }
+
     let arg = dataset_arg.unwrap_or_else(|| "running".to_string());
     let Some(dataset) = Dataset::parse(&arg) else {
-        eprintln!("unknown dataset {arg:?}; expected running, retail or workforce");
+        eprintln!("unknown dataset {arg:?}; expected running, retail, workforce or bench");
         std::process::exit(2);
     };
     eprintln!("loading {dataset:?} dataset…");
     let mut session = Session::new(dataset)
         .with_threads(threads)
         .with_prefetch(prefetch)
-        .with_cache(cache_mb);
+        .with_cache(cache_mb)
+        .with_budget(budget_cells);
     println!("{HELP}\n");
+    repl(|line| match session.handle(line) {
+        Outcome::Continue(text) => (text, false),
+        Outcome::Quit(text) => (text, true),
+    });
+}
+
+/// Client mode: same prompt loop, but every line goes to the server.
+fn run_client(addr: &str) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("connected to {addr}");
+    repl(|line| {
+        if line.trim().is_empty() {
+            return (String::new(), false);
+        }
+        match client.request(line.trim()) {
+            Ok((STATUS_OK, text)) => (text, false),
+            Ok((STATUS_QUIT, text)) => (text, true),
+            Ok((_, text)) => (format!("server error: {text}"), true),
+            Err(e) => (format!("connection lost: {e}"), true),
+        }
+    });
+}
+
+/// The shared prompt loop: feeds lines to `step` until it signals quit.
+fn repl(mut step: impl FnMut(&str) -> (String, bool)) {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -78,16 +139,12 @@ fn main() {
                 break;
             }
         }
-        match session.handle(&line) {
-            Outcome::Continue(text) => {
-                if !text.is_empty() {
-                    println!("{text}");
-                }
-            }
-            Outcome::Quit(text) => {
-                println!("{text}");
-                break;
-            }
+        let (text, quit) = step(&line);
+        if !text.is_empty() {
+            println!("{text}");
+        }
+        if quit {
+            break;
         }
     }
 }

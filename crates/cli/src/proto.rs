@@ -1,0 +1,147 @@
+//! The wire protocol `polap --connect` and `olap-server` share
+//! (DESIGN.md §13). It lives in the cli crate so the shell's client
+//! mode and the server can use one implementation without a package
+//! cycle (the server depends on the cli for [`crate::Session`]).
+//!
+//! Requests are UTF-8 text in a length-prefixed frame: a big-endian
+//! `u32` byte count, then the payload. Responses are a frame whose
+//! payload starts with one status byte ([`STATUS_OK`], [`STATUS_ERR`],
+//! [`STATUS_QUIT`]); on connect the server pushes one greeting frame
+//! before any request (`+` admitted, `-` refused by admission control).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Frames larger than this are refused — a corrupt length prefix must
+/// not make either end allocate gigabytes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Response status: request handled, text follows.
+pub const STATUS_OK: u8 = b'+';
+/// Response status: server-level error; the connection is closing.
+pub const STATUS_ERR: u8 = b'-';
+/// Response status: quit acknowledged; the connection is closing.
+pub const STATUS_QUIT: u8 = b'Q';
+
+/// Writes one response frame: `status` byte, then `text`.
+pub fn write_frame(w: &mut impl Write, status: u8, text: &str) -> io::Result<()> {
+    let len = u32::try_from(1 + text.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[status])?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Writes one request frame (no status byte — requests are bare text).
+pub fn write_request(w: &mut impl Write, line: &str) -> io::Result<()> {
+    let len = u32::try_from(line.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+fn read_payload(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean EOF at a frame boundary ends the conversation.
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Reads one request frame; `None` on clean end-of-stream.
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<String>> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(buf) => String::from_utf8(buf)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+}
+
+/// Reads one response frame as `(status, text)`; `None` on clean
+/// end-of-stream.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<(u8, String)>> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(buf) => {
+            let (&status, text) = buf
+                .split_first()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+            let text = String::from_utf8(text.to_vec())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Ok(Some((status, text)))
+        }
+    }
+}
+
+/// A blocking client: one request, one response.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and reads the greeting frame. Admission refusal comes
+    /// back as a `ConnectionRefused` error carrying the server's text.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        match read_response(&mut stream)? {
+            Some((STATUS_OK, _banner)) => Ok(Client { stream }),
+            Some((_, text)) => Err(io::Error::new(io::ErrorKind::ConnectionRefused, text)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before greeting",
+            )),
+        }
+    }
+
+    /// Sends one line and waits for its `(status, text)` response.
+    /// Server-closed-without-reply surfaces as `UnexpectedEof`.
+    pub fn request(&mut self, line: &str) -> io::Result<(u8, String)> {
+        write_request(&mut self.stream, line)?;
+        read_response(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, ".schema").unwrap();
+        write_frame(&mut buf, STATUS_OK, "fine").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_request(&mut r).unwrap().as_deref(), Some(".schema"));
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Some((STATUS_OK, "fine".to_string()))
+        );
+        assert_eq!(read_response(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(read_request(&mut r).is_err());
+    }
+}

@@ -34,9 +34,10 @@
 use crate::fingerprint::Fnv64;
 use crate::operators::relocate::{CellFate, DestMap};
 use olap_store::{Chunk, ChunkId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A memoized output chunk. Merged cubes are sparse: most affected
 /// labels produce *no* chunk (all cells relocated away or dropped), and
@@ -95,9 +96,16 @@ struct Inner {
 /// A bounded, LRU-evicted, thread-safe cache of merged what-if chunks.
 ///
 /// `Send + Sync`: one instance is shared by every query a `Session`
-/// runs, including parallel (`--threads`) executions. The executor
+/// runs, including parallel (`--threads`) executions — and, behind the
+/// server, by every *session* of a multi-tenant process. The executor
 /// consults it before pebbling each merge component and installs the
 /// component's output chunks after a miss.
+///
+/// The interior lock is a [`parking_lot::Mutex`] (same as the buffer
+/// pool's shards), which does not poison: a query that panics while
+/// holding the lock leaves the cache usable for every other session.
+/// The cache is an optimization — it must degrade, never propagate a
+/// peer's failure.
 #[derive(Debug)]
 pub struct ScenarioCache {
     inner: Mutex<Inner>,
@@ -132,7 +140,7 @@ impl ScenarioCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether nothing is cached.
@@ -148,7 +156,7 @@ impl ScenarioCache {
     /// invalidated so the recompute path re-inserts fresh ones.
     pub fn lookup_component(&self, keys: &[(ChunkId, u64)]) -> Option<Vec<Cached>> {
         self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         let mut stale = 0u64;
@@ -184,7 +192,7 @@ impl ScenarioCache {
     /// exceeded.
     pub fn insert(&self, id: ChunkId, digest: u64, payload: Cached) {
         let bytes = payload.bytes();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.entries.remove(&id) {
@@ -227,7 +235,7 @@ impl ScenarioCache {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            bytes: self.inner.lock().unwrap().bytes as u64,
+            bytes: self.inner.lock().bytes as u64,
         }
     }
 
@@ -240,7 +248,7 @@ impl ScenarioCache {
 
     /// Drops every entry.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.entries.clear();
         inner.bytes = 0;
     }
@@ -347,6 +355,32 @@ mod tests {
         assert!(cache.lookup_component(&[(ChunkId(9), 2)]).is_none());
         assert_eq!(cache.stats().invalidations, 1);
         assert!(cache.is_empty(), "stale entry must be dropped");
+    }
+
+    #[test]
+    fn panicked_session_does_not_poison_the_cache() {
+        // A multi-tenant server shares one cache across sessions; a
+        // panicking query must not take the cache down with it. The
+        // parking_lot mutex does not poison, so lookups from surviving
+        // sessions keep being served.
+        let cache = Arc::new(ScenarioCache::new(1 << 20));
+        cache.insert(ChunkId(1), 7, Cached::Chunk(chunk()));
+        let peer = Arc::clone(&cache);
+        let crashed = std::thread::spawn(move || {
+            peer.insert(ChunkId(2), 7, Cached::Empty);
+            // Unwind *while holding* the cache lock: the scenario that
+            // poisoned the old std::sync::Mutex for every later caller.
+            let _guard = peer.inner.lock();
+            panic!("simulated mid-query session crash");
+        })
+        .join();
+        assert!(crashed.is_err(), "the session thread must have panicked");
+        let served = cache
+            .lookup_component(&[(ChunkId(1), 7), (ChunkId(2), 7)])
+            .expect("cache must keep serving after a peer panic");
+        assert_eq!(served.len(), 2);
+        cache.insert(ChunkId(3), 9, Cached::Empty);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

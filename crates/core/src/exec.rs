@@ -110,6 +110,14 @@ pub struct ExecOpts {
     /// chunks are immutable for its lifetime (sessions never mutate
     /// their data cube).
     pub cache: Option<Arc<ScenarioCache>>,
+    /// Peak-memory ceiling in *cells* for this execution; `0` means
+    /// unlimited. A plan whose predicted pebble count (times the chunk
+    /// cell extent) exceeds the ceiling is rejected with
+    /// [`crate::WhatIfError::BudgetExceeded`] before any chunk is read —
+    /// the per-session admission check of the multi-tenant server. The
+    /// check uses the same pebble prediction the `.explain` report
+    /// shows, so a rejection names the exact shortfall.
+    pub budget_cells: u64,
 }
 
 impl Default for ExecOpts {
@@ -118,6 +126,7 @@ impl Default for ExecOpts {
             threads: 1,
             prefetch: 0,
             cache: None,
+            budget_cells: 0,
         }
     }
 }
@@ -182,8 +191,7 @@ pub fn execute_chunked_scoped_threaded(
         scope,
         ExecOpts {
             threads,
-            prefetch: 0,
-            cache: None,
+            ..ExecOpts::default()
         },
     )
 }
@@ -246,8 +254,7 @@ pub fn execute_passes_threaded(
         scope,
         ExecOpts {
             threads,
-            prefetch: 0,
-            cache: None,
+            ..ExecOpts::default()
         },
     )
 }
@@ -272,6 +279,18 @@ pub fn execute_passes_opts(
     let mut env = Env::new(cube, dim, full, policy, scope, opts.prefetch)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
+    if opts.budget_cells > 0 {
+        // Reject-before-read: the pebble prediction is the same number
+        // `.explain` reports, priced in cells via the chunk extent.
+        let needed =
+            (report.predicted_pebbles as u64).saturating_mul(cube.geometry().chunk_cells());
+        if needed > opts.budget_cells {
+            return Err(crate::WhatIfError::BudgetExceeded {
+                needed_cells: needed,
+                budget_cells: opts.budget_cells,
+            });
+        }
+    }
     let to_insert = match &opts.cache {
         Some(cache) if scope.is_none() => env.serve_from_cache(cache, full, &out, &mut report)?,
         _ => Vec::new(),

@@ -148,8 +148,7 @@ pub fn apply_scoped_threaded(
         scope,
         ExecOpts {
             threads,
-            prefetch: 0,
-            cache: None,
+            ..ExecOpts::default()
         },
     )
 }

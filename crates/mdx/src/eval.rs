@@ -39,6 +39,11 @@ pub struct QueryContext<'a> {
     /// output chunks, so `scoped_retrieval` is bypassed for cached
     /// queries). `None` (the default) is bit-identical to today.
     pub cache: Option<std::sync::Arc<whatif_core::ScenarioCache>>,
+    /// Peak-memory ceiling in cells for what-if execution (`0` =
+    /// unlimited): a scenario whose predicted pebble footprint exceeds
+    /// it is rejected with `BudgetExceeded` before reading any chunk.
+    /// This is the per-session budget the multi-tenant server enforces.
+    pub budget_cells: u64,
 }
 
 impl<'a> QueryContext<'a> {
@@ -53,6 +58,7 @@ impl<'a> QueryContext<'a> {
             threads: 1,
             prefetch: 0,
             cache: None,
+            budget_cells: 0,
         }
     }
 
@@ -114,6 +120,7 @@ pub fn evaluate_full(
                 // Positive scenarios rebuild the axis via split(), which
                 // the chunk cache does not cover.
                 cache: None,
+                budget_cells: ctx.budget_cells,
             },
         )?);
     }
@@ -191,6 +198,7 @@ pub fn evaluate_full(
                 threads: ctx.threads,
                 prefetch: ctx.prefetch,
                 cache: ctx.cache.clone(),
+                budget_cells: ctx.budget_cells,
             },
         )?);
     }

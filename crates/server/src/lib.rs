@@ -1,0 +1,296 @@
+//! `olap-server`: a long-lived, multi-tenant what-if server.
+//!
+//! Concurrent analyst sessions speak the shell's language — dot-commands
+//! and extended MDX — over a simple length-framed TCP protocol
+//! (DESIGN.md §13). All sessions share one [`SharedData`]: one buffer
+//! pool and one scenario-delta cache; each connection owns a private
+//! [`Session`] (tuning, scenario state, memory budget). Admission
+//! control is a hard session cap — connections beyond it are refused
+//! with an error frame rather than queued, so admitted analysts keep
+//! their latency.
+//!
+//! ## Wire protocol
+//!
+//! *Requests* are UTF-8 text (one shell line) in a length-prefixed
+//! frame: a big-endian `u32` byte count, then the payload.
+//!
+//! *Responses* are a frame whose payload starts with one status byte:
+//!
+//! | status | meaning                                                  |
+//! |--------|----------------------------------------------------------|
+//! | `+`    | handled; text is the shell's reply (may be an engine error message, exactly as the REPL would print it) |
+//! | `-`    | server-level failure: admission refused, oversized frame, or the session panicked; the connection closes after this frame |
+//! | `Q`    | quit acknowledged; the connection closes after this frame |
+//!
+//! On connect, before any request, the server pushes one *greeting*
+//! frame: `+` and a banner if the session was admitted, `-` if the
+//! admission cap refused it (the connection then closes). Reading the
+//! greeting first is what makes refusal race-free for clients.
+
+use polap_cli::{Outcome, Session, SharedData};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+pub use polap_cli::proto::{
+    read_request, read_response, write_frame, write_request, Client, MAX_FRAME, STATUS_ERR,
+    STATUS_OK, STATUS_QUIT,
+};
+
+/// Server tuning: the session cap and the per-session defaults every
+/// connection starts from.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Hard cap on concurrent sessions; further connections are refused
+    /// with a `-` frame.
+    pub max_sessions: usize,
+    /// Executor threads per session.
+    pub threads: usize,
+    /// Prefetch lookahead per session (0 = off).
+    pub prefetch: usize,
+    /// Per-session peak-memory budget in cells (0 = unlimited). Sessions
+    /// can lower/raise their own with `.budget`.
+    pub budget_cells: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            threads: 1,
+            prefetch: 0,
+            budget_cells: 0,
+        }
+    }
+}
+
+/// A running server: owns the accept loop. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting; connections already admitted
+/// run to completion on their own threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting sessions over `shared`.
+    pub fn start(shared: Arc<SharedData>, bind: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let stop = stop.clone();
+            let active = active.clone();
+            thread::spawn(move || accept_loop(listener, shared, cfg, stop, active))
+        };
+        Ok(Server {
+            addr,
+            stop,
+            active,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently admitted.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<SharedData>,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Admission control: claim a slot or refuse. The claim must be
+        // a CAS loop, not load-then-store — two racing connections must
+        // not both squeeze into the last slot.
+        let mut n = active.load(Ordering::Relaxed);
+        let admitted = loop {
+            if n >= cfg.max_sessions {
+                break false;
+            }
+            match active.compare_exchange_weak(n, n + 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break true,
+                Err(cur) => n = cur,
+            }
+        };
+        if !admitted {
+            let _ = write_frame(
+                &mut stream,
+                STATUS_ERR,
+                &format!(
+                    "server full: {} sessions active (max {}); try again later",
+                    cfg.max_sessions, cfg.max_sessions
+                ),
+            );
+            continue; // dropping the stream closes the refused connection
+        }
+        let shared = shared.clone();
+        let active = active.clone();
+        thread::spawn(move || {
+            serve_connection(&mut stream, shared, cfg);
+            active.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+}
+
+/// Runs one admitted connection to completion. A panic inside a request
+/// is caught here: the offender gets a `-` frame and its connection
+/// closes, while the shared pool and cache — whose locks never poison —
+/// keep serving every other session.
+fn serve_connection(stream: &mut TcpStream, shared: Arc<SharedData>, cfg: ServerConfig) {
+    if write_frame(stream, STATUS_OK, "olap-server ready").is_err() {
+        return;
+    }
+    let mut session = Session::attach(shared)
+        .with_threads(cfg.threads)
+        .with_prefetch(cfg.prefetch)
+        .with_budget(cfg.budget_cells);
+    loop {
+        let req = match read_request(stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // client hung up cleanly
+            Err(e) => {
+                let _ = write_frame(stream, STATUS_ERR, &format!("bad frame: {e}"));
+                return;
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Test hook (debug builds only): fault-injection for the
+            // isolation tests — panic mid-request, holding nothing.
+            #[cfg(debug_assertions)]
+            if req.trim() == ".panic" {
+                panic!("deliberate .panic test hook");
+            }
+            session.handle(&req)
+        }));
+        let ok = match outcome {
+            Ok(Outcome::Continue(text)) => write_frame(stream, STATUS_OK, &text).is_ok(),
+            Ok(Outcome::Quit(text)) => {
+                let _ = write_frame(stream, STATUS_QUIT, &text);
+                return;
+            }
+            Err(_) => {
+                let _ = write_frame(
+                    stream,
+                    STATUS_ERR,
+                    "session panicked; connection closed (other sessions unaffected)",
+                );
+                return;
+            }
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polap_cli::Dataset;
+
+    fn running_server(cfg: ServerConfig) -> Server {
+        let shared = Arc::new(SharedData::load(Dataset::Running));
+        Server::start(shared, "127.0.0.1:0", cfg).expect("bind")
+    }
+
+    #[test]
+    fn serves_commands_and_quit() {
+        let server = running_server(ServerConfig::default());
+        let mut c = Client::connect(server.addr()).unwrap();
+        let (status, text) = c.request(".schema").unwrap();
+        assert_eq!(status, STATUS_OK);
+        assert!(text.contains("Organization"), "{text}");
+        // Engine errors stay `+`: they are the shell's reply.
+        let (status, text) = c.request("SELECT FROM NOWHERE").unwrap();
+        assert_eq!(status, STATUS_OK);
+        assert!(text.starts_with("error:"), "{text}");
+        let (status, _) = c.request(".quit").unwrap();
+        assert_eq!(status, STATUS_QUIT);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_refuses_past_the_cap() {
+        let server = running_server(ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        });
+        let mut a = Client::connect(server.addr()).unwrap();
+        let b = Client::connect(server.addr()).unwrap();
+        assert_eq!(a.request(".budget").unwrap().0, STATUS_OK);
+        let refused = Client::connect(server.addr()).expect_err("third session must be refused");
+        assert_eq!(refused.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(refused.to_string().contains("server full"), "{refused}");
+        // A slot frees when a session quits; the next connection gets in.
+        assert_eq!(a.request(".quit").unwrap().0, STATUS_QUIT);
+        let mut d = loop {
+            // The slot frees asynchronously (connection-thread teardown).
+            match Client::connect(server.addr()) {
+                Ok(d) => break d,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                    thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        };
+        assert_eq!(d.request(".quit").unwrap().0, STATUS_QUIT);
+        drop(b);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_session_budgets_are_private() {
+        let server = running_server(ServerConfig::default());
+        let mut broke = Client::connect(server.addr()).unwrap();
+        let mut rich = Client::connect(server.addr()).unwrap();
+        assert_eq!(broke.request(".budget 1").unwrap().0, STATUS_OK);
+        let (_, text) = broke.request(".apply forward 1,3").unwrap();
+        assert!(text.contains("budget"), "{text}");
+        // The other session is unconstrained by its neighbor's budget.
+        let (_, text) = rich.request(".apply forward 1,3").unwrap();
+        assert!(text.contains("digest"), "{text}");
+        server.shutdown();
+    }
+}

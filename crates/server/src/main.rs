@@ -1,0 +1,97 @@
+//! The `olap-server` binary: load a dataset, bind, serve analyst
+//! sessions until killed. Connect with `polap --connect host:port`.
+
+use olap_server::{Server, ServerConfig};
+use polap_cli::{Dataset, SharedData};
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: olap-server [dataset] [options]
+  dataset               running | retail | workforce | bench (default: running)
+  --bind ADDR:PORT      listen address (default 127.0.0.1:3811; port 0 = ephemeral)
+  --max-sessions N      admission cap: refuse connections past N sessions (default 64)
+  --cache MB            shared scenario-delta cache size (default 0 = off)
+  --threads N           executor threads per session (default 1)
+  --prefetch K          prefetch lookahead per session (default 0)
+  --budget CELLS        default per-session peak-memory budget (default 0 = unlimited)
+  --help                this text";
+
+fn main() {
+    let mut dataset = Dataset::Running;
+    let mut bind = "127.0.0.1:3811".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut cache_mb = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--bind" => bind = value("--bind"),
+            "--max-sessions" => match value("--max-sessions").parse() {
+                Ok(n) if n > 0 => cfg.max_sessions = n,
+                _ => die("--max-sessions needs a positive integer"),
+            },
+            "--cache" => match value("--cache").parse() {
+                Ok(mb) => cache_mb = mb,
+                Err(_) => die("--cache needs a size in MiB"),
+            },
+            "--threads" => match value("--threads").parse() {
+                Ok(n) if n > 0 => cfg.threads = n,
+                _ => die("--threads needs a positive integer"),
+            },
+            "--prefetch" => match value("--prefetch").parse() {
+                Ok(k) => cfg.prefetch = k,
+                Err(_) => die("--prefetch needs a lookahead depth"),
+            },
+            "--budget" => match value("--budget").parse() {
+                Ok(n) => cfg.budget_cells = n,
+                Err(_) => die("--budget needs a cell count"),
+            },
+            other => match Dataset::parse(other) {
+                Some(d) => dataset = d,
+                None => die(&format!("unknown argument {other:?}")),
+            },
+        }
+    }
+
+    let mut shared = SharedData::load(dataset);
+    if cache_mb > 0 {
+        shared.set_cache_mb(cache_mb);
+    }
+    let shared = Arc::new(shared);
+    if cfg.prefetch > 0 {
+        shared.start_io_threads(cfg.prefetch.min(4));
+    }
+    let server = match Server::start(shared, &bind, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {bind}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "olap-server listening on {} ({:?} dataset, {} session cap, cache {} MiB)",
+        server.addr(),
+        dataset,
+        cfg.max_sessions,
+        cache_mb,
+    );
+    // Serve until killed: the accept loop owns the process from here.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}

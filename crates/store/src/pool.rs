@@ -49,7 +49,7 @@ use crate::error::StoreError;
 use crate::geometry::ChunkId;
 use crate::store::ChunkStore;
 use crate::Result;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -409,11 +409,74 @@ impl PoolInner {
                 self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
             }
             if frame.dirty {
-                let mut store = self.store.write();
-                self.write_with_retry(store.as_mut(), id, &frame.chunk)?;
+                self.evict_dirty(si, id, frame, sh)?;
             }
         }
         Ok(())
+    }
+
+    /// Writes an evicted dirty frame through to the store as its own
+    /// single-chunk WAL transaction (`begin_flush` … `commit_flush`),
+    /// so a crash mid-eviction recovers to the pre- or post-image and
+    /// never persists part of a logical update outside any transaction.
+    ///
+    /// The caller has already removed the frame from its shard and
+    /// still holds the shard guard. `id` is parked in the shard's
+    /// in-flight set for the duration of the write, so a concurrent
+    /// miss on the same chunk waits on the condvar for the post-image
+    /// instead of re-admitting the store's pre-image. On a terminal
+    /// write failure the frame is restored (still dirty) and the
+    /// eviction un-counted — an eviction must never lose an update.
+    fn evict_dirty(
+        &self,
+        si: usize,
+        id: ChunkId,
+        frame: Frame,
+        mut sh: MutexGuard<'_, Shard>,
+    ) -> Result<()> {
+        sh.in_flight.insert(id);
+        drop(sh);
+        let (committed, synced) = {
+            let mut store = self.store.write();
+            let committed = (|| {
+                store.begin_flush()?;
+                if let Err(e) = self.write_with_retry(store.as_mut(), id, &frame.chunk) {
+                    let _ = store.abort_flush();
+                    return Err(e);
+                }
+                if let Err(e) = store.commit_flush() {
+                    let _ = store.abort_flush();
+                    return Err(e);
+                }
+                Ok(())
+            })();
+            let synced = if committed.is_ok() && self.durable_flush.load(Ordering::Relaxed) {
+                // Post-commit, as in `flush_all`: a sync failure
+                // propagates but must not roll back the committed
+                // write, so the frame stays evicted.
+                store.sync()
+            } else {
+                Ok(())
+            };
+            (committed, synced)
+        };
+        let slot = &self.shards[si];
+        let mut sh = slot.shard.lock();
+        sh.in_flight.remove(&id);
+        if committed.is_err() {
+            // The write never committed: restore the frame (unless a
+            // concurrent `put` already re-admitted a newer version —
+            // that one supersedes the evicted bytes) and undo the
+            // accounting so `resident == misses - evictions` holds.
+            if let std::collections::hash_map::Entry::Vacant(e) = sh.frames.entry(id) {
+                e.insert(frame);
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        drop(sh);
+        slot.read_done.notify_all();
+        committed.and(synced)
     }
 
     /// Hit-or-read-and-admit, optionally pinning, with miss accounting
@@ -1139,6 +1202,123 @@ mod tests {
         p.get(ChunkId(1)).unwrap(); // evicts dirty 0
         let store = p.into_store().unwrap();
         assert_eq!(store.read(ChunkId(0)).unwrap().get(0), CellValue::Num(7.0));
+    }
+
+    /// Satellite bugfix (ISSUE 6): a dirty eviction's write-through must
+    /// run inside its own `begin_flush`/`commit_flush` transaction —
+    /// previously it wrote bare, outside any WAL transaction, exactly
+    /// the torn state PR 5's commit record was built to prevent.
+    #[test]
+    fn eviction_write_runs_in_a_flush_transaction() {
+        use crate::store::IoStats;
+
+        #[derive(Debug)]
+        struct TxnGate {
+            inner: MemStore,
+            in_txn: bool,
+            begins: usize,
+            commits: usize,
+        }
+        impl ChunkStore for TxnGate {
+            fn read(&self, id: ChunkId) -> Result<Chunk> {
+                self.inner.read(id)
+            }
+            fn write(&mut self, id: ChunkId, chunk: &Chunk) -> Result<()> {
+                assert!(self.in_txn, "store write outside a flush transaction");
+                self.inner.write(id, chunk)
+            }
+            fn contains(&self, id: ChunkId) -> bool {
+                self.inner.contains(id)
+            }
+            fn ids(&self) -> Vec<ChunkId> {
+                self.inner.ids()
+            }
+            fn stats(&self) -> &IoStats {
+                self.inner.stats()
+            }
+            fn begin_flush(&mut self) -> Result<()> {
+                self.in_txn = true;
+                self.begins += 1;
+                Ok(())
+            }
+            fn commit_flush(&mut self) -> Result<u64> {
+                assert!(self.in_txn, "commit without begin");
+                self.in_txn = false;
+                self.commits += 1;
+                Ok(self.commits as u64)
+            }
+            fn abort_flush(&mut self) -> Result<()> {
+                self.in_txn = false;
+                Ok(())
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let mut inner = MemStore::new();
+        inner.write(ChunkId(1), &Chunk::new_dense(vec![2])).unwrap();
+        let gate = TxnGate {
+            inner,
+            in_txn: false,
+            begins: 0,
+            commits: 0,
+        };
+        let p = BufferPool::new(Box::new(gate), 1);
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(0, CellValue::num(7.0));
+        p.put(ChunkId(0), c).unwrap();
+        p.get(ChunkId(1)).unwrap(); // evicts dirty 0 through the WAL
+        let store = p.store();
+        let gate = store.as_any().downcast_ref::<TxnGate>().unwrap();
+        assert_eq!(gate.begins, 1, "eviction must open one transaction");
+        assert_eq!(gate.commits, 1, "eviction must commit it");
+        assert!(!gate.in_txn, "transaction left open");
+        assert_eq!(
+            gate.inner.read(ChunkId(0)).unwrap().get(0),
+            CellValue::Num(7.0)
+        );
+    }
+
+    /// Satellite bugfix (ISSUE 6): a terminal eviction write failure
+    /// must not drop the dirty frame — the update would be lost with no
+    /// recovery path. The frame is restored (still dirty), the eviction
+    /// is un-counted, and the next admission retries the write-back.
+    #[test]
+    fn failed_eviction_write_restores_dirty_frame() {
+        use crate::fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
+        let p = BufferPool::new(store_with(2), 1);
+        // Enough one-shot write faults to exhaust the retry budget.
+        let plan = (1..=1 + READ_RETRIES as u64)
+            .map(|at| FaultSpec {
+                op: FaultOp::Write,
+                at,
+                kind: FaultKind::Error,
+                persistent: false,
+            })
+            .collect();
+        p.wrap_store(|s| Box::new(FaultStore::new(s, plan)));
+        let mut c = Chunk::new_dense(vec![2]);
+        c.set(0, CellValue::num(42.0));
+        p.put(ChunkId(0), c).unwrap();
+        // Admitting chunk 1 must evict dirty 0; the write-through fails
+        // terminally and the error surfaces on the get.
+        assert!(matches!(p.get(ChunkId(1)), Err(StoreError::Io(_))));
+        assert!(p.contains(ChunkId(0)), "dirty frame must be restored");
+        let st = p.stats();
+        assert_eq!(st.evictions, 0, "failed eviction stays un-counted");
+        assert_eq!(st.write_retries, READ_RETRIES as u64);
+        assert_eq!(p.resident(), 1, "only the restored frame is resident");
+        // The fault budget is spent: the next admission evicts cleanly
+        // and the penned-up update reaches the store.
+        p.get(ChunkId(1)).unwrap();
+        assert_eq!(
+            p.store().read(ChunkId(0)).unwrap().get(0),
+            CellValue::Num(42.0)
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ while [ "$i" -le 10 ]; do
     cargo test -q -p olap-store --lib >/dev/null
     cargo test -q -p whatif-integration-tests \
         --test parallel_exec --test prefetch --test scenario_cache \
-        --test fault_injection --test persistence >/dev/null
+        --test fault_injection --test persistence --test server >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
@@ -34,6 +34,13 @@ echo "== crash-recovery smoke test =="
 # non-zero on any torn state), across checksum/compression configs.
 ./target/release/repro --crash-points >/dev/null 2>&1
 echo "(all crash points recover to a flush boundary)"
+
+echo "== multi-tenant server smoke test =="
+# Eight concurrent analyst sessions over one pool and one shared
+# scenario-delta cache must answer byte-identically to a serial replay
+# of the same edit scripts (repro exits non-zero on any divergence).
+./target/release/repro --serve-bench 8 >/dev/null
+echo "(8 concurrent sessions byte-identical to serial replay)"
 
 echo "== corruption smoke test =="
 # One flipped payload byte must surface as StoreError::Corrupt on read,

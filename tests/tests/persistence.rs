@@ -407,6 +407,88 @@ fn pool_flush_crash_points_recover_exact_image() {
     }
 }
 
+/// The ISSUE 6 satellite sweep: the write at the crash point is a dirty
+/// *eviction* (demand admission under a capacity-1 pool), not a
+/// `flush_all`. PR 5 closed the flush path but evictions still wrote
+/// through bare; routed through `begin_flush`/`commit_flush` they must
+/// now satisfy the same contract — a crash after every physical store
+/// op recovers exactly the pre- or post-eviction image, never a mix.
+#[test]
+fn dirty_eviction_crash_points_recover_exact_image() {
+    for checksums in [false, true] {
+        for compressed in [false, true] {
+            let tag = format!("evictmat-c{}-z{}", checksums as u8, compressed as u8);
+
+            // Reference images: chunks 0 and 1 committed up front; the
+            // eviction writes an updated chunk 0 through.
+            let pre: BTreeMap<u64, Chunk> =
+                (0..2u64).map(|i| (i, marked_chunk(i as f64))).collect();
+            let mut post = pre.clone();
+            post.insert(0, marked_chunk(100.0));
+
+            // One run: dirty chunk 0 in a capacity-1 pool, then demand
+            // chunk 1 so the eviction write-through is the only store
+            // write in the armed window. `None` is the dry run that
+            // learns the deterministic op-schedule length.
+            let run = |crash_op: Option<u64>, path: &std::path::Path| -> (bool, u64) {
+                cleanup(path);
+                let mut s = FileStore::create(path).unwrap();
+                s.set_checksums(checksums);
+                s.set_compression(compressed);
+                for (id, c) in &pre {
+                    s.write(ChunkId(*id), c).unwrap();
+                }
+                let before = s.phys_ops();
+                s.set_crash_after_ops(crash_op);
+                let pool = BufferPool::new(Box::new(s), 1);
+                pool.put(ChunkId(0), post[&0].clone()).unwrap();
+                let ok = pool.get(ChunkId(1)).is_ok();
+                let ops = {
+                    let guard = pool.store();
+                    guard
+                        .as_any()
+                        .downcast_ref::<FileStore>()
+                        .unwrap()
+                        .phys_ops()
+                        - before
+                };
+                (ok, ops)
+            };
+
+            let dry = tmp(&format!("{tag}-dry"));
+            let (ok, total_ops) = run(None, &dry);
+            assert!(ok, "{tag}: dry run must evict cleanly");
+            cleanup(&dry);
+            assert!(total_ops >= 2, "{tag}: schedule too short: {total_ops}");
+
+            let (mut saw_pre, mut saw_post) = (0u64, 0u64);
+            for k in 0..=total_ops {
+                let path = tmp(&format!("{tag}-k{k}"));
+                let (ok, _) = run(Some(k), &path);
+                assert_eq!(
+                    ok,
+                    k >= total_ops,
+                    "{tag}: k={k} eviction outcome out of schedule"
+                );
+                let got = disk_image(&FileStore::open(&path).unwrap());
+                if images_match(&got, &pre) {
+                    saw_pre += 1;
+                } else if images_match(&got, &post) {
+                    saw_post += 1;
+                } else {
+                    panic!("{tag}: k={k} recovered a mixed image: {:?}", got.keys());
+                }
+                if k == total_ops {
+                    assert!(images_match(&got, &post), "{tag}: clean eviction lost data");
+                }
+                cleanup(&path);
+            }
+            assert!(saw_pre > 0, "{tag}: no crash point rolled back");
+            assert!(saw_post > 0, "{tag}: no crash point redid the eviction");
+        }
+    }
+}
+
 mod crash_interleavings {
     use super::*;
     use proptest::prelude::*;

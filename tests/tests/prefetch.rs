@@ -52,6 +52,7 @@ fn prefetched_whatif_matches_demand_paging() {
                 threads: 1,
                 prefetch,
                 cache: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -107,6 +108,7 @@ fn prefetch_hits_on_a_seek_model_filestore() {
             threads: 1,
             prefetch: 4,
             cache: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -155,6 +157,7 @@ fn prefetch_hints_span_slice_boundaries() {
             threads: 1,
             prefetch: 4,
             cache: None,
+            ..Default::default()
         },
     )
     .unwrap();

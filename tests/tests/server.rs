@@ -1,0 +1,202 @@
+//! Multi-tenant server tests: concurrent sessions over one buffer pool
+//! and one scenario-delta cache must be indistinguishable — byte for
+//! byte — from analysts taking turns, and one analyst's crash or budget
+//! must never leak into a neighbor's session (DESIGN.md §13).
+
+use olap_server::{Server, ServerConfig, STATUS_ERR, STATUS_OK, STATUS_QUIT};
+use polap_cli::proto::Client;
+use polap_cli::{Dataset, Outcome, Session, SharedData};
+use std::io;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn start(dataset: Dataset, cache_mb: usize, cfg: ServerConfig) -> Server {
+    let mut shared = SharedData::load(dataset);
+    if cache_mb > 0 {
+        shared.set_cache_mb(cache_mb);
+    }
+    Server::start(Arc::new(shared), "127.0.0.1:0", cfg).expect("bind")
+}
+
+/// The edit script session `i` replays: alternating semantics and
+/// rotating perspective sets, ending in a rollup — every reply is
+/// deterministic by construction.
+fn script(i: usize) -> Vec<String> {
+    const MOMENT_SETS: [&str; 4] = ["1,3", "2,4", "1,4", "3"];
+    let mut cmds = Vec::new();
+    for step in 0..4 {
+        let sem = if (i + step).is_multiple_of(2) {
+            "forward"
+        } else {
+            "static"
+        };
+        cmds.push(format!(
+            ".apply {sem} {}",
+            MOMENT_SETS[(i + step) % MOMENT_SETS.len()]
+        ));
+    }
+    cmds.push(".rollup".to_string());
+    cmds
+}
+
+/// The tentpole guarantee: 32 concurrent sessions hammering one pool and
+/// one cache get byte-identical answers to a serial replay of the same
+/// scripts on a cache-less private copy.
+#[test]
+fn thirty_two_concurrent_sessions_match_serial_replay() {
+    const N: usize = 32;
+    // Serial baseline, no cache, sessions take turns.
+    let serial = Arc::new(SharedData::load(Dataset::Running));
+    let expected: Vec<Vec<String>> = (0..N)
+        .map(|i| {
+            let mut s = Session::attach(serial.clone());
+            script(i)
+                .iter()
+                .map(|cmd| match s.handle(cmd) {
+                    Outcome::Continue(t) => t,
+                    Outcome::Quit(t) => t,
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = start(
+        Dataset::Running,
+        16,
+        ServerConfig {
+            max_sessions: N,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let workers: Vec<_> = (0..N)
+        .map(|i| {
+            thread::spawn(move || -> Vec<String> {
+                let mut c = Client::connect(addr).expect("admitted");
+                let replies = script(i)
+                    .iter()
+                    .map(|cmd| {
+                        let (status, text) = c.request(cmd).expect("request");
+                        assert_eq!(status, STATUS_OK, "{cmd}: {text}");
+                        text
+                    })
+                    .collect();
+                assert_eq!(c.request(".quit").unwrap().0, STATUS_QUIT);
+                replies
+            })
+        })
+        .collect();
+    for (i, w) in workers.into_iter().enumerate() {
+        let replies = w.join().expect("session thread panicked");
+        assert_eq!(replies, expected[i], "session {i} diverged from serial");
+    }
+    server.shutdown();
+}
+
+/// One analyst's panic must not take the cache — or anyone else's
+/// session — down with it: the `.panic` hook (debug builds) dies while
+/// the shared state is live, and a surviving session keeps getting
+/// correct, cache-served answers.
+#[test]
+fn session_panic_leaves_shared_cache_serving_others() {
+    let server = start(Dataset::Running, 16, ServerConfig::default());
+    let mut survivor = Client::connect(server.addr()).unwrap();
+    let (_, before) = survivor.request(".apply forward 1,3").unwrap();
+    assert!(before.contains("digest"), "{before}");
+
+    let mut victim = Client::connect(server.addr()).unwrap();
+    // Warm the shared cache from the victim too, then kill it mid-flight.
+    assert_eq!(victim.request(".apply forward 1,3").unwrap().0, STATUS_OK);
+    let (status, text) = victim.request(".panic").expect("panic reply frame");
+    assert_eq!(status, STATUS_ERR, "{text}");
+    assert!(text.contains("panicked"), "{text}");
+    // The victim's connection is gone…
+    assert!(victim.request(".schema").is_err());
+
+    // …but the survivor still gets the same bytes as before the crash,
+    // through the same shared cache.
+    let (status, after) = survivor.request(".apply forward 1,3").unwrap();
+    assert_eq!(status, STATUS_OK);
+    assert_eq!(after, before, "shared state corrupted by a session panic");
+    let (status, cache) = survivor.request(".cache").unwrap();
+    assert_eq!(status, STATUS_OK);
+    assert!(!cache.contains("cache off"), "{cache}");
+    assert_eq!(survivor.request(".quit").unwrap().0, STATUS_QUIT);
+    server.shutdown();
+}
+
+/// Admission control is a hard cap: connection N+1 is refused with an
+/// error, and a freed slot re-admits.
+#[test]
+fn admission_cap_refuses_then_readmits() {
+    let server = start(
+        Dataset::Running,
+        0,
+        ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut only = Client::connect(server.addr()).unwrap();
+    let refused = Client::connect(server.addr()).expect_err("cap is 1");
+    assert_eq!(refused.kind(), io::ErrorKind::ConnectionRefused);
+    assert!(refused.to_string().contains("server full"), "{refused}");
+    assert_eq!(only.request(".quit").unwrap().0, STATUS_QUIT);
+    // Teardown is asynchronous; the slot frees shortly after the quit.
+    let mut readmitted = loop {
+        match Client::connect(server.addr()) {
+            Ok(c) => break c,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(readmitted.request(".budget").unwrap().0, STATUS_OK);
+    server.shutdown();
+}
+
+/// Per-session budgets ride the existing multi-pass machinery: a starved
+/// session is rejected with the budget error while its neighbor — same
+/// server, same shared state — runs the identical query to completion.
+#[test]
+fn budgets_are_enforced_per_session() {
+    let server = start(Dataset::Running, 0, ServerConfig::default());
+    let mut broke = Client::connect(server.addr()).unwrap();
+    let mut rich = Client::connect(server.addr()).unwrap();
+    assert_eq!(broke.request(".budget 1").unwrap().0, STATUS_OK);
+    let (status, text) = broke.request(".apply forward 1,3").unwrap();
+    assert_eq!(status, STATUS_OK);
+    assert!(text.contains("budget"), "{text}");
+    let (status, text) = rich.request(".apply forward 1,3").unwrap();
+    assert_eq!(status, STATUS_OK);
+    assert!(text.contains("digest"), "{text}");
+    // A starved rollup degrades to more passes instead of failing, until
+    // even one group-by buffer cannot fit.
+    assert_eq!(broke.request(".budget 64").unwrap().0, STATUS_OK);
+    let (_, rollup) = broke.request(".rollup").unwrap();
+    assert!(rollup.contains("pass(es)"), "{rollup}");
+    server.shutdown();
+}
+
+/// A server-side default budget applies to every fresh session.
+#[test]
+fn server_default_budget_applies_to_new_sessions() {
+    let server = start(
+        Dataset::Running,
+        0,
+        ServerConfig {
+            budget_cells: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (_, text) = c.request(".apply forward 1,3").unwrap();
+    assert!(text.contains("budget"), "{text}");
+    // The session can raise its own ceiling.
+    assert_eq!(c.request(".budget 0").unwrap().0, STATUS_OK);
+    let (_, text) = c.request(".apply forward 1,3").unwrap();
+    assert!(text.contains("digest"), "{text}");
+    server.shutdown();
+}

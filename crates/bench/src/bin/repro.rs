@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
-//!       [--faults [N]] [--crash-points] [--serve-bench [N]] [--csv DIR]
+//!       [--faults [N]] [--crash-points] [--serve-bench [N]]
+//!       [--toggle-bench [K]] [--csv DIR]
 //!       [--threads N] [--prefetch K] [--cache MB]
 //! ```
 //!
@@ -39,12 +40,13 @@ struct BenchRow {
     prefetch: (u64, u64, u64),
 }
 
-fn write_bench_json(path: &str, rows: &[BenchRow]) {
-    let mut s = String::from("{\n  \"pr\": 3,\n  \"experiments\": [\n");
+fn write_bench_json(path: &str, pr: u32, rows: &[BenchRow]) {
+    let mut s = format!("{{\n  \"pr\": {pr},\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"chunk_reads\": {}, \"merges\": {}, \
-             \"cache\": {{\"lookups\": {}, \"hits\": {}, \"invalidations\": {}, \"bytes\": {}}}, \
+             \"cache\": {{\"lookups\": {}, \"hits\": {}, \"invalidations\": {}, \
+             \"evictions\": {}, \"bytes\": {}}}, \
              \"prefetch\": {{\"issued\": {}, \"hits\": {}, \"wasted\": {}}}}}{}\n",
             r.name,
             r.wall_ms,
@@ -53,6 +55,7 @@ fn write_bench_json(path: &str, rows: &[BenchRow]) {
             r.cache.lookups,
             r.cache.hits,
             r.cache.invalidations,
+            r.cache.evictions,
             r.cache.bytes,
             r.prefetch.0,
             r.prefetch.1,
@@ -80,10 +83,25 @@ fn main() {
     let mut fault_schedules = 0u64;
     let mut crash_points = false;
     let mut serve_sessions = 0usize;
+    let mut toggle_scenarios = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--crash-points" => crash_points = true,
+            "--toggle-bench" => {
+                // Optional scenario count; bare `--toggle-bench` toggles 2.
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if !(2..=8).contains(&n) => {
+                        eprintln!("--toggle-bench needs 2..=8 scenarios");
+                        std::process::exit(2);
+                    }
+                    Some(n) => {
+                        toggle_scenarios = n;
+                        i += 1;
+                    }
+                    None => toggle_scenarios = 2,
+                }
+            }
             "--serve-bench" => {
                 // Optional session count; bare `--serve-bench` runs 32.
                 match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -178,8 +196,8 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
-                     [--faults [N]] [--crash-points] [--serve-bench [N]] [--csv DIR] \
-                     [--threads N] [--prefetch K] [--cache MB]"
+                     [--faults [N]] [--crash-points] [--serve-bench [N]] [--toggle-bench [K]] \
+                     [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
                 );
                 std::process::exit(2);
             }
@@ -193,6 +211,7 @@ fn main() {
         && fault_schedules == 0
         && !crash_points
         && serve_sessions == 0
+        && toggle_scenarios == 0
     {
         figs = vec!["11", "12", "13"];
         table_s = true;
@@ -241,8 +260,11 @@ fn main() {
     if serve_sessions > 0 {
         run_serve_bench(serve_sessions, cache_mb);
     }
+    if toggle_scenarios > 0 {
+        run_toggle_bench(toggle_scenarios, cache_mb, threads, prefetch);
+    }
     if !bench_rows.is_empty() {
-        write_bench_json("BENCH_pr3.json", &bench_rows);
+        write_bench_json("BENCH_pr3.json", 3, &bench_rows);
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -1033,4 +1055,162 @@ fn run_serve_bench(sessions: usize, cache_mb: usize) {
         std::process::exit(1);
     }
     println!("all {sessions} sessions byte-identical to the serial replay\n");
+}
+
+/// `--toggle-bench K`: the A/B-toggle gate for the versioned scenario
+/// cache (DESIGN.md §14). An analyst alternating K scenarios must —
+/// after one warm pass over each — replay every switch entirely from
+/// cache: zero invalidations, ≥ 90% hit rate, zero merges, and cells
+/// bit-identical to a cache-off baseline. Under the old
+/// one-digest-per-chunk keying every switch destroyed the other
+/// scenarios' entries, so this run re-merged K×rounds times. Exits
+/// non-zero if any gate fails (CI-usable) and appends the counters to
+/// `BENCH_pr7.json`.
+fn run_toggle_bench(k: usize, cache_mb: usize, threads: usize, prefetch: usize) {
+    const ROUNDS: usize = 4;
+    let mb = if cache_mb > 0 { cache_mb } else { 64 };
+    println!("=== toggle-bench — {k} alternating scenarios, {ROUNDS} rounds ===");
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 400,
+        departments: 12,
+        changing: 80,
+        employee_extent: 1,
+        accounts: 4,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    // K distinct perspective sets from the replay catalogue (first 8 are
+    // pairwise distinct; the arg parser caps K at 8).
+    let scenarios: Vec<Scenario> = replay_scenarios(wf.department, Semantics::Static)
+        .into_iter()
+        .take(k)
+        .map(|s| match s {
+            Scenario::Negative(spec) => Scenario::negative(
+                wf.department,
+                spec.perspectives.iter().copied(),
+                Semantics::Forward,
+                Mode::Visual,
+            ),
+            positive => positive,
+        })
+        .collect();
+
+    // Cache-off baseline: what "bit-identical" means, and the work a
+    // thrashing cache would redo every switch.
+    let off_opts = ExecOpts {
+        threads,
+        prefetch,
+        cache: None,
+        ..Default::default()
+    };
+    let off_t0 = std::time::Instant::now();
+    let mut baselines = Vec::new();
+    let (mut off_reads, mut off_merges) = (0u64, 0u64);
+    for s in &scenarios {
+        let r = apply_opts(&wf.cube, s, &strategy, None, off_opts.clone()).unwrap();
+        off_reads += r.report.chunks_read;
+        off_merges += r.report.merges;
+        baselines.push(r.cube);
+    }
+    let off_ms = off_t0.elapsed().as_secs_f64() * 1e3;
+
+    let cache = Arc::new(ScenarioCache::with_capacity_mb(mb));
+    let opts = ExecOpts {
+        threads,
+        prefetch,
+        cache: Some(cache.clone()),
+        ..Default::default()
+    };
+    // Warmup: one pass over each scenario populates its versions.
+    for s in &scenarios {
+        apply_opts(&wf.cube, s, &strategy, None, opts.clone()).unwrap();
+    }
+    cache.reset_stats();
+
+    // The toggle: ROUNDS passes alternating all K scenarios.
+    let t0 = std::time::Instant::now();
+    let (mut reads, mut merges, mut served) = (0u64, 0u64, 0u64);
+    let mut mismatches = 0usize;
+    for round in 0..ROUNDS {
+        for (s, base) in scenarios.iter().zip(&baselines) {
+            let r = apply_opts(&wf.cube, s, &strategy, None, opts.clone()).unwrap();
+            reads += r.report.chunks_read;
+            merges += r.report.merges;
+            served += r.report.cache_chunks_served;
+            if !r.cube.same_cells(base).unwrap() {
+                mismatches += 1;
+                eprintln!("round {round}: cells diverged from the cache-off baseline");
+            }
+        }
+    }
+    let toggle_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = cache.stats();
+    let hit_rate = if stats.lookups > 0 {
+        100.0 * stats.hits as f64 / stats.lookups as f64
+    } else {
+        0.0
+    };
+    println!(
+        "cache off : {off_ms:>8.2} ms/pass-set, {off_reads:>6} chunk reads, \
+         {off_merges:>6} merges (×{ROUNDS} if toggled uncached)"
+    );
+    println!(
+        "toggled   : {toggle_ms:>8.2} ms for {ROUNDS}×{k} switches, {reads:>6} chunk reads, \
+         {merges:>6} merges, {served:>6} chunks served \
+         (hit rate {hit_rate:.1}%, {} invalidations, {} evictions, {} KiB resident)",
+        stats.invalidations,
+        stats.evictions,
+        stats.bytes / 1024,
+    );
+    write_bench_json(
+        "BENCH_pr7.json",
+        7,
+        &[
+            BenchRow {
+                name: format!("toggle_k{k}_cache_off"),
+                wall_ms: off_ms,
+                chunk_reads: off_reads,
+                merges: off_merges,
+                cache: CacheStats::default(),
+                prefetch: (0, 0, 0),
+            },
+            BenchRow {
+                name: format!("toggle_k{k}_cache_on"),
+                wall_ms: toggle_ms,
+                chunk_reads: reads,
+                merges,
+                cache: stats,
+                prefetch: (0, 0, 0),
+            },
+        ],
+    );
+
+    // The acceptance gates.
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} toggled run(s) were not bit-identical to cache-off");
+        failed = true;
+    }
+    if stats.invalidations != 0 {
+        eprintln!(
+            "FAIL: {} invalidations after warmup (a scenario switch destroyed entries)",
+            stats.invalidations
+        );
+        failed = true;
+    }
+    if hit_rate < 90.0 {
+        eprintln!("FAIL: post-warmup hit rate {hit_rate:.1}% < 90%");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "all gates passed: bit-identical, 0 invalidations, {hit_rate:.1}% hits, \
+         {merges} merges across {ROUNDS}×{k} switches\n"
+    );
 }

@@ -8,8 +8,9 @@ pub mod proto;
 use olap_mdx::{parse, QueryContext};
 use olap_model::{DimensionId, MemberId};
 use olap_workload::{retail_example, running_example, Workforce, WorkforceConfig};
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::sync::Arc;
+use whatif_core::ScenarioForest;
 
 /// Which bundled dataset a session runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,7 +137,29 @@ pub struct Session {
     /// budget machinery (reject-with-error for merges, more passes for
     /// aggregations).
     budget_cells: u64,
+    /// This session's scenario forest (`.fork` / `.switch` /
+    /// `.scenarios`): private, like the tuning state — forks are an
+    /// analyst's exploration, not shared server state.
+    forest: ScenarioForest,
 }
+
+/// [`Session::with_cache`] was called after the session's data had
+/// already been shared with other sessions; the cache must be
+/// configured on [`SharedData`] *before* attaching ([`SharedData::set_cache_mb`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfigError;
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot configure the cache through an already-shared session; \
+             call SharedData::set_cache_mb before attaching sessions"
+        )
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
 
 /// What the caller should do after a line.
 #[derive(Debug, PartialEq, Eq)]
@@ -162,6 +185,7 @@ impl Session {
             threads: 1,
             prefetch: 0,
             budget_cells: 0,
+            forest: ScenarioForest::new(),
         }
     }
 
@@ -189,14 +213,16 @@ impl Session {
 
     /// Enables the scenario-delta cache (`--cache MB`); 0 = off. What-if
     /// queries in this session then reuse merged output chunks across
-    /// repeated or edited scenarios (DESIGN.md §10). Must be called
+    /// repeated or edited scenarios (DESIGN.md §10, §14). Must be called
     /// before the session's data is shared with other sessions (the
-    /// server configures the cache on [`SharedData`] instead).
-    pub fn with_cache(mut self, mb: usize) -> Session {
+    /// server configures the cache on [`SharedData`] instead); calling
+    /// it later is a [`CacheConfigError`], not a panic — an embedder's
+    /// misconfiguration should surface as an error it can handle.
+    pub fn with_cache(mut self, mb: usize) -> Result<Session, CacheConfigError> {
         Arc::get_mut(&mut self.shared)
-            .expect("with_cache must precede sharing; use SharedData::set_cache_mb")
+            .ok_or(CacheConfigError)?
             .set_cache_mb(mb);
-        self
+        Ok(self)
     }
 
     /// Sets the session's peak-memory budget in cells (`--budget N`);
@@ -256,13 +282,15 @@ impl Session {
                     };
                     format!(
                         "scenario cache: {} entries, {} KiB / {} KiB, \
-                         {} lookups, {} hits ({hit_rate:.1}%), {} invalidations",
+                         {} lookups, {} hits ({hit_rate:.1}%), \
+                         {} invalidations, {} evictions",
                         c.len(),
                         s.bytes / 1024,
                         c.capacity() / 1024,
                         s.lookups,
                         s.hits,
                         s.invalidations,
+                        s.evictions,
                     )
                 }
             }),
@@ -385,6 +413,10 @@ impl Session {
                 }
             }
             "apply" => Outcome::Continue(self.apply(arg)),
+            "fork" => Outcome::Continue(self.fork(arg)),
+            "switch" => Outcome::Continue(self.switch(arg)),
+            "scenarios" => Outcome::Continue(self.scenarios()),
+            "change" => Outcome::Continue(self.change(arg)),
             "rollup" => Outcome::Continue(self.rollup()),
             other => Outcome::Continue(format!("unknown command .{other} — try .help")),
         }
@@ -517,16 +549,27 @@ impl Session {
         out
     }
 
-    /// `.apply <semantics> <m1,m2,...>`: run a negative scenario over the
-    /// dataset's first varying dimension and report only *deterministic*
-    /// facts about the result — cell count, an order-independent digest,
-    /// and the pass count. Cache/pool counters are deliberately omitted:
-    /// under a shared pool and cache they depend on sibling sessions, and
-    /// the server's bench asserts byte-identical responses across
-    /// concurrent and serial runs.
-    fn apply(&self, arg: &str) -> String {
+    /// `.apply <semantics> <m1,m2,...>`: record a negative scenario on
+    /// the current fork and run it; bare `.apply` re-runs whatever the
+    /// current fork assumes (a `.switch`-then-`.apply` toggle). Reports
+    /// only *deterministic* facts about the result — cell count, an
+    /// order-independent digest, and the pass count. Cache/pool counters
+    /// are deliberately omitted: under a shared pool and cache they
+    /// depend on sibling sessions, and the server's bench asserts
+    /// byte-identical responses across concurrent and serial runs.
+    fn apply(&mut self, arg: &str) -> String {
         const USAGE: &str =
-            "usage: .apply <static|forward|xforward|backward|xbackward> <m1,m2,...>";
+            "usage: .apply <static|forward|xforward|backward|xbackward> <m1,m2,...> \
+             — bare .apply re-runs the current fork's scenario";
+        if arg.is_empty() {
+            let Some(scenario) = self.forest.scenario() else {
+                return format!(
+                    "{USAGE}\n(fork '{}' has no scenario to re-run yet)",
+                    self.forest.current_name()
+                );
+            };
+            return self.run_scenario(&scenario);
+        }
         let mut parts = arg.split_whitespace();
         let (Some(sem), Some(moments)) = (parts.next(), parts.next()) else {
             return USAGE.to_string();
@@ -546,17 +589,42 @@ impl Session {
         let Ok(perspectives) = parsed else {
             return USAGE.to_string();
         };
-        let cube = self.data().cube();
-        let schema = cube.schema();
-        let Some(dim) = schema.dim_ids().find(|&d| schema.varying(d).is_some()) else {
-            return "this dataset has no varying dimension".to_string();
+        let dim = {
+            let schema = self.data().cube().schema();
+            match schema.dim_ids().find(|&d| schema.varying(d).is_some()) {
+                Some(d) => d,
+                None => return "this dataset has no varying dimension".to_string(),
+            }
         };
-        let scenario = whatif_core::Scenario::negative(
+        let spec = whatif_core::PerspectiveSpec::new(
             dim,
             perspectives.iter().copied(),
             semantics,
             whatif_core::Mode::Visual,
         );
+        self.forest.set_negative(spec.clone());
+        self.run_scenario(&whatif_core::Scenario::Negative(spec))
+    }
+
+    /// Runs one scenario through the session's executor options and
+    /// renders the deterministic `.apply` summary line.
+    fn run_scenario(&self, scenario: &whatif_core::Scenario) -> String {
+        let label = match scenario {
+            whatif_core::Scenario::Negative(spec) => format!(
+                "{} {{{}}}",
+                semantics_name(spec.semantics),
+                spec.perspectives
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            whatif_core::Scenario::Positive { changes, .. } => format!(
+                "{} change(s) [fork '{}']",
+                changes.len(),
+                self.forest.current_name()
+            ),
+        };
         let strategy = whatif_core::Strategy::Chunked(whatif_core::OrderPolicy::Pebbling);
         let opts = whatif_core::ExecOpts {
             threads: self.threads,
@@ -564,20 +632,122 @@ impl Session {
             cache: self.shared.cache.clone(),
             budget_cells: self.budget_cells,
         };
-        match whatif_core::apply_opts(cube, &scenario, &strategy, None, opts) {
+        match whatif_core::apply_opts(self.data().cube(), scenario, &strategy, None, opts) {
             Ok(result) => match cell_digest(&result.cube) {
                 Ok((count, digest)) => format!(
-                    "applied {} {{{}}}: {count} cells, digest {digest:016x}, {} pass(es)",
-                    sem.to_ascii_lowercase(),
-                    perspectives
-                        .iter()
-                        .map(|m| m.to_string())
-                        .collect::<Vec<_>>()
-                        .join(","),
+                    "applied {label}: {count} cells, digest {digest:016x}, {} pass(es)",
                     result.report.passes,
                 ),
                 Err(e) => format!("error: {e}"),
             },
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `.fork <name>`: fork the current scenario copy-on-write and
+    /// switch to the child.
+    fn fork(&mut self, arg: &str) -> String {
+        if arg.is_empty() || arg.split_whitespace().count() != 1 {
+            return "usage: .fork <name>".to_string();
+        }
+        let parent = self.forest.current_name().to_string();
+        match self.forest.fork(arg) {
+            Ok(()) => format!("forked '{arg}' from '{parent}' — now on '{arg}'"),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `.switch <name>`: make another fork current. Re-running it is
+    /// then a warm-cache replay (the versioned cache kept its entries).
+    fn switch(&mut self, arg: &str) -> String {
+        if arg.is_empty() {
+            return "usage: .switch <name>".to_string();
+        }
+        match self.forest.switch(arg) {
+            Ok(()) => format!("now on '{arg}'"),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `.scenarios`: the session's fork tree.
+    fn scenarios(&self) -> String {
+        let mut out = String::new();
+        for r in self.forest.rows() {
+            let parent = r
+                .parent
+                .map(|p| format!("<- {p}"))
+                .unwrap_or_else(|| "(root)".to_string());
+            let shared = if r.shared_changes > 0 {
+                format!(" [{} changes shared]", r.shared_changes)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "{} {:<12} {:<12} {}{shared}",
+                if r.current { "*" } else { " " },
+                r.name,
+                parent,
+                r.summary,
+            );
+        }
+        out
+    }
+
+    /// `.change <member> <new parent> <moment>`: append a positive
+    /// change to the current fork (run it with a bare `.apply`).
+    fn change(&mut self, arg: &str) -> String {
+        const USAGE: &str = "usage: .change <member> <new parent> <moment>";
+        let parts: Vec<&str> = arg.split_whitespace().collect();
+        let [member, parent, moment] = parts[..] else {
+            return USAGE.to_string();
+        };
+        let (dim, dim_name, m, n, at) = {
+            let schema = self.data().cube().schema();
+            let Some(dim) = schema.dim_ids().find(|&d| schema.varying(d).is_some()) else {
+                return "this dataset has no varying dimension".to_string();
+            };
+            let dimension = schema.dim(dim);
+            let Some(m) = dimension.find(member) else {
+                return format!("no member named {member:?} in {}", dimension.name());
+            };
+            let Some(n) = dimension.find(parent) else {
+                return format!("no member named {parent:?} in {}", dimension.name());
+            };
+            let at = match moment.parse::<u32>() {
+                Ok(t) => t,
+                Err(_) => {
+                    let v = schema.varying(dim).expect("varying dim found above");
+                    let names = schema.dim(v.parameter_dim()).leaf_names();
+                    match names.iter().position(|nm| nm.eq_ignore_ascii_case(moment)) {
+                        Some(i) => i as u32,
+                        None => {
+                            return format!("no moment named {moment:?} (and it is not a number)")
+                        }
+                    }
+                }
+            };
+            (dim, dimension.name().to_string(), m, n, at)
+        };
+        let change = whatif_core::Change {
+            member: m,
+            old_parent: None,
+            new_parent: n,
+            at,
+        };
+        match self
+            .forest
+            .add_change(dim, whatif_core::Mode::Visual, change)
+        {
+            Ok(()) => {
+                let c = self.forest.current_changes().expect("change just added");
+                format!(
+                    "fork '{}': {} change(s) on {dim_name} ({} shared with ancestors)",
+                    self.forest.current_name(),
+                    c.len(),
+                    c.shared_len(),
+                )
+            }
             Err(e) => format!("error: {e}"),
         }
     }
@@ -617,6 +787,17 @@ impl Session {
     }
 }
 
+/// The `.apply` spelling of each semantics variant.
+fn semantics_name(s: whatif_core::Semantics) -> &'static str {
+    match s {
+        whatif_core::Semantics::Static => "static",
+        whatif_core::Semantics::Forward => "forward",
+        whatif_core::Semantics::ExtendedForward => "xforward",
+        whatif_core::Semantics::Backward => "backward",
+        whatif_core::Semantics::ExtendedBackward => "xbackward",
+    }
+}
+
 /// An order-independent digest of a cube's present cells: the wrapping
 /// sum of one FNV-1a hash per cell (coordinates, then the value's bit
 /// pattern). Identical cell sets digest identically regardless of scan
@@ -646,7 +827,13 @@ Enter an (extended) MDX query, or a command:
   .explain <query>     parse, compile, optimize and run a query, with reports
   .csv <query>         run a query and print the grid as CSV
   .apply <sem> <m,..>  run a negative scenario (first varying dim); deterministic
-                       summary: cell count, digest, passes
+                       summary: cell count, digest, passes. Bare .apply re-runs
+                       the current fork's scenario
+  .fork <name>         fork the current scenario copy-on-write and switch to it
+  .switch <name>       make another fork current (warm-cache replay on re-apply)
+  .scenarios           list this session's scenario forks
+  .change <m> <p> <t>  append a positive change (member, new parent, moment) to
+                       the current fork; run it with bare .apply
   .rollup              per-dimension totals via the budget-aware multi-pass
                        aggregator (small budgets add passes)
   .budget [cells]      show or set this session's peak-memory budget (0 = unlimited)
@@ -756,7 +943,7 @@ mod tests {
                  {Organization.[FTE], Organization.[PTE], Organization.[Contractor]} ON ROWS \
                  FROM [W] WHERE (Location.[NY], Measures.[Salary])";
         let mut plain = Session::new(Dataset::Running);
-        let mut cached = Session::new(Dataset::Running).with_cache(16);
+        let mut cached = Session::new(Dataset::Running).with_cache(16).unwrap();
         // Twice: the second cached run replays from a warm cache and
         // must still render the identical grid.
         assert_eq!(plain.handle(q), cached.handle(q));
@@ -866,7 +1053,7 @@ mod tests {
         for mut s in [
             Session::new(Dataset::Running).with_threads(4),
             Session::new(Dataset::Running).with_prefetch(2),
-            Session::new(Dataset::Running).with_cache(16),
+            Session::new(Dataset::Running).with_cache(16).unwrap(),
         ] {
             match s.handle(".apply forward 1,3") {
                 Outcome::Continue(t) => assert_eq!(t, baseline),
@@ -874,7 +1061,7 @@ mod tests {
             }
         }
         // A warm cache replays the same answer.
-        let mut cached = Session::new(Dataset::Running).with_cache(16);
+        let mut cached = Session::new(Dataset::Running).with_cache(16).unwrap();
         cached.handle(".apply forward 1,3");
         assert!(matches!(
             cached.handle(".apply forward 1,3"),
@@ -953,6 +1140,117 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn with_cache_after_sharing_is_an_error_not_a_panic() {
+        let session = Session::new(Dataset::Running);
+        let _second_owner = session.shared().clone();
+        let err = match session.with_cache(16) {
+            Err(e) => e,
+            Ok(_) => panic!("with_cache on shared data must fail"),
+        };
+        assert_eq!(err, CacheConfigError);
+        assert!(err.to_string().contains("set_cache_mb"), "{err}");
+    }
+
+    #[test]
+    fn fork_switch_and_reapply_toggle_scenarios() {
+        let mut s = Session::new(Dataset::Running).with_cache(16).unwrap();
+        let a = match s.handle(".apply forward 1,3") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            s.handle(".fork alt"),
+            Outcome::Continue(t) if t.contains("now on 'alt'")
+        ));
+        let b = match s.handle(".apply forward 2,4") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(a, b);
+        // Toggle by switching forks and re-applying bare: each fork
+        // replays its own recorded scenario, byte for byte.
+        for _ in 0..2 {
+            s.handle(".switch main");
+            assert!(matches!(s.handle(".apply"), Outcome::Continue(t) if t == a));
+            s.handle(".switch alt");
+            assert!(matches!(s.handle(".apply"), Outcome::Continue(t) if t == b));
+        }
+        // …and the warm versioned cache served the toggles without a
+        // single invalidation.
+        let stats = s.shared().cache().expect("cache on").stats();
+        assert_eq!(stats.invalidations, 0, "{stats:?}");
+        assert!(stats.hits > 0, "{stats:?}");
+        match s.handle(".scenarios") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("main"), "{t}");
+                assert!(t.contains("* alt"), "{t}");
+                assert!(t.contains("<- main"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fork_verbs_report_misuse_as_messages() {
+        let mut s = Session::new(Dataset::Running);
+        assert!(matches!(
+            s.handle(".fork"),
+            Outcome::Continue(t) if t.starts_with("usage:")
+        ));
+        assert!(matches!(
+            s.handle(".fork main"),
+            Outcome::Continue(t) if t.contains("already exists")
+        ));
+        assert!(matches!(
+            s.handle(".switch ghost"),
+            Outcome::Continue(t) if t.contains("no fork named")
+        ));
+        assert!(matches!(
+            s.handle(".apply"),
+            Outcome::Continue(t) if t.starts_with("usage:")
+        ));
+    }
+
+    #[test]
+    fn positive_changes_build_and_apply_through_the_forest() {
+        let mut s = Session::new(Dataset::Running);
+        // Joe moves under Contractor from moment 2 onward.
+        let reply = match s.handle(".change Joe Contractor 2") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(reply.contains("1 change(s)"), "{reply}");
+        match s.handle(".apply") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("change(s) [fork 'main']"), "{t}");
+                assert!(t.contains("digest"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A fork of the changes shares them copy-on-write; the child's
+        // extra edit is invisible to the parent.
+        s.handle(".fork more");
+        match s.handle(".change Lisa Contractor 3") {
+            Outcome::Continue(t) => {
+                assert!(t.contains("2 change(s)"), "{t}");
+                assert!(t.contains("1 shared"), "{t}");
+            }
+            other => panic!("{other:?}"),
+        }
+        s.handle(".switch main");
+        assert!(matches!(
+            s.handle(".scenarios"),
+            Outcome::Continue(t) if t.contains("(1 changes)") && t.contains("(2 changes)")
+        ));
+        // Moments can be named after parameter-dimension leaves too.
+        let by_name = s.handle(".change Joe PTE Mar");
+        assert!(
+            matches!(&by_name, Outcome::Continue(t) if t.contains("change(s)")),
+            "{by_name:?}"
+        );
     }
 
     #[test]

@@ -92,6 +92,12 @@ fn main() {
         .with_threads(threads)
         .with_prefetch(prefetch)
         .with_cache(cache_mb)
+        .unwrap_or_else(|e| {
+            // Unreachable from this binary (the session is not yet
+            // shared), but an embedder's misconfiguration reports.
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
         .with_budget(budget_cells);
     println!("{HELP}\n");
     repl(|line| match session.handle(line) {

@@ -1,12 +1,13 @@
 //! The scenario-delta cache: memoized what-if output chunks.
 //!
 //! Interactive what-if analysis replays near-identical scenarios — the
-//! analyst nudges one perspective and re-queries. Today every edit
-//! recomputes the whole perspective cube. This module caches *merged
-//! output chunks* keyed by `(chunk id, digest of the fate table of the
-//! chunk's merge-graph component)` so the executor can skip re-merging
-//! every component whose relocation plan is unchanged by the edit
-//! (DESIGN.md §10).
+//! analyst nudges one perspective and re-queries, toggles between two
+//! alternatives to compare them, or (behind the server) shares the
+//! cache with sessions exploring *different* scenarios. This module
+//! caches *merged output chunks* keyed by `(chunk id, digest of the
+//! fate table of the chunk's merge-graph component)` so the executor
+//! can skip re-merging every component whose relocation plan matches a
+//! previously computed one (DESIGN.md §10, §14).
 //!
 //! ## Why the component is the unit
 //!
@@ -22,20 +23,29 @@
 //! every other component keeps its digest and its chunks are served
 //! from cache without touching the store.
 //!
-//! ## Invalidation
+//! ## Versioned entries: a mismatch is a miss, never a destroy
 //!
-//! One entry is kept per chunk id, stamped with the digest it was
-//! computed under. A lookup with a different digest means the scenario
-//! changed that component: the stale entry is dropped (counted in
-//! [`CacheStats::invalidations`]) and the executor recomputes. Bounded
-//! capacity evicts least-recently-used entries, also counted as
-//! invalidations.
+//! Entries are keyed by the *pair* `(ChunkId, digest)`, and multiple
+//! digests may be resident for one chunk id at once — one per scenario
+//! version that produced it. A lookup under a digest that is not
+//! resident is simply a miss: nothing is dropped, so an analyst
+//! toggling A↔B (or two server sessions pinned to different scenarios)
+//! finds both versions warm after one pass over each. The only way an
+//! entry leaves the cache is the global LRU byte bound (counted in
+//! [`CacheStats::evictions`]) or an explicit [`ScenarioCache::clear`].
+//! [`CacheStats::invalidations`] — stale-digest drops under the old
+//! one-digest-per-chunk model — is retained so replay harnesses can
+//! assert it stays zero.
+//!
+//! The LRU order is an ordered index on last-use ticks (a `BTreeMap`
+//! from unique tick to key), so eviction pops the oldest entry in
+//! `O(log n)` instead of scanning the whole map per victim.
 
 use crate::fingerprint::Fnv64;
 use crate::operators::relocate::{CellFate, DestMap};
 use olap_store::{Chunk, ChunkId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -72,34 +82,60 @@ pub struct CacheStats {
     /// only served when *all* of its chunks hit, so partial matches are
     /// not counted as hits).
     pub hits: u64,
-    /// Entries dropped: stale digests on lookup plus LRU evictions.
+    /// Entries destroyed because a lookup saw a different digest. Always
+    /// zero under the versioned keying (a mismatch is a miss); kept so
+    /// toggle/replay gates can assert exactly that.
     pub invalidations: u64,
+    /// Entries dropped by the LRU byte bound.
+    pub evictions: u64,
     /// Resident payload bytes right now.
     pub bytes: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
-    digest: u64,
     payload: Cached,
     bytes: usize,
+    /// The unique tick of this entry's slot in `Inner::lru`.
     last_use: u64,
 }
 
+/// One version of one output chunk: the chunk id plus the component
+/// digest it was merged under.
+type Key = (ChunkId, u64);
+
 #[derive(Debug, Default)]
 struct Inner {
-    entries: HashMap<ChunkId, Entry>,
+    entries: HashMap<Key, Entry>,
+    /// Ordered LRU index: unique last-use tick → entry key. Eviction is
+    /// `pop_first()`; a touch moves the entry's tick to the maximum.
+    lru: BTreeMap<u64, Key>,
     bytes: usize,
     tick: u64,
 }
 
-/// A bounded, LRU-evicted, thread-safe cache of merged what-if chunks.
+impl Inner {
+    /// Assigns a fresh (maximal, unique) tick to `key`'s LRU slot.
+    fn touch(&mut self, key: Key) {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(&key).expect("touched key is resident");
+        let old = std::mem::replace(&mut e.last_use, tick);
+        self.lru.remove(&old);
+        self.lru.insert(tick, key);
+    }
+}
+
+/// A bounded, LRU-evicted, thread-safe cache of merged what-if chunks,
+/// versioned by component digest.
 ///
 /// `Send + Sync`: one instance is shared by every query a `Session`
 /// runs, including parallel (`--threads`) executions — and, behind the
 /// server, by every *session* of a multi-tenant process. The executor
 /// consults it before pebbling each merge component and installs the
-/// component's output chunks after a miss.
+/// component's output chunks after a miss. Because entries are keyed by
+/// `(chunk id, digest)`, sessions on different scenarios coexist: each
+/// keeps hitting its own versions instead of destroying the other's.
 ///
 /// The interior lock is a [`parking_lot::Mutex`] (same as the buffer
 /// pool's shards), which does not poison: a query that panics while
@@ -113,6 +149,7 @@ pub struct ScenarioCache {
     lookups: AtomicU64,
     hits: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ScenarioCache {
@@ -125,6 +162,7 @@ impl ScenarioCache {
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -138,7 +176,7 @@ impl ScenarioCache {
         self.capacity
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries (chunk versions, not chunk ids).
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
     }
@@ -148,85 +186,74 @@ impl ScenarioCache {
         self.len() == 0
     }
 
+    /// Number of distinct digests resident for one chunk id — the
+    /// "version count" a toggle workload accumulates.
+    pub fn digests_resident(&self, id: ChunkId) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .keys()
+            .filter(|(kid, _)| *kid == id)
+            .count()
+    }
+
     /// All-or-nothing probe for one merge component: `keys` lists every
     /// output chunk the component owns with the digest of its current
     /// fate table. Returns the payloads only if *every* chunk is
     /// resident under a matching digest — serving a partial component
-    /// would mix plans. Stale entries encountered along the way are
-    /// invalidated so the recompute path re-inserts fresh ones.
+    /// would mix plans. A digest mismatch is a plain miss: entries
+    /// cached under other digests stay resident for whichever scenario
+    /// produced them.
     pub fn lookup_component(&self, keys: &[(ChunkId, u64)]) -> Option<Vec<Cached>> {
         self.lookups.fetch_add(keys.len() as u64, Ordering::Relaxed);
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let mut stale = 0u64;
-        let mut complete = true;
-        for &(id, digest) in keys {
-            match inner.entries.get(&id) {
-                Some(e) if e.digest == digest => {}
-                Some(_) => {
-                    let e = inner.entries.remove(&id).unwrap();
-                    inner.bytes -= e.bytes;
-                    stale += 1;
-                    complete = false;
-                }
-                None => complete = false,
-            }
-        }
-        self.invalidations.fetch_add(stale, Ordering::Relaxed);
-        if !complete {
+        if !keys.iter().all(|key| inner.entries.contains_key(key)) {
             return None;
         }
         let mut out = Vec::with_capacity(keys.len());
-        for &(id, _) in keys {
-            let e = inner.entries.get_mut(&id).unwrap();
-            e.last_use = tick;
-            out.push(e.payload.clone());
+        for &key in keys {
+            inner.touch(key);
+            out.push(inner.entries[&key].payload.clone());
         }
         self.hits.fetch_add(keys.len() as u64, Ordering::Relaxed);
         Some(out)
     }
 
-    /// Installs (or replaces) one chunk's payload under `digest`,
+    /// Installs (or replaces) one chunk version under `(id, digest)`,
     /// evicting least-recently-used entries if the byte bound is
-    /// exceeded.
+    /// exceeded. Other digests of the same chunk id are untouched.
     pub fn insert(&self, id: ChunkId, digest: u64, payload: Cached) {
         let bytes = payload.bytes();
+        let key = (id, digest);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(old) = inner.entries.remove(&id) {
+        if let Some(old) = inner.entries.remove(&key) {
             inner.bytes -= old.bytes;
+            inner.lru.remove(&old.last_use);
         }
         inner.bytes += bytes;
         inner.entries.insert(
-            id,
+            key,
             Entry {
-                digest,
                 payload,
                 bytes,
                 last_use: tick,
             },
         );
+        inner.lru.insert(tick, key);
         let mut evicted = 0u64;
+        // The entry just inserted holds the maximal tick, so popping the
+        // front never evicts it while anything else is resident.
         while inner.bytes > self.capacity && inner.entries.len() > 1 {
-            // Evict the LRU entry, never the one just inserted.
-            let victim = inner
-                .entries
-                .iter()
-                .filter(|(vid, _)| **vid != id)
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(vid, _)| *vid);
-            match victim {
-                Some(vid) => {
-                    let e = inner.entries.remove(&vid).unwrap();
-                    inner.bytes -= e.bytes;
-                    evicted += 1;
-                }
-                None => break,
-            }
+            let Some((_, victim)) = inner.lru.pop_first() else {
+                break;
+            };
+            let e = inner.entries.remove(&victim).expect("lru tracks entries");
+            inner.bytes -= e.bytes;
+            evicted += 1;
         }
-        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Counter snapshot.
@@ -235,6 +262,7 @@ impl ScenarioCache {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             bytes: self.inner.lock().bytes as u64,
         }
     }
@@ -244,12 +272,14 @@ impl ScenarioCache {
         self.lookups.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Drops every entry.
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.entries.clear();
+        inner.lru.clear();
         inner.bytes = 0;
     }
 }
@@ -349,12 +379,44 @@ mod tests {
     }
 
     #[test]
-    fn stale_digest_invalidates() {
+    fn digest_mismatch_is_a_miss_not_a_destroy() {
         let cache = ScenarioCache::new(1 << 20);
         cache.insert(ChunkId(9), 1, Cached::Chunk(chunk()));
+        // Probing under another digest misses — and destroys nothing.
         assert!(cache.lookup_component(&[(ChunkId(9), 2)]).is_none());
-        assert_eq!(cache.stats().invalidations, 1);
-        assert!(cache.is_empty(), "stale entry must be dropped");
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.len(), 1, "the other version must stay resident");
+        // The original version still hits.
+        assert!(cache.lookup_component(&[(ChunkId(9), 1)]).is_some());
+    }
+
+    #[test]
+    fn two_digests_of_one_chunk_coexist_and_both_hit() {
+        // The A/B toggle in miniature: scenario A's and scenario B's
+        // versions of one output chunk are both resident, and switching
+        // between them is hit after hit — zero invalidations.
+        let cache = ScenarioCache::new(1 << 20);
+        cache.insert(ChunkId(5), 0xA, Cached::Chunk(chunk()));
+        cache.insert(ChunkId(5), 0xB, Cached::Empty);
+        assert_eq!(cache.digests_resident(ChunkId(5)), 2);
+        for _ in 0..4 {
+            assert!(cache.lookup_component(&[(ChunkId(5), 0xA)]).is_some());
+            assert!(cache.lookup_component(&[(ChunkId(5), 0xB)]).is_some());
+        }
+        let st = cache.stats();
+        assert_eq!(st.invalidations, 0);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.hits, 8);
+    }
+
+    #[test]
+    fn reinsert_same_version_replaces_in_place() {
+        let cache = ScenarioCache::new(1 << 20);
+        cache.insert(ChunkId(3), 7, Cached::Chunk(chunk()));
+        cache.insert(ChunkId(3), 7, Cached::Empty);
+        assert_eq!(cache.len(), 1);
+        let st = cache.stats();
+        assert_eq!(st.bytes, 64, "replaced payload must re-account bytes");
     }
 
     #[test]
@@ -393,10 +455,48 @@ mod tests {
         }
         let st = cache.stats();
         assert!(st.bytes as usize <= cache.capacity());
-        assert!(st.invalidations >= 3, "LRU must have evicted: {st:?}");
+        assert!(st.evictions >= 3, "LRU must have evicted: {st:?}");
+        assert_eq!(st.invalidations, 0, "eviction is not invalidation");
         // Oldest entries went first; the most recent insert survives.
         assert!(cache
             .lookup_component(&[(ChunkId(n_fit as u64 + 2), 0)])
             .is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order_follows_recency_across_versions() {
+        let per_entry = Cached::Chunk(chunk()).bytes();
+        // Room for exactly 4096/per_entry entries; insert three versions,
+        // touch the oldest, then overflow — the untouched middle one goes.
+        let cache = ScenarioCache::new(4096);
+        let capacity = cache.capacity() / per_entry;
+        assert!(capacity >= 3, "fixture assumes at least 3 entries fit");
+        for i in 0..capacity as u64 {
+            cache.insert(ChunkId(0), i, Cached::Chunk(chunk()));
+        }
+        // Refresh version 0 so version 1 becomes the LRU victim.
+        assert!(cache.lookup_component(&[(ChunkId(0), 0)]).is_some());
+        cache.insert(ChunkId(0), 999, Cached::Chunk(chunk()));
+        assert!(cache.lookup_component(&[(ChunkId(0), 0)]).is_some());
+        assert!(cache.lookup_component(&[(ChunkId(0), 1)]).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_index_stays_consistent_under_churn() {
+        // The ordered index and the entry map must agree at all times —
+        // this is the invariant the O(log n) eviction rests on.
+        let cache = ScenarioCache::new(4096);
+        for round in 0..50u64 {
+            cache.insert(ChunkId(round % 7), round % 3, Cached::Chunk(chunk()));
+            let _ = cache.lookup_component(&[(ChunkId(round % 5), round % 3)]);
+            let inner = cache.inner.lock();
+            assert_eq!(inner.entries.len(), inner.lru.len());
+            for (tick, key) in &inner.lru {
+                assert_eq!(inner.entries[key].last_use, *tick);
+            }
+            let tracked: usize = inner.entries.values().map(|e| e.bytes).sum();
+            assert_eq!(tracked, inner.bytes);
+        }
     }
 }

@@ -100,15 +100,16 @@ pub struct ExecOpts {
     /// timing, never results. Has no effect unless I/O workers are
     /// running (`Cube::start_io_threads`).
     pub prefetch: usize,
-    /// Scenario-delta cache (DESIGN.md §10): when set, unscoped
+    /// Scenario-delta cache (DESIGN.md §10, §14): when set, unscoped
     /// executions probe it for whole merge components whose fate tables
-    /// are unchanged since a previous run over the same cube, serve
-    /// those output chunks without re-merging, and install recomputed
-    /// components afterwards. `None` (the default) is bit-identical to
-    /// an uncached run; a populated cache changes only the work done,
-    /// never the cells produced. The cache assumes the base cube's
-    /// chunks are immutable for its lifetime (sessions never mutate
-    /// their data cube).
+    /// match *any* previously cached run over the same cube — entries
+    /// are versioned by digest, so alternating scenarios keep all their
+    /// versions warm — serve those output chunks without re-merging,
+    /// and install recomputed components afterwards. `None` (the
+    /// default) is bit-identical to an uncached run; a populated cache
+    /// changes only the work done, never the cells produced. The cache
+    /// assumes the base cube's chunks are immutable for its lifetime
+    /// (sessions never mutate their data cube).
     pub cache: Option<Arc<ScenarioCache>>,
     /// Peak-memory ceiling in *cells* for this execution; `0` means
     /// unlimited. A plan whose predicted pebble count (times the chunk

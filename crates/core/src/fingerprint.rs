@@ -16,6 +16,7 @@
 
 use crate::perspective::{Mode, PerspectiveSpec, Semantics};
 use crate::scenario::{Change, Scenario};
+use olap_model::DimensionId;
 
 /// FNV-1a, 64-bit. Tiny, dependency-free, and good enough for cache
 /// keys: collisions would need two different fate tables to collide in
@@ -117,32 +118,46 @@ impl PerspectiveSpec {
     }
 }
 
+/// Stable digest of a positive scenario whose change relation arrives
+/// as an iterator. The scenario forest stores a fork's changes as a
+/// copy-on-write chain of shared segments; this lets it fingerprint the
+/// logical relation without first materializing a contiguous vector.
+/// Equal relations (in any iteration order) digest equal.
+pub fn positive_fingerprint<'a>(
+    dim: DimensionId,
+    mode: Mode,
+    changes: impl Iterator<Item = &'a Change>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u8(2).write_u32(dim.0).write_u8(mode_tag(mode));
+    // The change relation is a set: digest each tuple, sort, then fold,
+    // so iteration order is immaterial but duplicate tuples still count
+    // (unlike an XOR combine, which would let pairs cancel out).
+    let mut digests: Vec<u64> = changes.map(Change::fingerprint).collect();
+    digests.sort_unstable();
+    h.write_u32(digests.len() as u32);
+    for d in digests {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
 impl Scenario {
     /// Stable content digest of the whole scenario. Two scenarios that
     /// are semantically equal — same perspective set, or the same change
     /// *relation* in any vector order — fingerprint equal; any
     /// single-field mutation changes the digest.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv64::new();
         match self {
             Scenario::Negative(spec) => {
+                let mut h = Fnv64::new();
                 h.write_u8(1).write_u64(spec.fingerprint());
+                h.finish()
             }
             Scenario::Positive { dim, changes, mode } => {
-                h.write_u8(2).write_u32(dim.0).write_u8(mode_tag(*mode));
-                // The change relation is a set: digest each tuple, sort,
-                // then fold, so vector order is immaterial but duplicate
-                // tuples still count (unlike an XOR combine, which would
-                // let pairs cancel out).
-                let mut digests: Vec<u64> = changes.iter().map(Change::fingerprint).collect();
-                digests.sort_unstable();
-                h.write_u32(digests.len() as u32);
-                for d in digests {
-                    h.write_u64(d);
-                }
+                positive_fingerprint(*dim, *mode, changes.iter())
             }
         }
-        h.finish()
     }
 }
 

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod fingerprint;
+pub mod forest;
 pub mod merge;
 pub mod operators;
 pub mod optimize;
@@ -48,7 +49,8 @@ pub use exec::{
     execute_chunked_scoped_threaded, execute_chunked_threaded, execute_passes, execute_passes_opts,
     execute_passes_threaded, ExecOpts, ExecReport, OrderPolicy, Strategy,
 };
-pub use fingerprint::Fnv64;
+pub use fingerprint::{positive_fingerprint, Fnv64};
+pub use forest::{CowChanges, ForestError, ForkRow, ScenarioForest};
 pub use merge::MergeGraph;
 pub use operators::{
     reallocate, relocate, select, split, CmpOp, DestMap, EvalOp, Predicate, Reallocation,

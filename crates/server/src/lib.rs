@@ -159,18 +159,32 @@ fn accept_loop(
                 &mut stream,
                 STATUS_ERR,
                 &format!(
-                    "server full: {} sessions active (max {}); try again later",
-                    cfg.max_sessions, cfg.max_sessions
+                    "server full: {n} sessions active (max {}); try again later",
+                    cfg.max_sessions
                 ),
             );
             continue; // dropping the stream closes the refused connection
         }
         let shared = shared.clone();
-        let active = active.clone();
+        // The claimed slot rides a drop guard into the session thread:
+        // it frees on *any* exit — clean return, a panic the per-request
+        // catch_unwind caught, or one it did not (greeting I/O, session
+        // attach). A leaked slot would shrink the server forever.
+        let slot = SlotGuard(active.clone());
         thread::spawn(move || {
+            let _slot = slot;
             serve_connection(&mut stream, shared, cfg);
-            active.fetch_sub(1, Ordering::Relaxed);
         });
+    }
+}
+
+/// Releases one admission slot when dropped — including during the
+/// unwind of a panic that escapes `serve_connection`.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -195,6 +209,14 @@ fn serve_connection(stream: &mut TcpStream, shared: Arc<SharedData>, cfg: Server
                 return;
             }
         };
+        // Test hook (debug builds only): a panic *outside* the
+        // per-request catch_unwind — the escape path the admission-slot
+        // drop guard exists for. Without the guard this would leak the
+        // slot and permanently shrink the server.
+        #[cfg(debug_assertions)]
+        if req.trim() == ".panic-outside" {
+            panic!("deliberate .panic-outside test hook");
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // Test hook (debug builds only): fault-injection for the
             // isolation tests — panic mid-request, holding nothing.

@@ -23,7 +23,8 @@ while [ "$i" -le 10 ]; do
     cargo test -q -p olap-store --lib >/dev/null
     cargo test -q -p whatif-integration-tests \
         --test parallel_exec --test prefetch --test scenario_cache \
-        --test fault_injection --test persistence --test server >/dev/null
+        --test scenario_forest --test fault_injection --test persistence \
+        --test server >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
@@ -41,6 +42,14 @@ echo "== multi-tenant server smoke test =="
 # of the same edit scripts (repro exits non-zero on any divergence).
 ./target/release/repro --serve-bench 8 >/dev/null
 echo "(8 concurrent sessions byte-identical to serial replay)"
+
+echo "== scenario-toggle smoke test =="
+# An analyst toggling two scenarios over the versioned cache must —
+# after one warm pass over each — replay every switch from cache:
+# zero invalidations, >= 90% hit rate, cells bit-identical to the
+# cache-off baseline (repro exits non-zero if any gate fails).
+./target/release/repro --toggle-bench 2 >/dev/null
+echo "(A/B toggle warm, 0 invalidations, bit-identical to cache-off)"
 
 echo "== corruption smoke test =="
 # One flipped payload byte must surface as StoreError::Corrupt on read,

@@ -124,6 +124,66 @@ fn warm_cache_serves_a_repeated_scenario_without_merging() {
     assert!(cache.stats().hits > 0);
 }
 
+/// The versioned-cache regression: an analyst toggling A↔B must find
+/// both scenarios warm after one pass over each — zero invalidations,
+/// zero merges, bit-identical cells on every switch. Under the old
+/// one-digest-per-chunk keying every switch destroyed the other
+/// scenario's entries and re-merged from scratch.
+#[test]
+fn ab_toggle_replays_warm_with_zero_invalidations_and_merges() {
+    let wf = small_workforce();
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let a = Scenario::negative(
+        wf.department,
+        [0, 3, 6, 9],
+        Semantics::Forward,
+        Mode::Visual,
+    );
+    let b = Scenario::negative(
+        wf.department,
+        [0, 3, 6, 10],
+        Semantics::Forward,
+        Mode::Visual,
+    );
+
+    // Cache-off baselines establish what "bit-identical" means.
+    let base_a = apply_opts(&wf.cube, &a, &strategy, None, ExecOpts::default())
+        .unwrap()
+        .cube;
+    let base_b = apply_opts(&wf.cube, &b, &strategy, None, ExecOpts::default())
+        .unwrap()
+        .cube;
+
+    let cache = Arc::new(ScenarioCache::with_capacity_mb(32));
+    let opts = ExecOpts {
+        cache: Some(cache.clone()),
+        ..ExecOpts::default()
+    };
+    // One warm pass over each scenario…
+    apply_opts(&wf.cube, &a, &strategy, None, opts.clone()).unwrap();
+    apply_opts(&wf.cube, &b, &strategy, None, opts.clone()).unwrap();
+    cache.reset_stats();
+    // …then the toggle: every switch must replay entirely from cache.
+    for round in 0..3 {
+        let ra = apply_opts(&wf.cube, &a, &strategy, None, opts.clone()).unwrap();
+        assert_eq!(ra.report.merges, 0, "round {round}: A re-merged");
+        assert!(ra.cube.same_cells(&base_a).unwrap(), "round {round}");
+        let rb = apply_opts(&wf.cube, &b, &strategy, None, opts.clone()).unwrap();
+        assert_eq!(rb.report.merges, 0, "round {round}: B re-merged");
+        assert!(rb.cube.same_cells(&base_b).unwrap(), "round {round}");
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.invalidations, 0,
+        "a mismatch must be a miss: {stats:?}"
+    );
+    assert_eq!(
+        stats.evictions, 0,
+        "both versions must stay resident: {stats:?}"
+    );
+    assert!(stats.hits > 0, "{stats:?}");
+}
+
 #[test]
 fn default_opts_leave_the_cache_off_and_match_apply() {
     let wf = small_workforce();

@@ -142,6 +142,11 @@ fn admission_cap_refuses_then_readmits() {
     let refused = Client::connect(server.addr()).expect_err("cap is 1");
     assert_eq!(refused.kind(), io::ErrorKind::ConnectionRefused);
     assert!(refused.to_string().contains("server full"), "{refused}");
+    // The refusal reports the *live* count, not the cap twice.
+    assert!(
+        refused.to_string().contains("1 sessions active (max 1)"),
+        "{refused}"
+    );
     assert_eq!(only.request(".quit").unwrap().0, STATUS_QUIT);
     // Teardown is asynchronous; the slot frees shortly after the quit.
     let mut readmitted = loop {
@@ -154,6 +159,100 @@ fn admission_cap_refuses_then_readmits() {
         }
     };
     assert_eq!(readmitted.request(".budget").unwrap().0, STATUS_OK);
+    server.shutdown();
+}
+
+/// A panic that escapes the per-request `catch_unwind` (the
+/// `.panic-outside` debug hook fires on the connection thread, outside
+/// it) must still free the admission slot: the slot rides a drop guard,
+/// so the unwind releases it and the next connection is admitted. Before
+/// the guard, this leaked the slot and permanently shrank the server.
+#[test]
+fn escaped_panic_frees_the_admission_slot() {
+    let server = start(
+        Dataset::Running,
+        0,
+        ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut victim = Client::connect(server.addr()).unwrap();
+    // The connection thread dies unwinding; no reply frame is written.
+    assert!(victim.request(".panic-outside").is_err());
+    let mut readmitted = loop {
+        match Client::connect(server.addr()) {
+            Ok(c) => break c,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("{e}"),
+        }
+    };
+    assert_eq!(readmitted.request(".budget").unwrap().0, STATUS_OK);
+    assert_eq!(readmitted.request(".quit").unwrap().0, STATUS_QUIT);
+    server.shutdown();
+}
+
+/// Two tenants pinned to *different* scenarios share one versioned
+/// cache without thrashing it: after each has warmed its own scenario,
+/// alternating requests from both sustain hits with zero invalidations
+/// (under the old one-digest-per-chunk cache each request destroyed the
+/// other tenant's entries).
+#[test]
+fn two_sessions_on_different_scenarios_sustain_cache_hits() {
+    let mut shared = SharedData::load(Dataset::Running);
+    shared.set_cache_mb(16);
+    let shared = Arc::new(shared);
+    let server =
+        Server::start(shared.clone(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+
+    // Warm each tenant's scenario once and pin the expected replies.
+    let (_, reply_a) = a.request(".apply forward 1,3").unwrap();
+    let (_, reply_b) = b.request(".apply forward 2,4").unwrap();
+    assert!(reply_a.contains("digest"), "{reply_a}");
+    assert!(reply_b.contains("digest"), "{reply_b}");
+    let cache = shared.cache().expect("cache on");
+    cache.reset_stats();
+
+    // Interleave: every request replays warm and byte-identical.
+    for _ in 0..3 {
+        assert_eq!(a.request(".apply forward 1,3").unwrap().1, reply_a);
+        assert_eq!(b.request(".apply forward 2,4").unwrap().1, reply_b);
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.invalidations, 0,
+        "tenants thrashed the cache: {stats:?}"
+    );
+    assert!(stats.hits > 0, "{stats:?}");
+    assert_eq!(a.request(".quit").unwrap().0, STATUS_QUIT);
+    assert_eq!(b.request(".quit").unwrap().0, STATUS_QUIT);
+    server.shutdown();
+}
+
+/// Scenario forks work transparently over the wire — `.fork`, `.switch`
+/// and bare `.apply` are session state on the server side, so a client
+/// toggling two forks gets each fork's own bytes back every time.
+#[test]
+fn fork_toggle_works_over_the_wire() {
+    let server = start(Dataset::Running, 16, ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (_, base) = c.request(".apply forward 1,3").unwrap();
+    assert_eq!(c.request(".fork alt").unwrap().0, STATUS_OK);
+    let (_, alt) = c.request(".apply forward 2,4").unwrap();
+    assert_ne!(base, alt);
+    for _ in 0..2 {
+        assert_eq!(c.request(".switch main").unwrap().0, STATUS_OK);
+        assert_eq!(c.request(".apply").unwrap().1, base);
+        assert_eq!(c.request(".switch alt").unwrap().0, STATUS_OK);
+        assert_eq!(c.request(".apply").unwrap().1, alt);
+    }
+    let (_, list) = c.request(".scenarios").unwrap();
+    assert!(list.contains("* alt"), "{list}");
+    assert_eq!(c.request(".quit").unwrap().0, STATUS_QUIT);
     server.shutdown();
 }
 

@@ -4,8 +4,8 @@
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
 //!       [--faults [N]] [--crash-points] [--serve-bench [N]]
-//!       [--toggle-bench [K]] [--csv DIR]
-//!       [--threads N] [--prefetch K] [--cache MB]
+//!       [--toggle-bench [K]] [--kernel-bench] [--csv DIR]
+//!       [--threads N] [--prefetch K] [--cache MB] [--kernel scalar|runs]
 //! ```
 //!
 //! With no arguments, `--all` is assumed. Timings are minima over a few
@@ -23,8 +23,8 @@ use olap_store::{FaultStore, SeekModel};
 use olap_workload::{Workforce, WorkforceConfig};
 use std::sync::Arc;
 use whatif_core::{
-    apply_opts, execute_chunked_scoped_opts, merge, phi, CacheStats, DestMap, ExecOpts, Mode,
-    OrderPolicy, Scenario, ScenarioCache, Semantics, Strategy,
+    apply_opts, execute_chunked_scoped_opts, merge, phi, CacheStats, DestMap, ExecOpts, Fnv64,
+    KernelKind, Mode, OrderPolicy, Scenario, ScenarioCache, Semantics, Strategy,
 };
 
 const ITERS: u32 = 3;
@@ -84,10 +84,23 @@ fn main() {
     let mut crash_points = false;
     let mut serve_sessions = 0usize;
     let mut toggle_scenarios = 0usize;
+    let mut kernel_bench = false;
+    let mut kernel = KernelKind::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--crash-points" => crash_points = true,
+            "--kernel-bench" => kernel_bench = true,
+            "--kernel" => {
+                i += 1;
+                kernel = args
+                    .get(i)
+                    .and_then(|s| KernelKind::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--kernel needs 'scalar' or 'runs'");
+                        std::process::exit(2);
+                    });
+            }
             "--toggle-bench" => {
                 // Optional scenario count; bare `--toggle-bench` toggles 2.
                 match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -197,7 +210,8 @@ fn main() {
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
                      [--faults [N]] [--crash-points] [--serve-bench [N]] [--toggle-bench [K]] \
-                     [--csv DIR] [--threads N] [--prefetch K] [--cache MB]"
+                     [--kernel-bench] [--csv DIR] [--threads N] [--prefetch K] [--cache MB] \
+                     [--kernel scalar|runs]"
                 );
                 std::process::exit(2);
             }
@@ -212,6 +226,7 @@ fn main() {
         && !crash_points
         && serve_sessions == 0
         && toggle_scenarios == 0
+        && !kernel_bench
     {
         figs = vec!["11", "12", "13"];
         table_s = true;
@@ -228,17 +243,22 @@ fn main() {
         println!(
             "(note: with --threads >= 2, peak-buffer and chunks-scanned figures sum over \
              workers — each worker streams the base once — so they are not comparable to \
-             the paper's serial Sec. 5 measurements; use --threads 1 to reproduce those)\n"
+             the paper's serial Sec. 5 measurements; use --threads 1 to reproduce those. \
+             The aggregator's shared-gauge `concurrent peak` figure, printed by \
+             --kernel-bench, IS the true simultaneous residency)\n"
         );
     }
     if prefetch > 0 {
         println!("(chunk prefetch lookahead: {prefetch})");
     }
+    if kernel == KernelKind::Scalar {
+        println!("(executor kernel: scalar oracle — use --kernel runs for the fast path)");
+    }
     for f in figs {
         let fig = match f {
-            "11" => fig11(threads, prefetch),
+            "11" => fig11(threads, prefetch, kernel),
             "12" => fig12(prefetch),
-            "13" => fig13(threads, prefetch),
+            "13" => fig13(threads, prefetch, kernel),
             _ => unreachable!(),
         };
         println!("{fig}");
@@ -246,13 +266,13 @@ fn main() {
     }
     let mut bench_rows: Vec<BenchRow> = Vec::new();
     if ablations {
-        run_ablations(threads, prefetch, &mut bench_rows);
+        run_ablations(threads, prefetch, kernel, &mut bench_rows);
     }
     if replay {
-        run_replay(threads, prefetch, cache_mb, &mut bench_rows);
+        run_replay(threads, prefetch, cache_mb, kernel, &mut bench_rows);
     }
     if fault_schedules > 0 {
-        run_faults(threads, prefetch, fault_schedules);
+        run_faults(threads, prefetch, kernel, fault_schedules);
     }
     if crash_points {
         run_crash_points();
@@ -261,7 +281,10 @@ fn main() {
         run_serve_bench(serve_sessions, cache_mb);
     }
     if toggle_scenarios > 0 {
-        run_toggle_bench(toggle_scenarios, cache_mb, threads, prefetch);
+        run_toggle_bench(toggle_scenarios, cache_mb, threads, prefetch, kernel);
+    }
+    if kernel_bench {
+        run_kernel_bench(threads, prefetch);
     }
     if !bench_rows.is_empty() {
         write_bench_json("BENCH_pr3.json", 3, &bench_rows);
@@ -339,7 +362,7 @@ fn print_table_s() {
     println!("(scale: 1/10th linear — see DESIGN.md §2)\n");
 }
 
-fn fig11(threads: usize, prefetch: usize) -> Figure {
+fn fig11(threads: usize, prefetch: usize, kernel: KernelKind) -> Figure {
     eprintln!("[fig11] building workload…");
     let wf = default_workforce();
     if prefetch > 0 {
@@ -348,6 +371,7 @@ fn fig11(threads: usize, prefetch: usize) -> Figure {
     let mut ctx = context(&wf);
     ctx.threads = threads;
     ctx.prefetch = prefetch;
+    ctx.kernel = kernel;
     let ks = [1usize, 2, 3, 4, 6, 8, 10, 12];
     let mut static_s = Vec::new();
     let mut fwd_s = Vec::new();
@@ -433,7 +457,7 @@ fn fig12(prefetch: usize) -> Figure {
     }
 }
 
-fn fig13(threads: usize, prefetch: usize) -> Figure {
+fn fig13(threads: usize, prefetch: usize, kernel: KernelKind) -> Figure {
     eprintln!("[fig13] building 4-move workload…");
     let wf = fig13_workforce(25);
     if prefetch > 0 {
@@ -442,6 +466,7 @@ fn fig13(threads: usize, prefetch: usize) -> Figure {
     let mut ctx = context(&wf);
     ctx.threads = threads;
     ctx.prefetch = prefetch;
+    ctx.kernel = kernel;
     let p = quarterly();
     let mut pts = Vec::new();
     for &n in &[5u32, 10, 15, 20, 25] {
@@ -463,7 +488,12 @@ fn fig13(threads: usize, prefetch: usize) -> Figure {
     }
 }
 
-fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>) {
+fn run_ablations(
+    threads: usize,
+    prefetch: usize,
+    kernel: KernelKind,
+    bench_rows: &mut Vec<BenchRow>,
+) {
     println!("=== Ablations ===");
     // Pebbling vs naive on the paper's Fig. 9 graph.
     let g = merge::MergeGraph::fig9();
@@ -490,6 +520,7 @@ fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>
         threads,
         prefetch,
         cache: None,
+        kernel,
         ..Default::default()
     };
     let varying = wf.schema.varying(wf.department).unwrap();
@@ -538,7 +569,7 @@ fn run_ablations(threads: usize, prefetch: usize, bench_rows: &mut Vec<BenchRow>
 /// returns `Err` or a perspective cube bit-identical to the fault-free
 /// baseline — never a silently wrong answer. Exits non-zero if any
 /// schedule violates the invariant, so the sweep is CI-usable.
-fn run_faults(threads: usize, prefetch: usize, schedules: u64) {
+fn run_faults(threads: usize, prefetch: usize, kernel: KernelKind, schedules: u64) {
     println!("=== Fault injection ({schedules} seeded schedules) ===");
     let build = || {
         Workforce::build(WorkforceConfig {
@@ -556,6 +587,7 @@ fn run_faults(threads: usize, prefetch: usize, schedules: u64) {
         threads,
         prefetch,
         cache: None,
+        kernel,
         ..Default::default()
     };
     let baseline = {
@@ -840,7 +872,13 @@ pub fn replay_scenarios(
 /// structural on any hardware: every merge component whose fate table
 /// an edit leaves unchanged is served from cache instead of being
 /// re-read and re-merged.
-fn run_replay(threads: usize, prefetch: usize, cache_mb: usize, bench_rows: &mut Vec<BenchRow>) {
+fn run_replay(
+    threads: usize,
+    prefetch: usize,
+    cache_mb: usize,
+    kernel: KernelKind,
+    bench_rows: &mut Vec<BenchRow>,
+) {
     println!("=== Scenario-delta replay (K=8 one-perspective edits) ===");
     let wf = Workforce::build(WorkforceConfig {
         employees: 400,
@@ -871,6 +909,7 @@ fn run_replay(threads: usize, prefetch: usize, cache_mb: usize, bench_rows: &mut
                 threads,
                 prefetch,
                 cache: cache.clone(),
+                kernel,
                 ..Default::default()
             };
             let pool_baseline = wf.cube.with_pool(|pool| {
@@ -1066,7 +1105,13 @@ fn run_serve_bench(sessions: usize, cache_mb: usize) {
 /// scenarios' entries, so this run re-merged K×rounds times. Exits
 /// non-zero if any gate fails (CI-usable) and appends the counters to
 /// `BENCH_pr7.json`.
-fn run_toggle_bench(k: usize, cache_mb: usize, threads: usize, prefetch: usize) {
+fn run_toggle_bench(
+    k: usize,
+    cache_mb: usize,
+    threads: usize,
+    prefetch: usize,
+    kernel: KernelKind,
+) {
     const ROUNDS: usize = 4;
     let mb = if cache_mb > 0 { cache_mb } else { 64 };
     println!("=== toggle-bench — {k} alternating scenarios, {ROUNDS} rounds ===");
@@ -1105,6 +1150,7 @@ fn run_toggle_bench(k: usize, cache_mb: usize, threads: usize, prefetch: usize) 
         threads,
         prefetch,
         cache: None,
+        kernel,
         ..Default::default()
     };
     let off_t0 = std::time::Instant::now();
@@ -1123,6 +1169,7 @@ fn run_toggle_bench(k: usize, cache_mb: usize, threads: usize, prefetch: usize) 
         threads,
         prefetch,
         cache: Some(cache.clone()),
+        kernel,
         ..Default::default()
     };
     // Warmup: one pass over each scenario populates its versions.
@@ -1213,4 +1260,136 @@ fn run_toggle_bench(k: usize, cache_mb: usize, threads: usize, prefetch: usize) 
         "all gates passed: bit-identical, 0 invalidations, {hit_rate:.1}% hits, \
          {merges} merges across {ROUNDS}×{k} switches\n"
     );
+}
+
+/// An order-independent digest of a cube's present cells (wrapping sum
+/// of one FNV-1a hash per cell), so scalar and run-kernel outputs can be
+/// compared bit-for-bit regardless of scan or merge interleaving.
+fn cube_digest(cube: &olap_cube::Cube) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut digest = 0u64;
+    cube.for_each_present(|coords, v| {
+        let mut h = Fnv64::new();
+        for &c in coords {
+            h.write_u32(c);
+        }
+        h.write_u64(v.to_bits());
+        digest = digest.wrapping_add(h.finish());
+        count += 1;
+    })
+    .expect("digest scan");
+    (count, digest)
+}
+
+/// `--kernel-bench`: the run-kernel acceptance gate (DESIGN.md §15).
+/// Times the merge-heavy ablation what-if under the scalar per-cell
+/// oracle and the run kernels, checks the outputs are cell-identical
+/// (order-independent digest), and appends both rows to
+/// `BENCH_pr8.json`. Also runs the per-dimension rollup through the
+/// aggregator to report the shared-gauge `concurrent peak` — the true
+/// simultaneous buffer residency (with --threads >= 2 it is the figure
+/// comparable to a serial run, unlike the summed per-worker peaks).
+/// Exits non-zero on any divergence, so the gate is CI-usable.
+fn run_kernel_bench(threads: usize, prefetch: usize) {
+    use olap_cube::CubeAggregator;
+
+    println!("=== kernel-bench — scalar oracle vs. run kernels ===");
+    // A wide dense Account × Scenario cross-section (the run suffix once
+    // the executor splits after max(vd, pd)) so the measured time is the
+    // merge inner loop, not per-chunk bookkeeping: 256-cell runs inside
+    // 12288-cell chunks at the default employee extent.
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 400,
+        departments: 12,
+        changing: 120,
+        accounts: 64,
+        scenarios: 4,
+        ..WorkforceConfig::default()
+    });
+    if prefetch > 0 {
+        wf.cube.start_io_threads(prefetch.min(4));
+    }
+    let varying = wf.schema.varying(wf.department).unwrap();
+    let vs_out = phi(Semantics::Forward, varying.instances(), &[0, 6], 12);
+    let map = DestMap::build(&wf.cube, wf.department, &vs_out).unwrap();
+    let policy = OrderPolicy::Pebbling;
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut digests: Vec<(u64, u64)> = Vec::new();
+    let mut walls = [0.0f64; 2];
+    for (slot, kernel) in [(0usize, KernelKind::Scalar), (1, KernelKind::Runs)] {
+        let opts = ExecOpts {
+            threads,
+            prefetch,
+            cache: None,
+            kernel,
+            ..Default::default()
+        };
+        let t = min_time(ITERS, || {
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts.clone())
+                .unwrap()
+        });
+        let (out, report) =
+            execute_chunked_scoped_opts(&wf.cube, wf.department, &map, &policy, None, opts.clone())
+                .unwrap();
+        let (cells, digest) = cube_digest(&out);
+        walls[slot] = t.as_secs_f64() * 1e3;
+        println!(
+            "{kernel:<6}: {:>8.2} ms, {:>6} chunk reads, {:>6} merges, \
+             {cells} cells, digest {digest:016x}",
+            walls[slot], report.chunks_read, report.merges,
+        );
+        digests.push((cells, digest));
+        rows.push(BenchRow {
+            name: format!("kernel_{kernel}"),
+            wall_ms: walls[slot],
+            chunk_reads: report.chunks_read,
+            merges: report.merges,
+            cache: CacheStats::default(),
+            prefetch: (0, 0, 0),
+        });
+    }
+    println!(
+        "speedup: {:.2}× (scalar {:.2} ms → runs {:.2} ms)",
+        walls[0] / walls[1],
+        walls[0],
+        walls[1],
+    );
+
+    // The aggregation scan is always run-based (no oracle switch); time
+    // it and report the true concurrent buffer peak from the shared
+    // gauge alongside the summed per-worker bound.
+    let masks: Vec<olap_cube::GroupByMask> = (0..wf.cube.geometry().ndims() as u32)
+        .map(|d| 1 << d)
+        .collect();
+    let agg_t = min_time(ITERS, || {
+        CubeAggregator::new(&wf.cube)
+            .with_threads(threads)
+            .compute(&masks)
+            .unwrap()
+    });
+    let (_, agg_report) = CubeAggregator::new(&wf.cube)
+        .with_threads(threads)
+        .compute(&masks)
+        .unwrap();
+    println!(
+        "rollup ({} group-bys, {} thread(s)): {:.2} ms, peak {} buffer cells \
+         (true concurrent peak {})",
+        masks.len(),
+        threads,
+        agg_t.as_secs_f64() * 1e3,
+        agg_report.peak_buffer_cells,
+        agg_report.concurrent_peak_cells,
+    );
+
+    write_bench_json("BENCH_pr8.json", 8, &rows);
+    if digests[0] != digests[1] {
+        eprintln!(
+            "FAIL: run kernels diverged from the scalar oracle \
+             (scalar {:?}, runs {:?})",
+            digests[0], digests[1]
+        );
+        std::process::exit(1);
+    }
+    println!("kernels bit-identical to the scalar oracle\n");
 }

@@ -132,6 +132,9 @@ pub struct Session {
     shared: Arc<SharedData>,
     threads: usize,
     prefetch: usize,
+    /// Inner-loop implementation for the chunked executor (`--kernel`):
+    /// run kernels (default) or the bit-identical scalar oracle.
+    kernel: whatif_core::KernelKind,
     /// Peak-memory ceiling in cells for this session's what-if queries
     /// and `.rollup`s; 0 = unlimited. Enforced through the multi-pass
     /// budget machinery (reject-with-error for merges, more passes for
@@ -184,6 +187,7 @@ impl Session {
             shared,
             threads: 1,
             prefetch: 0,
+            kernel: whatif_core::KernelKind::default(),
             budget_cells: 0,
             forest: ScenarioForest::new(),
         }
@@ -232,6 +236,14 @@ impl Session {
         self
     }
 
+    /// Selects the executor inner-loop implementation
+    /// (`--kernel scalar|runs`). `runs` is the default; `scalar` is the
+    /// cell-at-a-time oracle the run kernels are gated against.
+    pub fn with_kernel(mut self, kernel: whatif_core::KernelKind) -> Session {
+        self.kernel = kernel;
+        self
+    }
+
     fn data(&self) -> &Loaded {
         &self.shared.data
     }
@@ -242,6 +254,7 @@ impl Session {
         ctx.prefetch = self.prefetch;
         ctx.cache = self.shared.cache.clone();
         ctx.budget_cells = self.budget_cells;
+        ctx.kernel = self.kernel;
         for (name, dim, members) in self.data().named_sets() {
             ctx.define_set(&name, dim, &members);
         }
@@ -631,6 +644,7 @@ impl Session {
             prefetch: self.prefetch,
             cache: self.shared.cache.clone(),
             budget_cells: self.budget_cells,
+            kernel: self.kernel,
         };
         match whatif_core::apply_opts(self.data().cube(), scenario, &strategy, None, opts) {
             Ok(result) => match cell_digest(&result.cube) {

@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! polap [running|retail|workforce|bench] [--threads N] [--prefetch K]
-//!       [--cache MB] [--budget CELLS]
+//!       [--cache MB] [--budget CELLS] [--kernel scalar|runs]
 //! polap --connect host:port      # client for a running olap-server
 //! ```
 
@@ -11,7 +11,8 @@ use polap_cli::{Dataset, Outcome, Session, HELP};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "usage: polap [running|retail|workforce|bench] [--threads N] \
-                     [--prefetch K] [--cache MB] [--budget CELLS] | polap --connect HOST:PORT";
+                     [--prefetch K] [--cache MB] [--budget CELLS] \
+                     [--kernel scalar|runs] | polap --connect HOST:PORT";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +21,7 @@ fn main() {
     let mut prefetch = 0usize;
     let mut cache_mb = 0usize;
     let mut budget_cells = 0u64;
+    let mut kernel = whatif_core::KernelKind::default();
     let mut connect: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +57,16 @@ fn main() {
                     eprintln!("--budget needs a cell count (0 = unlimited)");
                     std::process::exit(2);
                 });
+            }
+            "--kernel" => {
+                i += 1;
+                kernel = args
+                    .get(i)
+                    .and_then(|s| whatif_core::KernelKind::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--kernel needs 'scalar' or 'runs'");
+                        std::process::exit(2);
+                    });
             }
             "--connect" => {
                 i += 1;
@@ -98,7 +110,8 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         })
-        .with_budget(budget_cells);
+        .with_budget(budget_cells)
+        .with_kernel(kernel);
     println!("{HELP}\n");
     repl(|line| match session.handle(line) {
         Outcome::Continue(text) => (text, false),

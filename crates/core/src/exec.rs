@@ -85,6 +85,45 @@ pub struct ExecReport {
     pub cache_chunks_served: u64,
 }
 
+/// Inner-loop implementation for the chunked executors.
+///
+/// `Runs` (the default) decomposes each chunk into maximal row-major runs
+/// ([`olap_store::ChunkGeometry::runs`]) and hoists every per-cell decision
+/// that is constant over a run — fate lookup, kept-scope check, destination
+/// chunk id and base offset — out of the inner loop, which becomes a slice
+/// copy plus a word-wise presence OR. `Scalar` keeps the original
+/// cell-at-a-time loops as the semantics oracle; the two are bit-identical
+/// (gated by the `run_kernels` equivalence suite and the
+/// `repro --kernel-bench` CI smoke step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Cell-at-a-time loops (the oracle).
+    Scalar,
+    /// Run-decomposed branch-free loops (DESIGN.md §15).
+    #[default]
+    Runs,
+}
+
+impl KernelKind {
+    /// Parses the `--kernel` flag value.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "scalar" => Some(KernelKind::Scalar),
+            "runs" => Some(KernelKind::Runs),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Runs => "runs",
+        })
+    }
+}
+
 /// Tuning knobs for the chunked executors.
 #[derive(Debug, Clone)]
 pub struct ExecOpts {
@@ -119,6 +158,9 @@ pub struct ExecOpts {
     /// check uses the same pebble prediction the `.explain` report
     /// shows, so a rejection names the exact shortfall.
     pub budget_cells: u64,
+    /// Inner-loop implementation (default [`KernelKind::Runs`]); `Scalar`
+    /// is the bit-identical cell-at-a-time oracle.
+    pub kernel: KernelKind,
 }
 
 impl Default for ExecOpts {
@@ -128,6 +170,7 @@ impl Default for ExecOpts {
             prefetch: 0,
             cache: None,
             budget_cells: 0,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -277,7 +320,7 @@ pub fn execute_passes_opts(
     scope: Option<&[u32]>,
     opts: ExecOpts,
 ) -> Result<(Cube, ExecReport)> {
-    let mut env = Env::new(cube, dim, full, policy, scope, opts.prefetch)?;
+    let mut env = Env::new(cube, dim, full, policy, scope, opts.prefetch, opts.kernel)?;
     let out = cube.empty_like();
     let mut report = env.base_report();
     if opts.budget_cells > 0 {
@@ -397,9 +440,12 @@ struct Env<'a> {
     full_graph: MergeGraph,
     /// Prefetch lookahead in chunks (0 = no hints).
     prefetch: usize,
+    /// Inner-loop implementation (run kernels or the scalar oracle).
+    kernel: KernelKind,
 }
 
 impl<'a> Env<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cube: &'a Cube,
         dim: DimensionId,
@@ -407,6 +453,7 @@ impl<'a> Env<'a> {
         policy: &'a OrderPolicy,
         scope: Option<&[u32]>,
         prefetch: usize,
+        kernel: KernelKind,
     ) -> Result<Self> {
         let schema = cube.schema();
         let varying = schema
@@ -446,6 +493,7 @@ impl<'a> Env<'a> {
             kept,
             full_graph,
             prefetch,
+            kernel,
         })
     }
 
@@ -783,18 +831,7 @@ impl<'a> Env<'a> {
                         out.put_chunk(id, (*chunk).clone())?;
                     } else {
                         // Residue: keep exactly the cells this pass owns.
-                        let ccoord = geom.chunk_coord(id);
-                        let mut buf = Chunk::new_dense(geom.chunk_shape(&ccoord));
-                        for (off, v) in chunk.present_cells() {
-                            let cell = geom.cell_of_local(&ccoord, off);
-                            if let CellFate::To(d) = dest.fate(cell[self.vd], cell[self.pd]) {
-                                debug_assert_eq!(
-                                    d, cell[self.vd],
-                                    "residue chunks only hold identity cells"
-                                );
-                                buf.set(off, olap_store::CellValue::num(v));
-                            }
-                        }
+                        let buf = self.residue_filter(&chunk, coord, dest);
                         self.flush_overlay(out, id, buf)?;
                     }
                 }
@@ -822,30 +859,7 @@ impl<'a> Env<'a> {
             // Scatter this chunk's cells into output buffers.
             if materialized {
                 let chunk = self.cube.chunk(id)?;
-                for (off, v) in chunk.present_cells() {
-                    let cell = geom.cell_of_local(coord, off);
-                    let src = cell[self.vd];
-                    let t = cell[self.pd];
-                    match dest.fate(src, t) {
-                        CellFate::Skip => {}
-                        CellFate::Drop => report.cells_dropped += 1,
-                        CellFate::To(dst) => {
-                            if !self.kept[(dst / self.vd_extent) as usize] {
-                                continue; // out-of-scope destination
-                            }
-                            if dst != src {
-                                report.cells_relocated += 1;
-                            }
-                            let mut target = cell.clone();
-                            target[self.vd] = dst;
-                            let (tid, toff) = geom.split_cell(&target);
-                            let buf = buffers.entry(tid).or_insert_with(|| {
-                                Chunk::new_dense(geom.chunk_shape(&geom.chunk_coord(tid)))
-                            });
-                            buf.set(toff, olap_store::CellValue::num(v));
-                        }
-                    }
-                }
+                self.scatter(&chunk, coord, dest, &mut buffers, report);
             }
             // This node's buffer exists even when nothing lands in it —
             // it is "pebbled" while its merges are pending.
@@ -881,16 +895,160 @@ impl<'a> Env<'a> {
         Ok(())
     }
 
+    /// Filters a residue chunk down to the cells this pass owns (identity
+    /// fate entries). Under `Runs`, the chunk is split just after
+    /// `max(vd, pd)` so the fate is constant over every run and each kept
+    /// run moves with one masked copy; under `Scalar`, the original
+    /// per-cell walk runs with a reused coordinate buffer.
+    fn residue_filter(&self, chunk: &Chunk, ccoord: &[u32], dest: &DestMap) -> Chunk {
+        let geom = self.cube.geometry();
+        let mut buf = Chunk::new_dense(geom.chunk_shape(ccoord));
+        match self.kernel {
+            KernelKind::Scalar => {
+                let mut cell: Vec<u32> = Vec::new();
+                for (off, v) in chunk.present_cells() {
+                    geom.cell_of_local_into(ccoord, off, &mut cell);
+                    if let CellFate::To(d) = dest.fate(cell[self.vd], cell[self.pd]) {
+                        debug_assert_eq!(
+                            d, cell[self.vd],
+                            "residue chunks only hold identity cells"
+                        );
+                        buf.set(off, olap_store::CellValue::num(v));
+                    }
+                }
+            }
+            KernelKind::Runs => {
+                // Splitting after the later of vd/pd makes the fate
+                // constant over every run — runs span the whole axis
+                // suffix, so trailing length-1 axes cost nothing.
+                let split = self.vd.max(self.pd) + 1;
+                let mut it = geom.runs_from(ccoord, split);
+                while let Some((base, start, len)) = it.next_run() {
+                    if let CellFate::To(d) = dest.fate(base[self.vd], base[self.pd]) {
+                        debug_assert_eq!(
+                            d, base[self.vd],
+                            "residue chunks only hold identity cells"
+                        );
+                        buf.copy_run_from(chunk, start, start, len);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Scatters one affected chunk's present cells into per-destination
+    /// output buffers (the Lemma 5.1 merge inner loop).
+    ///
+    /// Under `Runs`, the chunk is decomposed with the split axis just
+    /// after `max(vd, pd)`: each run is the chunk's full cross-section
+    /// of the remaining axis suffix, over which the fate, the kept-scope
+    /// check and the destination chunk/offset are all constant and
+    /// computed once. The cells then move with one
+    /// [`Chunk::copy_run_from`] — a values `copy_from_slice` plus a
+    /// word-wise presence OR. The wholesale copy is sound because the
+    /// relocation map is injective per pass: distinct source runs land
+    /// on disjoint destination ranges, so no present destination cell is
+    /// ever overwritten (debug-asserted inside the kernel). When vd or
+    /// pd is the very last axis the runs degenerate to single cells,
+    /// which is still correct — just no faster than the oracle.
+    fn scatter(
+        &self,
+        chunk: &Chunk,
+        coord: &[u32],
+        dest: &DestMap,
+        buffers: &mut HashMap<ChunkId, Chunk>,
+        report: &mut ExecReport,
+    ) {
+        let geom = self.cube.geometry();
+        match self.kernel {
+            KernelKind::Scalar => {
+                for (off, v) in chunk.present_cells() {
+                    let cell = geom.cell_of_local(coord, off);
+                    let src = cell[self.vd];
+                    let t = cell[self.pd];
+                    match dest.fate(src, t) {
+                        CellFate::Skip => {}
+                        CellFate::Drop => report.cells_dropped += 1,
+                        CellFate::To(dst) => {
+                            if !self.kept[(dst / self.vd_extent) as usize] {
+                                continue; // out-of-scope destination
+                            }
+                            if dst != src {
+                                report.cells_relocated += 1;
+                            }
+                            let mut target = cell.clone();
+                            target[self.vd] = dst;
+                            let (tid, toff) = geom.split_cell(&target);
+                            let buf = buffers.entry(tid).or_insert_with(|| {
+                                Chunk::new_dense(geom.chunk_shape(&geom.chunk_coord(tid)))
+                            });
+                            buf.set(toff, olap_store::CellValue::num(v));
+                        }
+                    }
+                }
+            }
+            KernelKind::Runs => {
+                // Splitting after the later of vd/pd makes the fate, the
+                // kept-scope check and the destination chunk constant
+                // over every run: a run is the chunk's full cross-section
+                // of the axes behind both, so trailing length-1 axes
+                // (currency, version, …) never shrink it to single cells.
+                let split = self.vd.max(self.pd) + 1;
+                let mut target: Vec<u32> = Vec::with_capacity(geom.ndims());
+                let mut it = geom.runs_from(coord, split);
+                while let Some((base, start, len)) = it.next_run() {
+                    let src = base[self.vd];
+                    let t = base[self.pd];
+                    match dest.fate(src, t) {
+                        CellFate::Skip => {}
+                        CellFate::Drop => {
+                            report.cells_dropped += chunk.present_in_range(start, len) as u64;
+                        }
+                        CellFate::To(dst) => {
+                            if !self.kept[(dst / self.vd_extent) as usize] {
+                                continue; // out-of-scope destination
+                            }
+                            // The destination chunk differs only in the
+                            // vd grid coordinate (vd is before the
+                            // split), so its suffix cross-section has the
+                            // same clipped shape and the whole run lands
+                            // contiguously from one computed base offset.
+                            target.clear();
+                            target.extend_from_slice(base);
+                            target[self.vd] = dst;
+                            let (tid, toff) = geom.split_cell(&target);
+                            let buf = buffers.entry(tid).or_insert_with(|| {
+                                Chunk::new_dense(geom.chunk_shape(&geom.chunk_coord(tid)))
+                            });
+                            let n = buf.copy_run_from(chunk, start, toff, len);
+                            if dst != src {
+                                report.cells_relocated += n as u64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Writes a buffer into the output cube, overlaying any cells an
-    /// earlier pass already produced for the same chunk.
+    /// earlier pass already produced for the same chunk. Under `Runs`,
+    /// the merge is the word-masked [`Chunk::overlay_from`] kernel;
+    /// under `Scalar`, the original per-cell `set` loop.
     fn flush_overlay(&self, out: &Cube, id: ChunkId, buf: Chunk) -> Result<()> {
         if buf.present_count() == 0 {
             return Ok(());
         }
         if out.chunk_exists(id) {
             let mut existing = (*out.chunk(id)?).clone();
-            for (off, v) in buf.present_cells() {
-                existing.set(off, olap_store::CellValue::num(v));
+            match self.kernel {
+                KernelKind::Runs => existing.overlay_from(&buf),
+                KernelKind::Scalar => {
+                    for (off, v) in buf.present_cells() {
+                        existing.set(off, olap_store::CellValue::num(v));
+                    }
+                }
             }
             out.put_chunk(id, existing)?;
         } else {

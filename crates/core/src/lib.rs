@@ -47,7 +47,7 @@ pub use error::WhatIfError;
 pub use exec::{
     execute_chunked, execute_chunked_scoped, execute_chunked_scoped_opts,
     execute_chunked_scoped_threaded, execute_chunked_threaded, execute_passes, execute_passes_opts,
-    execute_passes_threaded, ExecOpts, ExecReport, OrderPolicy, Strategy,
+    execute_passes_threaded, ExecOpts, ExecReport, KernelKind, OrderPolicy, Strategy,
 };
 pub use fingerprint::{positive_fingerprint, Fnv64};
 pub use forest::{CowChanges, ForestError, ForkRow, ScenarioForest};

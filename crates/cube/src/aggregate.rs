@@ -17,6 +17,7 @@ use crate::rules::{Acc, AggFn};
 use crate::Result;
 use olap_store::{CellValue, ChunkGeometry, ChunkId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One completed group-by: a dense array of accumulators over the
 /// retained dimensions' full axes.
@@ -87,7 +88,8 @@ impl GroupByResult {
 pub struct AggregationReport {
     /// Peak simultaneously-live buffer cells across all group-bys. In
     /// parallel mode this is the sum of the per-worker peaks — an upper
-    /// bound on simultaneous residency (workers need not peak together).
+    /// bound on simultaneous residency (workers need not peak together);
+    /// `concurrent_peak_cells` is the exact mark.
     pub peak_buffer_cells: u64,
     /// Peak simultaneously-live chunk buffers across all group-bys
     /// (summed over workers in parallel mode, like `peak_buffer_cells`).
@@ -102,6 +104,15 @@ pub struct AggregationReport {
     /// Peak live buffer cells observed by each worker thread. Empty in
     /// serial mode; element-wise maxed across passes in multi-pass runs.
     pub per_thread_peak_cells: Vec<u64>,
+    /// True concurrent high-water mark of live buffer cells: every
+    /// worker adds and subtracts on one shared gauge, and the peak is
+    /// taken atomically (`fetch_max`), so this is the largest number of
+    /// cells simultaneously resident across the whole pool. Equals
+    /// `peak_buffer_cells` in serial mode; in parallel mode it sits
+    /// between `max_worker_peak_cells()` and the summed
+    /// `peak_buffer_cells` (workers need not peak together). Maxed
+    /// across passes in multi-pass runs.
+    pub concurrent_peak_cells: u64,
 }
 
 impl AggregationReport {
@@ -247,6 +258,8 @@ impl<'a> CubeAggregator<'a> {
             out.extend(results);
             report.peak_buffer_cells = report.peak_buffer_cells.max(r.peak_buffer_cells);
             report.peak_buffer_chunks = report.peak_buffer_chunks.max(r.peak_buffer_chunks);
+            report.concurrent_peak_cells =
+                report.concurrent_peak_cells.max(r.concurrent_peak_cells);
             report.base_chunks_scanned += r.base_chunks_scanned;
             for (i, &v) in r.per_thread_peak_cells.iter().enumerate() {
                 if i < report.per_thread_peak_cells.len() {
@@ -277,7 +290,9 @@ impl<'a> CubeAggregator<'a> {
         let (mut out, mut report) = if workers <= 1 {
             // Serial path: one pass, every subtree delivered in turn.
             let mut nodes = self.instantiate(&specs, masks, full);
-            let report = self.scan(&mut nodes, &root_children)?;
+            let gauge = Gauge::default();
+            let mut report = self.scan(&mut nodes, &root_children, &gauge)?;
+            report.concurrent_peak_cells = gauge.peak();
             let mut out = HashMap::new();
             for node in nodes.iter_mut() {
                 if let Some(r) = node.result.take() {
@@ -389,12 +404,18 @@ impl<'a> CubeAggregator<'a> {
     /// block to the root children in `deliver_to` only. Implicit (all-⊥)
     /// chunks are announced too: children count completions per parent
     /// chunk.
-    fn scan(&self, nodes: &mut [Node], deliver_to: &[usize]) -> Result<AggregationReport> {
+    fn scan(
+        &self,
+        nodes: &mut [Node],
+        deliver_to: &[usize],
+        gauge: &Gauge,
+    ) -> Result<AggregationReport> {
         let geom = self.cube.geometry();
         let mut exec = Exec {
             geom,
             live_cells: 0,
             live_chunks: 0,
+            gauge,
             report: AggregationReport::default(),
         };
         let all_dims: Vec<usize> = (0..geom.ndims()).collect();
@@ -429,11 +450,25 @@ impl<'a> CubeAggregator<'a> {
             if self.cube.chunk_exists(id) {
                 let chunk = self.cube.chunk(id)?;
                 cells.reserve(chunk.present_count() as usize);
-                for (off, v) in chunk.present_cells() {
-                    let cell = geom.cell_of_local(&coord, off);
-                    let mut acc = Acc::new();
-                    acc.add(v);
-                    cells.push((cell, acc));
+                // Run-based scan: the offset→coordinate decode (a chain
+                // of divisions per cell) happens once per run. Splitting
+                // at the last axis with len > 1 keeps runs long even when
+                // trailing axes are singletons; within a run only that
+                // fast axis varies (everything after it has length 1).
+                let fast = geom.fast_axis();
+                let mut runs = geom.runs_from(&coord, fast);
+                while let Some((base, start, len)) = runs.next_run() {
+                    if chunk.present_in_range(start, len) == 0 {
+                        continue;
+                    }
+                    let base = base.to_vec();
+                    chunk.for_each_present_in_range(start, len, |off, v| {
+                        let mut cell = base.clone();
+                        cell[fast] += off - start;
+                        let mut acc = Acc::new();
+                        acc.add(v);
+                        cells.push((cell, acc));
+                    });
                 }
             }
             let block = Block {
@@ -474,14 +509,16 @@ impl<'a> CubeAggregator<'a> {
         for (i, &c) in root_children.iter().enumerate() {
             assigned[i % workers].push(c);
         }
+        let gauge = Gauge::default();
         let parts: Vec<Result<(HashMap<GroupByMask, GroupByResult>, AggregationReport)>> =
             std::thread::scope(|s| {
                 let handles: Vec<_> = assigned
                     .iter()
                     .map(|mine| {
+                        let gauge = &gauge;
                         s.spawn(move || {
                             let mut nodes = self.instantiate(specs, masks, full);
-                            let report = self.scan(&mut nodes, mine)?;
+                            let report = self.scan(&mut nodes, mine, gauge)?;
                             let mut out = HashMap::new();
                             let mut stack = mine.clone();
                             while let Some(ni) = stack.pop() {
@@ -509,7 +546,33 @@ impl<'a> CubeAggregator<'a> {
             report.base_chunks_scanned += r.base_chunks_scanned;
             report.per_thread_peak_cells.push(r.peak_buffer_cells);
         }
+        report.concurrent_peak_cells = gauge.peak();
         Ok((out, report))
+    }
+}
+
+/// Shared high-water gauge for live buffer cells. Every worker adds and
+/// subtracts on the same `cur` counter, so `peak` captures the largest
+/// *simultaneous* residency across the whole pool — unlike the summed
+/// per-worker peaks, which assume all workers peak at once.
+#[derive(Default)]
+struct Gauge {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn add(&self, n: u64) {
+        let now = self.cur.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: u64) {
+        self.cur.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
     }
 }
 
@@ -518,6 +581,7 @@ struct Exec<'g> {
     geom: &'g ChunkGeometry,
     live_cells: u64,
     live_chunks: u64,
+    gauge: &'g Gauge,
     report: AggregationReport,
 }
 
@@ -555,6 +619,7 @@ impl Exec<'_> {
         let buffer = node.buffers.entry(child_coord.clone()).or_insert_with(|| {
             self.live_chunks += 1;
             self.live_cells += buf_len as u64;
+            self.gauge.add(buf_len as u64);
             self.report.peak_buffer_chunks = self.report.peak_buffer_chunks.max(self.live_chunks);
             self.report.peak_buffer_cells = self.report.peak_buffer_cells.max(self.live_cells);
             Buffer {
@@ -583,6 +648,7 @@ impl Exec<'_> {
         let buffer = node.buffers.remove(&child_coord).expect("just inserted");
         self.live_chunks -= 1;
         self.live_cells -= buf_len as u64;
+        self.gauge.sub(buf_len as u64);
 
         let mut cells: Vec<(Vec<u32>, Acc)> = Vec::new();
         for (off, acc) in buffer.accs.iter().enumerate() {
@@ -843,6 +909,43 @@ mod tests {
             );
             assert!(p_rep.max_worker_peak_cells() <= p_rep.peak_buffer_cells);
         }
+    }
+
+    #[test]
+    fn concurrent_peak_is_true_high_water() {
+        let cube = cube3d();
+        let masks = Lattice::new(3).proper_masks();
+        let (_, serial) = CubeAggregator::with_order(&cube, vec![0, 1, 2])
+            .compute(&masks)
+            .unwrap();
+        // One worker: the gauge and the serial counter see the same
+        // inserts/removes, so the marks coincide exactly.
+        assert_eq!(serial.concurrent_peak_cells, serial.peak_buffer_cells);
+        for threads in [2, 3, 8] {
+            let (_, par) = CubeAggregator::with_order(&cube, vec![0, 1, 2])
+                .with_threads(threads)
+                .compute(&masks)
+                .unwrap();
+            assert!(par.concurrent_peak_cells > 0);
+            // The true mark is bracketed by the busiest single worker
+            // (that worker's cells were all live at its own peak) and
+            // the summed per-worker peaks (the all-peak-together bound).
+            assert!(par.concurrent_peak_cells >= par.max_worker_peak_cells());
+            assert!(par.concurrent_peak_cells <= par.peak_buffer_cells);
+        }
+    }
+
+    #[test]
+    fn concurrent_peak_survives_multipass_max() {
+        let cube = cube3d();
+        let masks = Lattice::new(3).proper_masks();
+        let agg = CubeAggregator::with_order(&cube, vec![0, 1, 2]);
+        let mmst = Mmst::build(cube.geometry(), &[0, 1, 2]);
+        let biggest = masks.iter().map(|&m| mmst.memory_cells(m)).max().unwrap();
+        let (_, multi) = agg.compute_with_budget(&masks, biggest + 4).unwrap();
+        assert!(multi.passes > 1);
+        assert_eq!(multi.concurrent_peak_cells, multi.peak_buffer_cells);
+        assert!(multi.concurrent_peak_cells <= biggest + 4);
     }
 
     #[test]

@@ -272,11 +272,12 @@ impl Cube {
     /// Calls `f(cell, value)` for every stored non-⊥ leaf cell.
     pub fn for_each_present(&self, mut f: impl FnMut(&[u32], f64)) -> Result<()> {
         let ids = self.chunk_ids();
+        let mut cell = Vec::with_capacity(self.geometry.ndims());
         for id in ids {
             let coord = self.geometry.chunk_coord(id);
             let chunk = self.chunk(id)?;
             for (off, v) in chunk.present_cells() {
-                let cell = self.geometry.cell_of_local(&coord, off);
+                self.geometry.cell_of_local_into(&coord, off, &mut cell);
                 f(&cell, v);
             }
         }

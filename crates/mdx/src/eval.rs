@@ -44,6 +44,9 @@ pub struct QueryContext<'a> {
     /// it is rejected with `BudgetExceeded` before reading any chunk.
     /// This is the per-session budget the multi-tenant server enforces.
     pub budget_cells: u64,
+    /// Inner-loop implementation for the chunked executor: run kernels
+    /// (the default) or the bit-identical scalar oracle (`--kernel`).
+    pub kernel: whatif_core::KernelKind,
 }
 
 impl<'a> QueryContext<'a> {
@@ -59,6 +62,7 @@ impl<'a> QueryContext<'a> {
             prefetch: 0,
             cache: None,
             budget_cells: 0,
+            kernel: whatif_core::KernelKind::default(),
         }
     }
 
@@ -121,6 +125,7 @@ pub fn evaluate_full(
                 // the chunk cache does not cover.
                 cache: None,
                 budget_cells: ctx.budget_cells,
+                kernel: ctx.kernel,
             },
         )?);
     }
@@ -199,6 +204,7 @@ pub fn evaluate_full(
                 prefetch: ctx.prefetch,
                 cache: ctx.cache.clone(),
                 budget_cells: ctx.budget_cells,
+                kernel: ctx.kernel,
             },
         )?);
     }

@@ -166,6 +166,91 @@ impl BitSet {
         None
     }
 
+    /// The backing words, 64 ordinals per word (bit `i % 64` of word
+    /// `i / 64`). Bits at positions `>= capacity` are always 0.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads the 64 bits starting at ordinal `start` as one word (bit 0 of
+    /// the result is ordinal `start`). Bits beyond capacity read as 0.
+    #[inline]
+    pub fn read_word(&self, start: u32) -> u64 {
+        let (w, b) = (start as usize / 64, start % 64);
+        let lo = self.words.get(w).copied().unwrap_or(0) >> b;
+        if b == 0 {
+            lo
+        } else {
+            let hi = self.words.get(w + 1).copied().unwrap_or(0);
+            lo | (hi << (64 - b))
+        }
+    }
+
+    /// ORs `len` bits of `src` (starting at `src_start`) into `self`
+    /// starting at `dst_start`. The ranges may be at different word
+    /// alignments; the copy runs a word at a time, not a bit at a time.
+    ///
+    /// # Panics
+    /// Panics if either range exceeds its set's capacity.
+    pub fn or_range(&mut self, dst_start: u32, src: &BitSet, src_start: u32, len: u32) {
+        assert!(
+            dst_start as u64 + len as u64 <= self.len as u64,
+            "or_range dst {}+{} out of range {}",
+            dst_start,
+            len,
+            self.len
+        );
+        assert!(
+            src_start as u64 + len as u64 <= src.len as u64,
+            "or_range src {}+{} out of range {}",
+            src_start,
+            len,
+            src.len
+        );
+        let mut done = 0u32;
+        while done < len {
+            let d = dst_start + done;
+            let (dw, db) = (d as usize / 64, d % 64);
+            let n = (64 - db).min(len - done);
+            let bits = src.read_word(src_start + done) & Self::low_mask(n);
+            self.words[dw] |= bits << db;
+            done += n;
+        }
+    }
+
+    /// Number of ordinals present in `start..start + len`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the capacity.
+    pub fn count_range(&self, start: u32, len: u32) -> u32 {
+        assert!(
+            start as u64 + len as u64 <= self.len as u64,
+            "count_range {}+{} out of range {}",
+            start,
+            len,
+            self.len
+        );
+        let mut done = 0u32;
+        let mut cnt = 0u32;
+        while done < len {
+            let n = (len - done).min(64);
+            cnt += (self.read_word(start + done) & Self::low_mask(n)).count_ones();
+            done += n;
+        }
+        cnt
+    }
+
+    /// A mask of the low `n` bits (`n <= 64`).
+    #[inline]
+    fn low_mask(n: u32) -> u64 {
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
     /// Iterates ordinals in ascending order.
     pub fn iter(&self) -> BitSetIter<'_> {
         BitSetIter {
@@ -299,5 +384,79 @@ mod tests {
     fn insert_out_of_range_panics() {
         let mut s = BitSet::new(4);
         s.insert(4);
+    }
+
+    #[test]
+    fn read_word_spans_word_boundary() {
+        let s = BitSet::from_iter(200, [0, 63, 64, 70, 127, 128]);
+        assert_eq!(s.read_word(0) & 1, 1);
+        assert_eq!(s.read_word(63) & 0b11, 0b11); // bits 63, 64
+        let w = s.read_word(60);
+        assert_eq!(w & (1 << 3), 1 << 3); // bit 63
+        assert_eq!(w & (1 << 4), 1 << 4); // bit 64
+        assert_eq!(w & (1 << 10), 1 << 10); // bit 70
+                                            // Bits past capacity read as 0.
+        assert_eq!(BitSet::from_iter(10, [9]).read_word(9), 1);
+    }
+
+    #[test]
+    fn or_range_misaligned() {
+        // Copy a misaligned window and check bit-for-bit against contains().
+        let src = BitSet::from_iter(300, (0..300).filter(|i| i % 7 == 0 || i % 11 == 3));
+        for &(dst_start, src_start, len) in &[
+            (0u32, 0u32, 300u32),
+            (5, 17, 200),
+            (63, 1, 130),
+            (64, 64, 64),
+            (1, 0, 63),
+        ] {
+            let mut dst = BitSet::from_iter(400, [0, 399]);
+            dst.or_range(dst_start, &src, src_start, len);
+            for i in 0..400u32 {
+                let expect = dst_start <= i
+                    && i < dst_start + len
+                    && src.contains(src_start + (i - dst_start))
+                    || i == 0
+                    || i == 399;
+                assert_eq!(
+                    dst.contains(i),
+                    expect,
+                    "bit {i} for window ({dst_start},{src_start},{len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn or_range_is_or_not_assign() {
+        // Pre-existing dst bits inside the window survive.
+        let src = BitSet::new(64);
+        let mut dst = BitSet::from_iter(64, [10, 20]);
+        dst.or_range(5, &src, 0, 30);
+        assert!(dst.contains(10) && dst.contains(20));
+    }
+
+    #[test]
+    fn count_range_matches_scalar() {
+        let s = BitSet::from_iter(300, (0..300).filter(|i| i % 3 == 0));
+        for &(start, len) in &[
+            (0u32, 300u32),
+            (1, 100),
+            (63, 2),
+            (64, 64),
+            (250, 0),
+            (299, 1),
+        ] {
+            let scalar = (start..start + len).filter(|&i| s.contains(i)).count() as u32;
+            assert_eq!(s.count_range(start, len), scalar, "range ({start},{len})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn or_range_out_of_bounds_panics() {
+        let src = BitSet::new(10);
+        let mut dst = BitSet::new(10);
+        dst.or_range(5, &src, 0, 6);
     }
 }

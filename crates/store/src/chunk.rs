@@ -3,6 +3,7 @@
 use crate::error::StoreError;
 use crate::value::CellValue;
 use crate::Result;
+use olap_model::bitset::BitSetIter;
 use olap_model::BitSet;
 
 /// How a chunk's cells are physically laid out.
@@ -187,12 +188,174 @@ impl Chunk {
     }
 
     /// Iterates the non-⊥ cells as (offset, value), ascending by offset.
-    pub fn present_cells(&self) -> Box<dyn Iterator<Item = (u32, f64)> + '_> {
+    ///
+    /// Returns a concrete enum iterator — no heap allocation, no virtual
+    /// dispatch per cell (the layout branch is taken once, outside the
+    /// loop, and each arm monomorphizes).
+    pub fn present_cells(&self) -> PresentCells<'_> {
+        match &self.data {
+            ChunkData::Dense { values, present } => PresentCells::Dense {
+                values,
+                bits: present.iter(),
+            },
+            ChunkData::Sparse { entries } => PresentCells::Sparse {
+                entries: entries.iter(),
+            },
+        }
+    }
+
+    /// Number of non-⊥ cells with local offsets in `start..start + len`.
+    pub fn present_in_range(&self, start: u32, len: u32) -> u32 {
+        match &self.data {
+            ChunkData::Dense { present, .. } => present.count_range(start, len),
+            ChunkData::Sparse { entries } => {
+                let lo = entries.partition_point(|&(o, _)| o < start);
+                let hi = entries.partition_point(|&(o, _)| o < start + len);
+                (hi - lo) as u32
+            }
+        }
+    }
+
+    /// Calls `f(offset, value)` for every non-⊥ cell with local offset in
+    /// `start..start + len`, ascending. Dense chunks walk the presence
+    /// bitmap a word at a time; sparse chunks slice the entry list with
+    /// two binary searches.
+    pub fn for_each_present_in_range(&self, start: u32, len: u32, mut f: impl FnMut(u32, f64)) {
         match &self.data {
             ChunkData::Dense { values, present } => {
-                Box::new(present.iter().map(move |o| (o, values[o as usize])))
+                let end = start + len;
+                let words = present.words();
+                let w0 = (start / 64) as usize;
+                let w1 = (end as usize).div_ceil(64).min(words.len());
+                for (w, &word) in words.iter().enumerate().take(w1).skip(w0) {
+                    let mut bits = word;
+                    let base = w as u32 * 64;
+                    if base < start {
+                        bits &= u64::MAX << (start - base);
+                    }
+                    if base + 64 > end {
+                        let keep = end - base;
+                        if keep < 64 {
+                            bits &= (1u64 << keep) - 1;
+                        }
+                    }
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        let off = base + b;
+                        f(off, values[off as usize]);
+                    }
+                }
             }
-            ChunkData::Sparse { entries } => Box::new(entries.iter().copied()),
+            ChunkData::Sparse { entries } => {
+                let lo = entries.partition_point(|&(o, _)| o < start);
+                let hi = entries.partition_point(|&(o, _)| o < start + len);
+                for &(o, v) in &entries[lo..hi] {
+                    f(o, v);
+                }
+            }
+        }
+    }
+
+    /// Run-copy kernel: copies the cells at `src_start..src_start + len`
+    /// of `src` to `dst_start..dst_start + len` of `self`, preserving
+    /// ⊥-ness. Returns the number of present cells copied.
+    ///
+    /// The destination range must hold no present cells (the scatter paths
+    /// guarantee this — the cell relocation map is injective, so distinct
+    /// runs land on disjoint destination ranges). With a dense source and
+    /// dense destination the inner loop is a `copy_from_slice` over the
+    /// values plus a word-wise OR over the presence bitmap: absent source
+    /// lanes carry 0.0 by the `Dense` invariant, so the wholesale value
+    /// copy writes exactly the bytes an all-⊥ destination already holds.
+    pub fn copy_run_from(&mut self, src: &Chunk, src_start: u32, dst_start: u32, len: u32) -> u32 {
+        debug_assert!(src_start + len <= src.len(), "source run out of chunk");
+        debug_assert!(dst_start + len <= self.len(), "dest run out of chunk");
+        debug_assert_eq!(
+            self.present_in_range(dst_start, len),
+            0,
+            "copy_run_from destination range must be all-⊥"
+        );
+        if matches!(self.data, ChunkData::Sparse { .. }) {
+            // Sparse destination: fall back to per-cell inserts.
+            let mut n = 0u32;
+            src.for_each_present_in_range(src_start, len, |o, v| {
+                self.set(dst_start + (o - src_start), CellValue::Num(v));
+                n += 1;
+            });
+            return n;
+        }
+        let ChunkData::Dense { values, present } = &mut self.data else {
+            unreachable!("sparse handled above")
+        };
+        match &src.data {
+            ChunkData::Dense {
+                values: sv,
+                present: sp,
+            } => {
+                values[dst_start as usize..(dst_start + len) as usize]
+                    .copy_from_slice(&sv[src_start as usize..(src_start + len) as usize]);
+                present.or_range(dst_start, sp, src_start, len);
+                sp.count_range(src_start, len)
+            }
+            ChunkData::Sparse { entries } => {
+                let lo = entries.partition_point(|&(o, _)| o < src_start);
+                let hi = entries.partition_point(|&(o, _)| o < src_start + len);
+                for &(o, v) in &entries[lo..hi] {
+                    let d = dst_start + (o - src_start);
+                    values[d as usize] = v;
+                    present.insert(d);
+                }
+                (hi - lo) as u32
+            }
+        }
+    }
+
+    /// Overlay-merge kernel: every present cell of `overlay` replaces the
+    /// corresponding cell of `self` (same shape required); ⊥ overlay cells
+    /// leave the base untouched. A sparse base is densified first; a dense
+    /// overlay then merges word-by-word — full presence words become one
+    /// 64-lane `copy_from_slice`, partial words assign only the set lanes —
+    /// and the presence union is a single word-wise OR.
+    pub fn overlay_from(&mut self, overlay: &Chunk) {
+        debug_assert_eq!(self.shape, overlay.shape, "overlay shape mismatch");
+        if matches!(self.data, ChunkData::Sparse { .. }) {
+            // Force dense: threshold 0.0 makes every density qualify.
+            self.compact(0.0);
+        }
+        let ChunkData::Dense { values, present } = &mut self.data else {
+            unreachable!("base densified above")
+        };
+        match &overlay.data {
+            ChunkData::Dense {
+                values: ov,
+                present: op,
+            } => {
+                for (w, &m) in op.words().iter().enumerate() {
+                    if m == 0 {
+                        continue;
+                    }
+                    let base = w * 64;
+                    if m == u64::MAX {
+                        let end = (base + 64).min(ov.len());
+                        values[base..end].copy_from_slice(&ov[base..end]);
+                    } else {
+                        let mut bits = m;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            values[base + b] = ov[base + b];
+                        }
+                    }
+                }
+                present.union_with(op);
+            }
+            ChunkData::Sparse { entries } => {
+                for &(o, v) in entries {
+                    values[o as usize] = v;
+                    present.insert(o);
+                }
+            }
         }
     }
 
@@ -241,6 +404,34 @@ impl Chunk {
         a.sort_by_key(|&(o, _)| o);
         b.sort_by_key(|&(o, _)| o);
         a == b
+    }
+}
+
+/// Concrete iterator over a chunk's non-⊥ cells (see
+/// [`Chunk::present_cells`]). The enum replaces the old
+/// `Box<dyn Iterator>`: the layout dispatch happens once at construction
+/// and each arm's `next` is a direct (inlinable) call.
+pub enum PresentCells<'a> {
+    /// Dense layout: walk the presence bitmap, index the value array.
+    Dense {
+        values: &'a [f64],
+        bits: BitSetIter<'a>,
+    },
+    /// Sparse layout: stream the sorted entry list.
+    Sparse {
+        entries: std::slice::Iter<'a, (u32, f64)>,
+    },
+}
+
+impl Iterator for PresentCells<'_> {
+    type Item = (u32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, f64)> {
+        match self {
+            PresentCells::Dense { values, bits } => bits.next().map(|o| (o, values[o as usize])),
+            PresentCells::Sparse { entries } => entries.next().copied(),
+        }
     }
 }
 
@@ -342,5 +533,117 @@ mod tests {
         let dense = c.byte_size();
         c.compact(2.0); // force sparse (density < 2.0 always)
         assert!(c.byte_size() < dense);
+    }
+
+    /// A 200-cell chunk with a fixed pseudo-random population, in both
+    /// layouts.
+    fn populated(sparse: bool) -> Chunk {
+        let mut c = if sparse {
+            Chunk::new_sparse(vec![200])
+        } else {
+            Chunk::new_dense(vec![200])
+        };
+        for o in 0..200u32 {
+            if (o * 7 + 3) % 5 < 2 {
+                c.set(o, CellValue::num(o as f64 + 0.5));
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn range_helpers_match_scalar_in_both_layouts() {
+        for sparse in [false, true] {
+            let c = populated(sparse);
+            for &(start, len) in &[
+                (0u32, 200u32),
+                (1, 64),
+                (63, 2),
+                (130, 70),
+                (199, 1),
+                (50, 0),
+            ] {
+                let scalar: Vec<(u32, f64)> = c
+                    .present_cells()
+                    .filter(|&(o, _)| start <= o && o < start + len)
+                    .collect();
+                assert_eq!(
+                    c.present_in_range(start, len),
+                    scalar.len() as u32,
+                    "count ({start},{len}) sparse={sparse}"
+                );
+                let mut seen = Vec::new();
+                c.for_each_present_in_range(start, len, |o, v| seen.push((o, v)));
+                assert_eq!(seen, scalar, "walk ({start},{len}) sparse={sparse}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_run_matches_scalar_in_all_layout_pairs() {
+        for src_sparse in [false, true] {
+            for dst_sparse in [false, true] {
+                let src = populated(src_sparse);
+                let mut dst = if dst_sparse {
+                    Chunk::new_sparse(vec![200])
+                } else {
+                    Chunk::new_dense(vec![200])
+                };
+                // Shifted, misaligned window.
+                let n = dst.copy_run_from(&src, 37, 100, 90);
+                assert_eq!(n, src.present_in_range(37, 90));
+                let mut oracle = if dst_sparse {
+                    Chunk::new_sparse(vec![200])
+                } else {
+                    Chunk::new_dense(vec![200])
+                };
+                src.for_each_present_in_range(37, 90, |o, v| {
+                    oracle.set(100 + (o - 37), CellValue::Num(v));
+                });
+                assert!(
+                    dst.same_cells(&oracle),
+                    "src_sparse={src_sparse} dst_sparse={dst_sparse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_from_matches_per_cell_set() {
+        for base_sparse in [false, true] {
+            for over_sparse in [false, true] {
+                let mut base = populated(base_sparse);
+                let mut overlay = if over_sparse {
+                    Chunk::new_sparse(vec![200])
+                } else {
+                    Chunk::new_dense(vec![200])
+                };
+                for o in (0..200u32).filter(|o| o % 3 == 1) {
+                    overlay.set(o, CellValue::num(1000.0 + o as f64));
+                }
+                let mut oracle = base.clone();
+                for (o, v) in overlay.present_cells() {
+                    oracle.set(o, CellValue::Num(v));
+                }
+                base.overlay_from(&overlay);
+                assert!(
+                    base.same_cells(&oracle),
+                    "base_sparse={base_sparse} over_sparse={over_sparse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_full_words_take_slice_path() {
+        // Overlay with every cell present: the full-word fast path must
+        // still produce the exact overlay image.
+        let mut base = populated(false);
+        let mut overlay = Chunk::new_dense(vec![200]);
+        for o in 0..200u32 {
+            overlay.set(o, CellValue::num(o as f64 * 2.0));
+        }
+        base.overlay_from(&overlay);
+        assert!(base.same_cells(&overlay));
     }
 }

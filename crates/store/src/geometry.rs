@@ -178,28 +178,94 @@ impl ChunkGeometry {
     }
 
     /// Splits a global cell into (chunk id, local row-major offset).
+    ///
+    /// Allocation-free: the grid coordinate and clipped shape are derived
+    /// per axis on the fly rather than materialized.
     pub fn split_cell(&self, cell: &[u32]) -> (ChunkId, u32) {
-        let coord = self.chunk_coord_of_cell(cell);
-        let shape = self.chunk_shape(&coord);
+        debug_assert_eq!(cell.len(), self.ndims());
+        let mut id: u64 = 0;
         let mut off: u32 = 0;
-        for i in 0..self.ndims() {
-            let local = cell[i] - coord[i] * self.extents[i];
-            debug_assert!(local < shape[i], "cell outside its chunk shape");
-            off = off * shape[i] + local;
+        let axes = cell
+            .iter()
+            .zip(&self.extents)
+            .zip(&self.grid)
+            .zip(&self.lens);
+        for (((&ci, &e), &g), &l) in axes {
+            let c = ci / e;
+            debug_assert!(c < g, "chunk coord out of grid");
+            let start = c * e;
+            let shape_i = e.min(l - start);
+            debug_assert!(ci - start < shape_i, "cell outside its chunk shape");
+            id = id * g as u64 + c as u64;
+            off = off * shape_i + (ci - start);
         }
-        (self.chunk_id(&coord), off)
+        (ChunkId(id), off)
     }
 
     /// Recovers the global cell of a (chunk coord, local offset) pair.
-    pub fn cell_of_local(&self, coord: &[u32], mut offset: u32) -> CellCoord {
-        let shape = self.chunk_shape(coord);
+    pub fn cell_of_local(&self, coord: &[u32], offset: u32) -> CellCoord {
         let mut cell = vec![0u32; self.ndims()];
+        self.cell_of_local_into(coord, offset, &mut cell);
+        cell
+    }
+
+    /// Allocation-free [`ChunkGeometry::cell_of_local`]: writes the global
+    /// cell into `cell` (resized to the rank), reusing its storage.
+    pub fn cell_of_local_into(&self, coord: &[u32], mut offset: u32, cell: &mut CellCoord) {
+        debug_assert_eq!(coord.len(), self.ndims());
+        cell.clear();
+        cell.resize(self.ndims(), 0);
         for i in (0..self.ndims()).rev() {
-            cell[i] = coord[i] * self.extents[i] + offset % shape[i];
-            offset /= shape[i];
+            let start = coord[i] * self.extents[i];
+            let shape_i = self.extents[i].min(self.lens[i].saturating_sub(start));
+            cell[i] = start + offset % shape_i;
+            offset /= shape_i;
         }
         debug_assert_eq!(offset, 0, "offset out of chunk");
-        cell
+    }
+
+    /// Decomposes the chunk at `coord` into maximal row-major runs: spans
+    /// of consecutive local offsets over which every dimension except the
+    /// last (fastest-varying) is constant. Each run is one "row" of the
+    /// (possibly clipped) chunk; within a run the local offset and the
+    /// last global coordinate both advance by 1 per cell (stride 1).
+    ///
+    /// This is the unit of work for the run kernels: any per-cell decision
+    /// that does not depend on the last dimension (destination chunk,
+    /// fate lookup, kept-scope membership) is constant over a run and can
+    /// be hoisted out of the inner loop.
+    pub fn runs(&self, coord: &[u32]) -> ChunkRuns {
+        ChunkRuns::new(self, coord, self.ndims().saturating_sub(1))
+    }
+
+    /// Like [`ChunkGeometry::runs`], but each run covers the chunk's full
+    /// cross-section of the axis suffix `split..ndims` (local offsets
+    /// over any suffix of a row-major layout are contiguous), while axes
+    /// `0..split` stay constant per run. The returned base cell holds the
+    /// chunk origin in the suffix axes. `split == ndims` degenerates to
+    /// one run per cell; `split == 0` yields a single whole-chunk run.
+    ///
+    /// Callers pick the split so every quantity they hoist out of the
+    /// inner loop depends only on axes before it — e.g. the executor
+    /// splits after `max(vd, pd)`, making the cell fate, destination
+    /// chunk and kept-scope check run-constant even when trailing axes
+    /// (currency, version, …) have length 1 and per-axis rows would
+    /// degenerate to single cells.
+    pub fn runs_from(&self, coord: &[u32], split: usize) -> ChunkRuns {
+        assert!(split <= self.ndims(), "split axis out of range");
+        ChunkRuns::new(self, coord, split)
+    }
+
+    /// The last axis with more than one coordinate — the fastest-varying
+    /// axis that actually moves. Trailing length-1 axes contribute
+    /// nothing to row-major offsets, so a run over the suffix starting
+    /// here still varies only this one global coordinate. `ndims - 1`
+    /// when every axis has length 1.
+    pub fn fast_axis(&self) -> usize {
+        self.lens
+            .iter()
+            .rposition(|&l| l > 1)
+            .unwrap_or_else(|| self.ndims().saturating_sub(1))
     }
 
     /// Validates a global cell coordinate.
@@ -232,6 +298,80 @@ impl ChunkGeometry {
     /// All chunk ids in canonical order.
     pub fn all_chunk_ids(&self) -> Vec<ChunkId> {
         (0..self.total_chunks()).map(ChunkId).collect()
+    }
+}
+
+/// Lending iterator over the row-major runs of one chunk
+/// (see [`ChunkGeometry::runs`]).
+///
+/// Not a `std::iter::Iterator` — each run's base cell is borrowed from the
+/// iterator's own storage, so the runs are consumed with an explicit
+/// `while let Some((base, start, len)) = it.next_run()` loop. This keeps
+/// the walk allocation-free: one odometer advance per run, no `Vec` per
+/// cell or per run.
+pub struct ChunkRuns {
+    origin: CellCoord,
+    shape: Vec<u32>,
+    /// Global cell of the current run's first cell.
+    cell: CellCoord,
+    /// Local offset of the current run's first cell.
+    off: u32,
+    /// Cells per run: the product of the clipped suffix extents.
+    row: u32,
+    /// Axes `split..` are covered wholesale by each run; the odometer
+    /// walks axes `0..split` with axis `split - 1` fastest.
+    split: usize,
+    started: bool,
+    done: bool,
+}
+
+impl ChunkRuns {
+    fn new(geom: &ChunkGeometry, coord: &[u32], split: usize) -> Self {
+        let origin = geom.chunk_origin(coord);
+        let shape = geom.chunk_shape(coord);
+        let row = shape[split..].iter().product();
+        let empty = shape.contains(&0);
+        ChunkRuns {
+            cell: origin.clone(),
+            origin,
+            shape,
+            off: 0,
+            row,
+            split,
+            started: false,
+            done: empty,
+        }
+    }
+
+    /// The next run as `(base_cell, start_offset, len)`; `base_cell` is the
+    /// global coordinate of the run's first cell, `start_offset` its local
+    /// row-major offset, and the run covers offsets
+    /// `start_offset..start_offset + len`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_run(&mut self) -> Option<(&[u32], u32, u32)> {
+        if self.done {
+            return None;
+        }
+        if self.started {
+            // Advance the odometer over the prefix axes, with the axis
+            // just before the split fastest (row-major order).
+            let mut i = self.split;
+            loop {
+                if i == 0 {
+                    self.done = true;
+                    return None;
+                }
+                i -= 1;
+                self.cell[i] += 1;
+                if self.cell[i] < self.origin[i] + self.shape[i] {
+                    break;
+                }
+                self.cell[i] = self.origin[i];
+            }
+            self.off += self.row;
+        }
+        self.started = true;
+        Some((&self.cell, self.off, self.row))
     }
 }
 
@@ -384,5 +524,61 @@ mod tests {
         let g = ChunkGeometry::uniform(vec![0, 4], 2).unwrap();
         assert_eq!(g.grid(), &[1, 2]);
         assert_eq!(g.total_cells(), 0);
+    }
+
+    #[test]
+    fn cell_of_local_into_matches_alloc_version() {
+        let g = ChunkGeometry::uniform(vec![10, 7, 5], 3).unwrap();
+        let mut buf = Vec::new();
+        for id in 0..g.total_chunks() {
+            let coord = g.chunk_coord(ChunkId(id));
+            for off in 0..g.chunk_cell_count(&coord) {
+                g.cell_of_local_into(&coord, off, &mut buf);
+                assert_eq!(buf, g.cell_of_local(&coord, off));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_cover_every_offset_once_with_correct_bases() {
+        // Clipped geometry: edge chunks have shorter rows and fewer rows.
+        let g = ChunkGeometry::new(vec![10, 7, 5], vec![4, 3, 2]).unwrap();
+        for id in 0..g.total_chunks() {
+            let coord = g.chunk_coord(ChunkId(id));
+            let n = g.chunk_cell_count(&coord);
+            let mut seen = vec![false; n as usize];
+            let mut it = g.runs(&coord);
+            while let Some((base, start, len)) = it.next_run() {
+                assert!(len > 0);
+                assert_eq!(base, g.cell_of_local(&coord, start).as_slice());
+                for k in 0..len {
+                    let off = start + k;
+                    assert!(off < n, "run overruns chunk");
+                    assert!(!seen[off as usize], "offset {off} covered twice");
+                    seen[off as usize] = true;
+                    // Within a run only the last coordinate varies.
+                    let cell = g.cell_of_local(&coord, off);
+                    assert_eq!(&cell[..cell.len() - 1], &base[..base.len() - 1]);
+                    assert_eq!(cell[cell.len() - 1], base[base.len() - 1] + k);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "offsets missed in chunk {id}");
+        }
+    }
+
+    #[test]
+    fn runs_one_dim_is_single_run() {
+        let g = ChunkGeometry::uniform(vec![10], 4).unwrap();
+        let mut it = g.runs(&[2]);
+        // Last chunk of a 10-cell axis with extent 4 is clipped to 2 cells.
+        assert_eq!(it.next_run(), Some(([8u32].as_slice(), 0, 2)));
+        assert_eq!(it.next_run(), None);
+    }
+
+    #[test]
+    fn runs_empty_axis_yields_nothing() {
+        let g = ChunkGeometry::uniform(vec![0, 4], 2).unwrap();
+        let mut it = g.runs(&[0, 0]);
+        assert_eq!(it.next_run(), None);
     }
 }

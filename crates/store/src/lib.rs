@@ -33,12 +33,12 @@ pub mod store;
 pub mod value;
 pub mod wal;
 
-pub use chunk::{Chunk, ChunkData};
+pub use chunk::{Chunk, ChunkData, PresentCells};
 pub use compress::{compression_ratio, decode_any, encode_compressed, is_compressed};
 pub use error::StoreError;
 pub use fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
 pub use filestore::{FileStore, SeekModel, TailRecovery};
-pub use geometry::{CellCoord, ChunkCoord, ChunkGeometry, ChunkId, DimOrderIter};
+pub use geometry::{CellCoord, ChunkCoord, ChunkGeometry, ChunkId, ChunkRuns, DimOrderIter};
 pub use integrity::{crc32, is_checksummed, unwrap_verified, wrap_checksummed};
 pub use memstore::MemStore;
 pub use pool::{BufferPool, PoolStats};

@@ -24,7 +24,7 @@ while [ "$i" -le 10 ]; do
     cargo test -q -p whatif-integration-tests \
         --test parallel_exec --test prefetch --test scenario_cache \
         --test scenario_forest --test fault_injection --test persistence \
-        --test server >/dev/null
+        --test server --test run_kernels >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
@@ -62,6 +62,13 @@ cargo test -q -p whatif-integration-tests \
     --test fault_injection bit_flip_fault_yields_corrupt_not_garbage >/dev/null
 ./target/release/repro --faults 4 >/dev/null
 echo "(corrupt reads surface as Err, fault sweep invariant holds)"
+
+echo "== kernel-equivalence smoke test =="
+# The run kernels must be cell-identical to the scalar per-cell oracle
+# on the merge-heavy ablation workload (repro exits non-zero on any
+# digest divergence) and record before/after timings in BENCH_pr8.json.
+./target/release/repro --kernel-bench >/dev/null
+echo "(run kernels bit-identical to the scalar oracle)"
 
 echo "== fmt check =="
 cargo fmt --all --check

@@ -1,0 +1,246 @@
+//! Run-kernel gates (DESIGN.md §15): the run decomposition of a chunk
+//! covers every local offset exactly once with correct base cells
+//! (property-tested over random clipped geometries), and the branch-free
+//! run kernels are bit-identical to the scalar per-cell oracle across
+//! scenario kinds, chunk layouts, clipped edges and thread counts. Also
+//! checks the aggregator's shared-gauge concurrent peak is a true
+//! simultaneous high-water mark, not a summed bound.
+
+use olap_cube::{CubeAggregator, Lattice};
+use olap_store::ChunkGeometry;
+use olap_workload::{running_example, Workforce, WorkforceConfig};
+use proptest::prelude::*;
+use whatif_core::{apply_opts, Change, ExecOpts, KernelKind, Mode, Scenario, Semantics, Strategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every local offset of every (possibly clipped) chunk appears in
+    /// exactly one run, runs are contiguous in the fastest-varying
+    /// dimension, and each run's base cell decodes its start offset.
+    #[test]
+    fn runs_partition_every_chunk_of_random_geometries(
+        dims in proptest::collection::vec((1u32..12, 1u32..6), 1..5),
+    ) {
+        let lens: Vec<u32> = dims.iter().map(|&(l, _)| l).collect();
+        let extents: Vec<u32> = dims.iter().map(|&(l, e)| e.min(l)).collect();
+        let geom = ChunkGeometry::new(lens, extents).unwrap();
+        let last = geom.ndims() - 1;
+        for id in geom.all_chunk_ids() {
+            let coord = geom.chunk_coord(id);
+            let cells = geom.chunk_cell_count(&coord);
+            let mut seen = vec![false; cells as usize];
+            let mut runs = geom.runs(&coord);
+            while let Some((base, start, len)) = runs.next_run() {
+                prop_assert!(len >= 1);
+                let base = base.to_vec();
+                prop_assert_eq!(&base, &geom.cell_of_local(&coord, start));
+                for k in 0..len {
+                    let off = start + k;
+                    prop_assert!(off < cells, "offset {} out of chunk", off);
+                    prop_assert!(!seen[off as usize], "offset {} covered twice", off);
+                    seen[off as usize] = true;
+                    // Within a run only the last coordinate varies.
+                    let mut want = base.clone();
+                    want[last] += k;
+                    prop_assert_eq!(geom.cell_of_local(&coord, off), want);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "chunk {:?} not fully covered", coord);
+        }
+    }
+
+    /// `runs_from(coord, split)` partitions the chunk for ANY split axis:
+    /// exact one-time coverage, base cells decode their start offsets,
+    /// and within a run only coordinates in the axis suffix vary (the
+    /// prefix `0..split` is run-constant — the soundness condition the
+    /// executor relies on when it splits just after `max(vd, pd)`).
+    #[test]
+    fn split_runs_partition_chunks_and_pin_prefix_coords(
+        dims in proptest::collection::vec((1u32..12, 1u32..6), 1..5),
+        split_pick in 0usize..5,
+    ) {
+        let lens: Vec<u32> = dims.iter().map(|&(l, _)| l).collect();
+        let extents: Vec<u32> = dims.iter().map(|&(l, e)| e.min(l)).collect();
+        let geom = ChunkGeometry::new(lens, extents).unwrap();
+        let split = split_pick % (geom.ndims() + 1);
+        for id in geom.all_chunk_ids() {
+            let coord = geom.chunk_coord(id);
+            let cells = geom.chunk_cell_count(&coord);
+            let mut seen = vec![false; cells as usize];
+            let mut runs = geom.runs_from(&coord, split);
+            while let Some((base, start, len)) = runs.next_run() {
+                prop_assert!(len >= 1);
+                let base = base.to_vec();
+                prop_assert_eq!(&base, &geom.cell_of_local(&coord, start));
+                for k in 0..len {
+                    let off = start + k;
+                    prop_assert!(off < cells, "offset {} out of chunk", off);
+                    prop_assert!(!seen[off as usize], "offset {} covered twice", off);
+                    seen[off as usize] = true;
+                    let cell = geom.cell_of_local(&coord, off);
+                    prop_assert_eq!(
+                        &cell[..split], &base[..split],
+                        "prefix coordinate varied inside a split-{} run", split
+                    );
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "chunk {:?} not fully covered", coord);
+        }
+    }
+}
+
+/// Runs one scenario under both kernels at the given thread count and
+/// asserts the perspective cubes are cell-identical.
+fn assert_kernels_agree(cube: &olap_cube::Cube, scenario: &Scenario, threads: usize, tag: &str) {
+    let strategy = Strategy::Chunked(whatif_core::OrderPolicy::Pebbling);
+    let run = |kernel: KernelKind| {
+        let opts = ExecOpts {
+            threads,
+            kernel,
+            ..Default::default()
+        };
+        apply_opts(cube, scenario, &strategy, None, opts).unwrap()
+    };
+    let scalar = run(KernelKind::Scalar);
+    let runs = run(KernelKind::Runs);
+    assert!(
+        runs.cube.same_cells(&scalar.cube).unwrap(),
+        "{tag}: run kernels diverged from the scalar oracle (threads {threads})"
+    );
+    assert_eq!(
+        runs.cube.present_cell_count().unwrap(),
+        scalar.cube.present_cell_count().unwrap(),
+        "{tag}: present-cell counts diverged (threads {threads})"
+    );
+}
+
+#[test]
+fn kernels_agree_on_running_example_negative_scenarios() {
+    // Sparse-ish chunks with clipped edges (extents 2/3/3/2 over axes
+    // 8/8/6/4); vd is dim 0 and pd is dim 2, so the per-run fast path
+    // applies for fate but the pd check still exercises mixed layouts.
+    let ex = running_example();
+    for semantics in [
+        Semantics::Static,
+        Semantics::Forward,
+        Semantics::ExtendedForward,
+        Semantics::Backward,
+    ] {
+        for mode in [Mode::Visual, Mode::NonVisual] {
+            let scenario = Scenario::negative(ex.org, [0, 3], semantics, mode);
+            for threads in [1, 2] {
+                assert_kernels_agree(
+                    &ex.cube,
+                    &scenario,
+                    threads,
+                    &format!("running {semantics:?}/{mode:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_positive_split_scenario() {
+    // A positive change splits Lisa's validity at Apr — the split path
+    // rewrites the varying axis, covering the split/residue kernels.
+    let ex = running_example();
+    let lisa = ex.schema.dim(ex.org).resolve("Lisa").unwrap();
+    let pte = ex.schema.dim(ex.org).resolve("PTE").unwrap();
+    let scenario = Scenario::positive(
+        ex.org,
+        vec![Change {
+            member: lisa,
+            old_parent: None,
+            new_parent: pte,
+            at: 3,
+        }],
+        Mode::Visual,
+    );
+    for threads in [1, 2] {
+        assert_kernels_agree(&ex.cube, &scenario, threads, "positive split");
+    }
+}
+
+#[test]
+fn kernels_agree_on_all_sparse_chunks() {
+    // Rebuild the running-example cube with an impossible dense
+    // threshold so every chunk stores as a sorted entry list — the
+    // sparse gather/per-cell fallbacks must match the oracle too.
+    let ex = running_example();
+    let geom = ex.cube.geometry();
+    let mut b = olap_cube::Cube::builder(ex.schema.clone(), geom.extents().to_vec())
+        .unwrap()
+        .dense_threshold(2.0);
+    let mut cells: Vec<(Vec<u32>, f64)> = Vec::new();
+    ex.cube
+        .for_each_present(|cell, v| cells.push((cell.to_vec(), v)))
+        .unwrap();
+    for (cell, v) in cells {
+        b.set_num(&cell, v).unwrap();
+    }
+    let sparse_cube = b.finish().unwrap();
+    assert_eq!(
+        sparse_cube.present_cell_count().unwrap(),
+        ex.cube.present_cell_count().unwrap()
+    );
+    let scenario = Scenario::negative(ex.org, [0, 3], Semantics::Forward, Mode::Visual);
+    for threads in [1, 2] {
+        assert_kernels_agree(&sparse_cube, &scenario, threads, "all-sparse");
+    }
+}
+
+#[test]
+fn kernels_agree_on_dense_workforce_relocations() {
+    // Dense chunks (employee_extent 1 packs the varying axis): the
+    // masked-run copy path dominates, and odd axis lengths leave
+    // clipped edge chunks in every dimension.
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 60,
+        departments: 5,
+        changing: 20,
+        employee_extent: 1,
+        accounts: 3,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    for (tag, moments) in [("two", vec![0u32, 6]), ("three", vec![0, 4, 8])] {
+        let scenario = Scenario::negative(wf.department, moments, Semantics::Forward, Mode::Visual);
+        for threads in [1, 2] {
+            assert_kernels_agree(&wf.cube, &scenario, threads, &format!("workforce {tag}"));
+        }
+    }
+}
+
+#[test]
+fn aggregation_concurrent_peak_is_bounded_and_exact_in_serial() {
+    let wf = Workforce::build(WorkforceConfig {
+        employees: 60,
+        departments: 5,
+        changing: 20,
+        employee_extent: 1,
+        accounts: 3,
+        scenarios: 2,
+        ..WorkforceConfig::default()
+    });
+    let lattice = Lattice::new(wf.cube.geometry().ndims());
+    let masks = lattice.proper_masks();
+    let (_, serial) = CubeAggregator::new(&wf.cube).compute(&masks).unwrap();
+    assert_eq!(serial.concurrent_peak_cells, serial.peak_buffer_cells);
+    for threads in [2, 4] {
+        let (_, par) = CubeAggregator::new(&wf.cube)
+            .with_threads(threads)
+            .compute(&masks)
+            .unwrap();
+        assert!(par.concurrent_peak_cells > 0);
+        assert!(
+            par.concurrent_peak_cells >= par.max_worker_peak_cells(),
+            "true mark below the busiest worker's own peak"
+        );
+        assert!(
+            par.concurrent_peak_cells <= par.peak_buffer_cells,
+            "true mark above the summed all-peak-together bound"
+        );
+    }
+}

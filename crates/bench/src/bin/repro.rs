@@ -83,6 +83,7 @@ fn main() {
     let mut fault_schedules = 0u64;
     let mut crash_points = false;
     let mut serve_sessions = 0usize;
+    let mut chaos_sessions = 0usize;
     let mut toggle_scenarios = 0usize;
     let mut kernel_bench = false;
     let mut kernel = KernelKind::default();
@@ -127,6 +128,20 @@ fn main() {
                         i += 1;
                     }
                     None => serve_sessions = 32,
+                }
+            }
+            "--chaos-bench" => {
+                // Optional session count; bare `--chaos-bench` runs 8.
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(0) => {
+                        eprintln!("--chaos-bench needs a positive session count");
+                        std::process::exit(2);
+                    }
+                    Some(n) => {
+                        chaos_sessions = n;
+                        i += 1;
+                    }
+                    None => chaos_sessions = 8,
                 }
             }
             "--faults" => {
@@ -209,9 +224,9 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
-                     [--faults [N]] [--crash-points] [--serve-bench [N]] [--toggle-bench [K]] \
-                     [--kernel-bench] [--csv DIR] [--threads N] [--prefetch K] [--cache MB] \
-                     [--kernel scalar|runs]"
+                     [--faults [N]] [--crash-points] [--serve-bench [N]] [--chaos-bench [N]] \
+                     [--toggle-bench [K]] [--kernel-bench] [--csv DIR] [--threads N] \
+                     [--prefetch K] [--cache MB] [--kernel scalar|runs]"
                 );
                 std::process::exit(2);
             }
@@ -225,6 +240,7 @@ fn main() {
         && fault_schedules == 0
         && !crash_points
         && serve_sessions == 0
+        && chaos_sessions == 0
         && toggle_scenarios == 0
         && !kernel_bench
     {
@@ -279,6 +295,9 @@ fn main() {
     }
     if serve_sessions > 0 {
         run_serve_bench(serve_sessions, cache_mb);
+    }
+    if chaos_sessions > 0 {
+        run_chaos_bench(chaos_sessions, cache_mb);
     }
     if toggle_scenarios > 0 {
         run_toggle_bench(toggle_scenarios, cache_mb, threads, prefetch, kernel);
@@ -1011,8 +1030,7 @@ fn run_serve_bench(sessions: usize, cache_mb: usize) {
             script(i)
                 .iter()
                 .map(|cmd| match session.handle(cmd) {
-                    Outcome::Continue(text) => text,
-                    Outcome::Quit(text) => text,
+                    Outcome::Continue(text) | Outcome::Quit(text) | Outcome::Deadline(text) => text,
                 })
                 .collect()
         })
@@ -1094,6 +1112,197 @@ fn run_serve_bench(sessions: usize, cache_mb: usize) {
         std::process::exit(1);
     }
     println!("all {sessions} sessions byte-identical to the serial replay\n");
+}
+
+/// `--chaos-bench N`: the network-fault gate (DESIGN.md §16). N
+/// concurrent edit sessions run through a `ChaosProxy` whose
+/// seed-reproducible plan injects delays, mid-frame cuts,
+/// partial-frame stalls and refusals, against a server with idle
+/// timeouts and drain-on-shutdown, using clients with bounded
+/// retry/backoff and journal replay. Three fault-plan seeds run
+/// back-to-back; the run exits non-zero unless, for every seed:
+///
+/// * every request either fails with a clean client-side error or
+///   returns a reply byte-identical to a faultless serial replay of
+///   the same script (the retry journal makes a reconnected session
+///   answer exactly like the uninterrupted one);
+/// * the server ends with zero live sessions — no admission slot
+///   leaked by a cut, stalled or refused connection;
+/// * the whole round finishes inside a wall-clock budget (no hangs).
+fn run_chaos_bench(sessions: usize, cache_mb: usize) {
+    use olap_server::chaos::{random_plan, ChaosProxy};
+    use olap_server::{RetryPolicy, Server, ServerConfig, STATUS_OK};
+    use polap_cli::{proto::Client, Dataset, Outcome, Session, SharedData};
+    use std::sync::Arc;
+
+    const SEEDS: [u64; 3] = [11, 29, 47];
+    const ROUND_BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
+
+    let cache_mb = if cache_mb == 0 { 64 } else { cache_mb };
+    println!("=== chaos-bench — {sessions} sessions through a fault proxy, seeds {SEEDS:?} ===");
+
+    // The script leans on state-setting verbs on purpose: a fault that
+    // kills the connection after `.fork`/`.apply` forces the client's
+    // journal replay to rebuild the forest in a fresh session, and any
+    // replay bug diverges the digests below.
+    let script = |i: usize| -> Vec<String> {
+        const MOMENT_SETS: [&str; 5] = ["0,3,6,9", "0,3", "6,9", "0,9", "3,6"];
+        let sem = |step: usize| {
+            if (i + step).is_multiple_of(2) {
+                "forward"
+            } else {
+                "static"
+            }
+        };
+        vec![
+            format!(".apply {} {}", sem(0), MOMENT_SETS[i % 5]),
+            ".fork alt".to_string(),
+            format!(".apply {} {}", sem(1), MOMENT_SETS[(i + 2) % 5]),
+            ".switch main".to_string(),
+            ".apply".to_string(), // re-run main's scenario from the forest
+            format!(".apply {} {}", sem(2), MOMENT_SETS[(i + 4) % 5]),
+        ]
+    };
+
+    // Faultless serial baseline on a private, cache-less copy.
+    print!("serial baseline… ");
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    let serial_data = Arc::new(SharedData::load(Dataset::Bench));
+    let expected: Vec<Vec<String>> = (0..sessions)
+        .map(|i| {
+            let mut session = Session::attach(serial_data.clone());
+            script(i)
+                .iter()
+                .map(|cmd| match session.handle(cmd) {
+                    Outcome::Continue(text) | Outcome::Quit(text) | Outcome::Deadline(text) => text,
+                })
+                .collect()
+        })
+        .collect();
+    println!("done");
+
+    let mut failed = false;
+    for seed in SEEDS {
+        let t0 = std::time::Instant::now();
+        let mut server_data = SharedData::load(Dataset::Bench);
+        server_data.set_cache_mb(cache_mb);
+        let server = Server::start(
+            Arc::new(server_data),
+            "127.0.0.1:0",
+            ServerConfig {
+                // Headroom over the session count: reconnects briefly
+                // hold a dying slot and a fresh one at once.
+                max_sessions: sessions * 2 + 4,
+                idle_timeout_ms: 2_000,
+                drain_grace_ms: 500,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind chaos-bench server");
+        // Plan over more connections than sessions: every reconnect
+        // advances the accept-order index into fresh faults.
+        let proxy = ChaosProxy::start(server.addr(), random_plan(seed, (sessions * 8) as u64))
+            .expect("bind chaos proxy");
+        let addr = proxy.addr();
+
+        let workers: Vec<_> = (0..sessions)
+            .map(|i| {
+                let script = script(i);
+                std::thread::spawn(move || -> (Vec<String>, usize, Option<String>) {
+                    let retry = RetryPolicy::retries(10, seed ^ ((i as u64) << 8));
+                    // The initial connect can be hit by a Refuse fault
+                    // (EOF before greeting); bounded manual retries.
+                    let mut client = None;
+                    for _ in 0..20 {
+                        match Client::connect_with(addr, retry.clone()) {
+                            Ok(c) => {
+                                client = Some(c);
+                                break;
+                            }
+                            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                        }
+                    }
+                    let Some(mut client) = client else {
+                        return (Vec::new(), 0, Some("never connected".to_string()));
+                    };
+                    let mut replies = Vec::new();
+                    let mut clean_errors = 0usize;
+                    for cmd in script {
+                        match client.request(&cmd) {
+                            Ok((STATUS_OK, text)) => replies.push(text),
+                            // A non-OK frame without a deadline set
+                            // means the server closed on us; count it
+                            // as a clean error and stop — the rest of
+                            // the script has no session.
+                            Ok((_, _text)) => {
+                                clean_errors += 1;
+                                break;
+                            }
+                            Err(_) => {
+                                clean_errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    let _ = client.request(".quit");
+                    (replies, clean_errors, None)
+                })
+            })
+            .collect();
+
+        let mut ok_replies = 0usize;
+        let mut clean_errors = 0usize;
+        let mut mismatches = 0usize;
+        for (i, w) in workers.into_iter().enumerate() {
+            let (replies, errs, fatal) = w.join().expect("chaos-bench session panicked");
+            if let Some(msg) = fatal {
+                eprintln!("session {i}: {msg}");
+                clean_errors += 1;
+                continue;
+            }
+            clean_errors += errs;
+            ok_replies += replies.len();
+            // Every acknowledged reply must match the faultless serial
+            // replay prefix (a clean error may truncate the script).
+            for (got, want) in replies.iter().zip(&expected[i]) {
+                if got != want {
+                    mismatches += 1;
+                    eprintln!(
+                        "seed {seed} session {i} diverged:\n  serial: {want}\n  chaos:  {got}"
+                    );
+                }
+            }
+        }
+
+        // More accepted connections than sessions = reconnects = faults
+        // actually fired and were healed.
+        let conns = proxy.connections();
+        proxy.shutdown();
+        // Every slot must come home: cut, stalled, refused or drained,
+        // no connection may leak its admission slot.
+        let mut leaked = server.active_sessions();
+        let drain_t0 = std::time::Instant::now();
+        while leaked > 0 && drain_t0.elapsed() < std::time::Duration::from_secs(10) {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            leaked = server.active_sessions();
+        }
+        let forced = server.shutdown();
+        let elapsed = t0.elapsed();
+        println!(
+            "seed {seed}: {ok_replies} replies matched, {clean_errors} clean errors, \
+             {mismatches} mismatches, {conns} connections for {sessions} sessions, \
+             {leaked} leaked, {forced} force-closed, {:.2} s",
+            elapsed.as_secs_f64(),
+        );
+        if mismatches > 0 || leaked > 0 || elapsed > ROUND_BUDGET {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("FAIL: chaos-bench violated a gate (divergence, leaked slot, or over budget)");
+        std::process::exit(1);
+    }
+    println!("chaos-bench: every faulted request errored cleanly or matched the serial replay\n");
 }
 
 /// `--toggle-bench K`: the A/B-toggle gate for the versioned scenario

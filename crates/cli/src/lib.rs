@@ -140,6 +140,12 @@ pub struct Session {
     /// budget machinery (reject-with-error for merges, more passes for
     /// aggregations).
     budget_cells: u64,
+    /// Per-request wall-clock deadline in milliseconds; 0 = unlimited.
+    /// The clock starts when execution starts, and the chunked executor
+    /// checks it cooperatively at pass/slice boundaries — an expired
+    /// request aborts with `DeadlineExceeded` and the session (forest,
+    /// budget, cache) is untouched.
+    deadline_ms: u64,
     /// This session's scenario forest (`.fork` / `.switch` /
     /// `.scenarios`): private, like the tuning state — forks are an
     /// analyst's exploration, not shared server state.
@@ -171,6 +177,10 @@ pub enum Outcome {
     Continue(String),
     /// Print this and exit.
     Quit(String),
+    /// The request's deadline expired mid-execution. The session is
+    /// still healthy — the server reports this as an error frame but
+    /// keeps the connection (and the session state) alive.
+    Deadline(String),
 }
 
 impl Session {
@@ -189,6 +199,7 @@ impl Session {
             prefetch: 0,
             kernel: whatif_core::KernelKind::default(),
             budget_cells: 0,
+            deadline_ms: 0,
             forest: ScenarioForest::new(),
         }
     }
@@ -236,6 +247,13 @@ impl Session {
         self
     }
 
+    /// Sets the session's per-request deadline in milliseconds
+    /// (`--deadline-ms N`); 0 = unlimited.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Session {
+        self.deadline_ms = ms;
+        self
+    }
+
     /// Selects the executor inner-loop implementation
     /// (`--kernel scalar|runs`). `runs` is the default; `scalar` is the
     /// cell-at-a-time oracle the run kernels are gated against.
@@ -248,6 +266,13 @@ impl Session {
         &self.shared.data
     }
 
+    /// The deadline instant for a request starting *now*, per the
+    /// session's `.deadline` setting (`None` = unlimited).
+    fn request_deadline(&self) -> Option<std::time::Instant> {
+        (self.deadline_ms > 0)
+            .then(|| std::time::Instant::now() + std::time::Duration::from_millis(self.deadline_ms))
+    }
+
     fn context(&self) -> QueryContext<'_> {
         let mut ctx = QueryContext::new(self.data().cube());
         ctx.threads = self.threads;
@@ -255,6 +280,7 @@ impl Session {
         ctx.cache = self.shared.cache.clone();
         ctx.budget_cells = self.budget_cells;
         ctx.kernel = self.kernel;
+        ctx.deadline = self.request_deadline();
         for (name, dim, members) in self.data().named_sets() {
             ctx.define_set(&name, dim, &members);
         }
@@ -272,6 +298,7 @@ impl Session {
         }
         match olap_mdx::execute(&self.context(), line) {
             Ok(grid) => Outcome::Continue(grid.to_string()),
+            Err(e) if is_deadline(&e) => Outcome::Deadline(format!("error: {e}")),
             Err(e) => Outcome::Continue(format!("error: {e}")),
         }
     }
@@ -404,6 +431,7 @@ impl Session {
                 }
                 match olap_mdx::execute(&self.context(), arg) {
                     Ok(grid) => Outcome::Continue(grid.to_csv()),
+                    Err(e) if is_deadline(&e) => Outcome::Deadline(format!("error: {e}")),
                     Err(e) => Outcome::Continue(format!("error: {e}")),
                 }
             }
@@ -425,7 +453,25 @@ impl Session {
                     Err(_) => Outcome::Continue("usage: .budget [cells]".to_string()),
                 }
             }
-            "apply" => Outcome::Continue(self.apply(arg)),
+            "deadline" => {
+                if arg.is_empty() {
+                    return Outcome::Continue(match self.deadline_ms {
+                        0 => "request deadline: unlimited".to_string(),
+                        n => format!("request deadline: {n} ms"),
+                    });
+                }
+                match arg.parse::<u64>() {
+                    Ok(n) => {
+                        self.deadline_ms = n;
+                        Outcome::Continue(match n {
+                            0 => "request deadline: unlimited".to_string(),
+                            n => format!("request deadline: {n} ms"),
+                        })
+                    }
+                    Err(_) => Outcome::Continue("usage: .deadline [ms]".to_string()),
+                }
+            }
+            "apply" => self.apply(arg),
             "fork" => Outcome::Continue(self.fork(arg)),
             "switch" => Outcome::Continue(self.switch(arg)),
             "scenarios" => Outcome::Continue(self.scenarios()),
@@ -570,22 +616,22 @@ impl Session {
     /// are deliberately omitted: under a shared pool and cache they
     /// depend on sibling sessions, and the server's bench asserts
     /// byte-identical responses across concurrent and serial runs.
-    fn apply(&mut self, arg: &str) -> String {
+    fn apply(&mut self, arg: &str) -> Outcome {
         const USAGE: &str =
             "usage: .apply <static|forward|xforward|backward|xbackward> <m1,m2,...> \
              — bare .apply re-runs the current fork's scenario";
         if arg.is_empty() {
             let Some(scenario) = self.forest.scenario() else {
-                return format!(
+                return Outcome::Continue(format!(
                     "{USAGE}\n(fork '{}' has no scenario to re-run yet)",
                     self.forest.current_name()
-                );
+                ));
             };
             return self.run_scenario(&scenario);
         }
         let mut parts = arg.split_whitespace();
         let (Some(sem), Some(moments)) = (parts.next(), parts.next()) else {
-            return USAGE.to_string();
+            return Outcome::Continue(USAGE.to_string());
         };
         let semantics = match sem.to_ascii_lowercase().as_str() {
             "static" => whatif_core::Semantics::Static,
@@ -593,20 +639,22 @@ impl Session {
             "xforward" => whatif_core::Semantics::ExtendedForward,
             "backward" | "bwd" => whatif_core::Semantics::Backward,
             "xbackward" => whatif_core::Semantics::ExtendedBackward,
-            _ => return USAGE.to_string(),
+            _ => return Outcome::Continue(USAGE.to_string()),
         };
         let parsed: std::result::Result<Vec<u32>, _> = moments
             .split(',')
             .map(|m| m.trim().parse::<u32>())
             .collect();
         let Ok(perspectives) = parsed else {
-            return USAGE.to_string();
+            return Outcome::Continue(USAGE.to_string());
         };
         let dim = {
             let schema = self.data().cube().schema();
             match schema.dim_ids().find(|&d| schema.varying(d).is_some()) {
                 Some(d) => d,
-                None => return "this dataset has no varying dimension".to_string(),
+                None => {
+                    return Outcome::Continue("this dataset has no varying dimension".to_string())
+                }
             }
         };
         let spec = whatif_core::PerspectiveSpec::new(
@@ -621,7 +669,7 @@ impl Session {
 
     /// Runs one scenario through the session's executor options and
     /// renders the deterministic `.apply` summary line.
-    fn run_scenario(&self, scenario: &whatif_core::Scenario) -> String {
+    fn run_scenario(&self, scenario: &whatif_core::Scenario) -> Outcome {
         let label = match scenario {
             whatif_core::Scenario::Negative(spec) => format!(
                 "{} {{{}}}",
@@ -645,16 +693,20 @@ impl Session {
             cache: self.shared.cache.clone(),
             budget_cells: self.budget_cells,
             kernel: self.kernel,
+            deadline: self.request_deadline(),
         };
         match whatif_core::apply_opts(self.data().cube(), scenario, &strategy, None, opts) {
             Ok(result) => match cell_digest(&result.cube) {
-                Ok((count, digest)) => format!(
+                Ok((count, digest)) => Outcome::Continue(format!(
                     "applied {label}: {count} cells, digest {digest:016x}, {} pass(es)",
                     result.report.passes,
-                ),
-                Err(e) => format!("error: {e}"),
+                )),
+                Err(e) => Outcome::Continue(format!("error: {e}")),
             },
-            Err(e) => format!("error: {e}"),
+            Err(e @ whatif_core::WhatIfError::DeadlineExceeded) => {
+                Outcome::Deadline(format!("error: {e}"))
+            }
+            Err(e) => Outcome::Continue(format!("error: {e}")),
         }
     }
 
@@ -801,6 +853,15 @@ impl Session {
     }
 }
 
+/// Whether an MDX error is the executor's cooperative deadline abort
+/// (the one `-` the server reports without closing the connection).
+fn is_deadline(e: &olap_mdx::MdxError) -> bool {
+    matches!(
+        e,
+        olap_mdx::MdxError::WhatIf(whatif_core::WhatIfError::DeadlineExceeded)
+    )
+}
+
 /// The `.apply` spelling of each semantics variant.
 fn semantics_name(s: whatif_core::Semantics) -> &'static str {
     match s {
@@ -851,6 +912,8 @@ Enter an (extended) MDX query, or a command:
   .rollup              per-dimension totals via the budget-aware multi-pass
                        aggregator (small budgets add passes)
   .budget [cells]      show or set this session's peak-memory budget (0 = unlimited)
+  .deadline [ms]       show or set the per-request deadline (0 = unlimited); an
+                       expired request aborts at a pass boundary, session intact
   .cache               scenario-delta cache statistics (--cache MB to enable)
   .commit              flush dirty chunks atomically; report flush epoch + WAL counters
   .stats               buffer-pool counters (incl. read errors, retries, flushes)

@@ -114,7 +114,7 @@ fn main() {
         .with_kernel(kernel);
     println!("{HELP}\n");
     repl(|line| match session.handle(line) {
-        Outcome::Continue(text) => (text, false),
+        Outcome::Continue(text) | Outcome::Deadline(text) => (text, false),
         Outcome::Quit(text) => (text, true),
     });
 }
@@ -136,7 +136,10 @@ fn run_client(addr: &str) {
         match client.request(line.trim()) {
             Ok((STATUS_OK, text)) => (text, false),
             Ok((STATUS_QUIT, text)) => (text, true),
-            Ok((_, text)) => (format!("server error: {text}"), true),
+            // `-` no longer always closes the connection (a deadline
+            // abort keeps the session alive); print and keep going — a
+            // truly fatal `-` surfaces as a lost connection next line.
+            Ok((_, text)) => (format!("server error: {text}"), false),
             Err(e) => (format!("connection lost: {e}"), true),
         }
     });

@@ -8,20 +8,76 @@
 //! payload starts with one status byte ([`STATUS_OK`], [`STATUS_ERR`],
 //! [`STATUS_QUIT`]); on connect the server pushes one greeting frame
 //! before any request (`+` admitted, `-` refused by admission control).
+//! The greeting banner is versioned — `polap/1 <text>` — so a
+//! mismatched client/server pair fails with a readable error instead of
+//! misparsing each other's frames.
 
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Frames larger than this are refused — a corrupt length prefix must
 /// not make either end allocate gigabytes.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Payload bytes are read (and memory committed) in steps of this size,
+/// so a garbage length prefix costs at most one step of allocation, not
+/// [`MAX_FRAME`] per connection.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Greeting magic: the protocol family name in the banner's
+/// `magic/version` prefix.
+pub const PROTO_MAGIC: &str = "polap";
+/// Protocol version this build speaks. Bump on any frame-layout change;
+/// [`Client::connect`] refuses a server that speaks another version.
+pub const PROTO_VERSION: u8 = 1;
+
 /// Response status: request handled, text follows.
 pub const STATUS_OK: u8 = b'+';
-/// Response status: server-level error; the connection is closing.
+/// Response status: server-level error. The connection closes for
+/// admission refusal, malformed frames and handler panics, but stays
+/// open for a request-deadline abort (the session is still healthy).
 pub const STATUS_ERR: u8 = b'-';
 /// Response status: quit acknowledged; the connection is closing.
 pub const STATUS_QUIT: u8 = b'Q';
+
+/// The versioned greeting banner a server sends on admit:
+/// `polap/1 <text>`.
+pub fn greeting_banner(text: &str) -> String {
+    format!("{PROTO_MAGIC}/{PROTO_VERSION} {text}")
+}
+
+/// Validates a greeting banner against this build's magic + version.
+/// Returns the human text after the version prefix.
+pub fn parse_greeting(banner: &str) -> io::Result<&str> {
+    let Some(rest) = banner.strip_prefix(PROTO_MAGIC) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server did not present a {PROTO_MAGIC}/<version> greeting (old server?)"),
+        ));
+    };
+    let Some(rest) = rest.strip_prefix('/') else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed greeting: missing protocol version",
+        ));
+    };
+    let (ver, text) = rest.split_once(' ').unwrap_or((rest, ""));
+    match ver.parse::<u8>() {
+        Ok(v) if v == PROTO_VERSION => Ok(text),
+        Ok(v) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "protocol version mismatch: server speaks {PROTO_MAGIC}/{v}, \
+                 this client speaks {PROTO_MAGIC}/{PROTO_VERSION}"
+            ),
+        )),
+        Err(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed greeting: non-numeric protocol version",
+        )),
+    }
+}
 
 /// Writes one response frame: `status` byte, then `text`.
 pub fn write_frame(w: &mut impl Write, status: u8, text: &str) -> io::Result<()> {
@@ -57,8 +113,17 @@ fn read_payload(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
         ));
     }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    // Grow in bounded steps as real payload bytes arrive: the length
+    // prefix is untrusted, and committing `len` bytes up front would let
+    // a garbage header on N connections pin N × MAX_FRAME of memory
+    // without ever sending a payload.
+    let mut buf = Vec::with_capacity(len.min(READ_CHUNK));
+    while buf.len() < len {
+        let step = (len - buf.len()).min(READ_CHUNK);
+        let old = buf.len();
+        buf.resize(old + step, 0);
+        r.read_exact(&mut buf[old..])?;
+    }
     Ok(Some(buf))
 }
 
@@ -88,19 +153,129 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Option<(u8, String)>> {
     }
 }
 
-/// A blocking client: one request, one response.
+/// Bounded-retry policy for [`Client::request`]: on an I/O failure the
+/// client backs off exponentially (with deterministic jitter from
+/// `seed`), reconnects, replays its session journal into the fresh
+/// server session, and re-issues the failed request.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per failed request; 0 disables retry (the
+    /// default — a bare `Client::connect` behaves exactly as before).
+    pub attempts: u32,
+    /// First backoff delay; doubles per attempt up to `max`.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Jitter seed (xorshift), so concurrent clients don't reconnect in
+    /// lockstep while tests stay reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(500),
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A sensible retrying policy: `attempts` reconnects, 10 ms base
+    /// backoff doubling to a 500 ms cap, jitter seeded per client.
+    pub fn retries(attempts: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            seed: seed | 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Verbs whose *acknowledged* execution changes server-session state
+/// and must therefore be replayed into a fresh session after a
+/// reconnect: tuning (`.budget`, `.deadline`), the scenario forest
+/// (`.fork`, `.switch`, `.change`), and an argful `.apply` (it records
+/// the fork's negative scenario). Bare `.apply` and plain queries are
+/// read-only.
+fn is_stateful(line: &str) -> bool {
+    let line = line.trim();
+    let Some(rest) = line.strip_prefix('.') else {
+        return false;
+    };
+    let mut parts = rest.splitn(2, ' ');
+    let head = parts.next().unwrap_or("").to_ascii_lowercase();
+    let arg = parts.next().unwrap_or("").trim();
+    match head.as_str() {
+        "budget" | "deadline" | "fork" | "switch" | "change" => !arg.is_empty(),
+        "apply" => !arg.is_empty(),
+        _ => false,
+    }
+}
+
+/// A blocking client: one request, one response. With a
+/// [`RetryPolicy`], a failed request transparently reconnects (bounded
+/// attempts, exponential backoff + jitter) and replays the session
+/// journal — every acknowledged state-setting verb — before re-issuing
+/// the failed request. Re-issuing is safe even for non-idempotent verbs
+/// like `.fork`: a reconnect always lands in a *fresh* server session,
+/// and the journal holds only acknowledged requests, so the replayed
+/// session has never seen the failed one. `.apply` replies are
+/// deterministic digests, so a replayed answer is byte-identical to the
+/// lost one.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Resolved server addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    retry: RetryPolicy,
+    /// Acknowledged state-setting requests, in issue order.
+    journal: Vec<String>,
+    /// xorshift state for backoff jitter.
+    jitter: u64,
 }
 
 impl Client {
     /// Connects and reads the greeting frame. Admission refusal comes
-    /// back as a `ConnectionRefused` error carrying the server's text.
+    /// back as a `ConnectionRefused` error carrying the server's text;
+    /// a greeting with the wrong magic or protocol version is an
+    /// `InvalidData` error naming both versions.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let mut stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open(&addrs)?;
+        Ok(Client {
+            stream,
+            addrs,
+            retry: RetryPolicy::default(),
+            journal: Vec::new(),
+            jitter: 0x9e3779b97f4a7c15,
+        })
+    }
+
+    /// Like [`Client::connect`] with a retry policy from the start.
+    pub fn connect_with(addr: impl ToSocketAddrs, retry: RetryPolicy) -> io::Result<Client> {
+        let mut c = Client::connect(addr)?;
+        c.jitter = retry.seed | 1;
+        c.retry = retry;
+        Ok(c)
+    }
+
+    /// Sets the retry policy on an existing client.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.jitter = retry.seed | 1;
+        self.retry = retry;
+    }
+
+    /// One TCP connect + greeting handshake.
+    fn open(addrs: &[SocketAddr]) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(addrs)?;
         match read_response(&mut stream)? {
-            Some((STATUS_OK, _banner)) => Ok(Client { stream }),
+            Some((STATUS_OK, banner)) => {
+                parse_greeting(&banner)?;
+                Ok(stream)
+            }
             Some((_, text)) => Err(io::Error::new(io::ErrorKind::ConnectionRefused, text)),
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -110,13 +285,99 @@ impl Client {
     }
 
     /// Sends one line and waits for its `(status, text)` response.
-    /// Server-closed-without-reply surfaces as `UnexpectedEof`.
+    /// Server-closed-without-reply surfaces as `UnexpectedEof` — unless
+    /// the retry policy allows reconnecting, in which case the journal
+    /// is replayed and the request re-issued before giving up.
     pub fn request(&mut self, line: &str) -> io::Result<(u8, String)> {
+        let first = self.send_once(line);
+        let mut last_err = match first {
+            Ok(resp) => return Ok(self.journal_ack(line, resp)),
+            Err(e) => e,
+        };
+        for attempt in 0..self.retry.attempts {
+            std::thread::sleep(self.backoff(attempt));
+            match self.reconnect_and_replay() {
+                Ok(()) => {}
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+            match self.send_once(line) {
+                Ok(resp) => return Ok(self.journal_ack(line, resp)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The session journal replayed on reconnect (for tests).
+    pub fn journal(&self) -> &[String] {
+        &self.journal
+    }
+
+    fn send_once(&mut self, line: &str) -> io::Result<(u8, String)> {
         write_request(&mut self.stream, line)?;
         read_response(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })
     }
+
+    /// Records an acknowledged state-setting verb, then passes the
+    /// response through.
+    fn journal_ack(&mut self, line: &str, resp: (u8, String)) -> (u8, String) {
+        if resp.0 == STATUS_OK && is_stateful(line) {
+            self.journal.push(line.to_string());
+        }
+        resp
+    }
+
+    /// Opens a fresh connection and replays the journal into the new
+    /// (blank) server session. Any replay failure fails the whole
+    /// attempt — a half-restored session must not serve requests.
+    fn reconnect_and_replay(&mut self) -> io::Result<()> {
+        let mut stream = Self::open(&self.addrs)?;
+        for line in &self.journal {
+            write_request(&mut stream, line)?;
+            match read_response(&mut stream)? {
+                Some((STATUS_OK, _)) => {}
+                Some((_, text)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal replay of {line:?} failed: {text}"),
+                    ));
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection during journal replay",
+                    ));
+                }
+            }
+        }
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// Exponential backoff with ±50% deterministic jitter.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .retry
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.retry.max);
+        jittered(exp, &mut self.jitter)
+    }
+}
+
+/// Scales `exp` into [50%, 150%] with an xorshift64 step of `state` —
+/// deterministic per seed, decorrelated across clients.
+fn jittered(exp: Duration, state: &mut u64) -> Duration {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    let pct = 50 + (*state % 101);
+    exp.mul_f64(pct as f64 / 100.0)
 }
 
 #[cfg(test)]
@@ -143,5 +404,67 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
         let mut r = &buf[..];
         assert!(read_request(&mut r).is_err());
+    }
+
+    #[test]
+    fn large_frames_round_trip_through_chunked_reads() {
+        let line = "x".repeat(READ_CHUNK * 3 + 7);
+        let mut buf = Vec::new();
+        write_request(&mut buf, &line).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_request(&mut r).unwrap().as_deref(), Some(&line[..]));
+    }
+
+    #[test]
+    fn garbage_header_does_not_commit_the_whole_frame() {
+        // A maximal length prefix with no payload: the incremental
+        // reader must fail with EOF after at most one chunk step, not
+        // allocate MAX_FRAME first. (The capacity bound is the
+        // observable part; the error proves we tried to read, not to
+        // pre-commit.)
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32).to_be_bytes());
+        let mut r = &buf[..];
+        let err = read_request(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn greeting_version_is_enforced() {
+        assert_eq!(
+            parse_greeting(&greeting_banner("olap-server ready")).unwrap(),
+            "olap-server ready"
+        );
+        let wrong = format!("{PROTO_MAGIC}/{} hi", PROTO_VERSION + 1);
+        let err = parse_greeting(&wrong).unwrap_err();
+        assert!(err.to_string().contains("version mismatch"), "{err}");
+        let old = parse_greeting("olap-server ready").unwrap_err();
+        assert!(old.to_string().contains("greeting"), "{old}");
+    }
+
+    #[test]
+    fn stateful_verbs_feed_the_journal() {
+        assert!(is_stateful(".budget 100"));
+        assert!(is_stateful(".deadline 50"));
+        assert!(is_stateful(".fork a"));
+        assert!(is_stateful(".switch a"));
+        assert!(is_stateful(".change FTE Contractor 3"));
+        assert!(is_stateful(".apply static 2,3"));
+        assert!(!is_stateful(".apply")); // re-run only, no state change
+        assert!(!is_stateful(".budget")); // query, not a set
+        assert!(!is_stateful(".schema"));
+        assert!(!is_stateful("SELECT x ON COLUMNS FROM c"));
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let exp = Duration::from_millis(100);
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..32 {
+            let d = jittered(exp, &mut a);
+            assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(150));
+            assert_eq!(d, jittered(exp, &mut b)); // same seed, same schedule
+        }
     }
 }

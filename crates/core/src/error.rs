@@ -40,6 +40,13 @@ pub enum WhatIfError {
         /// The caller's configured ceiling.
         budget_cells: u64,
     },
+    /// The caller's deadline (`ExecOpts::deadline`) passed while the
+    /// query was executing. The executor checks cooperatively at pass
+    /// and merge-component boundaries (Lemma 5.1 slices are
+    /// independent, so aborting between them leaves no partial state);
+    /// partial output is discarded and the session and cache remain
+    /// intact.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for WhatIfError {
@@ -78,6 +85,11 @@ impl fmt::Display for WhatIfError {
                 f,
                 "query needs a peak of {needed_cells} buffer cells but the session \
                  budget is {budget_cells}; raise the budget or narrow the query"
+            ),
+            WhatIfError::DeadlineExceeded => write!(
+                f,
+                "deadline exceeded: execution aborted at a pass/slice boundary; \
+                 partial output discarded, session and cache intact"
             ),
         }
     }

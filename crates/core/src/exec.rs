@@ -161,6 +161,15 @@ pub struct ExecOpts {
     /// Inner-loop implementation (default [`KernelKind::Runs`]); `Scalar`
     /// is the bit-identical cell-at-a-time oracle.
     pub kernel: KernelKind,
+    /// Cooperative wall-clock deadline; `None` (the default) means
+    /// unlimited. Checked at pass boundaries and before each Lemma 5.1
+    /// slice sequence (slices are independent, so aborting between them
+    /// leaves no partial state); once the instant passes, execution
+    /// stops with [`crate::WhatIfError::DeadlineExceeded`] and the
+    /// partial output cube is discarded. The scenario cache is only
+    /// updated after a complete run, so a deadline abort never installs
+    /// partial entries.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExecOpts {
@@ -171,6 +180,7 @@ impl Default for ExecOpts {
             cache: None,
             budget_cells: 0,
             kernel: KernelKind::default(),
+            deadline: None,
         }
     }
 }
@@ -321,6 +331,8 @@ pub fn execute_passes_opts(
     opts: ExecOpts,
 ) -> Result<(Cube, ExecReport)> {
     let mut env = Env::new(cube, dim, full, policy, scope, opts.prefetch, opts.kernel)?;
+    env.deadline = opts.deadline;
+    env.check_deadline()?;
     let out = cube.empty_like();
     let mut report = env.base_report();
     if opts.budget_cells > 0 {
@@ -342,6 +354,7 @@ pub fn execute_passes_opts(
     let copy_labels = env.copy_labels();
     let no_copy = vec![false; copy_labels.len()];
     for (i, pass) in passes.iter().enumerate() {
+        env.check_deadline()?;
         let labels = if i == 0 { &copy_labels } else { &no_copy };
         env.run_pass(&out, pass, labels, &mut report, opts.threads)?;
         report.passes += 1;
@@ -442,6 +455,9 @@ struct Env<'a> {
     prefetch: usize,
     /// Inner-loop implementation (run kernels or the scalar oracle).
     kernel: KernelKind,
+    /// Cooperative deadline (`ExecOpts::deadline`); checked between
+    /// passes and slice sequences, never inside one.
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a> Env<'a> {
@@ -494,7 +510,18 @@ impl<'a> Env<'a> {
             full_graph,
             prefetch,
             kernel,
+            deadline: None,
         })
+    }
+
+    /// Errors with [`WhatIfError::DeadlineExceeded`] once the deadline
+    /// has passed. Called only at pass/slice boundaries so an abort
+    /// never observes a half-merged component.
+    fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(WhatIfError::DeadlineExceeded),
+            _ => Ok(()),
+        }
     }
 
     fn base_report(&self) -> ExecReport {
@@ -717,6 +744,7 @@ impl<'a> Env<'a> {
             // resets between sequences).
             let mut pf = Prefetcher::new(self.cube, self.prefetch, groups.iter());
             for seq in &groups {
+                self.check_deadline()?;
                 self.process(
                     out,
                     dest,
@@ -750,6 +778,7 @@ impl<'a> Env<'a> {
                         let mut pf =
                             Prefetcher::new(self.cube, self.prefetch, bucket.iter().copied());
                         for seq in bucket {
+                            self.check_deadline()?;
                             self.process(
                                 out,
                                 dest,

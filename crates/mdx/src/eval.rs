@@ -47,6 +47,12 @@ pub struct QueryContext<'a> {
     /// Inner-loop implementation for the chunked executor: run kernels
     /// (the default) or the bit-identical scalar oracle (`--kernel`).
     pub kernel: whatif_core::KernelKind,
+    /// Cooperative wall-clock deadline for what-if execution (`None` =
+    /// unlimited): the chunked executor checks it at pass and slice
+    /// boundaries and aborts with `DeadlineExceeded`, leaving the
+    /// session and cache intact. This is the per-request deadline the
+    /// multi-tenant server enforces (`--deadline-ms`, `.deadline`).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'a> QueryContext<'a> {
@@ -63,6 +69,7 @@ impl<'a> QueryContext<'a> {
             cache: None,
             budget_cells: 0,
             kernel: whatif_core::KernelKind::default(),
+            deadline: None,
         }
     }
 
@@ -126,6 +133,7 @@ pub fn evaluate_full(
                 cache: None,
                 budget_cells: ctx.budget_cells,
                 kernel: ctx.kernel,
+                deadline: ctx.deadline,
             },
         )?);
     }
@@ -205,6 +213,7 @@ pub fn evaluate_full(
                 cache: ctx.cache.clone(),
                 budget_cells: ctx.budget_cells,
                 kernel: ctx.kernel,
+                deadline: ctx.deadline,
             },
         )?);
     }

@@ -14,6 +14,12 @@ usage: olap-server [dataset] [options]
   --threads N           executor threads per session (default 1)
   --prefetch K          prefetch lookahead per session (default 0)
   --budget CELLS        default per-session peak-memory budget (default 0 = unlimited)
+  --idle-timeout MS     per-connection socket read/write timeout; a silent peer is
+                        disconnected and frees its session slot (default 0 = none)
+  --deadline-ms MS      default per-request deadline; an expired request gets an
+                        error frame, the session survives (default 0 = unlimited)
+  --drain-grace MS      how long shutdown waits for in-flight sessions before
+                        force-closing them (default 2000)
   --help                this text";
 
 fn main() {
@@ -55,6 +61,18 @@ fn main() {
             "--budget" => match value("--budget").parse() {
                 Ok(n) => cfg.budget_cells = n,
                 Err(_) => die("--budget needs a cell count"),
+            },
+            "--idle-timeout" => match value("--idle-timeout").parse() {
+                Ok(ms) => cfg.idle_timeout_ms = ms,
+                Err(_) => die("--idle-timeout needs milliseconds (0 = none)"),
+            },
+            "--deadline-ms" => match value("--deadline-ms").parse() {
+                Ok(ms) => cfg.deadline_ms = ms,
+                Err(_) => die("--deadline-ms needs milliseconds (0 = unlimited)"),
+            },
+            "--drain-grace" => match value("--drain-grace").parse() {
+                Ok(ms) => cfg.drain_grace_ms = ms,
+                Err(_) => die("--drain-grace needs milliseconds"),
             },
             other => match Dataset::parse(other) {
                 Some(d) => dataset = d,

@@ -24,7 +24,7 @@ while [ "$i" -le 10 ]; do
     cargo test -q -p whatif-integration-tests \
         --test parallel_exec --test prefetch --test scenario_cache \
         --test scenario_forest --test fault_injection --test persistence \
-        --test server --test run_kernels >/dev/null
+        --test server --test run_kernels --test chaos >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
@@ -42,6 +42,16 @@ echo "== multi-tenant server smoke test =="
 # of the same edit scripts (repro exits non-zero on any divergence).
 ./target/release/repro --serve-bench 8 >/dev/null
 echo "(8 concurrent sessions byte-identical to serial replay)"
+
+echo "== chaos smoke test =="
+# Eight sessions driven through a seed-reproducible fault proxy
+# (delays, mid-frame cuts, stall-then-cut, refused connections) must
+# each either error cleanly or answer byte-identically to a faultless
+# serial replay, with zero leaked session slots and zero force-closed
+# connections at drain (repro runs three seeds and exits non-zero on
+# any violation or on blowing the wall-clock budget).
+./target/release/repro --chaos-bench 8 >/dev/null
+echo "(faults healed by retry+replay, 0 leaked slots, 0 force-closes)"
 
 echo "== scenario-toggle smoke test =="
 # An analyst toggling two scenarios over the versioned cache must —

@@ -1,0 +1,245 @@
+//! Network-fault hardening tests (DESIGN.md §16): request deadlines
+//! that abort at pass boundaries with the session intact, clients that
+//! retry through scripted socket faults with journal replay, and the
+//! versioned greeting that turns protocol skew into a readable error.
+
+use olap_server::chaos::{ChaosProxy, Dir, NetFaultKind, NetFaultSpec};
+use olap_server::{Server, ServerConfig, STATUS_ERR, STATUS_OK, STATUS_QUIT};
+use polap_cli::proto::{self, Client, RetryPolicy};
+use polap_cli::{Dataset, Outcome, Session, SharedData};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use whatif_core::{
+    apply_opts, ExecOpts, Mode, OrderPolicy, Scenario, Semantics, Strategy, WhatIfError,
+};
+
+fn start(dataset: Dataset, cfg: ServerConfig) -> Server {
+    let shared = Arc::new(SharedData::load(dataset));
+    Server::start(shared, "127.0.0.1:0", cfg).expect("bind")
+}
+
+fn wait_for_sessions(server: &Server, n: usize) {
+    for _ in 0..1000 {
+        if server.active_sessions() == n {
+            return;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "live-session count stuck at {} (wanted {n})",
+        server.active_sessions()
+    );
+}
+
+/// An already-expired deadline aborts before any chunk is read, and a
+/// fresh run of the same scenario afterwards is untouched by the abort
+/// — the cooperative check leaves no partial state behind.
+#[test]
+fn executor_deadline_aborts_cleanly() {
+    let ex = olap_workload::running_example();
+    let scenario = Scenario::negative(ex.org, [1, 3], Semantics::Forward, Mode::Visual);
+    let strategy = Strategy::Chunked(OrderPolicy::Pebbling);
+    let expired = ExecOpts {
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+        ..ExecOpts::default()
+    };
+    match apply_opts(&ex.cube, &scenario, &strategy, None, expired) {
+        Err(WhatIfError::DeadlineExceeded) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("expired deadline must abort"),
+    }
+    // Same cube, no deadline: bit-identical to a never-aborted run.
+    let a = apply_opts(&ex.cube, &scenario, &strategy, None, ExecOpts::default()).unwrap();
+    let b = apply_opts(&ex.cube, &scenario, &strategy, None, ExecOpts::default()).unwrap();
+    assert!(a.cube.same_cells(&b.cube).unwrap());
+}
+
+/// `.deadline 1` on the bench dataset trips mid-execution: the server
+/// answers with a `-` frame, keeps the connection open, and the very
+/// same request succeeds once the deadline is lifted — the session
+/// (forest, budget, cache) survived the abort.
+#[test]
+fn server_deadline_aborts_and_session_survives() {
+    let server = start(
+        Dataset::Bench,
+        ServerConfig {
+            drain_grace_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.request(".deadline 1").unwrap().0, STATUS_OK);
+    let (status, text) = c.request(".apply forward 0,3,6,9").unwrap();
+    assert_eq!(status, STATUS_ERR, "{text}");
+    assert!(text.contains("deadline"), "{text}");
+    // Same connection, deadline lifted: the request now completes.
+    assert_eq!(c.request(".deadline 0").unwrap().0, STATUS_OK);
+    let (status, text) = c.request(".apply forward 0,3,6,9").unwrap();
+    assert_eq!(status, STATUS_OK, "{text}");
+    assert!(text.contains("digest"), "{text}");
+    assert_eq!(c.request(".quit").unwrap().0, STATUS_QUIT);
+    server.shutdown();
+}
+
+/// A server-side `--deadline-ms` default applies to sessions that never
+/// issue `.deadline`, and each session may override its own.
+#[test]
+fn server_default_deadline_is_per_session() {
+    let server = start(
+        Dataset::Bench,
+        ServerConfig {
+            deadline_ms: 1,
+            drain_grace_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    let mut capped = Client::connect(server.addr()).unwrap();
+    let (status, text) = capped.request(".apply forward 0,3,6,9").unwrap();
+    assert_eq!(status, STATUS_ERR, "{text}");
+    // A sibling raises its own deadline and runs to completion.
+    let mut free = Client::connect(server.addr()).unwrap();
+    assert_eq!(free.request(".deadline 0").unwrap().0, STATUS_OK);
+    let (status, text) = free.request(".apply forward 0,3,6,9").unwrap();
+    assert_eq!(status, STATUS_OK, "{text}");
+    assert!(text.contains("digest"), "{text}");
+    server.shutdown();
+}
+
+/// A scripted mid-frame cut on the response path: the client's bounded
+/// retry reconnects through the proxy, replays its journal of
+/// state-setting verbs into the fresh session, re-issues the lost
+/// request, and every reply still matches a faultless serial session.
+#[test]
+fn client_retry_heals_a_mid_frame_cut_with_journal_replay() {
+    let server = start(
+        Dataset::Running,
+        ServerConfig {
+            drain_grace_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    // Burst 1 of ServerToClient is the greeting, burst 2 the first
+    // reply; cut the third mid-frame — right after the session gained
+    // journaled state worth replaying.
+    let plan = vec![NetFaultSpec {
+        conn: 0,
+        dir: Dir::ServerToClient,
+        at: 3,
+        kind: NetFaultKind::CutMidFrame,
+    }];
+    let proxy = ChaosProxy::start(server.addr(), plan).expect("proxy");
+    let script = [
+        ".fork alt",
+        ".apply forward 1,3",
+        ".switch main",
+        ".apply static 2",
+        ".scenarios",
+    ];
+    // Faultless oracle: the same script on a direct session.
+    let expected: Vec<String> = {
+        let mut s = Session::attach(Arc::new(SharedData::load(Dataset::Running)));
+        script
+            .iter()
+            .map(|cmd| match s.handle(cmd) {
+                Outcome::Continue(t) | Outcome::Quit(t) | Outcome::Deadline(t) => t,
+            })
+            .collect()
+    };
+    let mut c = Client::connect_with(proxy.addr(), RetryPolicy::retries(6, 9)).unwrap();
+    for (cmd, want) in script.iter().zip(&expected) {
+        let (status, got) = c.request(cmd).expect("request should heal through retry");
+        assert_eq!(status, STATUS_OK, "{cmd}: {got}");
+        assert_eq!(&got, want, "{cmd} diverged after reconnect");
+    }
+    // The cut really fired (two connections), and the journal carried
+    // the state-setting verbs across it.
+    assert!(proxy.connections() >= 2, "cut never forced a reconnect");
+    assert!(!c.journal().is_empty());
+    drop(c);
+    proxy.shutdown();
+    wait_for_sessions(&server, 0);
+    assert_eq!(server.shutdown(), 0);
+}
+
+/// A refused connection (accept-then-close before the greeting) is a
+/// clean connect error, and the next attempt gets through.
+#[test]
+fn refused_connection_errors_cleanly_then_recovers() {
+    let server = start(
+        Dataset::Running,
+        ServerConfig {
+            drain_grace_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    let plan = vec![NetFaultSpec {
+        conn: 0,
+        dir: Dir::ClientToServer,
+        at: 1,
+        kind: NetFaultKind::Refuse,
+    }];
+    let proxy = ChaosProxy::start(server.addr(), plan).expect("proxy");
+    let refused = Client::connect(proxy.addr()).expect_err("conn 0 is scripted to die");
+    assert!(
+        matches!(
+            refused.kind(),
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::ConnectionReset
+        ),
+        "{refused}"
+    );
+    let mut c = Client::connect(proxy.addr()).expect("conn 1 runs clean");
+    assert_eq!(c.request(".schema").unwrap().0, STATUS_OK);
+    drop(c);
+    proxy.shutdown();
+    wait_for_sessions(&server, 0);
+    server.shutdown();
+}
+
+/// A server speaking a future protocol version is refused by the client
+/// with an error naming both versions — not a frame misparse.
+#[test]
+fn greeting_version_mismatch_is_a_readable_error() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = thread::spawn(move || {
+        if let Ok((mut s, _)) = listener.accept() {
+            let banner = format!("{}/{} from the future", proto::PROTO_MAGIC, 99);
+            let _ = proto::write_frame(&mut s, STATUS_OK, &banner);
+        }
+    });
+    let err = Client::connect(addr).expect_err("version skew must not look like success");
+    assert!(err.to_string().contains("version mismatch"), "{err}");
+    assert!(err.to_string().contains("99"), "{err}");
+    let _ = fake.join();
+}
+
+/// Stall-then-cut mid-frame server-side: the handler is left holding a
+/// length prefix whose payload never arrives, and must free its
+/// admission slot when the cut lands (no slowloris wedge).
+#[test]
+fn stall_then_cut_frees_the_server_slot() {
+    let server = start(
+        Dataset::Running,
+        ServerConfig {
+            idle_timeout_ms: 500,
+            drain_grace_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    let plan = vec![NetFaultSpec {
+        conn: 0,
+        dir: Dir::ClientToServer,
+        at: 2,
+        kind: NetFaultKind::StallThenCut(Duration::from_millis(30)),
+    }];
+    let proxy = ChaosProxy::start(server.addr(), plan).expect("proxy");
+    let mut c = Client::connect(proxy.addr()).unwrap();
+    // Burst 2 client→server carries this request; the proxy forwards
+    // half the frame, stalls, then cuts. The reply never comes.
+    let _ = c.request(".apply forward 1,3");
+    drop(c);
+    wait_for_sessions(&server, 0);
+    proxy.shutdown();
+    assert_eq!(server.shutdown(), 0);
+}

@@ -147,8 +147,7 @@ fn negative_forks_inherit_then_diverge() {
 fn session_fork_toggle_replays_warm_and_identical() {
     let mut s = Session::new(Dataset::Running).with_cache(16).unwrap();
     let text = |o: Outcome| match o {
-        Outcome::Continue(t) => t,
-        Outcome::Quit(t) => t,
+        Outcome::Continue(t) | Outcome::Quit(t) | Outcome::Deadline(t) => t,
     };
     let a = text(s.handle(".apply forward 1,3"));
     s.handle(".fork b");

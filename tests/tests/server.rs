@@ -54,8 +54,7 @@ fn thirty_two_concurrent_sessions_match_serial_replay() {
             script(i)
                 .iter()
                 .map(|cmd| match s.handle(cmd) {
-                    Outcome::Continue(t) => t,
-                    Outcome::Quit(t) => t,
+                    Outcome::Continue(t) | Outcome::Quit(t) | Outcome::Deadline(t) => t,
                 })
                 .collect()
         })

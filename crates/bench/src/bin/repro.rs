@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--fig 11|12|13] [--table S] [--ablations] [--replay] [--all]
 //!       [--faults [N]] [--crash-points] [--serve-bench [N]]
+//!       [--chaos-bench [N]] [--replica-bench [N]]
 //!       [--toggle-bench [K]] [--kernel-bench] [--csv DIR]
 //!       [--threads N] [--prefetch K] [--cache MB] [--kernel scalar|runs]
 //! ```
@@ -84,6 +85,7 @@ fn main() {
     let mut crash_points = false;
     let mut serve_sessions = 0usize;
     let mut chaos_sessions = 0usize;
+    let mut replica_followers = 0usize;
     let mut toggle_scenarios = 0usize;
     let mut kernel_bench = false;
     let mut kernel = KernelKind::default();
@@ -142,6 +144,20 @@ fn main() {
                         i += 1;
                     }
                     None => chaos_sessions = 8,
+                }
+            }
+            "--replica-bench" => {
+                // Optional follower count; bare `--replica-bench` runs 4.
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(0) => {
+                        eprintln!("--replica-bench needs a positive follower count");
+                        std::process::exit(2);
+                    }
+                    Some(n) => {
+                        replica_followers = n;
+                        i += 1;
+                    }
+                    None => replica_followers = 4,
                 }
             }
             "--faults" => {
@@ -225,8 +241,8 @@ fn main() {
                 eprintln!(
                     "usage: repro [--fig N]… [--table S] [--ablations] [--replay] [--all] \
                      [--faults [N]] [--crash-points] [--serve-bench [N]] [--chaos-bench [N]] \
-                     [--toggle-bench [K]] [--kernel-bench] [--csv DIR] [--threads N] \
-                     [--prefetch K] [--cache MB] [--kernel scalar|runs]"
+                     [--replica-bench [N]] [--toggle-bench [K]] [--kernel-bench] [--csv DIR] \
+                     [--threads N] [--prefetch K] [--cache MB] [--kernel scalar|runs]"
                 );
                 std::process::exit(2);
             }
@@ -241,6 +257,7 @@ fn main() {
         && !crash_points
         && serve_sessions == 0
         && chaos_sessions == 0
+        && replica_followers == 0
         && toggle_scenarios == 0
         && !kernel_bench
     {
@@ -298,6 +315,9 @@ fn main() {
     }
     if chaos_sessions > 0 {
         run_chaos_bench(chaos_sessions, cache_mb);
+    }
+    if replica_followers > 0 {
+        run_replica_bench(replica_followers);
     }
     if toggle_scenarios > 0 {
         run_toggle_bench(toggle_scenarios, cache_mb, threads, prefetch, kernel);
@@ -1303,6 +1323,293 @@ fn run_chaos_bench(sessions: usize, cache_mb: usize) {
         std::process::exit(1);
     }
     println!("chaos-bench: every faulted request errored cleanly or matched the serial replay\n");
+}
+
+/// `--replica-bench N`: the WAL-shipping replication gate (DESIGN.md
+/// §17). A file-backed leader commits a series of flushes while N
+/// follower replicas — each seeded from the base image — stream them
+/// with `.replicate`, under a per-follower random kill/restart
+/// schedule (crash budgets injected mid-apply, then a fresh attach of
+/// the same file). Gates, per seed:
+///
+/// * every follower restart lands on a *committed leader position*
+///   (the recovered file is the pre- or post-image of some shipped
+///   transaction, never a blend);
+/// * every read served during catch-up either errors cleanly or
+///   matches the leader's serial reply at one of its committed
+///   epochs;
+/// * every follower converges to a byte-identical store file;
+/// * no session or sync thread panics (the registry and caches use
+///   non-poisoning locks), and the round stays under its wall budget.
+///
+/// Exits non-zero on any violation (CI-usable).
+fn run_replica_bench(followers: usize) {
+    use olap_cube::StoreBackend;
+    use olap_server::{enable_replication, Client, Follower, Server, ServerConfig, STATUS_OK};
+    use olap_store::FileStore;
+    use polap_cli::{Dataset, Outcome, Session, SharedData};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    const SEEDS: [u64; 3] = [11, 29, 47];
+    const ROUNDS: u32 = 5;
+    const READ: &str = ".apply forward 1,3";
+    const ROUND_BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
+
+    println!("=== replica-bench — {followers} followers over WAL shipping, seeds {SEEDS:?} ===");
+    let tmp = |tag: &str, seed: u64| {
+        std::env::temp_dir().join(format!(
+            "repro-replica-{}-{tag}-{seed}.cube",
+            std::process::id()
+        ))
+    };
+    let cleanup = |p: &std::path::Path| {
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(olap_store::wal::sidecar_path(p)).ok();
+    };
+
+    let mut failed = false;
+    for seed in SEEDS {
+        let t0 = std::time::Instant::now();
+        let lpath = tmp("leader", seed);
+        cleanup(&lpath);
+        let leader_shared = Arc::new(
+            SharedData::load_with_backend(Dataset::Bench, StoreBackend::File(lpath.clone()))
+                .expect("file-backed bench dataset"),
+        );
+        let base = enable_replication(&leader_shared).expect("leader store is file-backed");
+        let fpaths: Vec<_> = (0..followers)
+            .map(|i| tmp(&format!("f{i}"), seed))
+            .collect();
+        for p in &fpaths {
+            cleanup(p);
+            std::fs::copy(&lpath, p).expect("seed follower base image");
+        }
+        let cfg = ServerConfig {
+            max_sessions: followers * 4 + 8,
+            drain_grace_ms: 500,
+            ..ServerConfig::default()
+        };
+        let leader_srv =
+            Server::start(leader_shared.clone(), "127.0.0.1:0", cfg).expect("bind leader");
+        let leader_addr = leader_srv.addr();
+
+        // Shared truth the follower threads check against: committed
+        // positions (a recovered follower must stand at one), the
+        // leader's serial reply at each committed epoch (a read during
+        // catch-up must match one), and the done/final-position flags.
+        let committed = Arc::new(Mutex::new(vec![base]));
+        let oracle = Arc::new(Mutex::new(Vec::<String>::new()));
+        let done = Arc::new(AtomicBool::new(false));
+        let final_pos = Arc::new(AtomicU64::new(0));
+        {
+            // The epoch-0 (base image) reply.
+            let mut s = Session::attach(leader_shared.clone());
+            if let Outcome::Continue(text) = s.handle(READ) {
+                oracle.lock().unwrap().push(text);
+            }
+        }
+
+        let workers: Vec<_> = fpaths
+            .iter()
+            .enumerate()
+            .map(|(i, fpath)| {
+                let fpath = fpath.clone();
+                let committed = committed.clone();
+                let done = done.clone();
+                let final_pos = final_pos.clone();
+                std::thread::spawn(move || -> (u32, u32, u32, Vec<String>, Vec<String>) {
+                    let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64 + 1) << 16));
+                    let mut restarts = 0u32;
+                    let mut reads_ok = 0u32;
+                    let mut clean_errors = 0u32;
+                    let mut replies: Vec<String> = Vec::new();
+                    let mut violations: Vec<String> = Vec::new();
+                    loop {
+                        // (Re)start: attach the store file — crash
+                        // recovery runs here — and serve + sync.
+                        let fshared = Arc::new(
+                            SharedData::load_with_backend(
+                                Dataset::Bench,
+                                StoreBackend::Attach(fpath.clone()),
+                            )
+                            .expect("attach follower image"),
+                        );
+                        let follower =
+                            match Follower::start(fshared.clone(), "127.0.0.1:0", cfg, leader_addr)
+                            {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    violations.push(format!("follower {i} failed to start: {e}"));
+                                    break;
+                                }
+                            };
+                        restarts += 1;
+                        // Gate: a restarted follower stands at a
+                        // committed leader position — the recovered
+                        // image is pre- or post- some shipped
+                        // transaction, never a blend.
+                        let pos = follower.position();
+                        if !committed.lock().unwrap().contains(&pos) {
+                            violations.push(format!(
+                                "follower {i} recovered to uncommitted position {pos}"
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            rng.random_range(20..120),
+                        ));
+                        // A read mid-catch-up: clean error or a reply
+                        // the leader gave at some committed epoch
+                        // (validated after the run — the oracle may
+                        // still be growing here).
+                        match Client::connect(follower.addr()) {
+                            Ok(mut c) => match c.request(READ) {
+                                Ok((STATUS_OK, text)) => {
+                                    reads_ok += 1;
+                                    replies.push(text);
+                                    let _ = c.request(".quit");
+                                }
+                                Ok((_, _)) | Err(_) => clean_errors += 1,
+                            },
+                            Err(_) => clean_errors += 1,
+                        }
+                        if done.load(Ordering::Acquire)
+                            && follower.position() >= final_pos.load(Ordering::Acquire)
+                        {
+                            follower.shutdown();
+                            break;
+                        }
+                        // Kill: arm a crash budget so the next applies
+                        // die mid-transaction, then wait briefly for
+                        // the sync loop to park (a caught-up follower
+                        // may simply see no traffic — that makes this
+                        // a clean restart, also a valid schedule).
+                        let budget = rng.random_range(0..12);
+                        fshared.cube().with_pool(|p| {
+                            let mut s = p.store_mut();
+                            if let Some(fs) = s.as_any_mut().downcast_mut::<FileStore>() {
+                                fs.set_crash_after_ops(Some(budget));
+                            }
+                        });
+                        let kill_t0 = std::time::Instant::now();
+                        while !follower.is_dead()
+                            && kill_t0.elapsed() < std::time::Duration::from_millis(300)
+                        {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        follower.shutdown();
+                        drop(fshared);
+                    }
+                    (restarts, reads_ok, clean_errors, replies, violations)
+                })
+            })
+            .collect();
+
+        // The leader's commit schedule: mutate a few cells, flush,
+        // record the committed position and the serial reply at this
+        // epoch, breathe, repeat.
+        let mut lrng = StdRng::seed_from_u64(seed);
+        let lens: Vec<u32> = leader_shared.cube().geometry().lens().to_vec();
+        for _round in 0..ROUNDS {
+            for _ in 0..3 {
+                let coords: Vec<u32> = lens.iter().map(|&l| lrng.random_range(0..l)).collect();
+                let v = lrng.random_range(0.0..1000.0);
+                leader_shared
+                    .cube()
+                    .set(&coords, olap_store::CellValue::num(v))
+                    .expect("leader cell write");
+            }
+            leader_shared.cube().flush().expect("leader flush");
+            let pos = leader_shared.cube().with_pool(|p| {
+                p.store()
+                    .as_any()
+                    .downcast_ref::<FileStore>()
+                    .expect("file-backed")
+                    .replication_position()
+            });
+            committed.lock().unwrap().push(pos);
+            let mut s = Session::attach(leader_shared.clone());
+            if let Outcome::Continue(text) = s.handle(READ) {
+                oracle.lock().unwrap().push(text);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        let pos = leader_shared.cube().with_pool(|p| {
+            p.store()
+                .as_any()
+                .downcast_ref::<FileStore>()
+                .expect("file-backed")
+                .replication_position()
+        });
+        final_pos.store(pos, Ordering::Release);
+        done.store(true, Ordering::Release);
+
+        let mut restarts = 0u32;
+        let mut reads_ok = 0u32;
+        let mut clean_errors = 0u32;
+        let mut violations: Vec<String> = Vec::new();
+        let mut all_replies: Vec<Vec<String>> = Vec::new();
+        for w in workers {
+            let (r, ok, errs, replies, v) = w.join().expect("follower thread panicked");
+            restarts += r;
+            reads_ok += ok;
+            clean_errors += errs;
+            violations.extend(v);
+            all_replies.push(replies);
+        }
+        // Validate catch-up reads against the complete oracle.
+        let oracle = oracle.lock().unwrap();
+        for (i, replies) in all_replies.iter().enumerate() {
+            for text in replies {
+                if !oracle.contains(text) {
+                    violations.push(format!(
+                        "follower {i} served a reply matching no committed epoch: {text}"
+                    ));
+                }
+            }
+        }
+        // Convergence: every follower file byte-identical to the
+        // leader's.
+        let leader_bytes = std::fs::read(&lpath).expect("read leader file");
+        for (i, p) in fpaths.iter().enumerate() {
+            let got = std::fs::read(p).expect("read follower file");
+            if got != leader_bytes {
+                violations.push(format!(
+                    "follower {i} did not converge: {} bytes vs leader {}",
+                    got.len(),
+                    leader_bytes.len()
+                ));
+            }
+        }
+        let _ = leader_srv.shutdown();
+        let elapsed = t0.elapsed();
+        for v in &violations {
+            eprintln!("seed {seed}: VIOLATION: {v}");
+        }
+        println!(
+            "seed {seed}: {restarts} restarts across {followers} followers, {reads_ok} reads \
+             matched an epoch, {clean_errors} clean errors, {} violations, {:.2} s",
+            violations.len(),
+            elapsed.as_secs_f64(),
+        );
+        if !violations.is_empty() || elapsed > ROUND_BUDGET {
+            failed = true;
+        }
+        cleanup(&lpath);
+        for p in &fpaths {
+            cleanup(p);
+        }
+    }
+    if failed {
+        eprintln!("FAIL: replica-bench violated a gate (divergence, bad read, or over budget)");
+        std::process::exit(1);
+    }
+    println!(
+        "replica-bench: every follower converged byte-identically and every catch-up read \
+         errored cleanly or matched a committed epoch\n"
+    );
 }
 
 /// `--toggle-bench K`: the A/B-toggle gate for the versioned scenario

@@ -75,17 +75,43 @@ impl Loaded {
 pub struct SharedData {
     data: Loaded,
     cache: Option<Arc<whatif_core::ScenarioCache>>,
+    /// Memoized positive/split results, shared across sessions like the
+    /// scenario cache. Always on — entries are keyed self-invalidating
+    /// (schema identity + store flush epoch) and capped small.
+    split_memo: Arc<whatif_core::SplitMemo>,
 }
 
 impl SharedData {
-    /// Loads a dataset.
+    /// Loads a dataset (in-memory backend).
     pub fn load(dataset: Dataset) -> SharedData {
+        Self::load_with_backend(dataset, olap_cube::StoreBackend::Memory)
+            .expect("memory backend never fails")
+    }
+
+    /// Loads a dataset over an explicit storage backend. `File` puts
+    /// the workforce cube in a fresh single-file store (a replication
+    /// leader's layout); `Attach` mounts an existing store file — the
+    /// deterministic dataset build supplies schema and geometry while
+    /// the chunk bytes come from the file (a replication follower's
+    /// base image). The running/retail examples are memory-only.
+    pub fn load_with_backend(
+        dataset: Dataset,
+        backend: olap_cube::StoreBackend,
+    ) -> Result<SharedData, String> {
+        if !matches!(backend, olap_cube::StoreBackend::Memory)
+            && matches!(dataset, Dataset::Running | Dataset::Retail)
+        {
+            return Err(format!(
+                "dataset {dataset:?} only supports the memory backend"
+            ));
+        }
         let data = match dataset {
             Dataset::Running => Loaded::Running(running_example()),
             Dataset::Retail => Loaded::Retail(retail_example(42)),
-            Dataset::Workforce => {
-                Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig::default())))
-            }
+            Dataset::Workforce => Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig {
+                backend,
+                ..WorkforceConfig::default()
+            }))),
             Dataset::Bench => Loaded::Workforce(Box::new(Workforce::build(WorkforceConfig {
                 employees: 400,
                 departments: 12,
@@ -93,10 +119,15 @@ impl SharedData {
                 employee_extent: 1,
                 accounts: 4,
                 scenarios: 2,
+                backend,
                 ..WorkforceConfig::default()
             }))),
         };
-        SharedData { data, cache: None }
+        Ok(SharedData {
+            data,
+            cache: None,
+            split_memo: Arc::new(whatif_core::SplitMemo::new()),
+        })
     }
 
     /// Enables (mb > 0) or disables (mb = 0) the shared scenario-delta
@@ -117,6 +148,11 @@ impl SharedData {
     /// The shared scenario-delta cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<whatif_core::ScenarioCache>> {
         self.cache.as_ref()
+    }
+
+    /// The shared positive/split memo.
+    pub fn split_memo(&self) -> &Arc<whatif_core::SplitMemo> {
+        &self.split_memo
     }
 
     /// Starts the cube's buffer-pool I/O workers (idempotent intent:
@@ -207,6 +243,12 @@ impl Session {
     /// The shared data this session runs over.
     pub fn shared(&self) -> &Arc<SharedData> {
         &self.shared
+    }
+
+    /// Counters of the shared positive/split memo (hits = re-splits
+    /// avoided).
+    pub fn split_stats(&self) -> whatif_core::SplitMemoStats {
+        self.shared.split_memo.stats()
     }
 
     /// Sets the executor parallelism degree (`--threads N`); 1 = serial.
@@ -686,6 +728,22 @@ impl Session {
                 self.forest.current_name()
             ),
         };
+        // The positive/split path is a pure function of the base cube
+        // and the change relation, so a fork replaying it answers from
+        // the memo — zero re-splits, byte-identical reply.
+        let positive_key = match scenario {
+            whatif_core::Scenario::Positive { dim, changes, mode } => {
+                let key = whatif_core::memo_key(self.data().cube(), *dim, *mode, changes.iter());
+                if let Some(hit) = self.shared.split_memo.lookup(key) {
+                    return Outcome::Continue(format!(
+                        "applied {label}: {} cells, digest {:016x}, 0 pass(es)",
+                        hit.cells, hit.digest,
+                    ));
+                }
+                Some(key)
+            }
+            whatif_core::Scenario::Negative(_) => None,
+        };
         let strategy = whatif_core::Strategy::Chunked(whatif_core::OrderPolicy::Pebbling);
         let opts = whatif_core::ExecOpts {
             threads: self.threads,
@@ -697,10 +755,23 @@ impl Session {
         };
         match whatif_core::apply_opts(self.data().cube(), scenario, &strategy, None, opts) {
             Ok(result) => match cell_digest(&result.cube) {
-                Ok((count, digest)) => Outcome::Continue(format!(
-                    "applied {label}: {count} cells, digest {digest:016x}, {} pass(es)",
-                    result.report.passes,
-                )),
+                Ok((count, digest)) => {
+                    let passes = result.report.passes;
+                    if let Some(key) = positive_key {
+                        self.shared.split_memo.insert(
+                            key,
+                            Arc::new(whatif_core::SplitResult {
+                                schema: result.schema,
+                                cube: result.cube,
+                                cells: count,
+                                digest,
+                            }),
+                        );
+                    }
+                    Outcome::Continue(format!(
+                        "applied {label}: {count} cells, digest {digest:016x}, {passes} pass(es)",
+                    ))
+                }
                 Err(e) => Outcome::Continue(format!("error: {e}")),
             },
             Err(e @ whatif_core::WhatIfError::DeadlineExceeded) => {
@@ -1289,6 +1360,45 @@ mod tests {
             s.handle(".apply"),
             Outcome::Continue(t) if t.starts_with("usage:")
         ));
+    }
+
+    #[test]
+    fn warm_positive_replay_answers_from_the_split_memo() {
+        let mut s = Session::new(Dataset::Running);
+        assert!(matches!(
+            s.handle(".change Joe Contractor 2"),
+            Outcome::Continue(t) if t.contains("1 change(s)")
+        ));
+        let cold = match s.handle(".apply") {
+            Outcome::Continue(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let after_cold = s.split_stats();
+        assert_eq!(after_cold.hits, 0);
+        assert_eq!(after_cold.misses, 1);
+        // Replay the identical scenario: zero re-splits, and the reply —
+        // cell count and digest included — is byte-identical.
+        for _ in 0..3 {
+            match s.handle(".apply") {
+                Outcome::Continue(t) => assert_eq!(t, cold),
+                other => panic!("{other:?}"),
+            }
+        }
+        let warm = s.split_stats();
+        assert_eq!(warm.hits, 3, "replays must answer from the memo");
+        assert_eq!(warm.misses, 1, "only the cold apply may split");
+        // A fork replaying the inherited changes hits the same entry; an
+        // edit (different change relation) misses and re-splits.
+        s.handle(".fork child");
+        match s.handle(".apply") {
+            Outcome::Continue(t) => assert_eq!(t.replace("fork 'child'", "fork 'main'"), cold),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.split_stats().hits, 4);
+        s.handle(".change Lisa Contractor 3");
+        assert!(matches!(s.handle(".apply"), Outcome::Continue(t) if t.contains("digest")));
+        let end = s.split_stats();
+        assert_eq!(end.misses, 2, "an edited relation must re-split");
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub const STATUS_OK: u8 = b'+';
 pub const STATUS_ERR: u8 = b'-';
 /// Response status: quit acknowledged; the connection is closing.
 pub const STATUS_QUIT: u8 = b'Q';
+/// Response status: a replication frame. The payload after the status
+/// byte is *binary* — one shipped flush transaction in its WAL byte
+/// encoding (`olap_store::replication`) — not UTF-8 text.
+pub const STATUS_REPL: u8 = b'R';
 
 /// The versioned greeting banner a server sends on admit:
 /// `polap/1 <text>`.
@@ -89,6 +93,23 @@ pub fn write_frame(w: &mut impl Write, status: u8, text: &str) -> io::Result<()>
     w.flush()
 }
 
+/// Writes one response frame whose payload is raw bytes (replication
+/// frames ship WAL-encoded transactions, not text).
+pub fn write_frame_bytes(w: &mut impl Write, status: u8, bytes: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(1 + bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len as usize > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[status])?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
 /// Writes one request frame (no status byte — requests are bare text).
 pub fn write_request(w: &mut impl Write, line: &str) -> io::Result<()> {
     let len = u32::try_from(line.len())
@@ -134,6 +155,21 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<String>> {
         Some(buf) => String::from_utf8(buf)
             .map(Some)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
+}
+
+/// Reads one response frame as `(status, bytes)` without requiring the
+/// payload to be UTF-8; `None` on clean end-of-stream. Replication
+/// consumers use this — a `STATUS_REPL` payload is binary.
+pub fn read_response_bytes(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(buf) => {
+            let (&status, rest) = buf
+                .split_first()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+            Ok(Some((status, rest.to_vec())))
+        }
     }
 }
 
@@ -215,6 +251,95 @@ fn is_stateful(line: &str) -> bool {
     }
 }
 
+/// Compacts a reconnect journal in place, dropping lines whose effect a
+/// later line provably supersedes. Without this the journal grows
+/// without bound — a long tuning session accumulates thousands of acked
+/// `.budget`/`.apply` lines that every reconnect replays in full.
+///
+/// The rules are conservative: a line is dropped only when a later
+/// *kept* line of the same verb supersedes it AND no kept line between
+/// them could observe the earlier value:
+///
+/// * `.budget`/`.deadline` — last-write-wins, unless an argful `.apply`
+///   sits between (it executed under the earlier setting, and must
+///   replay under it);
+/// * `.switch` — last-write-wins, unless a `.fork`/`.change`/`.apply`
+///   sits between (those act on the then-current fork);
+/// * argful `.apply` — the fork's negative scenario is overwritten by
+///   the next argful `.apply`, unless a `.fork`/`.switch` sits between
+///   (the fork in effect may differ, or a child fork inherited the
+///   earlier scenario);
+/// * `.fork`/`.change` — never dropped: forks cannot be deleted, so
+///   their creation and change history stays live.
+///
+/// Dropped lines are not barriers — they will not be replayed, so they
+/// cannot observe anything.
+pub fn compact_journal(journal: &mut Vec<String>) {
+    let verb_of = |line: &str| -> String {
+        line.trim()
+            .strip_prefix('.')
+            .unwrap_or("")
+            .split(' ')
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase()
+    };
+    let n = journal.len();
+    let mut keep = vec![true; n];
+    let (mut later_budget, mut later_deadline, mut later_switch, mut later_apply) =
+        (false, false, false, false);
+    for i in (0..n).rev() {
+        match verb_of(&journal[i]).as_str() {
+            "budget" => {
+                if later_budget {
+                    keep[i] = false;
+                } else {
+                    later_budget = true;
+                }
+            }
+            "deadline" => {
+                if later_deadline {
+                    keep[i] = false;
+                } else {
+                    later_deadline = true;
+                }
+            }
+            "switch" => {
+                if later_switch {
+                    keep[i] = false;
+                } else {
+                    later_switch = true;
+                    later_apply = false;
+                }
+            }
+            "apply" => {
+                if later_apply {
+                    keep[i] = false;
+                } else {
+                    later_apply = true;
+                    later_budget = false;
+                    later_deadline = false;
+                    later_switch = false;
+                }
+            }
+            "fork" => {
+                later_switch = false;
+                later_apply = false;
+            }
+            "change" => {
+                later_switch = false;
+            }
+            _ => {}
+        }
+    }
+    let mut i = 0;
+    journal.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
 /// A blocking client: one request, one response. With a
 /// [`RetryPolicy`], a failed request transparently reconnects (bounded
 /// attempts, exponential backoff + jitter) and replays the session
@@ -231,10 +356,14 @@ pub struct Client {
     /// Resolved server addresses, kept for reconnects.
     addrs: Vec<SocketAddr>,
     retry: RetryPolicy,
-    /// Acknowledged state-setting requests, in issue order.
+    /// Acknowledged state-setting requests, in issue order (compacted
+    /// after every ack — see [`compact_journal`]).
     journal: Vec<String>,
     /// xorshift state for backoff jitter.
     jitter: u64,
+    /// Greeting text from the server (after the version prefix), e.g.
+    /// the replica's replication position.
+    greeting: String,
 }
 
 impl Client {
@@ -244,13 +373,14 @@ impl Client {
     /// `InvalidData` error naming both versions.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let stream = Self::open(&addrs)?;
+        let (stream, greeting) = Self::open(&addrs)?;
         Ok(Client {
             stream,
             addrs,
             retry: RetryPolicy::default(),
             journal: Vec::new(),
             jitter: 0x9e3779b97f4a7c15,
+            greeting,
         })
     }
 
@@ -268,13 +398,14 @@ impl Client {
         self.retry = retry;
     }
 
-    /// One TCP connect + greeting handshake.
-    fn open(addrs: &[SocketAddr]) -> io::Result<TcpStream> {
+    /// One TCP connect + greeting handshake. Returns the stream and the
+    /// greeting text after the version prefix.
+    fn open(addrs: &[SocketAddr]) -> io::Result<(TcpStream, String)> {
         let mut stream = TcpStream::connect(addrs)?;
         match read_response(&mut stream)? {
             Some((STATUS_OK, banner)) => {
-                parse_greeting(&banner)?;
-                Ok(stream)
+                let text = parse_greeting(&banner)?.to_string();
+                Ok((stream, text))
             }
             Some((_, text)) => Err(io::Error::new(io::ErrorKind::ConnectionRefused, text)),
             None => Err(io::Error::new(
@@ -282,6 +413,13 @@ impl Client {
                 "server closed the connection before greeting",
             )),
         }
+    }
+
+    /// The server's greeting text (after the `polap/<n>` prefix) from
+    /// the most recent successful connect. A replica's greeting carries
+    /// its replication position, letting clients bound staleness.
+    pub fn greeting(&self) -> &str {
+        &self.greeting
     }
 
     /// Sends one line and waits for its `(status, text)` response.
@@ -328,6 +466,7 @@ impl Client {
     fn journal_ack(&mut self, line: &str, resp: (u8, String)) -> (u8, String) {
         if resp.0 == STATUS_OK && is_stateful(line) {
             self.journal.push(line.to_string());
+            compact_journal(&mut self.journal);
         }
         resp
     }
@@ -336,7 +475,7 @@ impl Client {
     /// (blank) server session. Any replay failure fails the whole
     /// attempt — a half-restored session must not serve requests.
     fn reconnect_and_replay(&mut self) -> io::Result<()> {
-        let mut stream = Self::open(&self.addrs)?;
+        let (mut stream, greeting) = Self::open(&self.addrs)?;
         for line in &self.journal {
             write_request(&mut stream, line)?;
             match read_response(&mut stream)? {
@@ -356,6 +495,7 @@ impl Client {
             }
         }
         self.stream = stream;
+        self.greeting = greeting;
         Ok(())
     }
 
@@ -454,6 +594,108 @@ mod tests {
         assert!(!is_stateful(".budget")); // query, not a set
         assert!(!is_stateful(".schema"));
         assert!(!is_stateful("SELECT x ON COLUMNS FROM c"));
+    }
+
+    fn compacted(lines: &[&str]) -> Vec<String> {
+        let mut j: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        compact_journal(&mut j);
+        j
+    }
+
+    #[test]
+    fn journal_compaction_is_last_write_wins_for_tuning() {
+        // A tuning sweep: hundreds of budget/deadline lines with no
+        // applies between them collapse to the final pair.
+        let mut j: Vec<String> = (0..200)
+            .flat_map(|i| [format!(".budget {i}"), format!(".deadline {i}")])
+            .collect();
+        compact_journal(&mut j);
+        assert_eq!(
+            j,
+            vec![".budget 199".to_string(), ".deadline 199".to_string()]
+        );
+    }
+
+    #[test]
+    fn journal_compaction_keeps_settings_an_apply_ran_under() {
+        // The apply executed under budget 1000 and must replay under it;
+        // the later budget 10 still wins for the final state.
+        assert_eq!(
+            compacted(&[".budget 1000", ".apply static 2", ".budget 10"]),
+            vec![".budget 1000", ".apply static 2", ".budget 10"]
+        );
+        // With no apply between, the earlier budget is dead.
+        assert_eq!(
+            compacted(&[".budget 1000", ".budget 10", ".apply static 2"]),
+            vec![".budget 10", ".apply static 2"]
+        );
+    }
+
+    #[test]
+    fn journal_compaction_collapses_switch_runs_but_not_across_fork_work() {
+        assert_eq!(
+            compacted(&[".switch a", ".switch b", ".switch c"]),
+            vec![".switch c"]
+        );
+        // The change acted on fork a; both switches must survive.
+        assert_eq!(
+            compacted(&[".switch a", ".change FTE Contractor 3", ".switch b"]),
+            vec![".switch a", ".change FTE Contractor 3", ".switch b"]
+        );
+    }
+
+    #[test]
+    fn journal_compaction_supersedes_applies_on_the_same_fork() {
+        assert_eq!(
+            compacted(&[".apply static 2", ".apply forward 3", ".apply static 4"]),
+            vec![".apply static 4"]
+        );
+        // A fork between applies inherits the earlier scenario: keep it.
+        assert_eq!(
+            compacted(&[".apply static 2", ".fork child", ".apply static 4"]),
+            vec![".apply static 2", ".fork child", ".apply static 4"]
+        );
+        // A switch between applies means different forks: keep both.
+        assert_eq!(
+            compacted(&[".apply static 2", ".switch b", ".apply static 4"]),
+            vec![".apply static 2", ".switch b", ".apply static 4"]
+        );
+    }
+
+    #[test]
+    fn journal_compaction_never_drops_fork_or_change_history() {
+        let lines = [".fork a", ".change FTE X 1", ".change FTE X 1", ".fork b"];
+        assert_eq!(compacted(&lines), lines.to_vec());
+    }
+
+    #[test]
+    fn journal_compaction_is_idempotent_and_bounded_under_churn() {
+        // A long alternating workload stays bounded: every round of
+        // budget + apply churn on one fork compacts to a constant-size
+        // tail.
+        let mut j = Vec::new();
+        for i in 0..500 {
+            j.push(format!(".budget {i}"));
+            j.push(format!(".apply static {}", i % 7));
+            compact_journal(&mut j);
+        }
+        assert!(j.len() <= 3, "journal grew: {} lines", j.len());
+        let once = j.clone();
+        compact_journal(&mut j);
+        assert_eq!(j, once);
+    }
+
+    #[test]
+    fn raw_frames_round_trip() {
+        let mut buf = Vec::new();
+        let payload = vec![0u8, 159, 146, 150, 255]; // not UTF-8
+        write_frame_bytes(&mut buf, STATUS_REPL, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_response_bytes(&mut r).unwrap(),
+            Some((STATUS_REPL, payload))
+        );
+        assert_eq!(read_response_bytes(&mut r).unwrap(), None);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod perspective_cube;
 pub mod phi;
 pub mod plan;
 pub mod scenario;
+pub mod split_memo;
 
 pub use algebra::{compile, run, AlgebraExpr, AlgebraOutput};
 pub use cache::{CacheStats, Cached, ScenarioCache};
@@ -64,6 +65,7 @@ pub use perspective_cube::{
 pub use phi::{phi, prune_vacancies, VsMap};
 pub use plan::decompose_passes;
 pub use scenario::{Change, Scenario};
+pub use split_memo::{memo_key, SplitMemo, SplitMemoStats, SplitResult};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, WhatIfError>;

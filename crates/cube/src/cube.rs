@@ -22,6 +22,13 @@ pub enum StoreBackend {
     Memory,
     /// Single-file store at the given path (created/truncated).
     File(PathBuf),
+    /// Opens an existing single-file store at the given path, keeping
+    /// its contents; staged builder cells are *discarded* — the file is
+    /// the source of truth. This is how a replication follower mounts a
+    /// copied base image: the dataset definition rebuilds the schema
+    /// and geometry deterministically, while the chunk bytes (base
+    /// image plus any replicated flushes) come from the file.
+    Attach(PathBuf),
 }
 
 /// Builds a [`Cube`] by staging cells in memory, then compacting and
@@ -106,16 +113,20 @@ impl CubeBuilder {
 
     /// Compacts staged chunks and writes them to the backend.
     pub fn finish(self) -> Result<Cube> {
+        let attached = matches!(self.backend, StoreBackend::Attach(_));
         let mut store: Box<dyn olap_store::ChunkStore> = match &self.backend {
             StoreBackend::Memory => Box::new(MemStore::new()),
             StoreBackend::File(path) => Box::new(FileStore::create(path)?),
+            StoreBackend::Attach(path) => Box::new(FileStore::open(path)?),
         };
-        for (id, mut chunk) in self.staged {
-            if chunk.present_count() == 0 {
-                continue; // all-⊥ chunks are implicit
+        if !attached {
+            for (id, mut chunk) in self.staged {
+                if chunk.present_count() == 0 {
+                    continue; // all-⊥ chunks are implicit
+                }
+                chunk.compact(self.dense_threshold);
+                store.write(id, &chunk)?;
             }
-            chunk.compact(self.dense_threshold);
-            store.write(id, &chunk)?;
         }
         Ok(Cube {
             schema: self.schema,

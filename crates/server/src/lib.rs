@@ -31,21 +31,26 @@
 //! misparsing frames (DESIGN.md §16).
 
 pub mod chaos;
+pub mod replica;
 
+use olap_store::FileStore;
+use parking_lot::Mutex;
 use polap_cli::{Outcome, Session, SharedData};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 pub use polap_cli::proto::{
-    greeting_banner, read_request, read_response, write_frame, write_request, Client, RetryPolicy,
-    MAX_FRAME, STATUS_ERR, STATUS_OK, STATUS_QUIT,
+    greeting_banner, read_request, read_response, read_response_bytes, write_frame,
+    write_frame_bytes, write_request, Client, RetryPolicy, MAX_FRAME, STATUS_ERR, STATUS_OK,
+    STATUS_QUIT, STATUS_REPL,
 };
+pub use replica::{Follower, FollowerState};
 
 /// Server tuning: the session cap and the per-session defaults every
 /// connection starts from.
@@ -93,6 +98,13 @@ impl Default for ServerConfig {
 /// laggards) and its join handle (so shutdown can bound teardown), and
 /// deregisters both on exit. `draining` is the cooperative signal
 /// checked between requests.
+///
+/// The maps are `parking_lot` mutexes, deliberately: a handler thread
+/// that panics while holding one (the per-request `catch_unwind` does
+/// not cover greeting I/O or guard drops) must not poison it —
+/// with `std::sync::Mutex` every later `register`/`drain` would panic
+/// on the poisoned lock and one bad session would take down admission
+/// for the whole server.
 #[derive(Default)]
 struct Registry {
     next_id: AtomicU64,
@@ -105,16 +117,13 @@ impl Registry {
     fn register(&self, stream: &TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            self.streams
-                .lock()
-                .expect("registry lock")
-                .insert(id, clone);
+            self.streams.lock().insert(id, clone);
         }
         id
     }
 
     fn deregister_stream(&self, id: u64) {
-        self.streams.lock().expect("registry lock").remove(&id);
+        self.streams.lock().remove(&id);
     }
 }
 
@@ -136,6 +145,28 @@ impl Server {
     /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts accepting sessions over `shared`.
     pub fn start(shared: Arc<SharedData>, bind: &str, cfg: ServerConfig) -> io::Result<Server> {
+        Server::start_inner(shared, bind, cfg, None)
+    }
+
+    /// Binds `bind` and starts accepting *read-only* sessions over a
+    /// follower's `shared`: `.commit` is refused, requests run under
+    /// `state`'s apply gate, and the greeting reports the replication
+    /// position. Used by [`replica::Follower::start`].
+    pub fn start_replica(
+        shared: Arc<SharedData>,
+        bind: &str,
+        cfg: ServerConfig,
+        state: Arc<FollowerState>,
+    ) -> io::Result<Server> {
+        Server::start_inner(shared, bind, cfg, Some(state))
+    }
+
+    fn start_inner(
+        shared: Arc<SharedData>,
+        bind: &str,
+        cfg: ServerConfig,
+        follower: Option<Arc<FollowerState>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -145,7 +176,9 @@ impl Server {
             let stop = stop.clone();
             let active = active.clone();
             let registry = registry.clone();
-            thread::spawn(move || accept_loop(listener, shared, cfg, stop, active, registry))
+            thread::spawn(move || {
+                accept_loop(listener, shared, cfg, stop, active, registry, follower)
+            })
         };
         Ok(Server {
             addr,
@@ -187,7 +220,7 @@ impl Server {
         // Force-close the stragglers: a handler blocked in read sees
         // EOF and exits through its normal teardown (slot guard drops).
         let streams: Vec<TcpStream> = {
-            let mut map = self.registry.streams.lock().expect("registry lock");
+            let mut map = self.registry.streams.lock();
             map.drain().map(|(_, s)| s).collect()
         };
         for s in streams {
@@ -195,7 +228,7 @@ impl Server {
         }
         // Every handler's socket is now dead, so joins are bounded.
         let handles: Vec<JoinHandle<()>> = {
-            let mut map = self.registry.handles.lock().expect("registry lock");
+            let mut map = self.registry.handles.lock();
             map.drain().map(|(_, h)| h).collect()
         };
         for h in handles {
@@ -229,6 +262,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     registry: Arc<Registry>,
+    follower: Option<Arc<FollowerState>>,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
@@ -267,6 +301,7 @@ fn accept_loop(
         let slot = SlotGuard(active.clone());
         let id = registry.register(&stream);
         let reg = registry.clone();
+        let fol = follower.clone();
         let handle = thread::spawn(move || {
             let _slot = slot;
             // Deregistration must ride a drop guard like the slot: a
@@ -274,18 +309,14 @@ fn accept_loop(
             // leave the registry's stream clone holding the fd open,
             // and the peer would block forever instead of seeing EOF.
             let _reg = RegGuard { reg: &reg, id };
-            serve_connection(&mut stream, shared, cfg, &reg);
+            serve_connection(&mut stream, shared, cfg, &reg, fol.as_deref());
         });
         if handle.is_finished() {
             // The connection already ended (and missed its own map
             // entry); join here instead of leaking a finished handle.
             let _ = handle.join();
         } else {
-            registry
-                .handles
-                .lock()
-                .expect("registry lock")
-                .insert(id, handle);
+            registry.handles.lock().insert(id, handle);
         }
     }
 }
@@ -313,11 +344,7 @@ struct RegGuard<'a> {
 impl Drop for RegGuard<'_> {
     fn drop(&mut self) {
         self.reg.deregister_stream(self.id);
-        self.reg
-            .handles
-            .lock()
-            .expect("registry lock")
-            .remove(&self.id);
+        self.reg.handles.lock().remove(&self.id);
     }
 }
 
@@ -330,6 +357,7 @@ fn serve_connection(
     shared: Arc<SharedData>,
     cfg: ServerConfig,
     registry: &Registry,
+    follower: Option<&FollowerState>,
 ) {
     if cfg.idle_timeout_ms > 0 {
         // A dead or slowloris peer must free its admission slot: the
@@ -339,10 +367,25 @@ fn serve_connection(
         let _ = stream.set_read_timeout(t);
         let _ = stream.set_write_timeout(t);
     }
-    if write_frame(stream, STATUS_OK, &greeting_banner("olap-server ready")).is_err() {
+    // The greeting reports where this server stands in the replication
+    // stream: followers report the position they have applied up to (a
+    // client can tell a caught-up replica from one mid-recovery), and a
+    // capturing leader reports the position it is shipping from.
+    let banner = match follower {
+        Some(st) => format!(
+            "olap-server ready (replica, position {}, epoch {})",
+            st.position(),
+            st.epoch()
+        ),
+        None => match replication_position_of(&shared) {
+            Some(pos) => format!("olap-server ready (leader, position {pos})"),
+            None => "olap-server ready".to_string(),
+        },
+    };
+    if write_frame(stream, STATUS_OK, &greeting_banner(&banner)).is_err() {
         return;
     }
-    let mut session = Session::attach(shared)
+    let mut session = Session::attach(shared.clone())
         .with_threads(cfg.threads)
         .with_prefetch(cfg.prefetch)
         .with_budget(cfg.budget_cells)
@@ -368,6 +411,29 @@ fn serve_connection(
                 return;
             }
         };
+        // `.replicate <pos>` turns this connection into a one-way
+        // shipping stream: the handler never returns to the request
+        // loop (the connection is dedicated until the peer hangs up or
+        // the server drains).
+        if let Some(rest) = req.trim().strip_prefix(".replicate") {
+            serve_replication(stream, &shared, registry, rest.trim());
+            return;
+        }
+        // A follower's base data arrives only from the leader; letting
+        // a session flush locally would fork the byte stream and every
+        // later shipped offset would land in the wrong place.
+        if follower.is_some() && req.trim() == ".commit" {
+            if write_frame(
+                stream,
+                STATUS_ERR,
+                "read-only replica: .commit is disabled (base data arrives from the leader)",
+            )
+            .is_err()
+            {
+                return;
+            }
+            continue;
+        }
         // Test hook (debug builds only): a panic *outside* the
         // per-request catch_unwind — the escape path the admission-slot
         // drop guard exists for. Without the guard this would leak the
@@ -383,6 +449,10 @@ fn serve_connection(
             if req.trim() == ".panic" {
                 panic!("deliberate .panic test hook");
             }
+            // On a follower, requests share the apply gate with the
+            // sync loop: reads see the store at a committed position,
+            // never mid-transaction.
+            let _gate = follower.map(|st| st.read_gate());
             session.handle(&req)
         }));
         let ok = match outcome {
@@ -406,6 +476,105 @@ fn serve_connection(
         };
         if !ok {
             return;
+        }
+    }
+}
+
+/// Enables leader-side replication capture on `shared`'s store.
+/// Returns the base position followers must seed their image from, or
+/// `None` when the store is memory-backed (nothing to ship). Call this
+/// *before* the first flush — transactions committed earlier are not
+/// retained.
+pub fn enable_replication(shared: &SharedData) -> Option<u64> {
+    shared.cube().with_pool(|p| {
+        let mut s = p.store_mut();
+        let fs = s.as_any_mut().downcast_mut::<FileStore>()?;
+        fs.set_replication(true);
+        Some(fs.replication_position())
+    })
+}
+
+/// The store's replication position, when it is a capturing
+/// [`FileStore`].
+fn replication_position_of(shared: &SharedData) -> Option<u64> {
+    shared.cube().with_pool(|p| {
+        let s = p.store();
+        let fs = s.as_any().downcast_ref::<FileStore>()?;
+        fs.replication().then(|| fs.replication_position())
+    })
+}
+
+/// How often the shipping loop polls the leader store for newly
+/// committed transactions.
+const SHIP_POLL: Duration = Duration::from_millis(20);
+/// Poll intervals between heartbeat frames. A heartbeat (an empty
+/// `R` frame) is what detects a silently dead follower — the stream
+/// never reads, so a failed write is its only hangup signal.
+const SHIP_HEARTBEAT_POLLS: u32 = 25;
+
+/// Runs a `.replicate <pos>` shipping stream: every committed flush
+/// transaction at or after `pos`, oldest first, as one raw `R` frame
+/// each (the transaction's literal WAL bytes), then polls for more
+/// until the follower hangs up or the server drains. Positions are
+/// main-log byte offsets; the follower advances its own cursor from
+/// the applied bytes, so the stream carries no explicit acks.
+fn serve_replication(stream: &mut TcpStream, shared: &SharedData, registry: &Registry, arg: &str) {
+    let mut pos: u64 = match arg.parse() {
+        Ok(p) => p,
+        Err(_) => {
+            let _ = write_frame(stream, STATUS_ERR, "usage: .replicate <position>");
+            return;
+        }
+    };
+    let mut polls = 0u32;
+    loop {
+        if registry.draining.load(Ordering::Relaxed) {
+            let _ = write_frame(
+                stream,
+                STATUS_ERR,
+                "server draining; replication stream closing",
+            );
+            return;
+        }
+        let batch: Result<Vec<Arc<olap_store::WalTxn>>, String> = shared.cube().with_pool(|p| {
+            let s = p.store();
+            match s.as_any().downcast_ref::<FileStore>() {
+                None => Err("replication unavailable: memory-backed store".to_string()),
+                Some(fs) if !fs.replication() => {
+                    Err("replication unavailable: leader capture is off".to_string())
+                }
+                Some(fs) => fs.retained_since(pos).map_err(|e| e.to_string()),
+            }
+        });
+        let txns = match batch {
+            Ok(txns) => txns,
+            Err(msg) => {
+                let _ = write_frame(stream, STATUS_ERR, &msg);
+                return;
+            }
+        };
+        for t in &txns {
+            let bytes = match olap_store::encode_txn(t) {
+                Ok(b) => b,
+                Err(e) => {
+                    let _ = write_frame(stream, STATUS_ERR, &format!("replication encode: {e}"));
+                    return;
+                }
+            };
+            if write_frame_bytes(stream, STATUS_REPL, &bytes).is_err() {
+                return; // follower hung up
+            }
+            pos = olap_store::txn_end(t);
+        }
+        if txns.is_empty() {
+            polls += 1;
+            if polls >= SHIP_HEARTBEAT_POLLS {
+                polls = 0;
+                if write_frame_bytes(stream, STATUS_REPL, &[]).is_err() {
+                    return;
+                }
+            }
+            thread::sleep(SHIP_POLL);
         }
     }
 }
@@ -438,6 +607,50 @@ mod tests {
             "live-session count stuck at {} (wanted {n})",
             server.active_sessions()
         );
+    }
+
+    #[test]
+    fn registry_survives_a_panicking_holder() {
+        let reg = Arc::new(Registry::default());
+        let r2 = reg.clone();
+        let panicked = thread::spawn(move || {
+            let _streams = r2.streams.lock();
+            let _handles = r2.handles.lock();
+            panic!("handler died holding the registry locks");
+        })
+        .join();
+        assert!(panicked.is_err());
+        // With std::sync::Mutex both maps would now be poisoned and
+        // every later register/deregister/drain would panic — one bad
+        // session killing admission for the whole server. parking_lot
+        // just unlocks on unwind.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let id = reg.register(&stream);
+        assert!(reg.streams.lock().contains_key(&id));
+        reg.deregister_stream(id);
+        assert!(reg.streams.lock().is_empty());
+        assert!(reg.handles.lock().is_empty());
+    }
+
+    #[test]
+    fn replicate_is_refused_on_a_memory_backed_store() {
+        let server = running_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let greeting = read_response(&mut stream).unwrap();
+        assert!(matches!(greeting, Some((STATUS_OK, _))));
+        write_request(&mut stream, ".replicate 0").unwrap();
+        let (status, text) = read_response(&mut stream).unwrap().unwrap();
+        assert_eq!(status, STATUS_ERR);
+        assert!(text.contains("replication unavailable"), "{text}");
+        // Bad position argument is refused before any store access.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let _ = read_response(&mut stream).unwrap();
+        write_request(&mut stream, ".replicate nope").unwrap();
+        let (status, text) = read_response(&mut stream).unwrap().unwrap();
+        assert_eq!(status, STATUS_ERR);
+        assert!(text.contains("usage: .replicate"), "{text}");
+        server.shutdown();
     }
 
     #[test]

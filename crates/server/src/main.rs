@@ -1,14 +1,26 @@
 //! The `olap-server` binary: load a dataset, bind, serve analyst
 //! sessions until killed. Connect with `polap --connect host:port`.
+//!
+//! With `--store PATH` the dataset is file-backed and the server acts
+//! as a replication *leader*: committed flushes are captured and any
+//! client may stream them with `.replicate <pos>`. With `--follow`
+//! the server is a read-only *replica* over a copy of the leader's
+//! base image, converging through the same stream (DESIGN.md §17).
 
-use olap_server::{Server, ServerConfig};
+use olap_server::{enable_replication, Follower, Server, ServerConfig};
 use polap_cli::{Dataset, SharedData};
+use std::net::ToSocketAddrs;
 use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: olap-server [dataset] [options]
   dataset               running | retail | workforce | bench (default: running)
   --bind ADDR:PORT      listen address (default 127.0.0.1:3811; port 0 = ephemeral)
+  --store PATH          file-backed store: create PATH (leader) or attach a copied
+                        base image (with --follow); workforce/bench datasets only
+  --follow ADDR:PORT    run as a read-only replica of the leader at ADDR:PORT
+                        (requires --store pointing at a copy of its base image);
+                        sessions are served locally, .commit is refused
   --max-sessions N      admission cap: refuse connections past N sessions (default 64)
   --cache MB            shared scenario-delta cache size (default 0 = off)
   --threads N           executor threads per session (default 1)
@@ -27,6 +39,8 @@ fn main() {
     let mut bind = "127.0.0.1:3811".to_string();
     let mut cfg = ServerConfig::default();
     let mut cache_mb = 0usize;
+    let mut store_path: Option<String> = None;
+    let mut follow: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +56,8 @@ fn main() {
                 return;
             }
             "--bind" => bind = value("--bind"),
+            "--store" => store_path = Some(value("--store")),
+            "--follow" => follow = Some(value("--follow")),
             "--max-sessions" => match value("--max-sessions").parse() {
                 Ok(n) if n > 0 => cfg.max_sessions = n,
                 _ => die("--max-sessions needs a positive integer"),
@@ -81,13 +97,60 @@ fn main() {
         }
     }
 
-    let mut shared = SharedData::load(dataset);
+    if follow.is_some() && store_path.is_none() {
+        die("--follow requires --store (a copy of the leader's base image)");
+    }
+    let backend = match &store_path {
+        None => olap_cube::StoreBackend::Memory,
+        // A follower attaches an existing base image; a leader creates
+        // a fresh store file.
+        Some(p) if follow.is_some() => olap_cube::StoreBackend::Attach(p.into()),
+        Some(p) => olap_cube::StoreBackend::File(p.into()),
+    };
+    let mut shared = match SharedData::load_with_backend(dataset, backend) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     if cache_mb > 0 {
         shared.set_cache_mb(cache_mb);
     }
     let shared = Arc::new(shared);
     if cfg.prefetch > 0 {
         shared.start_io_threads(cfg.prefetch.min(4));
+    }
+
+    if let Some(leader) = follow {
+        let addr = match leader.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(a) => a,
+            None => die(&format!("cannot resolve leader address {leader:?}")),
+        };
+        let follower = match Follower::start(shared, &bind, cfg, addr) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot start replica on {bind}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "olap-server replica on {} following {} ({:?} dataset, position {})",
+            follower.addr(),
+            addr,
+            dataset,
+            follower.position(),
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+
+    if store_path.is_some() {
+        // Leaders capture from the first flush on; a follower seeded
+        // from a copy of the store file taken any time after this call
+        // can stream everything it is missing.
+        enable_replication(&shared);
     }
     let server = match Server::start(shared, &bind, cfg) {
         Ok(s) => s,

@@ -23,14 +23,15 @@ use crate::error::StoreError;
 use crate::geometry::ChunkId;
 use crate::integrity;
 use crate::store::{ChunkStore, IoStats};
-use crate::wal::{self, Wal, WalRecovery, WalStats};
+use crate::wal::{self, Wal, WalChunk, WalRecovery, WalStats, WalTxn};
 use crate::Result;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-read latency model: `min(distance × ns_per_byte, max_ns)` of busy
@@ -103,6 +104,40 @@ pub struct TailRecovery {
     pub bytes_truncated: u64,
 }
 
+/// Retained committed transactions a leader ships to followers.
+///
+/// Replication positions are **main-log byte offsets**: because the
+/// store is an append log and followers replay the exact record bytes
+/// in order, a follower's file length names its position in the
+/// leader's history unambiguously (the same way an LSN does), and it is
+/// durable for free — no separate position file to keep in sync.
+#[derive(Debug, Default)]
+struct ReplLog {
+    /// Committed transactions in epoch order, each starting at the
+    /// main-log offset its `main_end` records.
+    txns: VecDeque<Arc<WalTxn>>,
+    /// Oldest main-log position still shippable; a follower behind this
+    /// needs a base-image copy, not a stream.
+    base_pos: u64,
+    /// Payload bytes retained (the eviction budget).
+    retained_bytes: u64,
+}
+
+/// Retention ceiling for the leader's shipping buffer: beyond this the
+/// oldest transactions are evicted and too-stale followers must re-seed
+/// from a base image.
+const REPL_RETAIN_BYTES: u64 = 64 << 20;
+
+/// What [`FileStore::apply_replicated`] did with a shipped transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplApply {
+    /// The transaction advanced this store to its post-image.
+    Applied,
+    /// The transaction was already applied (delivery is at-least-once);
+    /// nothing changed.
+    Duplicate,
+}
+
 /// An open flush transaction: what `abort_flush` needs to undo it and
 /// `commit_flush` needs to seal it.
 #[derive(Debug)]
@@ -122,6 +157,10 @@ struct FlushTxn {
     displaced: Vec<(ChunkId, Option<(u64, u32)>)>,
     /// `dead_bytes` added during the transaction.
     dead_added: u64,
+    /// Exact record payloads staged for replication (only when the
+    /// store is a publishing leader); shipped on commit, dropped on
+    /// abort.
+    staged: Vec<WalChunk>,
 }
 
 /// A single-file, append-log chunk store.
@@ -164,6 +203,9 @@ pub struct FileStore {
     crash_budget: Option<u64>,
     /// Physical I/O operations attempted so far.
     phys_ops: u64,
+    /// Shipping buffer of committed transactions, when this store
+    /// publishes to followers. See [`FileStore::set_replication`].
+    repl: Option<ReplLog>,
 }
 
 /// Fsyncs the directory containing `path`, making a rename or unlink of
@@ -210,6 +252,7 @@ impl FileStore {
             wal_recovery: None,
             crash_budget: None,
             phys_ops: 0,
+            repl: None,
         })
     }
 
@@ -430,6 +473,7 @@ impl FileStore {
             wal_recovery,
             crash_budget: None,
             phys_ops: 0,
+            repl: None,
         })
     }
 
@@ -524,12 +568,239 @@ impl FileStore {
         }
     }
 
-    /// Opens the sidecar WAL if this store hasn't yet.
+    /// Opens the sidecar WAL if this store hasn't yet. First-time
+    /// opening is a counted crash point: creating the sidecar (and
+    /// fsyncing its directory entry) is physical I/O a crash can land
+    /// on, and the crash-point sweeps must cover it.
     fn ensure_wal(&mut self) -> Result<&mut Wal> {
         if self.wal.is_none() {
+            self.crash_gate()?;
             self.wal = Some(Wal::open_or_create(wal::sidecar_path(&self.path))?);
         }
         Ok(self.wal.as_mut().expect("just opened"))
+    }
+
+    /// Enables/disables leader-side replication capture. While on,
+    /// every committed flush transaction is retained (as the exact
+    /// record payloads and destination offsets, i.e. the WAL image) for
+    /// shipping to followers via [`FileStore::retained_since`]. Turning
+    /// it off drops the buffer.
+    ///
+    /// `reorganize` rewrites the whole file and breaks the byte-offset
+    /// contract, so it is refused while replication is on.
+    pub fn set_replication(&mut self, on: bool) {
+        if on && self.repl.is_none() {
+            self.repl = Some(ReplLog {
+                txns: VecDeque::new(),
+                base_pos: self.end,
+                retained_bytes: 0,
+            });
+        } else if !on {
+            self.repl = None;
+        }
+    }
+
+    /// Whether leader-side replication capture is on.
+    pub fn replication(&self) -> bool {
+        self.repl.is_some()
+    }
+
+    /// This store's replication position: the main-log byte offset a
+    /// follower reaches by applying every committed transaction so far.
+    /// Refers to committed state only — an open flush transaction's
+    /// appends are not part of any shippable position, so the pre-flush
+    /// offset is reported while one is open.
+    pub fn replication_position(&self) -> u64 {
+        self.txn.as_ref().map_or(self.end, |t| t.main_start)
+    }
+
+    /// Committed transactions a follower at main-log position `pos`
+    /// still needs, oldest first. An empty vec means the follower is
+    /// caught up. Errors if `pos` predates the retained history (the
+    /// follower must re-seed from a base image) or names an offset the
+    /// leader never committed at.
+    pub fn retained_since(&self, pos: u64) -> Result<Vec<Arc<WalTxn>>> {
+        let repl = self.repl.as_ref().ok_or_else(|| {
+            StoreError::Io(std::io::Error::other("replication capture is not enabled"))
+        })?;
+        if pos < repl.base_pos {
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "replication position {pos} predates retained history (base {}): \
+                 follower needs a fresh base image",
+                repl.base_pos
+            ))));
+        }
+        if pos > self.replication_position() {
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "replication position {pos} is ahead of the leader ({}): diverged store",
+                self.replication_position()
+            ))));
+        }
+        Ok(repl
+            .txns
+            .iter()
+            .filter(|t| t.main_end >= pos)
+            .cloned()
+            .collect())
+    }
+
+    /// Retains a committed transaction for shipping, evicting the
+    /// oldest ones past the byte budget.
+    fn repl_push(&mut self, txn: Arc<WalTxn>) {
+        let Some(repl) = self.repl.as_mut() else {
+            return;
+        };
+        repl.retained_bytes += txn
+            .chunks
+            .iter()
+            .map(|c| c.payload.len() as u64)
+            .sum::<u64>();
+        repl.txns.push_back(txn);
+        while repl.retained_bytes > REPL_RETAIN_BYTES && repl.txns.len() > 1 {
+            let evicted = repl.txns.pop_front().expect("len > 1");
+            repl.retained_bytes -= evicted
+                .chunks
+                .iter()
+                .map(|c| c.payload.len() as u64)
+                .sum::<u64>();
+            repl.base_pos = repl.txns.front().map(|t| t.main_end).unwrap_or(self.end);
+        }
+    }
+
+    /// Applies a transaction shipped from a leader through the same
+    /// idempotent redo path [`FileStore::open`] runs: WAL-stage the
+    /// whole transaction, fsync, append the `COMMIT` record, fsync (the
+    /// atomicity point), then append the records to the main log and
+    /// checkpoint. A crash at any physical operation leaves a store
+    /// that re-opens to exactly the pre- or post-transaction image —
+    /// before the commit fsync the transaction rolls back, after it the
+    /// redo replay finishes the main-log appends at their recorded
+    /// offsets.
+    ///
+    /// Delivery may be at-least-once: a transaction ending at or before
+    /// this store's position is reported [`ReplApply::Duplicate`] and
+    /// ignored. A transaction starting beyond the position (a gap) or
+    /// whose record offsets disagree with the local log (divergence) is
+    /// refused before any I/O.
+    pub fn apply_replicated(&mut self, txn: &WalTxn) -> Result<ReplApply> {
+        if !txn.committed {
+            return Err(StoreError::Corrupt(
+                "apply_replicated: transaction has no COMMIT".into(),
+            ));
+        }
+        if self.txn.is_some() {
+            return Err(StoreError::Io(std::io::Error::other(
+                "apply_replicated during an open flush transaction",
+            )));
+        }
+        if txn.main_end < self.end {
+            return Ok(ReplApply::Duplicate);
+        }
+        if txn.main_end > self.end {
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "replication gap: transaction starts at {} but this store ends at {}",
+                txn.main_end, self.end
+            ))));
+        }
+        if txn.chunks.is_empty() {
+            // Nothing to write and no position to advance.
+            return Ok(ReplApply::Duplicate);
+        }
+        // Validate every destination offset against the local log
+        // before the first physical write: shipped appends must land
+        // back-to-back exactly where the leader put them, or the stores
+        // have diverged.
+        let mut expect = self.end;
+        for c in &txn.chunks {
+            if c.main_off != expect + REC_HEADER as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "replication divergence: chunk {} targets offset {} but local log \
+                     expects {}",
+                    c.id.0,
+                    c.main_off,
+                    expect + REC_HEADER as u64
+                )));
+            }
+            expect = c.main_off + c.payload.len() as u64;
+        }
+        let records = codec::count_u32(txn.chunks.len(), "replicated txn records")?;
+        // Stage the whole transaction in the WAL first, exactly as the
+        // leader's flush did.
+        let (epoch, main_end) = (txn.epoch, txn.main_end);
+        {
+            let wal = self.ensure_wal()?;
+            let wal_start = wal.len();
+            // A previous crashed apply can leave stale records; recovery
+            // checkpoints them away on open, so a non-empty WAL here
+            // means this store is also a leader mid-capture — refuse.
+            if wal_start != 0 {
+                return Err(StoreError::Io(std::io::Error::other(
+                    "apply_replicated with WAL records pending",
+                )));
+            }
+        }
+        self.crash_gate()?;
+        let n = self
+            .wal
+            .as_mut()
+            .expect("ensure_wal opened it")
+            .append_begin(epoch, main_end)?;
+        self.wal_stats.bytes_logged += n;
+        for c in &txn.chunks {
+            self.crash_gate()?;
+            let n = self
+                .wal
+                .as_mut()
+                .expect("ensure_wal opened it")
+                .append_chunk(epoch, c.id, c.main_off, &c.payload)?;
+            self.wal_stats.records_logged += 1;
+            self.wal_stats.bytes_logged += n;
+        }
+        self.crash_gate()?;
+        self.wal.as_mut().expect("ensure_wal opened it").sync()?;
+        self.wal_stats.syncs += 1;
+        self.crash_gate()?;
+        let n = self
+            .wal
+            .as_mut()
+            .expect("ensure_wal opened it")
+            .append_commit(epoch, records)?;
+        self.wal_stats.bytes_logged += n;
+        self.crash_gate()?;
+        self.wal.as_mut().expect("ensure_wal opened it").sync()?;
+        self.wal_stats.syncs += 1;
+        // The commit record is durable: the transaction is now
+        // guaranteed visible even if every operation below is lost.
+        for c in &txn.chunks {
+            self.crash_gate()?;
+            let len = codec::count_u32(c.payload.len(), "replicated payload")?;
+            let mut rec = Vec::with_capacity(REC_HEADER + c.payload.len());
+            rec.extend_from_slice(&c.id.0.to_le_bytes());
+            rec.extend_from_slice(&len.to_le_bytes());
+            rec.extend_from_slice(&c.payload);
+            self.file.write_all_at(&rec, self.end)?;
+            if let Some((_, old_len)) = self.index.insert(c.id, (c.main_off, len)) {
+                self.dead_bytes += REC_HEADER as u64 + old_len as u64;
+            }
+            self.end += rec.len() as u64;
+            self.stats.record_write(c.payload.len() as u64);
+        }
+        self.crash_gate()?;
+        self.file.sync_all()?;
+        self.epoch = epoch;
+        self.wal_stats.txns_committed += 1;
+        // Checkpoint: the main log holds the full post-image.
+        self.crash_gate()?;
+        self.wal
+            .as_mut()
+            .expect("ensure_wal opened it")
+            .truncate_to(0)?;
+        self.wal_stats.checkpoints += 1;
+        // A follower can relay: if it publishes too, retain the txn.
+        if self.repl.is_some() {
+            self.repl_push(Arc::new(txn.clone()));
+        }
+        Ok(ReplApply::Applied)
     }
 
     /// Installs (or clears) the seek-latency model.
@@ -570,6 +841,13 @@ impl FileStore {
         if self.txn.is_some() {
             return Err(StoreError::Io(std::io::Error::other(
                 "reorganize during an open flush transaction",
+            )));
+        }
+        if self.repl.is_some() {
+            // Rewriting the file re-keys every byte offset, breaking the
+            // position contract followers replicate against.
+            return Err(StoreError::Io(std::io::Error::other(
+                "reorganize on a replicating store (followers track byte positions)",
             )));
         }
         let requested: HashSet<ChunkId> = order.iter().copied().collect();
@@ -690,11 +968,19 @@ impl ChunkStore for FileStore {
         if let Some((_, old_len)) = displaced {
             self.dead_bytes += REC_HEADER as u64 + old_len as u64;
         }
+        let capturing = self.repl.is_some();
         if let Some(t) = self.txn.as_mut() {
             t.records += 1;
             t.displaced.push((id, displaced));
             if let Some((_, old_len)) = displaced {
                 t.dead_added += REC_HEADER as u64 + old_len as u64;
+            }
+            if capturing {
+                t.staged.push(WalChunk {
+                    id,
+                    main_off: payload_off,
+                    payload: payload.to_vec(),
+                });
             }
         }
         self.end += rec.len() as u64;
@@ -749,6 +1035,7 @@ impl ChunkStore for FileStore {
             records: 0,
             displaced: Vec::new(),
             dead_added: 0,
+            staged: Vec::new(),
         });
         Ok(())
     }
@@ -777,9 +1064,17 @@ impl ChunkStore for FileStore {
         }
         // On any failure above the transaction stays open, so the
         // caller's abort_flush can still undo it cleanly.
-        self.txn = None;
+        let t = self.txn.take().expect("checked above");
         self.epoch = epoch;
         self.wal_stats.txns_committed += 1;
+        if self.repl.is_some() && !t.staged.is_empty() {
+            self.repl_push(Arc::new(WalTxn {
+                epoch,
+                main_end: t.main_start,
+                chunks: t.staged,
+                committed: true,
+            }));
+        }
         Ok(epoch)
     }
 

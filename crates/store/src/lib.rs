@@ -29,6 +29,7 @@ pub mod geometry;
 pub mod integrity;
 pub mod memstore;
 pub mod pool;
+pub mod replication;
 pub mod store;
 pub mod value;
 pub mod wal;
@@ -37,14 +38,15 @@ pub use chunk::{Chunk, ChunkData, PresentCells};
 pub use compress::{compression_ratio, decode_any, encode_compressed, is_compressed};
 pub use error::StoreError;
 pub use fault::{FaultKind, FaultOp, FaultSpec, FaultStore};
-pub use filestore::{FileStore, SeekModel, TailRecovery};
+pub use filestore::{FileStore, ReplApply, SeekModel, TailRecovery};
 pub use geometry::{CellCoord, ChunkCoord, ChunkGeometry, ChunkId, ChunkRuns, DimOrderIter};
 pub use integrity::{crc32, is_checksummed, unwrap_verified, wrap_checksummed};
 pub use memstore::MemStore;
 pub use pool::{BufferPool, PoolStats};
+pub use replication::{decode_txn, encode_txn, txn_end};
 pub use store::{ChunkStore, IoSnapshot, IoStats};
 pub use value::CellValue;
-pub use wal::{Wal, WalRecovery, WalStats};
+pub use wal::{Wal, WalChunk, WalRecovery, WalStats, WalTxn};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,167 @@
+//! Wire encoding for WAL shipping.
+//!
+//! A shipped flush transaction is the *literal WAL byte sequence* the
+//! leader logged for it — a `BEGIN` record, the staged `CHUNK` records
+//! in append order, and the closing `COMMIT`, each length-framed and
+//! OLC3-checksummed exactly as on disk. That choice buys three things:
+//!
+//! * **No second format.** [`decode_txn`] is [`wal::scan`] over the
+//!   frame; every torn-tail, CRC and protocol-violation rule the
+//!   recovery path already enforces applies verbatim to bytes received
+//!   from the network.
+//! * **Torn streams fail closed.** A frame cut mid-`CHUNK` decodes to
+//!   an incomplete scan and is rejected whole — a follower never sees a
+//!   partial transaction.
+//! * **Idempotent replay for free.** The follower applies a decoded
+//!   [`WalTxn`] through the same redo path
+//!   [`crate::FileStore::open`] runs, so a crash mid-apply recovers to
+//!   the pre- or post-transaction image by construction.
+
+use crate::error::StoreError;
+use crate::wal::{self, WalTxn};
+use crate::Result;
+
+/// Encodes a committed transaction as its WAL byte sequence
+/// (`BEGIN`, `CHUNK`*, `COMMIT`), ready to ship in one frame.
+pub fn encode_txn(txn: &WalTxn) -> Result<Vec<u8>> {
+    if !txn.committed {
+        return Err(StoreError::Corrupt(
+            "replication: refusing to ship an uncommitted transaction".into(),
+        ));
+    }
+    let mut out = wal::encode_record(&wal::begin_inner(txn.epoch, txn.main_end))?;
+    for c in &txn.chunks {
+        out.extend(wal::encode_record(&wal::chunk_inner(
+            txn.epoch, c.id, c.main_off, &c.payload,
+        ))?);
+    }
+    let records = crate::codec::count_u32(txn.chunks.len(), "replication txn records")?;
+    out.extend(wal::encode_record(&wal::commit_inner(txn.epoch, records))?);
+    Ok(out)
+}
+
+/// Decodes one shipped transaction. Rejects anything but a frame that
+/// scans, in full, to exactly one committed transaction — a torn or
+/// bit-flipped frame, trailing garbage, or a missing `COMMIT` all fail
+/// here rather than reaching the store.
+pub fn decode_txn(bytes: &[u8]) -> Result<WalTxn> {
+    let scan = wal::scan(bytes);
+    if scan.valid_len != bytes.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "replication: torn transaction frame ({} of {} bytes valid)",
+            scan.valid_len,
+            bytes.len()
+        )));
+    }
+    let mut txns = scan.txns;
+    match (txns.pop(), txns.is_empty()) {
+        (Some(t), true) if t.committed => Ok(t),
+        (Some(_), true) => Err(StoreError::Corrupt(
+            "replication: shipped transaction has no COMMIT record".into(),
+        )),
+        (Some(_), false) => Err(StoreError::Corrupt(
+            "replication: frame holds more than one transaction".into(),
+        )),
+        (None, _) => Err(StoreError::Corrupt(
+            "replication: empty transaction frame".into(),
+        )),
+    }
+}
+
+/// The main-log position a store stands at *after* applying `txn`:
+/// the byte past its last chunk record, or (for an empty transaction)
+/// its starting position. Leaders advance their shipping cursor with
+/// this; followers report it as their replication position.
+pub fn txn_end(txn: &WalTxn) -> u64 {
+    txn.chunks
+        .last()
+        .map(|c| c.main_off + c.payload.len() as u64)
+        .unwrap_or(txn.main_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChunkId;
+    use crate::wal::WalChunk;
+
+    fn sample_txn() -> WalTxn {
+        WalTxn {
+            epoch: 7,
+            main_end: 4096,
+            chunks: vec![
+                WalChunk {
+                    id: ChunkId(11),
+                    main_off: 4108,
+                    payload: b"payload-11".to_vec(),
+                },
+                WalChunk {
+                    id: ChunkId(13),
+                    main_off: 4130,
+                    payload: b"payload-13".to_vec(),
+                },
+            ],
+            committed: true,
+        }
+    }
+
+    #[test]
+    fn txn_roundtrips() {
+        let txn = sample_txn();
+        let bytes = encode_txn(&txn).unwrap();
+        let back = decode_txn(&bytes).unwrap();
+        assert_eq!(back, txn);
+    }
+
+    #[test]
+    fn empty_txn_roundtrips() {
+        let txn = WalTxn {
+            epoch: 1,
+            main_end: 0,
+            chunks: Vec::new(),
+            committed: true,
+        };
+        assert_eq!(decode_txn(&encode_txn(&txn).unwrap()).unwrap(), txn);
+    }
+
+    #[test]
+    fn uncommitted_txn_refuses_to_encode() {
+        let mut txn = sample_txn();
+        txn.committed = false;
+        assert!(encode_txn(&txn).is_err());
+    }
+
+    #[test]
+    fn every_torn_prefix_is_rejected() {
+        let bytes = encode_txn(&sample_txn()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode_txn(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let bytes = encode_txn(&sample_txn()).unwrap();
+        for pos in [5, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode_txn(&bad).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_txn(&sample_txn()).unwrap();
+        bytes.extend_from_slice(b"xx");
+        assert!(decode_txn(&bytes).is_err());
+    }
+
+    #[test]
+    fn two_txns_in_one_frame_are_rejected() {
+        let mut bytes = encode_txn(&sample_txn()).unwrap();
+        let mut second = sample_txn();
+        second.epoch = 8;
+        bytes.extend(encode_txn(&second).unwrap());
+        assert!(decode_txn(&bytes).is_err());
+    }
+}

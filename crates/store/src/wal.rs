@@ -151,27 +151,60 @@ pub fn sidecar_path(path: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
+/// Fsyncs the directory containing `path`, making a create, rename or
+/// unlink of an entry in it durable (POSIX fsyncs the file, not its
+/// name).
+pub(crate) fn fsync_dir(path: &Path) -> Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
 /// An open WAL file handle (append-only; truncated at checkpoints).
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
     len: u64,
+    /// Whether [`Wal::open_or_create`] created the file (as opposed to
+    /// opening an existing sidecar).
+    created: bool,
 }
 
 impl Wal {
     /// Opens (creating if absent) the WAL at `path`, appending after
-    /// any existing content.
+    /// any existing content. Creation fsyncs the parent directory: the
+    /// sidecar's *name* must be durable before any record in it is —
+    /// otherwise a crash right after creation can lose the whole file
+    /// while the main log believes WAL mode is on, leaving a committed
+    /// flush with no redo records to replay.
     pub fn open_or_create(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        let created = !path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
+        if created {
+            fsync_dir(&path)?;
+        }
         let len = file.metadata()?.len();
-        Ok(Wal { file, path, len })
+        Ok(Wal {
+            file,
+            path,
+            len,
+            created,
+        })
+    }
+
+    /// Whether [`Wal::open_or_create`] created the file.
+    pub fn was_created(&self) -> bool {
+        self.created
     }
 
     /// Current WAL length in bytes.
@@ -192,11 +225,7 @@ impl Wal {
     /// Frames `inner` in the OLC3 envelope and appends it. Returns the
     /// framed byte count.
     fn append_inner(&mut self, inner: &[u8]) -> Result<u64> {
-        let envelope = integrity::wrap_checksummed(inner);
-        let len = crate::codec::count_u32(envelope.len(), "WAL record")?;
-        let mut rec = Vec::with_capacity(4 + envelope.len());
-        rec.extend_from_slice(&len.to_le_bytes());
-        rec.extend_from_slice(&envelope);
+        let rec = encode_record(inner)?;
         self.file.write_all_at(&rec, self.len)?;
         self.len += rec.len() as u64;
         Ok(rec.len() as u64)
@@ -205,11 +234,7 @@ impl Wal {
     /// Appends a `BEGIN` record opening flush transaction `epoch` with
     /// the main log currently ending at `main_end`.
     pub fn append_begin(&mut self, epoch: u64, main_end: u64) -> Result<u64> {
-        let mut inner = Vec::with_capacity(17);
-        inner.push(KIND_BEGIN);
-        inner.extend_from_slice(&epoch.to_le_bytes());
-        inner.extend_from_slice(&main_end.to_le_bytes());
-        self.append_inner(&inner)
+        self.append_inner(&begin_inner(epoch, main_end))
     }
 
     /// Appends a `CHUNK` record staging `payload` for chunk `id` at
@@ -221,23 +246,13 @@ impl Wal {
         main_off: u64,
         payload: &[u8],
     ) -> Result<u64> {
-        let mut inner = Vec::with_capacity(25 + payload.len());
-        inner.push(KIND_CHUNK);
-        inner.extend_from_slice(&epoch.to_le_bytes());
-        inner.extend_from_slice(&id.0.to_le_bytes());
-        inner.extend_from_slice(&main_off.to_le_bytes());
-        inner.extend_from_slice(payload);
-        self.append_inner(&inner)
+        self.append_inner(&chunk_inner(epoch, id, main_off, payload))
     }
 
     /// Appends the `COMMIT` record closing transaction `epoch` after
     /// `records` staged chunk records.
     pub fn append_commit(&mut self, epoch: u64, records: u32) -> Result<u64> {
-        let mut inner = Vec::with_capacity(13);
-        inner.push(KIND_COMMIT);
-        inner.extend_from_slice(&epoch.to_le_bytes());
-        inner.extend_from_slice(&records.to_le_bytes());
-        self.append_inner(&inner)
+        self.append_inner(&commit_inner(epoch, records))
     }
 
     /// Forces appended records to durable media.
@@ -254,6 +269,48 @@ impl Wal {
         self.len = len;
         Ok(())
     }
+}
+
+/// Frames one record's inner payload in the OLC3 envelope plus the
+/// `u32` length prefix — the exact bytes [`Wal::append_inner`] writes.
+/// Pure so replication can build shipped transaction frames without a
+/// WAL file.
+pub fn encode_record(inner: &[u8]) -> Result<Vec<u8>> {
+    let envelope = integrity::wrap_checksummed(inner);
+    let len = crate::codec::count_u32(envelope.len(), "WAL record")?;
+    let mut rec = Vec::with_capacity(4 + envelope.len());
+    rec.extend_from_slice(&len.to_le_bytes());
+    rec.extend_from_slice(&envelope);
+    Ok(rec)
+}
+
+/// Inner payload of a `BEGIN` record.
+pub fn begin_inner(epoch: u64, main_end: u64) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(17);
+    inner.push(KIND_BEGIN);
+    inner.extend_from_slice(&epoch.to_le_bytes());
+    inner.extend_from_slice(&main_end.to_le_bytes());
+    inner
+}
+
+/// Inner payload of a `CHUNK` record.
+pub fn chunk_inner(epoch: u64, id: ChunkId, main_off: u64, payload: &[u8]) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(25 + payload.len());
+    inner.push(KIND_CHUNK);
+    inner.extend_from_slice(&epoch.to_le_bytes());
+    inner.extend_from_slice(&id.0.to_le_bytes());
+    inner.extend_from_slice(&main_off.to_le_bytes());
+    inner.extend_from_slice(payload);
+    inner
+}
+
+/// Inner payload of a `COMMIT` record.
+pub fn commit_inner(epoch: u64, records: u32) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(13);
+    inner.push(KIND_COMMIT);
+    inner.extend_from_slice(&epoch.to_le_bytes());
+    inner.extend_from_slice(&records.to_le_bytes());
+    inner
 }
 
 /// Parses one envelope's inner payload into its record fields.
@@ -463,6 +520,33 @@ mod tests {
         bad[n - 3] ^= 0x40;
         let s = scan(&bad);
         assert_eq!(s.txns.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_or_create_reports_creation_once() {
+        let path = tmp("created");
+        std::fs::remove_file(&path).ok();
+        let w = Wal::open_or_create(&path).unwrap();
+        assert!(w.was_created());
+        drop(w);
+        let w = Wal::open_or_create(&path).unwrap();
+        assert!(!w.was_created());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoders_match_appended_bytes() {
+        let path = tmp("encoders");
+        let mut w = Wal::open_or_create(&path).unwrap();
+        w.append_begin(4, 512).unwrap();
+        w.append_chunk(4, ChunkId(3), 524, b"chunk-bytes").unwrap();
+        w.append_commit(4, 1).unwrap();
+        let mut expect = Vec::new();
+        expect.extend(encode_record(&begin_inner(4, 512)).unwrap());
+        expect.extend(encode_record(&chunk_inner(4, ChunkId(3), 524, b"chunk-bytes")).unwrap());
+        expect.extend(encode_record(&commit_inner(4, 1)).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), expect);
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,7 +24,8 @@ while [ "$i" -le 10 ]; do
     cargo test -q -p whatif-integration-tests \
         --test parallel_exec --test prefetch --test scenario_cache \
         --test scenario_forest --test fault_injection --test persistence \
-        --test server --test run_kernels --test chaos >/dev/null
+        --test server --test run_kernels --test chaos \
+        --test replication >/dev/null
     i=$((i + 1))
 done
 echo "(10/10 green)"
@@ -52,6 +53,15 @@ echo "== chaos smoke test =="
 # any violation or on blowing the wall-clock budget).
 ./target/release/repro --chaos-bench 8 >/dev/null
 echo "(faults healed by retry+replay, 0 leaked slots, 0 force-closes)"
+
+echo "== replication smoke test =="
+# Four WAL-shipping followers per seed under random kill/restart
+# schedules must only ever restart on committed leader positions,
+# serve catch-up reads that error cleanly or match a serial oracle,
+# and end byte-identical to the leader's store file (repro runs three
+# seeds and exits non-zero on any violation or a blown wall budget).
+./target/release/repro --replica-bench 4 >/dev/null
+echo "(followers converge byte-identical through kill/restart)"
 
 echo "== scenario-toggle smoke test =="
 # An analyst toggling two scenarios over the versioned cache must —
